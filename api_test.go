@@ -1,0 +1,118 @@
+package ides_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ides-go/ides"
+)
+
+// TestFacadeWorkedExample exercises the public API end to end on the
+// paper's worked example (the same numbers the internal packages pin).
+func TestFacadeWorkedExample(t *testing.T) {
+	landmarks := ides.MatrixFromRows([][]float64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	})
+	model, err := ides.FitSVD(landmarks, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	d2 := []float64{2.5, 1.5, 1.5, 0.5}
+	h1, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := model.SolveHost(d2, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ides.Estimate(h1, h2); math.Abs(got-3.25) > 1e-9 {
+		t.Fatalf("H1→H2 = %v want 3.25", got)
+	}
+}
+
+func TestFacadeNMFAndNNLS(t *testing.T) {
+	landmarks := ides.MatrixFromRows([][]float64{
+		{0, 10, 20},
+		{10, 0, 15},
+		{20, 15, 0},
+	})
+	model, err := ides.FitNMF(landmarks, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := []float64{5, 8, 18}
+	v, err := ides.SolveVectorsNNLS(model.X, model.Y, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 3; l++ {
+		lm := ides.Vectors{Out: model.Outgoing(l), In: model.Incoming(l)}
+		if est := ides.Estimate(v, lm); est < 0 {
+			t.Fatalf("NMF+NNLS estimate to landmark %d is negative: %v", l, est)
+		}
+	}
+}
+
+func TestFacadeDatasetsAndStats(t *testing.T) {
+	ds, err := ides.GenGNP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 19 {
+		t.Fatalf("rows = %d", ds.Rows())
+	}
+	errs := []float64{0.1, 0.2, 0.3}
+	if s := ides.Summarize(errs); s.N != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if c := ides.NewCDF(errs); c.Quantile(0.5) != 0.2 {
+		t.Fatal("CDF quantile wrong")
+	}
+	if e := ides.RelativeError(10, 5); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", e)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ds, err := ides.GenGNP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ides.FitLipschitzPCA(ds.D, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ides.FitVivaldi(ds.D, ides.VivaldiOptions{Dim: 4, Rounds: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ides.FitGNP(ds.D, ides.GNPOptions{Dim: 3, Seed: 1, Rounds: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTopologyAndSimnet(t *testing.T) {
+	topo, err := ides.GenerateTopology(ides.TopologyConfig{Seed: 1, NumHosts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ides.SimHostNames(6)
+	nw, err := ides.NewSimNet(topo, names, ides.SimNetConfig{TimeScale: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt, err := h.PingInstant("host-3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("rtt %v", rtt)
+	}
+}

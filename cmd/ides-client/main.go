@@ -1,0 +1,123 @@
+// Command ides-client joins an IDES deployment as an ordinary host and
+// answers distance queries from the command line.
+//
+// Usage:
+//
+//	# measure k landmarks, solve vectors, register, estimate:
+//	ides-client -self me.example.net -server ides.example.net:4100 \
+//	    -k 12 -to peer-a.example.net
+//
+//	# mirror selection among candidates:
+//	ides-client -self me.example.net -server ides.example.net:4100 \
+//	    -nearest mirror1:80,mirror2:80,mirror3:80
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ides-go/ides/internal/client"
+	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/transport"
+)
+
+func main() {
+	self := flag.String("self", "", "this host's address for the directory (required)")
+	serverAddr := flag.String("server", "", "information server address (required)")
+	k := flag.Int("k", 0, "number of landmarks to measure (0 = all)")
+	samples := flag.Int("samples", 4, "echo probes per landmark")
+	nnls := flag.Bool("nnls", false, "solve vectors with nonnegativity constraints")
+	seed := flag.Int64("seed", 0, "landmark subset selection seed")
+	to := flag.String("to", "", "estimate distance to this host after registering")
+	from := flag.String("from", "", "estimate distance from this host after registering")
+	nearest := flag.String("nearest", "", "comma-separated candidates; print the nearest")
+	listen := flag.String("listen", "", "also answer echo probes on this address, so other hosts can use this one as a §5.2 reference point (keeps running)")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *self == "" || *serverAddr == "" {
+		logger.Fatal("ides-client: -self and -server are required")
+	}
+
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	c, err := client.New(client.Config{
+		Self:    *self,
+		Server:  *serverAddr,
+		Dialer:  dialer,
+		Pinger:  &transport.TCPPinger{Dialer: dialer},
+		Samples: *samples,
+		K:       *k,
+		Seed:    *seed,
+		NNLS:    *nnls,
+	})
+	if err != nil {
+		logger.Fatalf("ides-client: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := c.Bootstrap(ctx); err != nil {
+		logger.Fatalf("ides-client: bootstrap: %v", err)
+	}
+	vec, _ := c.Vectors()
+	logger.Printf("ides-client: registered %s (d=%d)", *self, len(vec.Out))
+
+	if *to != "" {
+		d, err := c.EstimateTo(ctx, *to)
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		fmt.Printf("%s -> %s: %.2f ms (estimated)\n", *self, *to, d)
+	}
+	if *from != "" {
+		d, err := c.EstimateFrom(ctx, *from)
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		fmt.Printf("%s -> %s: %.2f ms (estimated)\n", *from, *self, d)
+	}
+	if *nearest != "" {
+		var candidates []string
+		for _, part := range strings.Split(*nearest, ",") {
+			if p := strings.TrimSpace(part); p != "" {
+				candidates = append(candidates, p)
+			}
+		}
+		best, dist, err := c.Nearest(ctx, candidates)
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		fmt.Printf("nearest: %s (%.2f ms estimated)\n", best, dist)
+	}
+
+	if *listen != "" {
+		// Serve echo probes indefinitely so other hosts can measure their
+		// distance to this one and use it as a reference point (§5.2).
+		echo, err := landmark.New(landmark.Config{
+			Self:   *self,
+			Peers:  []string{*serverAddr}, // unused by ServeEcho
+			Server: *serverAddr,
+			Dialer: dialer,
+			Pinger: &transport.TCPPinger{Dialer: dialer},
+			Logger: logger,
+		})
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		logger.Printf("ides-client: echoing on %s", ln.Addr())
+		if err := echo.ServeEcho(context.Background(), ln); err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command ides-inspect characterizes a dataset file: shape, RTT
+// distribution, asymmetry, triangle-inequality violations, spectral decay,
+// and reconstruction error at a few model dimensions — the properties that
+// decide whether matrix factorization will model it well.
+//
+// Usage:
+//
+//	ides-inspect data/nlanr.ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/ides-go/ides/internal/dataset"
+	"github.com/ides-go/ides/internal/factor"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for sampled statistics and factorization")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ides-inspect [-seed N] <dataset.ids>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ides-inspect: %v\n", err)
+		os.Exit(1)
+	}
+	ds, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ides-inspect: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset   %s\n", ds.Name)
+	fmt.Printf("shape     %dx%d (symmetric=%v, masked=%v)\n", ds.Rows(), ds.Cols(), ds.Symmetric, ds.Mask != nil)
+
+	// RTT distribution over observed off-diagonal entries.
+	var vals []float64
+	var missing int
+	for i := 0; i < ds.Rows(); i++ {
+		for j := 0; j < ds.Cols(); j++ {
+			if ds.Square() && i == j {
+				continue
+			}
+			if !ds.Observed(i, j) {
+				missing++
+				continue
+			}
+			vals = append(vals, ds.D.At(i, j))
+		}
+	}
+	c := stats.NewCDF(vals)
+	fmt.Printf("rtt (ms)  min=%.2f median=%.2f p90=%.2f max=%.2f  (missing entries: %d)\n",
+		c.Quantile(0), c.Quantile(0.5), c.Quantile(0.9), c.Quantile(1), missing)
+
+	if ds.Square() {
+		fmt.Printf("asymmetry (>5%% direction gap): %.1f%% of pairs\n",
+			100*dataset.AsymmetryFraction(ds.D, 0.05))
+		fmt.Printf("triangle violations (2%% margin): %.1f%% of pairs\n",
+			100*dataset.TriangleViolationFraction(ds.D, 0.02, *seed))
+	}
+
+	// Low-rank profile: reconstruction error at several dimensions.
+	fmt.Println("\nlow-rank reconstruction (SVD):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tmedian err\tp90 err")
+	for _, d := range []int{2, 5, 10, 20} {
+		if d > ds.Rows() || d > ds.Cols() {
+			break
+		}
+		fct, err := factor.SVDFactor(ds.D, d, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ides-inspect: d=%d: %v\n", d, err)
+			os.Exit(1)
+		}
+		errs := fct.ReconstructionErrors(ds.D)
+		ec := stats.NewCDF(errs)
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", d, ec.Quantile(0.5), ec.Quantile(0.9))
+	}
+	w.Flush()
+}

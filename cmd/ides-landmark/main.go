@@ -1,0 +1,88 @@
+// Command ides-landmark runs a landmark agent: it answers echo probes on
+// its listen address, periodically measures RTT to its landmark peers with
+// echo frames, and reports the measurements to the information server.
+//
+// Usage:
+//
+//	ides-landmark -self lm0.example.net:4101 -listen :4101 \
+//	    -peers lm1.example.net:4101,lm2.example.net:4101 \
+//	    -server ides.example.net:4100 -interval 1m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/transport"
+)
+
+func main() {
+	self := flag.String("self", "", "this landmark's address as the server knows it (required)")
+	listen := flag.String("listen", ":4101", "echo service listen address")
+	peers := flag.String("peers", "", "comma-separated peer landmark addresses (required)")
+	serverAddr := flag.String("server", "", "information server address (required)")
+	interval := flag.Duration("interval", time.Minute, "measurement round interval")
+	samples := flag.Int("samples", 4, "echo probes per peer per round (minimum is reported)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *self == "" || *serverAddr == "" {
+		logger.Fatal("ides-landmark: -self and -server are required")
+	}
+	peerList := splitNonEmpty(*peers)
+	if len(peerList) == 0 {
+		logger.Fatal("ides-landmark: -peers must list at least one peer")
+	}
+
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	agent, err := landmark.New(landmark.Config{
+		Self:     *self,
+		Peers:    peerList,
+		Server:   *serverAddr,
+		Dialer:   dialer,
+		Pinger:   &transport.TCPPinger{Dialer: dialer},
+		Samples:  *samples,
+		Interval: *interval,
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Fatalf("ides-landmark: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("ides-landmark: %v", err)
+	}
+	logger.Printf("ides-landmark: %s echoing on %s, reporting to %s every %v",
+		*self, ln.Addr(), *serverAddr, *interval)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 2)
+	go func() { errCh <- agent.ServeEcho(ctx, ln) }()
+	go func() { errCh <- agent.Run(ctx) }()
+	if err := <-errCh; err != nil && !errors.Is(err, context.Canceled) {
+		logger.Fatalf("ides-landmark: %v", err)
+	}
+	logger.Print("ides-landmark: shut down")
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Command ides-server runs the IDES information server over TCP: it
+// collects landmark RTT reports, fits the landmark model, serves it to
+// clients, and runs the host-vector directory.
+//
+// Usage:
+//
+//	ides-server -listen :4100 \
+//	    -landmarks lm0.example.net:4101,lm1.example.net:4101,... \
+//	    -dim 10 -alg svd
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":4100", "address to listen on")
+	landmarks := flag.String("landmarks", "", "comma-separated landmark addresses (required)")
+	dim := flag.Int("dim", 10, "model dimensionality d")
+	alg := flag.String("alg", "svd", "factorization algorithm: svd or nmf")
+	nmfIters := flag.Int("nmf-iters", 200, "NMF iteration budget")
+	seed := flag.Int64("seed", 1, "model fitting seed")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	lms := splitNonEmpty(*landmarks)
+	if len(lms) < 2 {
+		logger.Fatal("ides-server: -landmarks must list at least two addresses")
+	}
+
+	var algorithm core.Algorithm
+	switch strings.ToLower(*alg) {
+	case "svd":
+		algorithm = core.SVD
+	case "nmf":
+		algorithm = core.NMF
+	default:
+		logger.Fatalf("ides-server: unknown algorithm %q (want svd or nmf)", *alg)
+	}
+
+	srv, err := server.New(server.Config{
+		Landmarks: lms,
+		Dim:       *dim,
+		Algorithm: algorithm,
+		Seed:      *seed,
+		NMFIters:  *nmfIters,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
+	}
+	logger.Printf("ides-server: listening on %s with %d landmarks, d=%d, %s",
+		ln.Addr(), len(lms), *dim, algorithm)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Fatalf("ides-server: %v", err)
+	}
+	logger.Print("ides-server: shut down")
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

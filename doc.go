@@ -1,0 +1,26 @@
+// Package ides implements the Internet Distance Estimation Service from
+// "Modeling Distances in Large-Scale Networks by Matrix Factorization"
+// (Mao & Saul, IMC 2004): network distances are modeled as a low-rank
+// matrix product D ≈ X·Yᵀ, giving every host an outgoing and an incoming
+// vector whose dot product estimates the distance between any two hosts.
+// Unlike Euclidean coordinate systems (GNP, Vivaldi, ICS), the factorized
+// model represents asymmetric routing and triangle-inequality violations,
+// both pervasive on the Internet.
+//
+// The package is a facade over the implementation packages:
+//
+//   - fitting landmark models with SVD or NMF (FitSVD, FitNMF, Fit);
+//   - placing ordinary hosts by closed-form least squares against any
+//     subset of measured nodes (Model.SolveHost, SolveVectors);
+//   - the networked service: information server (NewServer), landmark
+//     agent (NewLandmark), and ordinary-host client (NewClient), which run
+//     identically over real TCP and over the simulated network (NewSimNet);
+//   - the synthetic datasets and baselines used to reproduce every table
+//     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
+//     FitVivaldi).
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// dataset-substitution rationale, and EXPERIMENTS.md for reproduction
+// results. The quickstart example (examples/quickstart) walks the paper's
+// own worked example end to end.
+package ides

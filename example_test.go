@@ -1,0 +1,102 @@
+package ides_test
+
+import (
+	"fmt"
+
+	"github.com/ides-go/ides"
+)
+
+// ExampleFitSVD factors the paper's 4-landmark ring matrix and shows that
+// the rank-3 model reconstructs it exactly.
+func ExampleFitSVD() {
+	landmarks := ides.MatrixFromRows([][]float64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	})
+	model, err := ides.FitSVD(landmarks, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L1->L4: %.1f\n", model.EstimateLandmarks(0, 3))
+	fmt.Printf("L2->L3: %.1f\n", model.EstimateLandmarks(1, 2))
+	// Output:
+	// L1->L4: 2.0
+	// L2->L3: 2.0
+}
+
+// ExampleModel_SolveHost places an ordinary host from its landmark
+// measurements and predicts an unmeasured distance (the paper's §5.1
+// example: the true H1–H2 distance is 3).
+func ExampleModel_SolveHost() {
+	landmarks := ides.MatrixFromRows([][]float64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	})
+	model, err := ides.FitSVD(landmarks, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	h1Dist := []float64{0.5, 1.5, 1.5, 2.5}
+	h2Dist := []float64{2.5, 1.5, 1.5, 0.5}
+	h1, err := model.SolveHost(h1Dist, h1Dist)
+	if err != nil {
+		panic(err)
+	}
+	h2, err := model.SolveHost(h2Dist, h2Dist)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("H1->H2: %.2f\n", ides.Estimate(h1, h2))
+	// Output:
+	// H1->H2: 3.25
+}
+
+// ExampleSolveVectors reproduces §5.2: a host measures only two landmarks
+// and one already-placed host, and the model estimates its distances to
+// the landmarks it never probed.
+func ExampleSolveVectors() {
+	landmarks := ides.MatrixFromRows([][]float64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	})
+	model, err := ides.FitSVD(landmarks, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h1, err := model.SolveHost(d1, d1)
+	if err != nil {
+		panic(err)
+	}
+	// H2 measures L2, L4 and H1 only.
+	refOut := ides.MatrixFromRows([][]float64{model.Outgoing(1), model.Outgoing(3), h1.Out})
+	refIn := ides.MatrixFromRows([][]float64{model.Incoming(1), model.Incoming(3), h1.In})
+	meas := []float64{1.5, 0.5, 3}
+	h2, err := ides.SolveVectors(refOut, refIn, meas, meas)
+	if err != nil {
+		panic(err)
+	}
+	l1 := ides.Vectors{Out: model.Outgoing(0), In: model.Incoming(0)}
+	l3 := ides.Vectors{Out: model.Outgoing(2), In: model.Incoming(2)}
+	fmt.Printf("H2->L1: %.1f\n", ides.Estimate(h2, l1))
+	fmt.Printf("H2->L3: %.1f\n", ides.Estimate(h2, l3))
+	// Output:
+	// H2->L1: 2.3
+	// H2->L3: 1.3
+}
+
+// ExampleRelativeError shows the paper's Eq. 10 metric, which penalizes
+// underestimation through the min() denominator.
+func ExampleRelativeError() {
+	fmt.Printf("%.2f\n", ides.RelativeError(10, 12)) // overestimate
+	fmt.Printf("%.2f\n", ides.RelativeError(10, 8))  // underestimate
+	// Output:
+	// 0.20
+	// 0.25
+}

@@ -1,0 +1,148 @@
+// Topology-aware overlay construction: the DHT use case from the paper's
+// §1 — each peer must choose a small set of overlay neighbors, and routing
+// quality depends on choosing nearby peers in the IP underlay. The example
+// builds neighbor sets three ways (IDES estimates, ground truth, random)
+// and compares the realized average neighbor RTT and the one-hop routing
+// stretch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"github.com/ides-go/ides"
+)
+
+const (
+	numHosts     = 120
+	numLM        = 16
+	dim          = 8
+	neighborsPer = 4
+	seed         = 23
+)
+
+func main() {
+	topo, err := ides.GenerateTopology(ides.TopologyConfig{
+		Seed: seed, NumHosts: numHosts, HostsPerStub: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(numHosts)
+	landmarks := perm[:numLM]
+	peers := perm[numLM:]
+
+	dl := ides.NewMatrix(numLM, numLM)
+	for i, a := range landmarks {
+		for j, b := range landmarks {
+			if i != j {
+				dl.Set(i, j, topo.RTT(a, b))
+			}
+		}
+	}
+	model, err := ides.FitSVD(dl, dim, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vecs := make([]ides.Vectors, len(peers))
+	for i, p := range peers {
+		d := make([]float64, numLM)
+		for k, l := range landmarks {
+			d[k] = topo.RTT(p, l)
+		}
+		v, err := model.SolveHost(d, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vecs[i] = v
+	}
+
+	// Build neighbor sets under three policies.
+	pick := func(metric func(i, j int) float64) [][]int {
+		sets := make([][]int, len(peers))
+		for i := range peers {
+			type cand struct {
+				j int
+				d float64
+			}
+			cands := make([]cand, 0, len(peers)-1)
+			for j := range peers {
+				if j != i {
+					cands = append(cands, cand{j, metric(i, j)})
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+			set := make([]int, neighborsPer)
+			for k := 0; k < neighborsPer; k++ {
+				set[k] = cands[k].j
+			}
+			sets[i] = set
+		}
+		return sets
+	}
+	idesSets := pick(func(i, j int) float64 { return ides.Estimate(vecs[i], vecs[j]) })
+	trueSets := pick(func(i, j int) float64 { return topo.RTT(peers[i], peers[j]) })
+	randSets := make([][]int, len(peers))
+	for i := range peers {
+		p := rng.Perm(len(peers))
+		set := make([]int, 0, neighborsPer)
+		for _, j := range p {
+			if j != i {
+				set = append(set, j)
+			}
+			if len(set) == neighborsPer {
+				break
+			}
+		}
+		randSets[i] = set
+	}
+
+	meanNeighborRTT := func(sets [][]int) float64 {
+		var sum float64
+		var n int
+		for i, set := range sets {
+			for _, j := range set {
+				sum += topo.RTT(peers[i], peers[j])
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+
+	// One-hop routing stretch: route i→t through i's best neighbor toward
+	// t (greedy overlay forwarding), relative to the direct RTT.
+	stretch := func(sets [][]int) float64 {
+		var total, direct float64
+		for i := range peers {
+			for t := range peers {
+				if i == t {
+					continue
+				}
+				best := -1.0
+				for _, nb := range sets[i] {
+					hop := topo.RTT(peers[i], peers[nb]) + topo.RTT(peers[nb], peers[t])
+					if best < 0 || hop < best {
+						best = hop
+					}
+				}
+				d := topo.RTT(peers[i], peers[t])
+				if best < d {
+					best = d // direct delivery if a neighbor can't beat it
+				}
+				total += best
+				direct += d
+			}
+		}
+		return total / direct
+	}
+
+	fmt.Printf("peers: %d, neighbors per peer: %d, landmarks: %d, d=%d\n",
+		len(peers), neighborsPer, numLM, dim)
+	fmt.Printf("mean neighbor RTT:   IDES %.1f ms | optimal %.1f ms | random %.1f ms\n",
+		meanNeighborRTT(idesSets), meanNeighborRTT(trueSets), meanNeighborRTT(randSets))
+	fmt.Printf("one-hop stretch:     IDES %.3fx | optimal %.3fx | random %.3fx\n",
+		stretch(idesSets), stretch(trueSets), stretch(randSets))
+}

@@ -1,0 +1,209 @@
+package ides
+
+import (
+	"github.com/ides-go/ides/internal/client"
+	"github.com/ides-go/ides/internal/coord"
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/dataset"
+	"github.com/ides-go/ides/internal/factor"
+	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/simnet"
+	"github.com/ides-go/ides/internal/stats"
+	"github.com/ides-go/ides/internal/topology"
+	"github.com/ides-go/ides/internal/transport"
+)
+
+// ---- core model ----
+
+// Matrix is a dense row-major matrix of float64 values, the numeric
+// currency of the whole API.
+type Matrix = mat.Dense
+
+// NewMatrix returns a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.NewDense(r, c) }
+
+// MatrixFromRows builds a matrix by copying the given rows.
+func MatrixFromRows(rows [][]float64) *Matrix { return mat.FromRows(rows) }
+
+// Model is a fitted IDES landmark model: one outgoing and one incoming
+// vector per landmark.
+type Model = core.Model
+
+// Vectors is a host's outgoing/incoming vector pair.
+type Vectors = core.Vectors
+
+// Algorithm selects the landmark factorization.
+type Algorithm = core.Algorithm
+
+// Factorization algorithms.
+const (
+	// SVD is truncated singular value decomposition (paper Eqs. 5-6).
+	SVD = core.SVD
+	// NMF is nonnegative matrix factorization (Lee-Seung updates), which
+	// guarantees nonnegative estimates and tolerates missing measurements.
+	NMF = core.NMF
+)
+
+// FitOptions configures Fit.
+type FitOptions = core.FitOptions
+
+// Fit factors an m x m landmark distance matrix into an IDES model.
+func Fit(landmarks *Matrix, opts FitOptions) (*Model, error) { return core.Fit(landmarks, opts) }
+
+// FitSVD fits with truncated SVD at dimension dim.
+func FitSVD(landmarks *Matrix, dim int, seed int64) (*Model, error) {
+	return core.FitSVD(landmarks, dim, seed)
+}
+
+// FitNMF fits with nonnegative matrix factorization at dimension dim.
+func FitNMF(landmarks *Matrix, dim int, seed int64) (*Model, error) {
+	return core.FitNMF(landmarks, dim, seed)
+}
+
+// SolveVectors places a host against k reference nodes with precomputed
+// vectors from its measured distances to and from them (Eqs. 13-16).
+func SolveVectors(refOut, refIn *Matrix, dout, din []float64) (Vectors, error) {
+	return core.SolveVectors(refOut, refIn, dout, din)
+}
+
+// SolveVectorsNNLS is SolveVectors with nonnegativity constraints (§5.1).
+func SolveVectorsNNLS(refOut, refIn *Matrix, dout, din []float64) (Vectors, error) {
+	return core.SolveVectorsNNLS(refOut, refIn, dout, din)
+}
+
+// Estimate returns the modeled distance from the host with vectors a to
+// the host with vectors b: the dot product a.Out · b.In (Eq. 4).
+func Estimate(a, b Vectors) float64 { return core.Estimate(a, b) }
+
+// Placement holds batch-solved vectors for many hosts.
+type Placement = core.Placement
+
+// ---- datasets & topology ----
+
+// Dataset is a named distance matrix with optional observation mask.
+type Dataset = dataset.Dataset
+
+// Synthetic equivalents of the paper's five datasets (see DESIGN.md §2 for
+// the substitution rationale).
+var (
+	GenNLANR  = dataset.GenNLANR
+	GenGNP    = dataset.GenGNP
+	GenAGNP   = dataset.GenAGNP
+	GenP2PSim = dataset.GenP2PSim
+	GenPLRTT  = dataset.GenPLRTT
+)
+
+// LoadDataset reads a dataset written by Dataset.Save.
+var LoadDataset = dataset.Load
+
+// Topology is a synthetic transit-stub network with routed distances.
+type Topology = topology.Topology
+
+// TopologyConfig parameterizes topology generation.
+type TopologyConfig = topology.Config
+
+// GenerateTopology builds a synthetic Internet topology.
+func GenerateTopology(cfg TopologyConfig) (*Topology, error) { return topology.Generate(cfg) }
+
+// ---- baselines ----
+
+// LipschitzPCA is the ICS / Virtual Landmark coordinate baseline.
+type LipschitzPCA = factor.LipschitzPCA
+
+// FitLipschitzPCA fits the Lipschitz+PCA baseline on a landmark matrix.
+var FitLipschitzPCA = factor.FitLipschitzPCA
+
+// GNPModel is the GNP Simplex-Downhill coordinate baseline.
+type GNPModel = coord.GNPModel
+
+// GNPOptions configures FitGNP.
+type GNPOptions = coord.GNPOptions
+
+// FitGNP embeds landmarks with Simplex Downhill, as the GNP system does.
+var FitGNP = coord.FitGNP
+
+// VivaldiModel is the Vivaldi spring-relaxation baseline (extension).
+type VivaldiModel = coord.VivaldiModel
+
+// VivaldiOptions configures FitVivaldi.
+type VivaldiOptions = coord.VivaldiOptions
+
+// FitVivaldi runs centralized Vivaldi over a full distance matrix.
+var FitVivaldi = coord.FitVivaldi
+
+// ---- statistics ----
+
+// RelativeError is the paper's modified relative error (Eq. 10).
+var RelativeError = stats.RelativeError
+
+// CDF is an empirical cumulative distribution.
+type CDF = stats.CDF
+
+// NewCDF builds an empirical CDF from a sample.
+var NewCDF = stats.NewCDF
+
+// Summary aggregates an error sample.
+type Summary = stats.Summary
+
+// Summarize computes a Summary.
+var Summarize = stats.Summarize
+
+// ---- networked service ----
+
+// Server is the IDES information server.
+type Server = server.Server
+
+// ServerConfig parameterizes a Server.
+type ServerConfig = server.Config
+
+// NewServer builds an information server.
+var NewServer = server.New
+
+// Landmark is a landmark agent: it measures peers, reports to the server,
+// and answers echo probes.
+type Landmark = landmark.Agent
+
+// LandmarkConfig parameterizes a Landmark.
+type LandmarkConfig = landmark.Config
+
+// NewLandmark builds a landmark agent.
+var NewLandmark = landmark.New
+
+// Client is an IDES ordinary host.
+type Client = client.Client
+
+// ClientConfig parameterizes a Client.
+type ClientConfig = client.Config
+
+// NewClient builds an ordinary-host client.
+var NewClient = client.New
+
+// Dialer and Pinger are the transport contracts the service components are
+// written against; both real sockets and the simulated network satisfy
+// them.
+type (
+	Dialer = transport.Dialer
+	Pinger = transport.Pinger
+)
+
+// TCPPinger measures RTT with echo frames over the service transport.
+type TCPPinger = transport.TCPPinger
+
+// ---- simulated network ----
+
+// SimNet is an in-process virtual network driven by a topology's delays.
+type SimNet = simnet.Network
+
+// SimNetConfig parameterizes a SimNet.
+type SimNetConfig = simnet.Config
+
+// SimHost is an endpoint on a SimNet; it implements Dialer and Pinger.
+type SimHost = simnet.Host
+
+// NewSimNet builds a virtual network over a topology.
+var NewSimNet = simnet.New
+
+// SimHostNames returns default host names for a SimNet.
+var SimHostNames = simnet.DefaultNames

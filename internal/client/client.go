@@ -1,0 +1,303 @@
+// Package client implements the IDES ordinary-host client: it fetches the
+// landmark model from the information server, measures RTT to a subset of
+// landmarks, solves its own outgoing/incoming vectors by least squares
+// (Eqs. 13–16), registers them in the server's directory, and then
+// estimates distances to arbitrary hosts with dot products — no further
+// measurement required (§5).
+package client
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Self is this host's address, used to register in the directory.
+	Self string
+	// Server is the information server's address.
+	Server string
+	// Dialer opens connections; Pinger measures RTTs.
+	Dialer transport.Dialer
+	Pinger transport.Pinger
+	// Samples per landmark measurement (minimum is used). Default 4.
+	Samples int
+	// K is how many landmarks to measure (0 = all). Using fewer landmarks
+	// spreads load and tolerates landmark failures at a small accuracy
+	// cost (§5.2, Fig. 7); K must be at least the model dimension.
+	K int
+	// Seed drives the random landmark subset choice.
+	Seed int64
+	// NNLS solves host vectors under nonnegativity constraints (§5.1).
+	NNLS bool
+	// Timeout bounds each network exchange. Default 15s.
+	Timeout time.Duration
+}
+
+// Client is an IDES ordinary host. Create with New, then Bootstrap.
+type Client struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	model   *wire.Model
+	vectors core.Vectors
+	ready   bool
+	// cache of other hosts' vectors fetched from the directory
+	peerCache map[string]core.Vectors
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("client: Self must be set")
+	}
+	if cfg.Server == "" {
+		return nil, fmt.Errorf("client: Server must be set")
+	}
+	if cfg.Dialer == nil || cfg.Pinger == nil {
+		return nil, fmt.Errorf("client: Dialer and Pinger must be set")
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	return &Client{cfg: cfg, peerCache: make(map[string]core.Vectors)}, nil
+}
+
+// Bootstrap performs the full §5.1 join sequence: fetch model, measure
+// landmarks, solve vectors, register. It is safe to call again later to
+// re-measure (e.g. after a route change).
+func (c *Client) Bootstrap(ctx context.Context) error {
+	model, err := c.fetchModel(ctx)
+	if err != nil {
+		return err
+	}
+	dim := int(model.Dim)
+	k := c.cfg.K
+	if k <= 0 || k > len(model.Landmarks) {
+		k = len(model.Landmarks)
+	}
+	if k < dim {
+		return fmt.Errorf("client: K=%d landmarks < model dimension %d (problem singular, §5.2)", k, dim)
+	}
+
+	// Choose the landmark subset and measure.
+	order := rand.New(rand.NewSource(c.cfg.Seed)).Perm(len(model.Landmarks))
+	refOut := mat.NewDense(k, dim)
+	refIn := mat.NewDense(k, dim)
+	dout := make([]float64, 0, k)
+	din := make([]float64, 0, k)
+	measured := 0
+	var lastErr error
+	for _, li := range order {
+		if measured == k {
+			break
+		}
+		lm := model.Landmarks[li]
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+		rtt, err := c.cfg.Pinger.Ping(pctx, lm.Addr, c.cfg.Samples)
+		cancel()
+		if err != nil {
+			// Landmark failure tolerance: skip and try another (§5.2).
+			lastErr = err
+			continue
+		}
+		ms := float64(rtt) / float64(time.Millisecond)
+		refOut.SetRow(measured, lm.Out)
+		refIn.SetRow(measured, lm.In)
+		// Ping measures round-trip time, the metric the landmark matrix is
+		// built from; it serves as both the to- and from- distance.
+		dout = append(dout, ms)
+		din = append(din, ms)
+		measured++
+	}
+	if measured < dim {
+		return fmt.Errorf("client: only %d of %d landmark measurements succeeded (need >= %d): %w",
+			measured, k, dim, lastErr)
+	}
+	refOut = refOut.SubMatrix(0, measured, 0, dim)
+	refIn = refIn.SubMatrix(0, measured, 0, dim)
+
+	solve := core.SolveVectors
+	if c.cfg.NNLS {
+		solve = core.SolveVectorsNNLS
+	}
+	vec, err := solve(refOut, refIn, dout, din)
+	if err != nil {
+		return fmt.Errorf("client: solving vectors: %w", err)
+	}
+
+	// Publish to the directory.
+	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
+	if err != nil {
+		return fmt.Errorf("client: registering: %w", err)
+	}
+	if respT != wire.TypeAck {
+		return fmt.Errorf("client: register answered with %v, want Ack", respT)
+	}
+
+	c.mu.Lock()
+	c.model = model
+	c.vectors = vec
+	c.ready = true
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) fetchModel(ctx context.Context) (*wire.Model, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeGetModel, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching model: %w", err)
+	}
+	if respT != wire.TypeModel {
+		return nil, fmt.Errorf("client: GetModel answered with %v", respT)
+	}
+	model, err := wire.DecodeModel(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding model: %w", err)
+	}
+	if len(model.Landmarks) == 0 {
+		return nil, fmt.Errorf("client: server returned an empty model")
+	}
+	return model, nil
+}
+
+// Vectors returns this host's solved vectors. The second result is false
+// before a successful Bootstrap.
+func (c *Client) Vectors() (core.Vectors, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vectors, c.ready
+}
+
+// EstimateTo predicts the distance in milliseconds from this host to the
+// named host using only vector algebra: the peer's incoming vector is
+// fetched from the directory (and cached), never measured.
+func (c *Client) EstimateTo(ctx context.Context, addr string) (float64, error) {
+	c.mu.RLock()
+	ready := c.ready
+	self := c.vectors
+	peer, cached := c.peerCache[addr]
+	c.mu.RUnlock()
+	if !ready {
+		return 0, fmt.Errorf("client: not bootstrapped")
+	}
+	if !cached {
+		var err error
+		peer, err = c.fetchVectors(ctx, addr)
+		if err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		c.peerCache[addr] = peer
+		c.mu.Unlock()
+	}
+	return core.Estimate(self, peer), nil
+}
+
+// EstimateFrom predicts the distance from the named host to this host
+// (they differ under asymmetric routing).
+func (c *Client) EstimateFrom(ctx context.Context, addr string) (float64, error) {
+	c.mu.RLock()
+	ready := c.ready
+	self := c.vectors
+	peer, cached := c.peerCache[addr]
+	c.mu.RUnlock()
+	if !ready {
+		return 0, fmt.Errorf("client: not bootstrapped")
+	}
+	if !cached {
+		var err error
+		peer, err = c.fetchVectors(ctx, addr)
+		if err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		c.peerCache[addr] = peer
+		c.mu.Unlock()
+	}
+	return core.Estimate(peer, self), nil
+}
+
+func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, error) {
+	// Landmarks are in the model already; skip the directory for them.
+	c.mu.RLock()
+	model := c.model
+	c.mu.RUnlock()
+	if model != nil {
+		for i := range model.Landmarks {
+			if model.Landmarks[i].Addr == addr {
+				return core.Vectors{Out: model.Landmarks[i].Out, In: model.Landmarks[i].In}, nil
+			}
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req := &wire.GetVectors{Addr: addr}
+	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeGetVectors, req.Encode(nil))
+	if err != nil {
+		return core.Vectors{}, fmt.Errorf("client: fetching vectors for %s: %w", addr, err)
+	}
+	if respT != wire.TypeVectors {
+		return core.Vectors{}, fmt.Errorf("client: GetVectors answered with %v", respT)
+	}
+	v, err := wire.DecodeVectors(payload)
+	if err != nil {
+		return core.Vectors{}, fmt.Errorf("client: decoding vectors: %w", err)
+	}
+	if !v.Found {
+		return core.Vectors{}, fmt.Errorf("client: host %s is not registered", addr)
+	}
+	return core.Vectors{Out: v.Out, In: v.In}, nil
+}
+
+// Nearest returns the candidate with the smallest estimated distance from
+// this host — the paper's mirror-selection use case (§3): one directory
+// lookup per candidate, zero network measurements.
+func (c *Client) Nearest(ctx context.Context, candidates []string) (string, float64, error) {
+	if len(candidates) == 0 {
+		return "", 0, fmt.Errorf("client: no candidates")
+	}
+	bestAddr := ""
+	bestDist := 0.0
+	var firstErr error
+	for _, cand := range candidates {
+		d, err := c.EstimateTo(ctx, cand)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if bestAddr == "" || d < bestDist {
+			bestAddr, bestDist = cand, d
+		}
+	}
+	if bestAddr == "" {
+		return "", 0, fmt.Errorf("client: no candidate usable: %w", firstErr)
+	}
+	return bestAddr, bestDist, nil
+}
+
+// InvalidateCache drops cached peer vectors, forcing fresh directory
+// lookups (peers re-bootstrap when their routes change).
+func (c *Client) InvalidateCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerCache = make(map[string]core.Vectors)
+}

@@ -1,0 +1,243 @@
+package coord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+// planarCloud builds a Euclidean distance matrix from random points in the
+// plane plus the points themselves.
+func planarCloud(rng *rand.Rand, n int) (*mat.Dense, [][]float64) {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, euclid(pts[i], pts[j]))
+		}
+	}
+	return d, pts
+}
+
+func TestFitGNPRecoverablePlanarData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := planarCloud(rng, 12)
+	model, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 2, Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(model.ReconstructionErrors(d))
+	if med > 0.05 {
+		t.Fatalf("GNP median error %v on planar data, want < 0.05", med)
+	}
+}
+
+func TestGNPPlaceHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, pts := planarCloud(rng, 10)
+	model, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 4, Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new host at a known planar position measures true distances to the
+	// landmarks; its estimated distances to them must be accurate.
+	host := []float64{37, 59}
+	dist := make([]float64, 10)
+	for j, p := range pts {
+		dist[j] = euclid(host, p)
+	}
+	coordsNew := model.PlaceHost(dist, 5)
+	var errs []float64
+	for j := 0; j < 10; j++ {
+		est := model.Estimate(coordsNew, model.Landmarks.Row(j))
+		errs = append(errs, stats.RelativeError(dist[j], est))
+	}
+	if med := stats.Median(errs); med > 0.05 {
+		t.Fatalf("placed host median error %v, want < 0.05", med)
+	}
+}
+
+func TestGNPRejectsTinyInput(t *testing.T) {
+	if _, err := FitGNP(mat.NewDense(1, 1), GNPOptions{}); err == nil {
+		t.Fatal("expected error for single landmark")
+	}
+}
+
+func TestGNPNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FitGNP(mat.NewDense(3, 4), GNPOptions{}) //nolint:errcheck
+}
+
+func TestGNPPlaceHostWrongLengthPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, _ := planarCloud(rng, 5)
+	model, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 7, Rounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.PlaceHost([]float64{1, 2}, 0)
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, _ := planarCloud(rng, 8)
+	m1, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 9, Rounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 9, Rounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Landmarks.Equal(m2.Landmarks, 0) {
+		t.Fatal("same seed must reproduce the same embedding")
+	}
+}
+
+func TestVivaldiPlanarData(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d, _ := planarCloud(rng, 30)
+	model, err := FitVivaldi(d, VivaldiOptions{Dim: 3, Rounds: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(model.ReconstructionErrors(d))
+	if med > 0.15 {
+		t.Fatalf("Vivaldi median error %v on planar data, want < 0.15", med)
+	}
+}
+
+func TestVivaldiLocalErrorShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d, _ := planarCloud(rng, 20)
+	model, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 1500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range model.LocalError {
+		sum += e
+	}
+	if mean := sum / float64(len(model.LocalError)); mean > 0.5 {
+		t.Fatalf("mean local error %v did not shrink from 1.0", mean)
+	}
+}
+
+func TestVivaldiRejectsTinyInput(t *testing.T) {
+	if _, err := FitVivaldi(mat.NewDense(1, 1), VivaldiOptions{}); err == nil {
+		t.Fatal("expected error for single node")
+	}
+}
+
+func TestVivaldiDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d, _ := planarCloud(rng, 10)
+	m1, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 100, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 100, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Coords.Equal(m2.Coords, 0) {
+		t.Fatal("same seed must reproduce the same coordinates")
+	}
+}
+
+// TestEuclideanBaselinesCannotExpressAsymmetry pins down the structural
+// limitation of §2.2: a Euclidean model always predicts D(i,j) == D(j,i).
+func TestEuclideanBaselinesCannotExpressAsymmetry(t *testing.T) {
+	d := mat.FromRows([][]float64{
+		{0, 10, 30},
+		{20, 0, 25},
+		{35, 15, 0},
+	})
+	gnp, err := FitGNP(d, GNPOptions{Dim: 2, Seed: 16, Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			eij := gnp.Estimate(gnp.Landmarks.Row(i), gnp.Landmarks.Row(j))
+			eji := gnp.Estimate(gnp.Landmarks.Row(j), gnp.Landmarks.Row(i))
+			if math.Abs(eij-eji) > 1e-12 {
+				t.Fatal("Euclidean estimates must be symmetric by construction")
+			}
+		}
+	}
+}
+
+// heightCloud builds distances that are exactly Euclidean-plus-heights:
+// d(i,j) = ||p_i - p_j|| + h_i + h_j, the regime access links create.
+func heightCloud(rng *rand.Rand, n int) *mat.Dense {
+	pts := make([][]float64, n)
+	hs := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		hs[i] = 5 + rng.Float64()*30
+	}
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.Set(i, j, euclid(pts[i], pts[j])+hs[i]+hs[j])
+			}
+		}
+	}
+	return d
+}
+
+func TestVivaldiHeightBeatsPlainOnAccessLinkData(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	d := heightCloud(rng, 25)
+	plain, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 3000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	height, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 3000, Seed: 31, Height: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if height.Heights == nil {
+		t.Fatal("height model must record heights")
+	}
+	plainMed := stats.Median(plain.ReconstructionErrors(d))
+	heightMed := stats.Median(height.ReconstructionErrors(d))
+	if heightMed > plainMed {
+		t.Fatalf("height model (%v) should beat plain Vivaldi (%v) on height-structured data",
+			heightMed, plainMed)
+	}
+	if heightMed > 0.15 {
+		t.Fatalf("height model median %v too high on its own data model", heightMed)
+	}
+}
+
+func TestVivaldiHeightsStayPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d, _ := planarCloud(rng, 15)
+	m, err := FitVivaldi(d, VivaldiOptions{Dim: 2, Rounds: 500, Seed: 33, Height: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range m.Heights {
+		if h < 0 {
+			t.Fatalf("height[%d] = %v negative", i, h)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// SolveHost computes an ordinary host's vectors from its measured distances
+// to all m landmarks: dout[i] is the distance host→landmark i, din[i] the
+// distance landmark i→host. This is the closed-form least squares of
+// Eqs. 13–14:
+//
+//	X_new = (D_out · Y)(YᵀY)⁻¹
+//	Y_new = (D_in  · X)(XᵀX)⁻¹
+func (m *Model) SolveHost(dout, din []float64) (Vectors, error) {
+	if len(dout) != m.NumLandmarks() || len(din) != m.NumLandmarks() {
+		panic(fmt.Sprintf("core: distance vectors have %d/%d entries, want %d landmarks",
+			len(dout), len(din), m.NumLandmarks()))
+	}
+	return SolveVectors(m.X, m.Y, dout, din)
+}
+
+// SolveHostSubset computes the host's vectors from measurements to only the
+// listed landmark indices (§5.2's relaxation, Eqs. 15–16). dout and din are
+// parallel to idx. At least Dim() observations are needed for the problem
+// to be well posed; fewer return an error rather than a wild extrapolation.
+func (m *Model) SolveHostSubset(idx []int, dout, din []float64) (Vectors, error) {
+	if len(idx) != len(dout) || len(idx) != len(din) {
+		panic(fmt.Sprintf("core: subset lengths disagree: idx=%d dout=%d din=%d", len(idx), len(dout), len(din)))
+	}
+	if len(idx) < m.Dim() {
+		return Vectors{}, fmt.Errorf("core: %d observations for a %d-dimensional model (need k >= d)", len(idx), m.Dim())
+	}
+	return SolveVectors(m.X.SelectRows(idx), m.Y.SelectRows(idx), dout, din)
+}
+
+// SolveVectors solves the general placement problem against any k reference
+// nodes with precomputed vectors (§5.2): refOut and refIn are k x d
+// matrices of the references' outgoing and incoming vectors, and dout[i] /
+// din[i] are the measured distances to / from reference i. References may
+// be landmarks or previously placed ordinary hosts.
+func SolveVectors(refOut, refIn *mat.Dense, dout, din []float64) (Vectors, error) {
+	k, d := refOut.Dims()
+	if ki, di := refIn.Dims(); ki != k || di != d {
+		panic(fmt.Sprintf("core: reference matrices disagree: %dx%d vs %dx%d", k, d, ki, di))
+	}
+	if len(dout) != k || len(din) != k {
+		panic(fmt.Sprintf("core: distance vectors have %d/%d entries, want %d references", len(dout), len(din), k))
+	}
+	// X_new minimizes Σ_i (dout_i − U·Y_i)²  ⇒  refIn · U = dout.
+	out, err := mat.SolveVec(refIn, dout)
+	if err != nil {
+		return Vectors{}, fmt.Errorf("core: solving outgoing vector: %w", err)
+	}
+	// Y_new minimizes Σ_i (din_i − X_i·U)²  ⇒  refOut · U = din.
+	in, err := mat.SolveVec(refOut, din)
+	if err != nil {
+		return Vectors{}, fmt.Errorf("core: solving incoming vector: %w", err)
+	}
+	return Vectors{Out: out, In: in}, nil
+}
+
+// SolveVectorsNNLS is SolveVectors with nonnegativity constraints on the
+// host vectors. When the landmark model came from NMF, this guarantees the
+// host's predicted distances are nonnegative (§5.1). The paper found no
+// significant accuracy difference versus the unconstrained solve; the
+// ablation bench BenchmarkAblation_HostSolveNNLS checks that claim.
+func SolveVectorsNNLS(refOut, refIn *mat.Dense, dout, din []float64) (Vectors, error) {
+	k, d := refOut.Dims()
+	if ki, di := refIn.Dims(); ki != k || di != d {
+		panic(fmt.Sprintf("core: reference matrices disagree: %dx%d vs %dx%d", k, d, ki, di))
+	}
+	if len(dout) != k || len(din) != k {
+		panic(fmt.Sprintf("core: distance vectors have %d/%d entries, want %d references", len(dout), len(din), k))
+	}
+	out, err := mat.NNLS(refIn, dout)
+	if err != nil {
+		return Vectors{}, fmt.Errorf("core: solving outgoing vector (nnls): %w", err)
+	}
+	in, err := mat.NNLS(refOut, din)
+	if err != nil {
+		return Vectors{}, fmt.Errorf("core: solving incoming vector (nnls): %w", err)
+	}
+	return Vectors{Out: out, In: in}, nil
+}
+
+// Placement holds solved vectors for a batch of ordinary hosts.
+type Placement struct {
+	// X and Y are h x d: row i holds host i's outgoing / incoming vector.
+	X, Y *mat.Dense
+}
+
+// PlaceAll solves vectors for h hosts at once. dout and din are h x m:
+// dout[i][l] is the distance from host i to landmark l, din[i][l] the
+// distance from landmark l to host i. The batch formulation solves the
+// same least-squares problems as SolveHost but amortizes the factorization
+// of Y and X across hosts — this is what makes IDES's model-building time
+// in Table 1 sub-second even with a thousand hosts.
+func (m *Model) PlaceAll(dout, din *mat.Dense) (*Placement, error) {
+	h, cols := dout.Dims()
+	if cols != m.NumLandmarks() {
+		panic(fmt.Sprintf("core: dout has %d columns, want %d landmarks", cols, m.NumLandmarks()))
+	}
+	if hi, ci := din.Dims(); hi != h || ci != cols {
+		panic(fmt.Sprintf("core: din is %dx%d, want %dx%d", hi, ci, h, cols))
+	}
+	// refIn · Xᵀ = doutᵀ, one RHS column per host.
+	xt, err := mat.LeastSquares(m.Y, dout.T())
+	if err != nil {
+		return nil, fmt.Errorf("core: batch outgoing solve: %w", err)
+	}
+	yt, err := mat.LeastSquares(m.X, din.T())
+	if err != nil {
+		return nil, fmt.Errorf("core: batch incoming solve: %w", err)
+	}
+	return &Placement{X: xt.T(), Y: yt.T()}, nil
+}
+
+// NumHosts returns the number of placed hosts.
+func (p *Placement) NumHosts() int { return p.X.Rows() }
+
+// Vectors returns host i's vector pair (shared storage).
+func (p *Placement) Vectors(i int) Vectors {
+	return Vectors{Out: p.X.Row(i), In: p.Y.Row(i)}
+}
+
+// Estimate returns the modeled distance from placed host i to placed host j.
+func (p *Placement) Estimate(i, j int) float64 {
+	return mat.Dot(p.X.Row(i), p.Y.Row(j))
+}
+
+// EstimateToLandmark returns the modeled distance from placed host i to
+// landmark l of model m.
+func (p *Placement) EstimateToLandmark(m *Model, i, l int) float64 {
+	return mat.Dot(p.X.Row(i), m.Y.Row(l))
+}
+
+// EstimateFromLandmark returns the modeled distance from landmark l to
+// placed host i.
+func (p *Placement) EstimateFromLandmark(m *Model, l, i int) float64 {
+	return mat.Dot(m.X.Row(l), p.Y.Row(i))
+}

@@ -1,0 +1,154 @@
+// Package core implements the paper's primary contribution: the IDES model
+// of network distances as a low-rank matrix product. A fitted Model holds
+// an outgoing vector X_i and an incoming vector Y_i for each landmark;
+// the distance from i to j is estimated as the dot product X_i·Y_j
+// (Eq. 4). Ordinary hosts obtain their own vectors from a handful of
+// measurements by closed-form least squares (Eqs. 13–14), optionally
+// against any subset of nodes with precomputed vectors (Eqs. 15–16), and
+// optionally under nonnegativity constraints (§5.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ides-go/ides/internal/factor"
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// Algorithm selects the factorization used to fit the landmark model.
+type Algorithm int
+
+const (
+	// SVD is truncated singular value decomposition (Eqs. 5–6): globally
+	// optimal in squared error, but may predict (slightly) negative
+	// distances.
+	SVD Algorithm = iota
+	// NMF is nonnegative matrix factorization (Lee–Seung updates): local
+	// optimum, but guarantees nonnegative predictions and tolerates
+	// missing measurements.
+	NMF
+)
+
+// String returns the algorithm's conventional name.
+func (a Algorithm) String() string {
+	switch a {
+	case SVD:
+		return "SVD"
+	case NMF:
+		return "NMF"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// FitOptions configures Fit.
+type FitOptions struct {
+	// Dim is the model dimensionality d. The paper finds d ≈ 10 a good
+	// complexity/accuracy tradeoff (§4.3.2); the default follows it.
+	Dim int
+	// Algorithm selects SVD (default) or NMF.
+	Algorithm Algorithm
+	// Seed steers randomized initialization (NMF) and the randomized
+	// truncated SVD path for large matrices.
+	Seed int64
+	// NMFIters overrides the NMF iteration budget (default 200).
+	NMFIters int
+	// Mask marks observed entries of the landmark matrix; requires NMF
+	// (SVD cannot fit around holes — the very limitation §4.2 discusses).
+	Mask *mat.Dense
+}
+
+const defaultDim = 10
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.Dim <= 0 {
+		o.Dim = defaultDim
+	}
+	return o
+}
+
+// Model is a fitted IDES landmark model.
+type Model struct {
+	// X and Y are m x d: landmark outgoing and incoming vectors as rows.
+	X, Y *mat.Dense
+	// Algorithm records how the model was fitted.
+	Algorithm Algorithm
+}
+
+// ErrMaskRequiresNMF is returned when a masked fit is requested with SVD.
+var ErrMaskRequiresNMF = errors.New("core: missing landmark measurements require the NMF algorithm")
+
+// Fit factors the m x m landmark distance matrix into an IDES model.
+func Fit(landmarks *mat.Dense, opts FitOptions) (*Model, error) {
+	m, n := landmarks.Dims()
+	if m != n {
+		panic(fmt.Sprintf("core: landmark matrix must be square, got %dx%d", m, n))
+	}
+	opts = opts.withDefaults()
+	if opts.Dim > m {
+		opts.Dim = m
+	}
+	switch opts.Algorithm {
+	case SVD:
+		if opts.Mask != nil {
+			return nil, ErrMaskRequiresNMF
+		}
+		f, err := factor.SVDFactor(landmarks, opts.Dim, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting landmarks: %w", err)
+		}
+		return &Model{X: f.X, Y: f.Y, Algorithm: SVD}, nil
+	case NMF:
+		res, err := factor.NMF(landmarks, opts.Dim, factor.NMFOptions{
+			Iters: opts.NMFIters,
+			Seed:  opts.Seed,
+			Mask:  opts.Mask,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting landmarks: %w", err)
+		}
+		return &Model{X: res.X, Y: res.Y, Algorithm: NMF}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+	}
+}
+
+// FitSVD is shorthand for Fit with the SVD algorithm.
+func FitSVD(landmarks *mat.Dense, dim int, seed int64) (*Model, error) {
+	return Fit(landmarks, FitOptions{Dim: dim, Algorithm: SVD, Seed: seed})
+}
+
+// FitNMF is shorthand for Fit with the NMF algorithm.
+func FitNMF(landmarks *mat.Dense, dim int, seed int64) (*Model, error) {
+	return Fit(landmarks, FitOptions{Dim: dim, Algorithm: NMF, Seed: seed})
+}
+
+// Dim returns the model dimensionality d.
+func (m *Model) Dim() int { return m.X.Cols() }
+
+// NumLandmarks returns the number of landmark nodes.
+func (m *Model) NumLandmarks() int { return m.X.Rows() }
+
+// EstimateLandmarks returns the modeled distance from landmark i to
+// landmark j.
+func (m *Model) EstimateLandmarks(i, j int) float64 {
+	return mat.Dot(m.X.Row(i), m.Y.Row(j))
+}
+
+// Outgoing returns landmark i's outgoing vector (shared storage).
+func (m *Model) Outgoing(i int) []float64 { return m.X.Row(i) }
+
+// Incoming returns landmark i's incoming vector (shared storage).
+func (m *Model) Incoming(i int) []float64 { return m.Y.Row(i) }
+
+// Vectors is a host's pair of IDES vectors. Estimate distance from a to b
+// with Estimate(a, b) = a.Out · b.In.
+type Vectors struct {
+	Out []float64
+	In  []float64
+}
+
+// Estimate returns the modeled distance from the host with vectors a to the
+// host with vectors b (Eq. 4).
+func Estimate(a, b Vectors) float64 { return mat.Dot(a.Out, b.In) }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// randomDistanceMatrix draws a plausible nonnegative distance matrix with
+// zero diagonal: a random low-rank nonnegative product plus noise.
+func randomDistanceMatrix(rng *rand.Rand, n, rank int) *mat.Dense {
+	x := mat.NewDense(n, rank)
+	y := mat.NewDense(n, rank)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float64() * 5
+	}
+	for i := range y.Data() {
+		y.Data()[i] = rng.Float64() * 5
+	}
+	d := mat.MulABT(x, y)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				d.Set(i, j, 0)
+			} else {
+				d.Set(i, j, d.At(i, j)*(1+0.05*rng.NormFloat64()))
+				if d.At(i, j) < 0 {
+					d.Set(i, j, 0.1)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Property: a full-rank SVD fit reconstructs every landmark distance.
+func TestPropFullRankFitIsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		d := randomDistanceMatrix(rng, n, 2)
+		m, err := FitSVD(d, n, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(m.EstimateLandmarks(i, j)-d.At(i, j)) > 1e-6*(1+mat.MaxAbs(d)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with exactly d well-conditioned references, the host solve
+// interpolates — every measured distance is reproduced exactly (the §5.2
+// examples rely on this).
+func TestPropHostSolveInterpolates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(6)
+		dim := 3 + rng.Intn(3)
+		d := randomDistanceMatrix(rng, n, dim)
+		m, err := FitSVD(d, dim, seed)
+		if err != nil {
+			return false
+		}
+		// Pick dim references and synthetic measurements.
+		idx := rng.Perm(n)[:dim]
+		dout := make([]float64, dim)
+		din := make([]float64, dim)
+		for k := range idx {
+			dout[k] = 1 + rng.Float64()*100
+			din[k] = 1 + rng.Float64()*100
+		}
+		refOut := m.X.SelectRows(idx)
+		refIn := m.Y.SelectRows(idx)
+		// Skip draws where the reference block is ill-conditioned; exact
+		// interpolation is only promised for non-singular geometry.
+		if illConditioned(refOut) || illConditioned(refIn) {
+			return true
+		}
+		v, err := SolveVectors(refOut, refIn, dout, din)
+		if err != nil {
+			return false
+		}
+		scale := 1.0
+		for _, x := range dout {
+			if x > scale {
+				scale = x
+			}
+		}
+		for k, li := range idx {
+			if math.Abs(mat.Dot(v.Out, m.Incoming(li))-dout[k]) > 1e-5*scale {
+				return false
+			}
+			if math.Abs(mat.Dot(m.Outgoing(li), v.In)-din[k]) > 1e-5*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func illConditioned(a *mat.Dense) bool {
+	dec, err := mat.SVD(a)
+	if err != nil || len(dec.S) == 0 {
+		return true
+	}
+	smin := dec.S[len(dec.S)-1]
+	return smin < 1e-6*dec.S[0] || dec.S[0] == 0
+}
+
+// Property: NNLS host vectors are always elementwise nonnegative, whatever
+// the measurements.
+func TestPropNNLSVectorsNonnegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		dim := 2 + rng.Intn(3)
+		d := randomDistanceMatrix(rng, n, dim)
+		m, err := FitNMF(d, dim, seed)
+		if err != nil {
+			return false
+		}
+		dout := make([]float64, n)
+		din := make([]float64, n)
+		for k := range dout {
+			dout[k] = rng.Float64() * 200
+			din[k] = rng.Float64() * 200
+		}
+		v, err := SolveVectorsNNLS(m.X, m.Y, dout, din)
+		if err != nil {
+			return false
+		}
+		for _, x := range v.Out {
+			if x < 0 {
+				return false
+			}
+		}
+		for _, x := range v.In {
+			if x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: batch placement equals per-host solves for arbitrary problems.
+func TestPropPlaceAllMatchesSingles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		dim := 2 + rng.Intn(3)
+		h := 1 + rng.Intn(5)
+		d := randomDistanceMatrix(rng, n, dim)
+		m, err := FitSVD(d, dim, seed)
+		if err != nil {
+			return false
+		}
+		dout := mat.NewDense(h, n)
+		din := mat.NewDense(h, n)
+		for i := range dout.Data() {
+			dout.Data()[i] = rng.Float64() * 100
+			din.Data()[i] = rng.Float64() * 100
+		}
+		place, err := m.PlaceAll(dout, din)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < h; i++ {
+			single, err := m.SolveHost(dout.Row(i), din.Row(i))
+			if err != nil {
+				return false
+			}
+			v := place.Vectors(i)
+			for k := range single.Out {
+				if math.Abs(single.Out[k]-v.Out[k]) > 1e-7 || math.Abs(single.In[k]-v.In[k]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

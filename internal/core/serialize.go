@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// modelHeader identifies the serialized model format.
+const modelHeader = "ides-model v1"
+
+// WriteTo serializes the model in a self-describing text format:
+//
+//	ides-model v1
+//	algorithm <SVD|NMF>
+//	landmarks <m>
+//	dim <d>
+//	<m rows of outgoing vectors>
+//	<m rows of incoming vectors>
+//
+// Floats use the shortest representation that round-trips exactly, so a
+// model survives save/load bit-for-bit.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n countingWriter
+	mw := io.MultiWriter(bw, &n)
+	fmt.Fprintln(mw, modelHeader)
+	fmt.Fprintf(mw, "algorithm %s\n", m.Algorithm)
+	fmt.Fprintf(mw, "landmarks %d\n", m.NumLandmarks())
+	fmt.Fprintf(mw, "dim %d\n", m.Dim())
+	writeMatrix := func(d *mat.Dense) {
+		for i := 0; i < d.Rows(); i++ {
+			row := d.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					io.WriteString(mw, " ")
+				}
+				io.WriteString(mw, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			io.WriteString(mw, "\n")
+		}
+	}
+	writeMatrix(m.X)
+	writeMatrix(m.Y)
+	if err := bw.Flush(); err != nil {
+		return n.n, fmt.Errorf("core: writing model: %w", err)
+	}
+	return n.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// ReadModel parses a model previously written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	header, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	if header != modelHeader {
+		return nil, fmt.Errorf("core: unrecognized model header %q", header)
+	}
+	var alg Algorithm
+	var m, d int
+	for _, key := range []string{"algorithm", "landmarks", "dim"} {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", key, err)
+		}
+		val, ok := strings.CutPrefix(line, key+" ")
+		if !ok {
+			return nil, fmt.Errorf("core: expected %q line, got %q", key, line)
+		}
+		switch key {
+		case "algorithm":
+			switch val {
+			case "SVD":
+				alg = SVD
+			case "NMF":
+				alg = NMF
+			default:
+				return nil, fmt.Errorf("core: unknown algorithm %q", val)
+			}
+		case "landmarks":
+			if m, err = strconv.Atoi(val); err != nil || m <= 0 {
+				return nil, fmt.Errorf("core: bad landmark count %q", val)
+			}
+		case "dim":
+			if d, err = strconv.Atoi(val); err != nil || d <= 0 {
+				return nil, fmt.Errorf("core: bad dimension %q", val)
+			}
+		}
+	}
+	readMatrix := func(name string) (*mat.Dense, error) {
+		out := mat.NewDense(m, d)
+		for i := 0; i < m; i++ {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("core: reading %s row %d: %w", name, i, err)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != d {
+				return nil, fmt.Errorf("core: %s row %d has %d fields, want %d", name, i, len(fields), d)
+			}
+			row := out.Row(i)
+			for j, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: %s row %d col %d: %w", name, i, j, err)
+				}
+				row[j] = v
+			}
+		}
+		return out, nil
+	}
+	model := &Model{Algorithm: alg}
+	if model.X, err = readMatrix("outgoing"); err != nil {
+		return nil, err
+	}
+	if model.Y, err = readMatrix("incoming"); err != nil {
+		return nil, err
+	}
+	return model, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := fitRing(t)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != m.Algorithm || got.Dim() != m.Dim() || got.NumLandmarks() != m.NumLandmarks() {
+		t.Fatalf("metadata mismatch: %v/%d/%d", got.Algorithm, got.Dim(), got.NumLandmarks())
+	}
+	if !got.X.Equal(m.X, 0) || !got.Y.Equal(m.Y, 0) {
+		t.Fatal("vectors must round-trip exactly")
+	}
+	// The reloaded model must keep producing the same predictions.
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h1, err := got.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := dotVec(h1.Out, got.Incoming(3)); math.Abs(est-2.5) > 1e-9 {
+		t.Fatalf("reloaded model predicts %v want 2.5", est)
+	}
+}
+
+func dotVec(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func TestModelSaveLoadNMF(t *testing.T) {
+	m, err := FitNMF(ringMatrix(), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != NMF {
+		t.Fatalf("algorithm = %v want NMF", got.Algorithm)
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a model",
+		"ides-model v1\nalgorithm LSD\nlandmarks 2\ndim 1\n0\n0\n0\n0\n",   // bad algorithm
+		"ides-model v1\nalgorithm SVD\nlandmarks 0\ndim 1\n",               // zero landmarks
+		"ides-model v1\nalgorithm SVD\nlandmarks 2\ndim -1\n",              // bad dim
+		"ides-model v1\nalgorithm SVD\nlandmarks 2\ndim 1\n0\n",            // short matrix
+		"ides-model v1\nalgorithm SVD\nlandmarks 2\ndim 1\n0 0\n0\n0\n0\n", // wrong width
+		"ides-model v1\nalgorithm SVD\nlandmarks 2\ndim 1\nx\n0\n0\n0\n",   // bad float
+		"ides-model v1\nlandmarks 2\nalgorithm SVD\ndim 1\n0\n0\n0\n0\n",   // wrong order
+		"ides-model v1\nalgorithm SVD\nlandmarks 2\ndim 1\n0\n0\n0\n",      // missing Y row
+	}
+	for i, c := range cases {
+		if _, err := ReadModel(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ides-go/ides/internal/factor"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+func TestGenGNPShape(t *testing.T) {
+	d, err := GenGNP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 19 || d.Cols() != 19 || !d.Square() || !d.Symmetric {
+		t.Fatalf("GNP shape %dx%d symmetric=%v", d.Rows(), d.Cols(), d.Symmetric)
+	}
+	checkWellFormed(t, d)
+}
+
+func TestGenNLANRShape(t *testing.T) {
+	d, err := GenNLANR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 110 || d.Cols() != 110 {
+		t.Fatalf("NLANR shape %dx%d", d.Rows(), d.Cols())
+	}
+	checkWellFormed(t, d)
+}
+
+func TestGenPLRTTShape(t *testing.T) {
+	d, err := GenPLRTT(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 169 || d.Cols() != 169 {
+		t.Fatalf("PL-RTT shape %dx%d", d.Rows(), d.Cols())
+	}
+	checkWellFormed(t, d)
+}
+
+func TestGenAGNPShapeAsymRect(t *testing.T) {
+	d, err := GenAGNP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 869 || d.Cols() != 19 {
+		t.Fatalf("AGNP shape %dx%d want 869x19", d.Rows(), d.Cols())
+	}
+	if d.Symmetric || d.Square() {
+		t.Fatal("AGNP must be rectangular and asymmetric")
+	}
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.D.At(i, j); v <= 0 || math.IsNaN(v) {
+				t.Fatalf("AGNP entry (%d,%d) = %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestGenP2PSimSmallShape(t *testing.T) {
+	d, err := GenP2PSimSmall(1, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 150 {
+		t.Fatalf("P2PSim small shape %dx%d", d.Rows(), d.Cols())
+	}
+	checkWellFormed(t, d)
+}
+
+func checkWellFormed(t *testing.T, d *Dataset) {
+	t.Helper()
+	n := d.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d.D.At(i, j)
+			if i == j {
+				if v != 0 {
+					t.Fatalf("%s: diagonal (%d,%d) = %v", d.Name, i, j, v)
+				}
+				continue
+			}
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: entry (%d,%d) = %v", d.Name, i, j, v)
+			}
+			if d.Symmetric && v != d.D.At(j, i) {
+				t.Fatalf("%s: asymmetric entry in symmetric dataset at (%d,%d)", d.Name, i, j)
+			}
+		}
+	}
+}
+
+// TestDatasetsViolateTriangleInequality verifies the property that
+// motivates the whole paper (§2.2 cites ~40% of pairs with a shorter
+// detour on real data): our synthetic datasets must violate the triangle
+// inequality for a substantial fraction of pairs.
+func TestDatasetsViolateTriangleInequality(t *testing.T) {
+	d, err := GenPLRTT(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := TriangleViolationFraction(d.D, 0.02, 1)
+	if frac < 0.15 {
+		t.Fatalf("PL-RTT triangle violation fraction = %v, want a substantial share", frac)
+	}
+	t.Logf("PL-RTT triangle violations: %.1f%% of pairs", 100*frac)
+}
+
+// TestNLANRLowRank verifies the clustering property that makes matrix
+// factorization work: a d=10 SVD reconstruction of the NLANR-like matrix
+// must have low median relative error, as in Fig. 2.
+func TestNLANRLowRank(t *testing.T) {
+	d, err := GenNLANR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := factor.SVDFactor(d.D, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(f.ReconstructionErrors(d.D))
+	if med > 0.1 {
+		t.Fatalf("NLANR d=10 median reconstruction error = %v, want < 0.1", med)
+	}
+}
+
+func TestAsymmetryFraction(t *testing.T) {
+	d, err := GenGNP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := AsymmetryFraction(d.D, 0.01); frac != 0 {
+		t.Fatalf("symmetric dataset reports %v asymmetric pairs", frac)
+	}
+}
+
+func TestWithMissing(t *testing.T) {
+	d, err := GenGNP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := d.WithMissing(0.3, 7)
+	if md.Mask == nil {
+		t.Fatal("WithMissing must set a mask")
+	}
+	var missing, total int
+	for i := 0; i < md.Rows(); i++ {
+		for j := 0; j < md.Cols(); j++ {
+			if i == j {
+				if !md.Observed(i, j) {
+					t.Fatal("diagonal must stay observed")
+				}
+				continue
+			}
+			total++
+			if !md.Observed(i, j) {
+				missing++
+			}
+		}
+	}
+	got := float64(missing) / float64(total)
+	if got < 0.15 || got > 0.45 {
+		t.Fatalf("missing fraction %v not near 0.3", got)
+	}
+	// Original dataset untouched.
+	if d.Mask != nil {
+		t.Fatal("WithMissing must not mutate the receiver")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, err := GenGNP(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = d.WithMissing(0.2, 8)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Symmetric != d.Symmetric {
+		t.Fatalf("metadata mismatch: %q/%v vs %q/%v", got.Name, got.Symmetric, d.Name, d.Symmetric)
+	}
+	if !got.D.Equal(d.D, 1e-9) {
+		t.Fatal("distance matrix did not round-trip")
+	}
+	if got.Mask == nil || !got.Mask.Equal(d.Mask, 0) {
+		t.Fatal("mask did not round-trip")
+	}
+}
+
+func TestSaveLoadUnmasked(t *testing.T) {
+	d, err := GenGNP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != nil {
+		t.Fatal("unmasked dataset must load with nil mask")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a dataset",
+		"ides-dataset v1\nname x\ndims 2 2\nsymmetric true\nmasked false\n1 2\n",         // short matrix
+		"ides-dataset v1\nname x\ndims 2 2\nsymmetric true\nmasked false\n1 2\n3 nope\n", // bad float
+		"ides-dataset v1\nname x\ndims -2 2\nsymmetric true\nmasked false\n",             // bad dims
+		"ides-dataset v1\nname x\ndims 1 2\nsymmetric true\nmasked false\n1 2 3\n",       // too many fields
+		"ides-dataset v1\nname x\nsymmetric true\ndims 1 1\nmasked false\n0\n",           // wrong key order
+		"ides-dataset v1\nname x\ndims 1 1\nsymmetric true\nmasked true\n0\n",            // missing mask
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := GenGNP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenGNP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.D.Equal(b.D, 0) {
+		t.Fatal("generator must be deterministic for a seed")
+	}
+}
+
+func TestGNPandAGNPShareWorld(t *testing.T) {
+	// Hosts 0..18 of the AGNP topology are the GNP hosts; both generators
+	// must agree on the underlying world for the same seed (the probes
+	// measure the same 19 targets the clique is built from).
+	g, err := GenGNP(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenAGNP(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not an exact equality check (different noise draws), but magnitudes
+	// must be consistent: mean RTT of both sets within a factor of 3.
+	gm := matrixMean(g)
+	am := matrixMean(a)
+	if gm <= 0 || am <= 0 || gm/am > 3 || am/gm > 3 {
+		t.Fatalf("GNP mean %v and AGNP mean %v wildly inconsistent", gm, am)
+	}
+}
+
+func matrixMean(d *Dataset) float64 {
+	var s float64
+	var n int
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.D.At(i, j); v > 0 {
+				s += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+func TestTriangleViolationSampledPath(t *testing.T) {
+	// Matrices above the exhaustive limit take the sampled path; it must be
+	// deterministic for a seed and broadly agree with itself.
+	d, err := GenP2PSimSmall(20, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := TriangleViolationFraction(d.D, 0.02, 5)
+	f2 := TriangleViolationFraction(d.D, 0.02, 5)
+	if f1 != f2 {
+		t.Fatal("sampled estimate must be deterministic for a seed")
+	}
+	if f1 <= 0 || f1 >= 1 {
+		t.Fatalf("violation fraction %v implausible", f1)
+	}
+}
+
+func TestAsymmetryFractionDetectsAsymmetry(t *testing.T) {
+	d := mat.FromRows([][]float64{
+		{0, 10, 10},
+		{20, 0, 10},
+		{10, 10, 0},
+	})
+	if frac := AsymmetryFraction(d, 0.05); frac <= 0 {
+		t.Fatalf("asymmetric matrix reports fraction %v", frac)
+	}
+}
+
+func TestObservedNilMask(t *testing.T) {
+	d, err := GenGNP(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Observed(0, 1) {
+		t.Fatal("nil mask means fully observed")
+	}
+}

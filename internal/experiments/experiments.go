@@ -1,0 +1,86 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4.3 and §6). Each experiment has a runner returning plain
+// data series; cmd/idesbench prints them and the root bench_test.go wraps
+// them in testing.B benchmarks. Runners take a Scale: Quick shrinks the
+// largest dataset and iteration budgets so the whole suite runs in
+// seconds; Full uses the paper's sizes.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ides-go/ides/internal/dataset"
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks P2PSim to a few hundred hosts and trims iteration
+	// budgets; every qualitative conclusion is preserved.
+	Quick Scale = iota
+	// Full uses the paper's dataset sizes (P2PSim at 1143 hosts, the full
+	// dimension sweeps). Minutes of CPU.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// quickP2PSimHosts is the reduced P2PSim size used by Quick runs.
+const quickP2PSimHosts = 300
+
+// genP2PSim returns the P2PSim dataset at the scale's size.
+func genP2PSim(scale Scale, seed int64) (*dataset.Dataset, error) {
+	if scale == Full {
+		return dataset.GenP2PSim(seed)
+	}
+	return dataset.GenP2PSimSmall(seed, quickP2PSimHosts)
+}
+
+// genByName returns a dataset generator by its paper name.
+func genByName(name string, scale Scale, seed int64) (*dataset.Dataset, error) {
+	switch name {
+	case "NLANR":
+		return dataset.GenNLANR(seed)
+	case "GNP":
+		return dataset.GenGNP(seed)
+	case "AGNP":
+		return dataset.GenAGNP(seed)
+	case "P2PSim":
+		return genP2PSim(scale, seed)
+	case "PL-RTT":
+		return dataset.GenPLRTT(seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}
+
+// CDFSeries is one labeled error sample, plotted as a CDF in the paper.
+type CDFSeries struct {
+	Label  string
+	Errors []float64
+}
+
+// splitHosts partitions 0..n-1 into numLM random landmarks and the
+// remaining ordinary hosts, deterministically for a seed. The paper
+// selects landmarks randomly, citing [21] that random placement is
+// effective for m >= 20.
+func splitHosts(n, numLM int, seed int64) (lm, hosts []int) {
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	lm = append([]int(nil), perm[:numLM]...)
+	hosts = append([]int(nil), perm[numLM:]...)
+	return lm, hosts
+}
+
+// submatrix returns D[rows, cols].
+func submatrix(d *mat.Dense, rows, cols []int) *mat.Dense {
+	return d.SelectRows(rows).SelectCols(cols)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestAblationMissingData(t *testing.T) {
+	res, err := AblationMissingData(42, []float64{0, 0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// With no missing entries there is nothing hidden; observed error must
+	// be the familiar NLANR floor.
+	if res[0].MedianObserved > 0.15 {
+		t.Errorf("f=0 observed median %v too high", res[0].MedianObserved)
+	}
+	// At 30% missing, the fit must still generalize: hidden-entry error in
+	// the same ballpark as observed-entry error (within 3x), far below the
+	// "no model" regime of ~1.0.
+	last := res[2]
+	if last.MedianHidden == 0 {
+		t.Fatal("f=0.3 must have hidden entries")
+	}
+	if last.MedianHidden > 0.5 {
+		t.Errorf("f=0.3 hidden median %v — masked NMF is not generalizing", last.MedianHidden)
+	}
+	if last.MedianHidden > 5*last.MedianObserved+0.05 {
+		t.Errorf("hidden (%v) should track observed (%v)", last.MedianHidden, last.MedianObserved)
+	}
+}
+
+func TestExtVivaldi(t *testing.T) {
+	res, err := ExtVivaldi(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := map[string]float64{}
+	for _, r := range res {
+		med[r.System] = r.Median
+		if r.Median <= 0 || r.P90 < r.Median {
+			t.Errorf("%s: implausible quantiles %+v", r.System, r)
+		}
+	}
+	// The factorized model must beat every Euclidean variant on data with
+	// triangle-inequality violations (the paper's core claim; Vivaldi is a
+	// Euclidean model and inherits the limitation).
+	for _, sys := range []string{"Vivaldi", "Vivaldi+height", "Lipschitz+PCA"} {
+		if med["IDES/SVD"] > med[sys] {
+			t.Errorf("IDES/SVD (%v) should beat %s (%v)", med["IDES/SVD"], sys, med[sys])
+		}
+	}
+}

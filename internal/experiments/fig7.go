@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+// Fig7Series is one curve of Figure 7: median prediction error as a
+// function of the fraction of landmarks each ordinary host failed to
+// measure, for a fixed landmark count.
+type Fig7Series struct {
+	NumLandmarks int
+	Fractions    []float64
+	Medians      []float64
+}
+
+// Fig7 reproduces Figure 7 on NLANR (d=8) or P2PSim (d=10) with IDES/SVD:
+// each ordinary host independently loses a random fraction of the
+// landmarks and solves its vectors from the survivors (Eqs. 15–16).
+//
+// Paper's qualitative result: with 20 landmarks (close to the model
+// dimension) accuracy degrades quickly as the unobserved fraction grows;
+// with 50 landmarks, losing 40% of them barely moves the median error.
+func Fig7(dsName string, scale Scale, seed int64) ([]Fig7Series, error) {
+	var dim int
+	switch dsName {
+	case "NLANR":
+		dim = 8
+	case "P2PSim":
+		dim = 10
+	default:
+		return nil, fmt.Errorf("fig7: unknown dataset %q (want NLANR or P2PSim)", dsName)
+	}
+	ds, err := genByName(dsName, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	fractions := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	out := make([]Fig7Series, 0, 2)
+	for _, numLM := range []int{20, 50} {
+		series := Fig7Series{NumLandmarks: numLM}
+		for _, f := range fractions {
+			med, err := fig7Point(ds.D, numLM, dim, f, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig7: m=%d f=%.1f: %w", numLM, f, err)
+			}
+			series.Fractions = append(series.Fractions, f)
+			series.Medians = append(series.Medians, med)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// fig7Point runs one (landmark count, unobserved fraction) cell: fit the
+// landmark model, give every ordinary host an independent random subset of
+// observed landmarks, solve, and return the median prediction error over
+// all ordinary pairs.
+func fig7Point(d *mat.Dense, numLM, dim int, unobserved float64, seed int64) (float64, error) {
+	lm, hosts := splitHosts(d.Rows(), numLM, seed)
+	dl := submatrix(d, lm, lm)
+	model, err := core.FitSVD(dl, dim, seed)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed + int64(1e6*unobserved)))
+	observe := numLM - int(unobserved*float64(numLM)+0.5)
+	if observe < 1 {
+		observe = 1
+	}
+
+	placeX := mat.NewDense(len(hosts), model.Dim())
+	placeY := mat.NewDense(len(hosts), model.Dim())
+	for hi, h := range hosts {
+		idx := rng.Perm(numLM)[:observe]
+		dout := make([]float64, observe)
+		din := make([]float64, observe)
+		for k, li := range idx {
+			dout[k] = d.At(h, lm[li])
+			din[k] = d.At(lm[li], h)
+		}
+		// Solve directly (min-norm when underdetermined) so curves extend
+		// past the k >= d boundary exactly as the paper's figure does.
+		vec, err := core.SolveVectors(model.X.SelectRows(idx), model.Y.SelectRows(idx), dout, din)
+		if err != nil {
+			return 0, err
+		}
+		placeX.SetRow(hi, vec.Out)
+		placeY.SetRow(hi, vec.In)
+	}
+
+	errs := make([]float64, 0, len(hosts)*(len(hosts)-1))
+	for i := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			est := mat.Dot(placeX.Row(i), placeY.Row(j))
+			errs = append(errs, stats.RelativeError(d.At(hosts[i], hosts[j]), est))
+		}
+	}
+	return stats.Median(errs), nil
+}

@@ -1,0 +1,134 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+// euclideanCloud builds a distance matrix from points in the plane, which a
+// Euclidean model must represent well.
+func euclideanCloud(rng *rand.Rand, n int) (*mat.Dense, [][]float64) {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, euclid(pts[i], pts[j]))
+		}
+	}
+	return d, pts
+}
+
+func TestLipschitzPCAEuclideanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d, _ := euclideanCloud(rng, 25)
+	model, coords, err := FitLipschitzPCA(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coords.Rows() != 25 || coords.Cols() != 4 {
+		t.Fatalf("coords shape %dx%d", coords.Rows(), coords.Cols())
+	}
+	errs := model.ReconstructionErrors(d)
+	if med := stats.Median(errs); med > 0.1 {
+		t.Fatalf("median error %v on genuinely Euclidean data, want < 0.1", med)
+	}
+}
+
+func TestLipschitzPCAProjectConsistentWithCoords(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, _ := euclideanCloud(rng, 15)
+	model, coords, err := FitLipschitzPCA(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projecting a fitted row must land on the fitted coordinates.
+	for i := 0; i < 15; i++ {
+		p := model.Project(d.Row(i))
+		for k := 0; k < 3; k++ {
+			if math.Abs(p[k]-coords.At(i, k)) > 1e-9 {
+				t.Fatalf("Project(row %d) = %v, coords = %v", i, p, coords.Row(i))
+			}
+		}
+	}
+}
+
+func TestLipschitzPCAFailsOnRingTopology(t *testing.T) {
+	// §2.2: the 4-host ring cannot be embedded exactly in any Euclidean
+	// space, while SVD factorization is exact at rank 3. This is the
+	// paper's central qualitative claim; verify the gap.
+	d := paperMatrix()
+	model, _, err := FitLipschitzPCA(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lipErr := stats.Median(model.ReconstructionErrors(d))
+	f, err := SVDFactor(d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svdErr := stats.Median(f.ReconstructionErrors(d))
+	if svdErr > 1e-8 {
+		t.Fatalf("SVD should be exact on the ring, got %v", svdErr)
+	}
+	if lipErr < 0.01 {
+		t.Fatalf("Euclidean embedding should NOT be exact on the ring, got %v", lipErr)
+	}
+}
+
+func TestLipschitzPCADimensionClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d, _ := euclideanCloud(rng, 6)
+	model, coords, err := FitLipschitzPCA(d, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() != 6 || coords.Cols() != 6 {
+		t.Fatalf("dim should clamp to 6, got %d", model.Dim())
+	}
+}
+
+func TestLipschitzPCACalibrationScale(t *testing.T) {
+	// Without calibration, PCA projection of Lipschitz rows inflates
+	// distances (each pairwise distance appears in many coordinates); the
+	// fitted scale must be meaningfully below 1 for a clique.
+	rng := rand.New(rand.NewSource(23))
+	d, _ := euclideanCloud(rng, 20)
+	model, _, err := FitLipschitzPCA(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.scale <= 0 || model.scale >= 2 {
+		t.Fatalf("calibration scale %v out of plausible range", model.scale)
+	}
+}
+
+func TestLipschitzPCANonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square input")
+		}
+	}()
+	FitLipschitzPCA(mat.NewDense(3, 4), 2) //nolint:errcheck // panics first
+}
+
+func TestLipschitzProjectWrongLengthPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	d, _ := euclideanCloud(rng, 8)
+	model, _, err := FitLipschitzPCA(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-length Lipschitz row")
+		}
+	}()
+	model.Project([]float64{1, 2, 3})
+}

@@ -1,0 +1,196 @@
+// Package landmark implements the IDES landmark agent: a well-positioned
+// node that measures round-trip times to its landmark peers, reports them
+// to the information server, and answers echo requests so that other nodes
+// can measure their distance to it (§5.1).
+package landmark
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// Config parameterizes an Agent.
+type Config struct {
+	// Self is this landmark's address as the server knows it.
+	Self string
+	// Peers are the other landmarks to measure.
+	Peers []string
+	// Server is the information server's address.
+	Server string
+	// Dialer opens connections (real or simulated).
+	Dialer transport.Dialer
+	// Pinger measures RTTs (real or simulated).
+	Pinger transport.Pinger
+	// Samples per peer measurement (minimum is reported). Default 4.
+	Samples int
+	// Interval between measurement rounds for Run. Default 1 minute, the
+	// NLANR AMP cadence.
+	Interval time.Duration
+	// Timeout bounds one measurement or report exchange. Default 15s.
+	Timeout time.Duration
+	// Logger receives operational messages. Nil disables logging.
+	Logger *log.Logger
+}
+
+// Agent measures and reports landmark-to-landmark distances.
+type Agent struct {
+	cfg Config
+}
+
+// New validates cfg and builds an Agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("landmark: Self must be set")
+	}
+	if cfg.Dialer == nil || cfg.Pinger == nil {
+		return nil, fmt.Errorf("landmark: Dialer and Pinger must be set")
+	}
+	if cfg.Server == "" {
+		return nil, fmt.Errorf("landmark: Server must be set")
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+// MeasureOnce pings every peer and returns the observed RTTs in
+// milliseconds. Unreachable peers are skipped (and logged); an empty
+// result is not an error.
+func (a *Agent) MeasureOnce(ctx context.Context) []wire.RTTEntry {
+	entries := make([]wire.RTTEntry, 0, len(a.cfg.Peers))
+	for _, peer := range a.cfg.Peers {
+		if peer == a.cfg.Self {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+		rtt, err := a.cfg.Pinger.Ping(pctx, peer, a.cfg.Samples)
+		cancel()
+		if err != nil {
+			a.logf("ping %s: %v", peer, err)
+			continue
+		}
+		entries = append(entries, wire.RTTEntry{
+			To:        peer,
+			RTTMillis: float64(rtt) / float64(time.Millisecond),
+		})
+	}
+	return entries
+}
+
+// ReportOnce measures all peers and sends one report to the server.
+func (a *Agent) ReportOnce(ctx context.Context) error {
+	entries := a.MeasureOnce(ctx)
+	if len(entries) == 0 {
+		return fmt.Errorf("landmark %s: no peer measurements succeeded", a.cfg.Self)
+	}
+	msg := &wire.ReportRTT{From: a.cfg.Self, Entries: entries}
+	rctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+	respT, _, err := transport.Call(rctx, a.cfg.Dialer, a.cfg.Server, wire.TypeReportRTT, msg.Encode(nil))
+	if err != nil {
+		return fmt.Errorf("landmark %s: reporting: %w", a.cfg.Self, err)
+	}
+	if respT != wire.TypeAck {
+		return fmt.Errorf("landmark %s: report answered with %v, want Ack", a.cfg.Self, respT)
+	}
+	return nil
+}
+
+// Run reports immediately and then on every interval tick until ctx is
+// cancelled.
+func (a *Agent) Run(ctx context.Context) error {
+	if err := a.ReportOnce(ctx); err != nil {
+		a.logf("initial report: %v", err)
+	}
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := a.ReportOnce(ctx); err != nil {
+				a.logf("report: %v", err)
+			}
+		}
+	}
+}
+
+// ServeEcho answers Ping frames on ln until ctx is cancelled, so that
+// hosts without raw-socket access can measure RTT to this landmark over
+// the service's own transport.
+func (a *Agent) ServeEcho(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("landmark %s: accept: %w", a.cfg.Self, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.echoConn(ctx, conn)
+		}()
+	}
+}
+
+func (a *Agent) echoConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	buf := make([]byte, 0, 16)
+	for {
+		if err := conn.SetDeadline(time.Now().Add(a.cfg.Timeout)); err != nil {
+			return
+		}
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && ctx.Err() == nil {
+				a.logf("echo read: %v", err)
+			}
+			return
+		}
+		if t != wire.TypePing {
+			e := &wire.Error{Code: wire.CodeUnknownType, Text: "echo service only answers Ping"}
+			_ = wire.WriteFrame(conn, wire.TypeError, e.Encode(nil))
+			return
+		}
+		p, err := wire.DecodePing(payload)
+		if err != nil {
+			return
+		}
+		buf = (&wire.Pong{Token: p.Token}).Encode(buf[:0])
+		if err := wire.WriteFrame(conn, wire.TypePong, buf); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) logf(format string, args ...interface{}) {
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Printf("ides-landmark: "+format, args...)
+	}
+}

@@ -1,0 +1,252 @@
+package landmark
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/simnet"
+	"github.com/ides-go/ides/internal/topology"
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config must be rejected")
+	}
+}
+
+func simHosts(t *testing.T, n int) (*simnet.Network, []string) {
+	t.Helper()
+	topo, err := topology.Generate(topology.Config{Seed: 5, NumHosts: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := simnet.DefaultNames(n)
+	nw, err := simnet.New(topo, names, simnet.Config{TimeScale: 1e-5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, names
+}
+
+func TestMeasureOnceSkipsSelfAndFailures(t *testing.T) {
+	nw, names := simHosts(t, 5)
+	h, err := nw.Host(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := New(Config{
+		Self:   names[0],
+		Peers:  []string{names[0], names[1], "ghost", names[2]},
+		Server: names[3],
+		Dialer: h,
+		Pinger: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := agent.MeasureOnce(context.Background())
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 entries (self and ghost skipped), got %d: %+v", len(entries), entries)
+	}
+	for _, e := range entries {
+		if e.RTTMillis <= 0 {
+			t.Fatalf("entry %+v has nonpositive RTT", e)
+		}
+	}
+}
+
+func TestReportOnceFailsWithNoPeers(t *testing.T) {
+	nw, names := simHosts(t, 3)
+	h, err := nw.Host(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := New(Config{
+		Self:   names[0],
+		Peers:  []string{"ghost1", "ghost2"},
+		Server: names[1],
+		Dialer: h,
+		Pinger: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.ReportOnce(context.Background()); err == nil {
+		t.Fatal("report with zero successful measurements must fail")
+	}
+}
+
+func TestServeEchoAnswersPings(t *testing.T) {
+	nw, names := simHosts(t, 4)
+	lmHost, err := nw.Host(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := New(Config{
+		Self:   names[0],
+		Peers:  []string{names[1]},
+		Server: names[2],
+		Dialer: lmHost,
+		Pinger: lmHost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := lmHost.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- agent.ServeEcho(ctx, ln) }()
+
+	// A TCPPinger over simnet measures the echo RTT.
+	other, err := nw.Host(names[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinger := &transport.TCPPinger{Dialer: other}
+	pctx, pcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer pcancel()
+	rtt, err := pinger.Ping(pctx, names[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("echo RTT = %v", rtt)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeEcho did not stop")
+	}
+}
+
+func TestServeEchoRejectsNonPing(t *testing.T) {
+	nw, names := simHosts(t, 3)
+	lmHost, err := nw.Host(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := New(Config{
+		Self:   names[0],
+		Peers:  []string{names[1]},
+		Server: names[2],
+		Dialer: lmHost,
+		Pinger: lmHost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := lmHost.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go agent.ServeEcho(ctx, ln) //nolint:errcheck
+
+	other, err := nw.Host(names[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := other.DialContext(ctx, "simnet", names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.TypeGetModel, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		t.Fatalf("type %v want Error", typ)
+	}
+	if werr, err := wire.DecodeError(payload); err != nil || werr.Code != wire.CodeUnknownType {
+		t.Fatalf("error %+v %v", werr, err)
+	}
+}
+
+func TestRunReportsPeriodically(t *testing.T) {
+	nw, names := simHosts(t, 4)
+	// Count reports arriving at a fake server.
+	srvHost, err := nw.Host(names[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := srvHost.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make(chan struct{}, 64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					typ, _, err := wire.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					if typ == wire.TypeReportRTT {
+						reports <- struct{}{}
+					}
+					if err := wire.WriteFrame(c, wire.TypeAck, nil); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	lmHost, err := nw.Host(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := New(Config{
+		Self:     names[0],
+		Peers:    []string{names[1]},
+		Server:   names[2],
+		Dialer:   lmHost,
+		Pinger:   lmHost,
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- agent.Run(ctx) }()
+
+	// Expect at least 3 reports: the immediate one plus ticks.
+	deadline := time.After(5 * time.Second)
+	for got := 0; got < 3; {
+		select {
+		case <-reports:
+			got++
+		case <-deadline:
+			t.Fatalf("only %d reports before deadline", got)
+		}
+	}
+	cancel()
+	ln.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

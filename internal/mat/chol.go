@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L*Lᵀ.
+type Cholesky struct {
+	l *Dense
+	n int
+}
+
+// CholeskyFactor computes the Cholesky factorization of the symmetric
+// positive definite matrix a. Only the lower triangle of a is read.
+// It returns ErrSingular if a is not positive definite.
+func CholeskyFactor(a *Dense) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("mat: CholeskyFactor of non-square %dx%d", n, c))
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		ljrow := l.Row(j)
+		for k := 0; k < j; k++ {
+			d += ljrow[k] * ljrow[k]
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		ljrow[j] = ljj
+		for i := j + 1; i < n; i++ {
+			lirow := l.Row(i)
+			var s float64
+			for k := 0; k < j; k++ {
+				s += lirow[k] * ljrow[k]
+			}
+			lirow[j] = (a.data[i*n+j] - s) / ljj
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// L returns the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// Solve solves A*X = B given the factorization of A.
+func (c *Cholesky) Solve(b *Dense) *Dense {
+	if b.rows != c.n {
+		panic(fmt.Sprintf("mat: Cholesky.Solve rows %d != %d", b.rows, c.n))
+	}
+	x := b.Clone()
+	n, k := c.n, b.cols
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		lrow := c.l.Row(i)
+		xrow := x.Row(i)
+		for p := 0; p < i; p++ {
+			lp := lrow[p]
+			if lp == 0 {
+				continue
+			}
+			prow := x.Row(p)
+			for j := 0; j < k; j++ {
+				xrow[j] -= lp * prow[j]
+			}
+		}
+		d := lrow[i]
+		for j := 0; j < k; j++ {
+			xrow[j] /= d
+		}
+	}
+	// Back substitution Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		xrow := x.Row(i)
+		for p := i + 1; p < n; p++ {
+			lp := c.l.data[p*n+i]
+			if lp == 0 {
+				continue
+			}
+			prow := x.Row(p)
+			for j := 0; j < k; j++ {
+				xrow[j] -= lp * prow[j]
+			}
+		}
+		d := c.l.data[i*n+i]
+		for j := 0; j < k; j++ {
+			xrow[j] /= d
+		}
+	}
+	return x
+}

@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigResult holds the eigendecomposition of a symmetric matrix:
+// A = V * diag(Values) * Vᵀ with eigenvalues sorted in decreasing order and
+// eigenvectors as the columns of V.
+type EigResult struct {
+	Values  []float64
+	Vectors *Dense
+}
+
+// SymEig computes the eigendecomposition of the symmetric matrix a by the
+// cyclic Jacobi method. Only the lower triangle of a is read. It returns
+// ErrNoConvergence if the off-diagonal mass does not vanish within the
+// sweep budget (which does not happen for genuinely symmetric input).
+func SymEig(a *Dense) (*EigResult, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("mat: SymEig of non-square %dx%d", n, c))
+	}
+	// Work on a symmetrized copy.
+	w := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.data[i*n+j]
+			w.data[i*n+j] = v
+			w.data[j*n+i] = v
+		}
+	}
+	v := Identity(n)
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= jacobiEps*FrobeniusNorm(w) {
+			return sortedEig(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if math.Abs(apq) <= jacobiEps*math.Sqrt(math.Abs(w.data[p*n+p]*w.data[q*n+q]))+1e-300 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := cth * t
+				// Update rows/cols p and q of w.
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip := w.data[i*n+p]
+					aiq := w.data[i*n+q]
+					w.data[i*n+p] = cth*aip - sth*aiq
+					w.data[p*n+i] = w.data[i*n+p]
+					w.data[i*n+q] = sth*aip + cth*aiq
+					w.data[q*n+i] = w.data[i*n+q]
+				}
+				w.data[p*n+p] = app - t*apq
+				w.data[q*n+q] = aqq + t*apq
+				w.data[p*n+q] = 0
+				w.data[q*n+p] = 0
+				for i := 0; i < n; i++ {
+					vip := v.data[i*n+p]
+					viq := v.data[i*n+q]
+					v.data[i*n+p] = cth*vip - sth*viq
+					v.data[i*n+q] = sth*vip + cth*viq
+				}
+			}
+		}
+	}
+	if offDiagNorm(w) <= 1e-9*FrobeniusNorm(w)+1e-300 {
+		return sortedEig(w, v), nil
+	}
+	return nil, ErrNoConvergence
+}
+
+func offDiagNorm(w *Dense) float64 {
+	n := w.rows
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				x := w.data[i*n+j]
+				s += x * x
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func sortedEig(w, v *Dense) *EigResult {
+	n := w.rows
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.data[i*n+i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return vals[order[x]] > vals[order[y]] })
+	outVals := make([]float64, n)
+	outVecs := NewDense(n, n)
+	for k, j := range order {
+		outVals[k] = vals[j]
+		for i := 0; i < n; i++ {
+			outVecs.data[i*n+k] = v.data[i*n+j]
+		}
+	}
+	return &EigResult{Values: outVals, Vectors: outVecs}
+}

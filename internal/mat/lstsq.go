@@ -1,0 +1,85 @@
+package mat
+
+import "fmt"
+
+// LeastSquares returns the X minimizing ||A*X - B||_F.
+//
+// A must have at least as many rows as columns. Well-conditioned systems are
+// solved by Householder QR; if A is rank deficient (or numerically close to
+// it) the minimum-norm solution is computed through the SVD pseudoinverse
+// instead, so callers never need to special-case degenerate geometry such as
+// co-located landmarks.
+func LeastSquares(a, b *Dense) (*Dense, error) {
+	m, n := a.Dims()
+	if b.Rows() != m {
+		panic(fmt.Sprintf("mat: LeastSquares B rows %d != A rows %d", b.Rows(), m))
+	}
+	if m < n {
+		return leastSquaresSVD(a, b)
+	}
+	qr := QRFactor(a)
+	if qr.RCond() < 1e-12 {
+		return leastSquaresSVD(a, b)
+	}
+	x, err := qr.Solve(b)
+	if err != nil {
+		return leastSquaresSVD(a, b)
+	}
+	return x, nil
+}
+
+// leastSquaresSVD computes the minimum-norm least-squares solution through
+// the pseudoinverse: X = V * diag(1/s_i) * Uᵀ * B, dropping components whose
+// singular value is negligible.
+func leastSquaresSVD(a, b *Dense) (*Dense, error) {
+	dec, err := SVD(a)
+	if err != nil {
+		return nil, fmt.Errorf("least squares: %w", err)
+	}
+	m, n := a.Dims()
+	_ = m
+	utb := MulATB(dec.U, b) // k x nrhs
+	tol := 1e-13 * float64(maxInt(a.Rows(), n))
+	var smax float64
+	for _, s := range dec.S {
+		if s > smax {
+			smax = s
+		}
+	}
+	cut := smax * tol
+	for i, s := range dec.S {
+		row := utb.Row(i)
+		if s <= cut || s == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		inv := 1 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return Mul(dec.V, utb), nil
+}
+
+// SolveVec solves the least-squares problem for a single right-hand side
+// vector and returns the solution as a slice.
+func SolveVec(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.Rows() {
+		panic(fmt.Sprintf("mat: SolveVec length %d != rows %d", len(b), a.Rows()))
+	}
+	bm := NewDense(len(b), 1)
+	for i, v := range b {
+		bm.data[i] = v
+	}
+	x, err := LeastSquares(a, bm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = x.data[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, dims := range [][2]int{{5, 5}, {10, 4}, {30, 7}, {3, 1}} {
+		a := randomMatrix(rng, dims[0], dims[1])
+		f := QRFactor(a)
+		q, r := f.Q(), f.R()
+		checkOrthonormalCols(t, q, 1e-10, "Q")
+		if !Mul(q, r).Equal(a, 1e-10) {
+			t.Fatalf("QR reconstruct failed for %v", dims)
+		}
+		// R must be upper triangular.
+		for i := 1; i < r.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R(%d,%d) = %v not zero", i, j, r.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 3}, {0, 0}})
+	b := FromRows([][]float64{{4}, {9}, {0}})
+	x, err := QRFactor(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-2) > 1e-12 || math.Abs(x.At(1, 0)-3) > 1e-12 {
+		t.Fatalf("x = %v want [2;3]", x)
+	}
+}
+
+func TestQRSolveLeastSquaresResidualOrthogonal(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(21))
+	a := randomMatrix(rng, 12, 4)
+	b := randomMatrix(rng, 12, 1)
+	x, err := QRFactor(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := Sub(b, Mul(a, x))
+	atr := MulATB(a, resid)
+	if MaxAbs(atr) > 1e-10 {
+		t.Fatalf("Aᵀr = %v, not orthogonal", atr)
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// Two identical columns: exactly singular R.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	_, err := QRFactor(a).Solve(FromRows([][]float64{{1}, {1}, {1}}))
+	if err == nil {
+		t.Fatal("expected error for singular system")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v want ErrSingular", err)
+	}
+}
+
+func TestQRRCond(t *testing.T) {
+	good := QRFactor(Identity(4))
+	if rc := good.RCond(); rc < 0.99 {
+		t.Fatalf("identity RCond = %v want ~1", rc)
+	}
+	bad := QRFactor(FromRows([][]float64{{1, 1}, {1, 1 + 1e-15}, {1, 1}}))
+	if rc := bad.RCond(); rc > 1e-10 {
+		t.Fatalf("near-singular RCond = %v want tiny", rc)
+	}
+}
+
+func TestQRWideInputPanics(t *testing.T) {
+	defer expectPanic(t, "rows >= cols")
+	QRFactor(NewDense(2, 5))
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = LLᵀ with known L.
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	a := MulABT(l, l)
+	f, err := CholeskyFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.L().Equal(l, 1e-12) {
+		t.Fatalf("L = %v want %v", f.L(), l)
+	}
+	b := FromRows([][]float64{{1}, {2}})
+	x := f.Solve(b)
+	if !Mul(a, x).Equal(b, 1e-12) {
+		t.Fatal("Cholesky solve failed")
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := CholeskyFactor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLeastSquaresMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randomMatrix(rng, 15, 5)
+	b := randomMatrix(rng, 15, 2)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal equations AᵀA x = Aᵀ b.
+	ata := MulATB(a, a)
+	atb := MulATB(a, b)
+	if !Mul(ata, x).Equal(atb, 1e-9) {
+		t.Fatal("least squares does not satisfy the normal equations")
+	}
+}
+
+func TestLeastSquaresRankDeficientMinNorm(t *testing.T) {
+	// Columns 0 and 1 identical: infinitely many solutions; SVD path must
+	// return the minimum-norm one, which splits the weight evenly.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := FromRows([][]float64{{2}, {4}, {6}})
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-1) > 1e-9 || math.Abs(x.At(1, 0)-1) > 1e-9 {
+		t.Fatalf("min-norm solution = %v want [1;1]", x)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	// Fewer rows than columns: must route through the SVD pseudoinverse.
+	a := FromRows([][]float64{{1, 0, 1}, {0, 1, 1}})
+	b := FromRows([][]float64{{2}, {3}})
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(a, x).Equal(b, 1e-9) {
+		t.Fatal("underdetermined system should be solved exactly")
+	}
+}
+
+func TestSolveVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {0, 0}})
+	x, err := SolveVec(a, []float64{3, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v want [3 2]", x)
+	}
+}
+
+func TestSymEigReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	raw := randomMatrix(rng, 9, 9)
+	a := Add(raw, raw.T()) // symmetric
+	e, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrthonormalCols(t, e.Vectors, 1e-10, "eigvecs")
+	// Rebuild A = V diag(vals) Vᵀ.
+	n := a.Rows()
+	vd := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			vd.Set(i, j, e.Vectors.At(i, j)*e.Values[j])
+		}
+	}
+	if !MulABT(vd, e.Vectors).Equal(a, 1e-9) {
+		t.Fatal("eigendecomposition does not reconstruct A")
+	}
+	for i := 1; i < n; i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestSymEigKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v want [3 1]", e.Values)
+	}
+}
+
+func TestNNLSKnown(t *testing.T) {
+	// Unconstrained optimum is positive, so NNLS must match it.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{1, 2, 3}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("NNLS = %v want unconstrained %v", x, want)
+		}
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// The unconstrained solution has a negative coordinate; NNLS must
+	// return a nonnegative solution that is no worse than clamping.
+	a := FromRows([][]float64{{1, 1}, {1, -1}})
+	b := []float64{0, 2}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v negative", i, v)
+		}
+	}
+	// Optimal nonnegative solution: x = [1, 0] giving residual (−1, 1)... verify
+	// by comparing objective against a grid scan.
+	best := math.Inf(1)
+	for x0 := 0.0; x0 <= 2; x0 += 0.01 {
+		for x1 := 0.0; x1 <= 2; x1 += 0.01 {
+			r0 := x0 + x1 - 0
+			r1 := x0 - x1 - 2
+			if obj := r0*r0 + r1*r1; obj < best {
+				best = obj
+			}
+		}
+	}
+	r0 := x[0] + x[1]
+	r1 := x[0] - x[1] - 2
+	got := r0*r0 + r1*r1
+	if got > best+1e-3 {
+		t.Fatalf("NNLS objective %v worse than grid optimum %v (x=%v)", got, best, x)
+	}
+}
+
+func TestNNLSZeroRHS(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	x, err := NNLS(a, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("NNLS of zero rhs = %v want zeros", x)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ides-go/ides/internal/topology"
+)
+
+func testTopo(t *testing.T, n int, seed int64) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Generate(topology.Config{Seed: seed, NumHosts: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSampleAddsNonNegativeJitter(t *testing.T) {
+	topo := testTopo(t, 10, 1)
+	p := NewPinger(topo, Config{Seed: 2})
+	for trial := 0; trial < 200; trial++ {
+		v, ok := p.Sample(0, 5)
+		if !ok {
+			t.Fatal("no loss configured, sample must succeed")
+		}
+		if v < topo.RTT(0, 5) {
+			t.Fatalf("sample %v below true RTT %v; jitter must be additive", v, topo.RTT(0, 5))
+		}
+	}
+}
+
+func TestMinRTTConvergesToBase(t *testing.T) {
+	topo := testTopo(t, 10, 3)
+	p := NewPinger(topo, Config{Seed: 4, JitterMean: 2})
+	base := topo.RTT(1, 7)
+	est, ok := p.MinRTT(1, 7, 500)
+	if !ok {
+		t.Fatal("MinRTT lost all samples without loss configured")
+	}
+	if est < base {
+		t.Fatalf("min RTT %v below base %v", est, base)
+	}
+	if est > base*1.05+1 {
+		t.Fatalf("min of 500 samples = %v should approach base %v", est, base)
+	}
+}
+
+func TestMinRTTPanicsOnZeroSamples(t *testing.T) {
+	topo := testTopo(t, 4, 5)
+	p := NewPinger(topo, Config{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.MinRTT(0, 1, 0)
+}
+
+func TestLossProducesMissing(t *testing.T) {
+	topo := testTopo(t, 6, 6)
+	p := NewPinger(topo, Config{Seed: 7, LossProb: 1})
+	if _, ok := p.Sample(0, 1); ok {
+		t.Fatal("loss probability 1 must lose every sample")
+	}
+	if _, ok := p.MinRTT(0, 1, 10); ok {
+		t.Fatal("MinRTT must report loss when every ping is lost")
+	}
+}
+
+func TestKingCloseToTruth(t *testing.T) {
+	topo := testTopo(t, 30, 8)
+	p := NewPinger(topo, Config{Seed: 9})
+	var relErrSum float64
+	var count int
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if i == j {
+				continue
+			}
+			est := p.King(i, j)
+			truth := topo.RTT(i, j)
+			if est <= 0 {
+				t.Fatalf("King estimate %v must be positive", est)
+			}
+			relErrSum += math.Abs(est-truth) / truth
+			count++
+		}
+	}
+	if meanErr := relErrSum / float64(count); meanErr > 0.2 {
+		t.Fatalf("King mean relative error %v too high for a usable estimator", meanErr)
+	}
+}
+
+func TestMeasureMatrixSymmetricComplete(t *testing.T) {
+	topo := testTopo(t, 12, 10)
+	p := NewPinger(topo, Config{Seed: 11})
+	c := p.MeasureMatrix(seqHostsForTest(12), ModeMinRTT, 4, 0)
+	for i := 0; i < 12; i++ {
+		if c.D.At(i, i) != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := 0; j < 12; j++ {
+			if c.D.At(i, j) != c.D.At(j, i) {
+				t.Fatal("symmetric campaign must produce a symmetric matrix")
+			}
+			if c.Mask.At(i, j) != 1 {
+				t.Fatal("no loss: every entry must be observed")
+			}
+			if i != j && c.D.At(i, j) <= 0 {
+				t.Fatalf("off-diagonal (%d,%d) = %v", i, j, c.D.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMeasureMatrixPairLoss(t *testing.T) {
+	topo := testTopo(t, 20, 12)
+	p := NewPinger(topo, Config{Seed: 13})
+	c := p.MeasureMatrix(seqHostsForTest(20), ModeMinRTT, 2, 0.3)
+	var missing int
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if c.Mask.At(i, j) == 0 {
+				missing++
+				if c.Mask.At(j, i) != 0 {
+					t.Fatal("pair loss must mask both directions")
+				}
+				if c.D.At(i, j) != 0 {
+					t.Fatal("missing entries must be zero in D")
+				}
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("30% pair loss produced no missing entries")
+	}
+}
+
+func TestMeasureDirectedShape(t *testing.T) {
+	topo, err := topology.Generate(topology.Config{
+		Seed: 14, NumHosts: 25,
+		AsymmetryProb: 0.7, AsymmetryMax: 0.4, HostAsymmetryMax: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPinger(topo, Config{Seed: 15})
+	rows := []int{5, 6, 7, 8, 9, 10}
+	cols := []int{0, 1, 2, 3}
+	c := p.MeasureDirected(rows, cols, 4)
+	if c.D.Rows() != 6 || c.D.Cols() != 4 {
+		t.Fatalf("directed campaign shape %dx%d", c.D.Rows(), c.D.Cols())
+	}
+	for a := range rows {
+		for b := range cols {
+			if c.D.At(a, b) <= 0 {
+				t.Fatalf("directed entry (%d,%d) = %v", a, b, c.D.At(a, b))
+			}
+		}
+	}
+}
+
+func TestPingerDeterministic(t *testing.T) {
+	topo := testTopo(t, 8, 16)
+	c1 := NewPinger(topo, Config{Seed: 17}).MeasureMatrix(seqHostsForTest(8), ModeMinRTT, 3, 0)
+	c2 := NewPinger(topo, Config{Seed: 17}).MeasureMatrix(seqHostsForTest(8), ModeMinRTT, 3, 0)
+	if !c1.D.Equal(c2.D, 0) {
+		t.Fatal("same seed must reproduce the same campaign")
+	}
+}
+
+func seqHostsForTest(n int) []int {
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	return hosts
+}
+
+func TestModeSinglePing(t *testing.T) {
+	topo := testTopo(t, 8, 20)
+	p := NewPinger(topo, Config{Seed: 21, JitterMean: 1})
+	c := p.MeasureMatrix(seqHostsForTest(8), ModeSinglePing, 1, 0)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if c.D.At(i, j) < topo.RTT(i, j) {
+				t.Fatalf("single ping below base RTT at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestUnknownModePanics(t *testing.T) {
+	topo := testTopo(t, 4, 22)
+	p := NewPinger(topo, Config{Seed: 23})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown mode")
+		}
+	}()
+	p.MeasureMatrix(seqHostsForTest(4), MatrixMode(99), 1, 0)
+}
+
+func TestKingNoGrossOutliers(t *testing.T) {
+	// After the dataset-filtering change, King estimates should stay within
+	// a moderate band of the truth (the published matrix was filtered).
+	topo := testTopo(t, 20, 24)
+	p := NewPinger(topo, Config{Seed: 25})
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i == j {
+				continue
+			}
+			est := p.King(i, j)
+			truth := topo.RTT(i, j)
+			if est > truth*1.6+5 || est < truth*0.6-5 {
+				t.Fatalf("King estimate %v too far from truth %v", est, truth)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	res := NelderMead(f, []float64{0, 0}, Options{})
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Fatalf("minimum at %v want (3,-1)", res.X)
+	}
+	if !res.Converged {
+		t.Fatal("quadratic bowl should converge")
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res := NelderMead(f, []float64{-1.2, 1}, Options{MaxEvals: 4000})
+	if f(res.X) > 1e-6 {
+		t.Fatalf("Rosenbrock minimum not reached: x=%v f=%v", res.X, res.F)
+	}
+}
+
+func TestHighDimensionalSphere(t *testing.T) {
+	dim := 20
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = 5
+	}
+	res := NelderMead(f, x0, Options{MaxEvals: 40000})
+	if res.F > 1e-3 {
+		t.Fatalf("sphere minimum not reached: f=%v", res.F)
+	}
+}
+
+func TestMaxEvalsRespected(t *testing.T) {
+	var calls int
+	f := func(x []float64) float64 {
+		calls++
+		return x[0] * x[0]
+	}
+	res := NelderMead(f, []float64{100}, Options{MaxEvals: 25})
+	if calls > 30 { // small slack for the shrink step finishing a round
+		t.Fatalf("made %d evals with budget 25", calls)
+	}
+	if res.Evals != calls {
+		t.Fatalf("reported %d evals, counted %d", res.Evals, calls)
+	}
+}
+
+func TestNaNObjectiveDoesNotPoison(t *testing.T) {
+	// Objective undefined for x<0; optimizer must still find minimum at 1.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	res := NelderMead(f, []float64{4}, Options{MaxEvals: 2000})
+	if math.Abs(res.X[0]-1) > 1e-3 {
+		t.Fatalf("minimum at %v want 1", res.X)
+	}
+}
+
+func TestEmptyStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NelderMead(func(x []float64) float64 { return 0 }, nil, Options{})
+}
+
+func TestValidatePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Options{MaxEvals: -1}.Validate()
+}
+
+// Property: for random convex quadratics the minimizer lands near the known
+// optimum.
+func TestPropConvexQuadratic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		target := make([]float64, dim)
+		weights := make([]float64, dim)
+		for i := range target {
+			target[i] = rng.Float64()*10 - 5
+			weights[i] = 0.5 + rng.Float64()*3
+		}
+		obj := func(x []float64) float64 {
+			var s float64
+			for i, v := range x {
+				d := v - target[i]
+				s += weights[i] * d * d
+			}
+			return s
+		}
+		res := NelderMead(obj, make([]float64, dim), Options{MaxEvals: 8000})
+		for i := range target {
+			if math.Abs(res.X[i]-target[i]) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+// Package server implements the IDES information server (§5.1): it gathers
+// the pairwise landmark distance matrix from landmark reports, factors it
+// into the landmark model with SVD or NMF, serves the model to ordinary
+// hosts, and runs the directory of registered host vectors that lets any
+// two hosts estimate their distance without measuring it.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Landmarks lists the landmark addresses. Reports from other sources
+	// are rejected.
+	Landmarks []string
+	// Dim is the model dimensionality (default 10, the paper's tradeoff).
+	Dim int
+	// Algorithm is core.SVD (default) or core.NMF. NMF is required if the
+	// landmark matrix may have holes.
+	Algorithm core.Algorithm
+	// Seed steers model fitting.
+	Seed int64
+	// NMFIters overrides the NMF iteration budget.
+	NMFIters int
+	// RequestTimeout bounds a single request/response exchange on a
+	// connection. Default 30s.
+	RequestTimeout time.Duration
+	// HostTTL expires directory entries that have not been re-registered
+	// within the window, so vectors from departed or re-routed hosts stop
+	// serving estimates. Zero keeps entries forever.
+	HostTTL time.Duration
+	// Logger receives operational messages. Nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is the IDES information server. Create with New, run with Serve.
+type Server struct {
+	cfg     Config
+	lmIndex map[string]int
+	now     func() time.Time // injectable clock for TTL tests
+
+	mu         sync.RWMutex
+	dist       *mat.Dense // landmark RTTs; NaN = not yet measured
+	model      *core.Model
+	modelDirty bool
+	hosts      map[string]hostEntry
+
+	connWG sync.WaitGroup
+}
+
+// hostEntry is one directory record.
+type hostEntry struct {
+	vec          core.Vectors
+	registeredAt time.Time
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Landmarks) < 2 {
+		return nil, fmt.Errorf("server: need at least 2 landmarks, got %d", len(cfg.Landmarks))
+	}
+	if cfg.Dim <= 0 {
+		cfg.Dim = 10
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	idx := make(map[string]int, len(cfg.Landmarks))
+	for i, addr := range cfg.Landmarks {
+		if _, dup := idx[addr]; dup {
+			return nil, fmt.Errorf("server: duplicate landmark address %q", addr)
+		}
+		idx[addr] = i
+	}
+	m := len(cfg.Landmarks)
+	dist := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				dist.Set(i, j, math.NaN())
+			}
+		}
+	}
+	return &Server{
+		cfg:     cfg,
+		lmIndex: idx,
+		now:     time.Now,
+		dist:    dist,
+		hosts:   make(map[string]hostEntry),
+	}, nil
+}
+
+// Serve accepts and handles connections on ln until ctx is cancelled or
+// the listener fails. It closes ln on return and waits for in-flight
+// connections to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.connWG.Wait()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	for {
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
+			return
+		}
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && ctx.Err() == nil {
+				s.logf("read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		respT, respPayload := s.dispatch(t, payload)
+		if err := wire.WriteFrame(conn, respT, respPayload); err != nil {
+			s.logf("write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request and returns the response frame.
+func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	switch t {
+	case wire.TypePing:
+		p, err := wire.DecodePing(payload)
+		if err != nil {
+			return errFrame(wire.CodeBadRequest, err.Error())
+		}
+		return wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil)
+	case wire.TypeGetInfo:
+		return s.handleGetInfo()
+	case wire.TypeGetModel:
+		return s.handleGetModel()
+	case wire.TypeReportRTT:
+		return s.handleReport(payload)
+	case wire.TypeRegisterHost:
+		return s.handleRegister(payload)
+	case wire.TypeGetVectors:
+		return s.handleGetVectors(payload)
+	case wire.TypeQueryDist:
+		return s.handleQueryDist(payload)
+	default:
+		return errFrame(wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
+	}
+}
+
+func (s *Server) handleGetInfo() (wire.MsgType, []byte) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info := &wire.Info{
+		Dim:          uint32(s.cfg.Dim),
+		NumLandmarks: uint32(len(s.cfg.Landmarks)),
+		Algorithm:    s.cfg.Algorithm.String(),
+		ModelReady:   s.model != nil && !s.modelDirty,
+	}
+	return wire.TypeInfo, info.Encode(nil)
+}
+
+func (s *Server) handleGetModel() (wire.MsgType, []byte) {
+	if err := s.ensureModel(); err != nil {
+		return errFrame(wire.CodeModelNotFit, err.Error())
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	msg := &wire.Model{
+		Dim:       uint32(s.model.Dim()),
+		Algorithm: s.model.Algorithm.String(),
+		Landmarks: make([]wire.LandmarkVec, len(s.cfg.Landmarks)),
+	}
+	for i, addr := range s.cfg.Landmarks {
+		msg.Landmarks[i] = wire.LandmarkVec{
+			Addr: addr,
+			Out:  append([]float64(nil), s.model.Outgoing(i)...),
+			In:   append([]float64(nil), s.model.Incoming(i)...),
+		}
+	}
+	return wire.TypeModel, msg.Encode(nil)
+}
+
+func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
+	rep, err := wire.DecodeReportRTT(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from, ok := s.lmIndex[rep.From]
+	if !ok {
+		return errFrame(wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
+	}
+	accepted := 0
+	for _, e := range rep.Entries {
+		to, ok := s.lmIndex[e.To]
+		if !ok || to == from {
+			continue
+		}
+		if e.RTTMillis < 0 || math.IsNaN(e.RTTMillis) || math.IsInf(e.RTTMillis, 0) {
+			continue
+		}
+		s.dist.Set(from, to, e.RTTMillis)
+		// RTT is symmetric; mirror unless the reverse direction was
+		// measured independently.
+		if math.IsNaN(s.dist.At(to, from)) {
+			s.dist.Set(to, from, e.RTTMillis)
+		}
+		accepted++
+	}
+	if accepted > 0 {
+		s.modelDirty = true
+	}
+	return wire.TypeAck, nil
+}
+
+func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
+	reg, err := wire.DecodeRegisterHost(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
+	}
+	if reg.Addr == "" {
+		return errFrame(wire.CodeBadRequest, "empty host address")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := s.cfg.Dim
+	if s.model != nil {
+		want = s.model.Dim()
+	}
+	if len(reg.Out) != want || len(reg.In) != want {
+		return errFrame(wire.CodeBadRequest,
+			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
+	}
+	s.hosts[reg.Addr] = hostEntry{
+		vec:          core.Vectors{Out: reg.Out, In: reg.In},
+		registeredAt: s.now(),
+	}
+	s.sweepExpiredLocked()
+	return wire.TypeAck, nil
+}
+
+func (s *Server) handleGetVectors(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeGetVectors(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.lookupLocked(req.Addr)
+	if !ok {
+		return wire.TypeVectors, (&wire.Vectors{Found: false}).Encode(nil)
+	}
+	return wire.TypeVectors, (&wire.Vectors{Found: true, Out: v.Out, In: v.In}).Encode(nil)
+}
+
+func (s *Server) handleQueryDist(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeQueryDist(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, okA := s.lookupLocked(req.From)
+	b, okB := s.lookupLocked(req.To)
+	if !okA || !okB {
+		return wire.TypeDistance, (&wire.Distance{Found: false}).Encode(nil)
+	}
+	return wire.TypeDistance, (&wire.Distance{Found: true, Millis: core.Estimate(a, b)}).Encode(nil)
+}
+
+// lookupLocked resolves an address to vectors: registered hosts first,
+// then landmarks (whose vectors come from the model). Callers hold mu.
+// Expired entries are treated as absent (and reaped on the next write).
+func (s *Server) lookupLocked(addr string) (core.Vectors, bool) {
+	if e, ok := s.hosts[addr]; ok && !s.expired(e) {
+		return e.vec, true
+	}
+	if i, ok := s.lmIndex[addr]; ok && s.model != nil {
+		return core.Vectors{Out: s.model.Outgoing(i), In: s.model.Incoming(i)}, true
+	}
+	return core.Vectors{}, false
+}
+
+func (s *Server) expired(e hostEntry) bool {
+	return s.cfg.HostTTL > 0 && s.now().Sub(e.registeredAt) > s.cfg.HostTTL
+}
+
+// sweepExpiredLocked drops expired directory entries. Callers hold mu.
+func (s *Server) sweepExpiredLocked() {
+	if s.cfg.HostTTL <= 0 {
+		return
+	}
+	for addr, e := range s.hosts {
+		if s.expired(e) {
+			delete(s.hosts, addr)
+		}
+	}
+}
+
+// ensureModel refits the landmark model if new measurements arrived.
+func (s *Server) ensureModel() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.model != nil && !s.modelDirty {
+		return nil
+	}
+	m := len(s.cfg.Landmarks)
+	complete := true
+	var observed int
+	mask := mat.NewDense(m, m)
+	d := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := s.dist.At(i, j)
+			if i == j {
+				mask.Set(i, j, 1)
+				continue
+			}
+			if math.IsNaN(v) {
+				complete = false
+				continue
+			}
+			mask.Set(i, j, 1)
+			d.Set(i, j, v)
+			observed++
+		}
+	}
+	// Require a usable measurement density: every landmark needs at least
+	// Dim observations for its vectors to be determined.
+	if observed < m*s.cfg.Dim && observed < m*(m-1) {
+		return fmt.Errorf("server: only %d of %d landmark pairs measured", observed, m*(m-1))
+	}
+	opts := core.FitOptions{
+		Dim:       s.cfg.Dim,
+		Algorithm: s.cfg.Algorithm,
+		Seed:      s.cfg.Seed,
+		NMFIters:  s.cfg.NMFIters,
+	}
+	if !complete {
+		if s.cfg.Algorithm != core.NMF {
+			return errors.New("server: landmark matrix incomplete; SVD cannot fit around holes (configure NMF, §4.2)")
+		}
+		opts.Mask = mask
+	}
+	model, err := core.Fit(d, opts)
+	if err != nil {
+		return fmt.Errorf("server: fitting model: %w", err)
+	}
+	s.model = model
+	s.modelDirty = false
+	s.logf("model refit: %d landmarks, d=%d, algorithm=%v", m, model.Dim(), model.Algorithm)
+	return nil
+}
+
+// Model returns the current landmark model, fitting it first if needed.
+// It is the in-process equivalent of a GetModel request.
+func (s *Server) Model() (*core.Model, error) {
+	if err := s.ensureModel(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model, nil
+}
+
+// NumHosts returns the number of live (unexpired) registered hosts.
+func (s *Server) NumHosts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.hosts {
+		if !s.expired(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func errFrame(code uint16, text string) (wire.MsgType, []byte) {
+	return wire.TypeError, (&wire.Error{Code: code, Text: text}).Encode(nil)
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("ides-server: "+format, args...)
+	}
+}

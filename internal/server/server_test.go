@@ -1,0 +1,541 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+func testServer(t *testing.T, lm []string, alg core.Algorithm) *Server {
+	t.Helper()
+	s, err := New(Config{Landmarks: lm, Dim: 2, Algorithm: alg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ringLandmarks loads the paper's 4-node ring distances into the server via
+// ReportRTT frames and returns it ready to serve a model.
+func ringLandmarks(t *testing.T, alg core.Algorithm) *Server {
+	t.Helper()
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{Landmarks: lm, Dim: 3, Algorithm: alg, Seed: 1, NMFIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := [][]float64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i == j {
+				continue
+			}
+			rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+		}
+		typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+		if typ != wire.TypeAck {
+			t.Fatalf("report %d answered %v", i, typ)
+		}
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Landmarks: []string{"a"}}); err == nil {
+		t.Fatal("single landmark must be rejected")
+	}
+	if _, err := New(Config{Landmarks: []string{"a", "a"}}); err == nil {
+		t.Fatal("duplicate landmarks must be rejected")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	typ, payload := s.dispatch(wire.TypePing, (&wire.Ping{Token: 7}).Encode(nil))
+	if typ != wire.TypePong {
+		t.Fatalf("type %v", typ)
+	}
+	pong, err := wire.DecodePong(payload)
+	if err != nil || pong.Token != 7 {
+		t.Fatalf("pong %+v err %v", pong, err)
+	}
+}
+
+func TestGetInfoBeforeModel(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	typ, payload := s.dispatch(wire.TypeGetInfo, nil)
+	if typ != wire.TypeInfo {
+		t.Fatalf("type %v", typ)
+	}
+	info, err := wire.DecodeInfo(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ModelReady {
+		t.Fatal("model must not be ready before any reports")
+	}
+	if info.NumLandmarks != 2 || info.Dim != 2 {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+func TestGetModelBeforeDataFails(t *testing.T) {
+	s := testServer(t, []string{"a", "b", "c"}, core.SVD)
+	typ, payload := s.dispatch(wire.TypeGetModel, nil)
+	if typ != wire.TypeError {
+		t.Fatalf("type %v want Error", typ)
+	}
+	werr, err := wire.DecodeError(payload)
+	if err != nil || werr.Code != wire.CodeModelNotFit {
+		t.Fatalf("error %+v %v", werr, err)
+	}
+}
+
+func TestReportAndModel(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	typ, payload := s.dispatch(wire.TypeGetModel, nil)
+	if typ != wire.TypeModel {
+		t.Fatalf("type %v", typ)
+	}
+	model, err := wire.DecodeModel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim != 3 || len(model.Landmarks) != 4 {
+		t.Fatalf("model %+v", model)
+	}
+	// The rank-3 model reconstructs the ring exactly: check L1→L4 = 2.
+	est := mat.Dot(model.Landmarks[0].Out, model.Landmarks[3].In)
+	if math.Abs(est-2) > 1e-6 {
+		t.Fatalf("L1→L4 = %v want 2", est)
+	}
+}
+
+func TestReportFromUnknownSourceRejected(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	rep := &wire.ReportRTT{From: "evil", Entries: []wire.RTTEntry{{To: "a", RTTMillis: 1}}}
+	typ, payload := s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("type %v want Error", typ)
+	}
+	werr, _ := wire.DecodeError(payload)
+	if werr.Code != wire.CodeNotLandmark {
+		t.Fatalf("code %d want CodeNotLandmark", werr.Code)
+	}
+}
+
+func TestReportIgnoresGarbageEntries(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	rep := &wire.ReportRTT{From: "a", Entries: []wire.RTTEntry{
+		{To: "ghost", RTTMillis: 5},       // unknown target
+		{To: "a", RTTMillis: 5},           // self
+		{To: "b", RTTMillis: -3},          // negative
+		{To: "b", RTTMillis: math.NaN()},  // NaN
+		{To: "b", RTTMillis: math.Inf(1)}, // Inf
+	}}
+	typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	if typ != wire.TypeAck {
+		t.Fatalf("type %v", typ)
+	}
+	// Nothing usable arrived: model must still be unfittable.
+	if _, err := s.Model(); err == nil {
+		t.Fatal("model should not fit from garbage reports")
+	}
+}
+
+func TestIncompleteMatrixRequiresNMF(t *testing.T) {
+	lm := []string{"a", "b", "c", "d"}
+	s, err := New(Config{Landmarks: lm, Dim: 2, Algorithm: core.SVD, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only report a subset of pairs; d never measured.
+	rep := &wire.ReportRTT{From: "a", Entries: []wire.RTTEntry{
+		{To: "b", RTTMillis: 10}, {To: "c", RTTMillis: 20}, {To: "d", RTTMillis: 30},
+	}}
+	s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	rep2 := &wire.ReportRTT{From: "b", Entries: []wire.RTTEntry{
+		{To: "c", RTTMillis: 15}, {To: "d", RTTMillis: 22},
+	}}
+	s.dispatch(wire.TypeReportRTT, rep2.Encode(nil))
+	rep3 := &wire.ReportRTT{From: "c", Entries: []wire.RTTEntry{{To: "d", RTTMillis: 9}}}
+	s.dispatch(wire.TypeReportRTT, rep3.Encode(nil))
+	// Complete clique: SVD fine.
+	if _, err := s.Model(); err != nil {
+		t.Fatalf("complete matrix should fit: %v", err)
+	}
+}
+
+func TestIncompleteMatrixSVDFailsNMFWorks(t *testing.T) {
+	reports := func(s *Server) {
+		// 4 landmarks; the (c,d) pair is never measured.
+		pairs := []struct {
+			from, to string
+			ms       float64
+		}{
+			{"a", "b", 10}, {"a", "c", 20}, {"a", "d", 30},
+			{"b", "c", 15}, {"b", "d", 22},
+		}
+		for _, p := range pairs {
+			rep := &wire.ReportRTT{From: p.from, Entries: []wire.RTTEntry{{To: p.to, RTTMillis: p.ms}}}
+			if typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil)); typ != wire.TypeAck {
+				t.Fatalf("report %v rejected", p)
+			}
+		}
+	}
+	lm := []string{"a", "b", "c", "d"}
+	svd, err := New(Config{Landmarks: lm, Dim: 2, Algorithm: core.SVD, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports(svd)
+	if _, err := svd.Model(); err == nil {
+		t.Fatal("SVD with a hole in the matrix must refuse to fit")
+	}
+	nmf, err := New(Config{Landmarks: lm, Dim: 2, Algorithm: core.NMF, Seed: 1, NMFIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports(nmf)
+	if _, err := nmf.Model(); err != nil {
+		t.Fatalf("NMF should fit around the hole: %v", err)
+	}
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+	// Solve H1's vectors offline exactly like a client would.
+	model, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h1, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &wire.RegisterHost{Addr: "H1", Out: h1.Out, In: h1.In}
+	typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+	if typ != wire.TypeAck {
+		t.Fatalf("register answered %v", typ)
+	}
+	if s.NumHosts() != 1 {
+		t.Fatalf("NumHosts = %d", s.NumHosts())
+	}
+
+	// Directory lookup.
+	typ, payload := s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "H1"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	v, err := wire.DecodeVectors(payload)
+	if err != nil || !v.Found {
+		t.Fatalf("vectors %+v %v", v, err)
+	}
+
+	// Distance host→landmark via the server: H1→L4 = 2.5 (paper example).
+	typ, payload = s.dispatch(wire.TypeQueryDist, (&wire.QueryDist{From: "H1", To: "L4"}).Encode(nil))
+	if typ != wire.TypeDistance {
+		t.Fatalf("type %v", typ)
+	}
+	dd, err := wire.DecodeDistance(payload)
+	if err != nil || !dd.Found {
+		t.Fatalf("distance %+v %v", dd, err)
+	}
+	if math.Abs(dd.Millis-2.5) > 1e-6 {
+		t.Fatalf("H1→L4 = %v want 2.5", dd.Millis)
+	}
+}
+
+func TestQueryUnknownHost(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload := s.dispatch(wire.TypeQueryDist, (&wire.QueryDist{From: "nobody", To: "L1"}).Encode(nil))
+	if typ != wire.TypeDistance {
+		t.Fatalf("type %v", typ)
+	}
+	dd, _ := wire.DecodeDistance(payload)
+	if dd.Found {
+		t.Fatal("unknown host must report not found")
+	}
+}
+
+func TestRegisterWrongDimension(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+	reg := &wire.RegisterHost{Addr: "H1", Out: []float64{1}, In: []float64{1}}
+	typ, payload := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("type %v want Error", typ)
+	}
+	werr, _ := wire.DecodeError(payload)
+	if werr.Code != wire.CodeBadRequest {
+		t.Fatalf("code %d", werr.Code)
+	}
+}
+
+func TestUnknownTypeError(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	typ, payload := s.dispatch(wire.MsgType(0xEE), nil)
+	if typ != wire.TypeError {
+		t.Fatalf("type %v", typ)
+	}
+	werr, _ := wire.DecodeError(payload)
+	if werr.Code != wire.CodeUnknownType {
+		t.Fatalf("code %d", werr.Code)
+	}
+}
+
+func TestModelRefitOnNewReports(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	m1, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New measurements shift L1-L2 from 1ms to 5ms; model must change.
+	rep := &wire.ReportRTT{From: "L1", Entries: []wire.RTTEntry{{To: "L2", RTTMillis: 5}}}
+	s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	m2, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("model must be refit after new reports")
+	}
+	if got := m2.EstimateLandmarks(0, 1); math.Abs(got-5) > 0.5 {
+		t.Fatalf("refit L1→L2 = %v want ~5", got)
+	}
+}
+
+// TestServeOverTCP exercises the accept loop, deadlines and framing over a
+// real loopback connection.
+func TestServeOverTCP(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sequential requests on one connection.
+	if err := wire.WriteFrame(conn, wire.TypePing, (&wire.Ping{Token: 1}).Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.TypePong {
+		t.Fatalf("first exchange: %v %v", typ, err)
+	}
+	if err := wire.WriteFrame(conn, wire.TypeGetModel, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.TypeModel {
+		t.Fatalf("second exchange: %v %v", typ, err)
+	}
+	if _, err := wire.DecodeModel(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not stop on cancel")
+	}
+}
+
+func TestHostTTLExpiry(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{Landmarks: lm, Dim: 3, Algorithm: core.SVD, Seed: 1, HostTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a controllable clock.
+	now := time.Unix(1000000, 0)
+	s.now = func() time.Time { return now }
+
+	// Load the ring and fit so landmark lookups work.
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i != j {
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+			}
+		}
+		s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	}
+	model, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h1, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &wire.RegisterHost{Addr: "H1", Out: h1.Out, In: h1.In}
+	if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("register failed")
+	}
+	if s.NumHosts() != 1 {
+		t.Fatalf("NumHosts = %d", s.NumHosts())
+	}
+
+	// Within TTL: found.
+	typ, payload := s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "H1"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	if v, _ := wire.DecodeVectors(payload); !v.Found {
+		t.Fatal("fresh entry must be found")
+	}
+
+	// Past TTL: gone from lookups and counts.
+	now = now.Add(2 * time.Minute)
+	typ, payload = s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "H1"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	if v, _ := wire.DecodeVectors(payload); v.Found {
+		t.Fatal("expired entry must not be served")
+	}
+	if s.NumHosts() != 0 {
+		t.Fatalf("NumHosts = %d after expiry", s.NumHosts())
+	}
+
+	// Landmarks are unaffected by TTL.
+	typ, payload = s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "L1"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	if v, _ := wire.DecodeVectors(payload); !v.Found {
+		t.Fatal("landmark lookup must still work")
+	}
+
+	// Re-registering resurrects the host and sweeps the stale entry.
+	if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("re-register failed")
+	}
+	if s.NumHosts() != 1 {
+		t.Fatalf("NumHosts = %d after re-register", s.NumHosts())
+	}
+}
+
+func TestHostTTLZeroNeverExpires(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000000, 0)
+	s.now = func() time.Time { return now }
+	model, _ := s.Model()
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h1, _ := model.SolveHost(d1, d1)
+	reg := &wire.RegisterHost{Addr: "H1", Out: h1.Out, In: h1.In}
+	s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+	now = now.Add(1000 * time.Hour)
+	if s.NumHosts() != 1 {
+		t.Fatal("TTL=0 must never expire hosts")
+	}
+}
+
+// TestDispatchMalformedPayloads injects truncated/garbage payloads into
+// every request type; the server must answer with a BadRequest error and
+// never panic.
+func TestDispatchMalformedPayloads(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+	types := []wire.MsgType{
+		wire.TypePing, wire.TypeReportRTT, wire.TypeRegisterHost,
+		wire.TypeGetVectors, wire.TypeQueryDist,
+	}
+	payloads := [][]byte{nil, {0x01}, {0xFF, 0xFF, 0xFF, 0xFF}}
+	for _, typ := range types {
+		for _, p := range payloads {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v with payload %x panicked: %v", typ, p, r)
+					}
+				}()
+				respT, respP := s.dispatch(typ, p)
+				if respT == wire.TypeError {
+					if _, err := wire.DecodeError(respP); err != nil {
+						t.Fatalf("%v: undecodable error frame", typ)
+					}
+				}
+			}()
+		}
+	}
+}
+
+func TestServeRejectsGarbageStream(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Serve(ctx, ln) //nolint:errcheck
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Not a frame at all: the server must close the connection without
+	// crashing; subsequent connections still work.
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	conn.Read(buf) //nolint:errcheck // either EOF or reset is fine
+
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := wire.WriteFrame(conn2, wire.TypePing, (&wire.Ping{Token: 9}).Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(conn2)
+	if err != nil || typ != wire.TypePong {
+		t.Fatalf("server unusable after garbage stream: %v %v", typ, err)
+	}
+}

@@ -1,0 +1,209 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// packet is a chunk of written data scheduled for delivery.
+type packet struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// pipeHalf carries packets in one direction.
+type pipeHalf struct {
+	ch chan packet
+
+	mu          sync.Mutex
+	lastDeliver time.Time // enforces FIFO even if jitter would reorder
+	closed      bool
+}
+
+func (h *pipeHalf) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.ch)
+	}
+}
+
+// conn is one endpoint of a virtual connection.
+type conn struct {
+	local, remote net.Addr
+	send, recv    *pipeHalf
+	latency       func() time.Duration // one-way delay for data we send
+
+	readMu  sync.Mutex // serializes Read; protects pending
+	pending []byte
+
+	dlMu                        sync.Mutex
+	readDeadline, writeDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// newPair creates the two endpoints of a connection between a and b.
+// fwd gives the one-way delay a→b, rev the delay b→a.
+func newPair(a, b net.Addr, fwd, rev func() time.Duration) (*conn, *conn) {
+	ab := &pipeHalf{ch: make(chan packet, 256)}
+	ba := &pipeHalf{ch: make(chan packet, 256)}
+	ca := &conn{local: a, remote: b, send: ab, recv: ba, latency: fwd, closed: make(chan struct{})}
+	cb := &conn{local: b, remote: a, send: ba, recv: ab, latency: rev, closed: make(chan struct{})}
+	return ca, cb
+}
+
+// Write schedules p for delivery after the one-way latency. It never
+// blocks on the network round trip — only on backpressure when the peer
+// stops reading (the channel models a bounded in-flight window).
+func (c *conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
+	default:
+	}
+	c.dlMu.Lock()
+	wd := c.writeDeadline
+	c.dlMu.Unlock()
+	var timeout <-chan time.Time
+	if !wd.IsZero() {
+		if !time.Now().Before(wd) {
+			return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: os.ErrDeadlineExceeded}
+		}
+		t := time.NewTimer(time.Until(wd))
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	deliver := time.Now().Add(c.latency())
+
+	c.send.mu.Lock()
+	if c.send.closed {
+		c.send.mu.Unlock()
+		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
+	}
+	// TCP-like FIFO: never deliver before an earlier packet.
+	if deliver.Before(c.send.lastDeliver) {
+		deliver = c.send.lastDeliver
+	}
+	c.send.lastDeliver = deliver
+	c.send.mu.Unlock()
+
+	select {
+	case c.send.ch <- packet{data: buf, deliverAt: deliver}:
+		return len(p), nil
+	case <-c.closed:
+		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
+	case <-timeout:
+		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: os.ErrDeadlineExceeded}
+	}
+}
+
+// Read returns buffered data, or waits for the next packet's delivery time.
+func (c *conn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+
+	if len(c.pending) > 0 {
+		n := copy(p, c.pending)
+		c.pending = c.pending[n:]
+		return n, nil
+	}
+
+	c.dlMu.Lock()
+	rd := c.readDeadline
+	c.dlMu.Unlock()
+	var timeout <-chan time.Time
+	if !rd.IsZero() {
+		if !time.Now().Before(rd) {
+			return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
+		}
+		t := time.NewTimer(time.Until(rd))
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case pkt, ok := <-c.recv.ch:
+		if !ok {
+			return 0, io.EOF
+		}
+		// Honor the delivery time (propagation delay).
+		if wait := time.Until(pkt.deliverAt); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-timeout:
+				t.Stop()
+				// The packet is "in flight"; keep it for the next Read.
+				c.pending = pkt.data
+				return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
+			case <-c.closed:
+				t.Stop()
+				c.pending = pkt.data
+				return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: net.ErrClosed}
+			}
+		}
+		n := copy(p, pkt.data)
+		if n < len(pkt.data) {
+			c.pending = pkt.data[n:]
+		}
+		return n, nil
+	case <-timeout:
+		return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
+	case <-c.closed:
+		// Deliver whatever was already queued? TCP would; keep it simple
+		// and report closure — our protocols are request/response.
+		return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: net.ErrClosed}
+	}
+}
+
+// Close tears down both directions. The peer observes EOF after draining
+// in-flight packets.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.send.close()
+	})
+	return nil
+}
+
+// LocalAddr returns the local endpoint address.
+func (c *conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets both read and write deadlines.
+func (c *conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// SetReadDeadline sets the read deadline. It applies to Read calls that
+// begin after it is set; a Read already blocked is not interrupted (a
+// documented simplification relative to net.Conn).
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDeadline = t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline, with the same caveat as
+// SetReadDeadline.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDeadline = t
+	c.dlMu.Unlock()
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package simnet provides an in-process virtual network whose connections
+// and pings experience the one-way delays of a synthetic topology. The
+// full IDES service (information server, landmark agents, ordinary hosts)
+// runs over simnet in tests and examples exactly as it runs over real TCP
+// in the cmd/ binaries: simnet's Host implements the same Dialer and Pinger
+// contracts.
+//
+// Delays are modeled per packet: data written to a connection becomes
+// readable at the peer only after the one-way latency between the two
+// hosts has elapsed (scaled by Config.TimeScale so examples can compress
+// 100 ms RTTs into 1 ms of wall clock). Dial blocks for one round trip,
+// like a TCP handshake.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/ides-go/ides/internal/topology"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// TimeScale multiplies every simulated delay before sleeping on the
+	// wall clock. 1.0 is real time; 0.01 compresses a 100 ms RTT to 1 ms.
+	// Default 1.0.
+	TimeScale float64
+	// JitterMean is the mean of the exponential per-packet queueing jitter
+	// in milliseconds of simulated time. Default 0 (no jitter).
+	JitterMean float64
+	// Seed drives jitter sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// Network is a virtual network over a topology. Host names map 1:1 to
+// topology host indices.
+type Network struct {
+	topo *topology.Topology
+	cfg  Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	names     map[string]int
+	listeners map[string]*listener
+}
+
+// New builds a Network over topo. names[i] becomes the address of
+// topology host i; it must not contain duplicates.
+func New(topo *topology.Topology, names []string, cfg Config) (*Network, error) {
+	if len(names) != topo.NumHosts() {
+		return nil, fmt.Errorf("simnet: %d names for %d hosts", len(names), topo.NumHosts())
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("simnet: duplicate host name %q", n)
+		}
+		idx[n] = i
+	}
+	cfg = cfg.withDefaults()
+	return &Network{
+		topo:      topo,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		names:     idx,
+		listeners: make(map[string]*listener),
+	}, nil
+}
+
+// DefaultNames returns host names "host-0" ... "host-N-1".
+func DefaultNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("host-%d", i)
+	}
+	return names
+}
+
+// Host returns a handle bound to the named host. All traffic originated
+// through the handle experiences that host's latencies.
+func (n *Network) Host(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx, ok := n.names[name]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown host %q", name)
+	}
+	return &Host{net: n, name: name, idx: idx}, nil
+}
+
+// oneWay returns the simulated one-way delay from host a to host b
+// including jitter, as a wall-clock duration after scaling.
+func (n *Network) oneWay(a, b int) time.Duration {
+	ms := n.topo.OneWay(a, b)
+	if n.cfg.JitterMean > 0 {
+		n.mu.Lock()
+		ms += n.rng.ExpFloat64() * n.cfg.JitterMean
+		n.mu.Unlock()
+	}
+	return time.Duration(ms * n.cfg.TimeScale * float64(time.Millisecond))
+}
+
+// rttSim returns the simulated RTT in *simulated* milliseconds (unscaled),
+// with jitter, for measurement APIs.
+func (n *Network) rttSim(a, b int) float64 {
+	ms := n.topo.OneWay(a, b) + n.topo.OneWay(b, a)
+	if n.cfg.JitterMean > 0 {
+		n.mu.Lock()
+		ms += n.rng.ExpFloat64() * n.cfg.JitterMean
+		n.mu.Unlock()
+	}
+	return ms
+}
+
+// Host is a network endpoint. It implements the Dial/Listen/Ping surface
+// the IDES client, landmark and server components are written against.
+type Host struct {
+	net  *Network
+	name string
+	idx  int
+}
+
+// Name returns the host's address on the virtual network.
+func (h *Host) Name() string { return h.name }
+
+// Listen starts accepting virtual connections addressed to this host.
+// A host can hold at most one listener at a time.
+func (h *Host) Listen() (net.Listener, error) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if _, exists := h.net.listeners[h.name]; exists {
+		return nil, fmt.Errorf("simnet: host %q is already listening", h.name)
+	}
+	l := &listener{
+		net:     h.net,
+		addr:    addr(h.name),
+		backlog: make(chan net.Conn, 16),
+		done:    make(chan struct{}),
+	}
+	h.net.listeners[h.name] = l
+	return l, nil
+}
+
+// DialContext opens a virtual connection to the named host, blocking for
+// one simulated round trip (the handshake). The network argument is
+// accepted for signature compatibility with net.Dialer and ignored.
+func (h *Host) DialContext(ctx context.Context, _, address string) (net.Conn, error) {
+	h.net.mu.Lock()
+	l, ok := h.net.listeners[address]
+	var peerIdx int
+	if ok {
+		peerIdx = h.net.names[address]
+	}
+	h.net.mu.Unlock()
+	if !ok {
+		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: errConnRefused}
+	}
+
+	// Handshake: one full round trip.
+	rtt := h.net.oneWay(h.idx, peerIdx) + h.net.oneWay(peerIdx, h.idx)
+	if err := sleepCtx(ctx, rtt); err != nil {
+		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: err}
+	}
+
+	fwd := func() time.Duration { return h.net.oneWay(h.idx, peerIdx) }
+	rev := func() time.Duration { return h.net.oneWay(peerIdx, h.idx) }
+	cli, srv := newPair(addr(h.name), addr(address), fwd, rev)
+	select {
+	case l.backlog <- srv:
+		return cli, nil
+	case <-l.done:
+		cli.Close()
+		srv.Close()
+		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: errConnRefused}
+	case <-ctx.Done():
+		cli.Close()
+		srv.Close()
+		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: ctx.Err()}
+	}
+}
+
+// Ping measures the RTT to the named host like an ICMP echo: it sleeps one
+// (scaled) round trip of wall-clock time and reports the simulated RTT.
+// samples > 1 returns the minimum across that many echoes, the standard
+// technique for stripping queueing jitter.
+func (h *Host) Ping(ctx context.Context, address string, samples int) (time.Duration, error) {
+	if samples <= 0 {
+		samples = 1
+	}
+	h.net.mu.Lock()
+	peerIdx, ok := h.net.names[address]
+	h.net.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("simnet: ping: unknown host %q", address)
+	}
+	best := -1.0
+	for s := 0; s < samples; s++ {
+		simMS := h.net.rttSim(h.idx, peerIdx)
+		if err := sleepCtx(ctx, time.Duration(simMS*h.net.cfg.TimeScale*float64(time.Millisecond))); err != nil {
+			return 0, err
+		}
+		if best < 0 || simMS < best {
+			best = simMS
+		}
+	}
+	return time.Duration(best * float64(time.Millisecond)), nil
+}
+
+// PingInstant is Ping without the wall-clock sleeps, for measurement
+// campaigns in tests and experiments where real time is irrelevant.
+func (h *Host) PingInstant(address string, samples int) (time.Duration, error) {
+	if samples <= 0 {
+		samples = 1
+	}
+	h.net.mu.Lock()
+	peerIdx, ok := h.net.names[address]
+	h.net.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("simnet: ping: unknown host %q", address)
+	}
+	best := -1.0
+	for s := 0; s < samples; s++ {
+		if simMS := h.net.rttSim(h.idx, peerIdx); best < 0 || simMS < best {
+			best = simMS
+		}
+	}
+	return time.Duration(best * float64(time.Millisecond)), nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var errConnRefused = fmt.Errorf("connection refused: %w", os.ErrNotExist)
+
+// addr is a simnet network address.
+type addr string
+
+func (a addr) Network() string { return "simnet" }
+func (a addr) String() string  { return string(a) }
+
+// listener implements net.Listener for a simnet host.
+type listener struct {
+	net     *Network
+	addr    addr
+	backlog chan net.Conn
+	once    sync.Once
+	done    chan struct{}
+}
+
+// Accept waits for the next inbound connection.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "simnet", Addr: l.addr, Err: net.ErrClosed}
+	}
+}
+
+// Close stops the listener and releases its address.
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, string(l.addr))
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's address.
+func (l *listener) Addr() net.Addr { return l.addr }

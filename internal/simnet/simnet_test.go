@@ -1,0 +1,493 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/topology"
+)
+
+func testNetwork(t *testing.T, n int, scale float64) *Network {
+	t.Helper()
+	topo, err := topology.Generate(topology.Config{Seed: 1, NumHosts: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(topo, DefaultNames(n), Config{TimeScale: scale, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewValidatesNames(t *testing.T) {
+	topo, err := topology.Generate(topology.Config{Seed: 1, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(topo, []string{"a", "b"}, Config{}); err == nil {
+		t.Fatal("wrong name count must error")
+	}
+	if _, err := New(topo, []string{"a", "b", "a"}, Config{}); err == nil {
+		t.Fatal("duplicate names must error")
+	}
+}
+
+func TestHostUnknown(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	if _, err := nw.Host("nope"); err == nil {
+		t.Fatal("unknown host must error")
+	}
+}
+
+func TestDialListenEcho(t *testing.T) {
+	nw := testNetwork(t, 4, 0.0005)
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := nw.Host("host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(buf[:n]); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := h0.DialContext(ctx, "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+	wg.Wait()
+
+	if conn.LocalAddr().String() != "host-0" || conn.RemoteAddr().String() != "host-1" {
+		t.Fatalf("addrs %v %v", conn.LocalAddr(), conn.RemoteAddr())
+	}
+	if conn.LocalAddr().Network() != "simnet" {
+		t.Fatalf("network %q", conn.LocalAddr().Network())
+	}
+}
+
+func TestDialUnknownHostRefused(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h0.DialContext(context.Background(), "simnet", "host-2")
+	if err == nil {
+		t.Fatal("dial to non-listening host must fail")
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) {
+		t.Fatalf("err %T, want *net.OpError", err)
+	}
+}
+
+func TestDialContextCancelled(t *testing.T) {
+	nw := testNetwork(t, 3, 1.0) // real-time scale so handshake takes a while
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := nw.Host("host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: dial must fail regardless of latency
+	if _, err := h0.DialContext(ctx, "simnet", "host-1"); err == nil {
+		t.Fatal("cancelled dial must fail")
+	}
+}
+
+func TestConnCarriesLatency(t *testing.T) {
+	// With TimeScale=1 and host RTTs of tens of ms, a request/response
+	// round trip over the conn must take at least the topology RTT.
+	nw := testNetwork(t, 3, 1.0)
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := nw.Host("host-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := h2.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 16)
+		n, _ := c.Read(buf)
+		c.Write(buf[:n]) //nolint:errcheck
+	}()
+
+	rtt := nw.topo.RTT(0, 2) // simulated ms
+	ctx := context.Background()
+	conn, err := h0.DialContext(ctx, "simnet", "host-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(rtt * float64(time.Millisecond))
+	if elapsed < want*8/10 {
+		t.Fatalf("round trip %v, want at least ~%v", elapsed, want)
+	}
+}
+
+func TestPingMatchesTopologyRTT(t *testing.T) {
+	nw := testNetwork(t, 5, 0.0001)
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h0.Ping(context.Background(), "host-3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nw.topo.RTT(0, 3)
+	gotMS := float64(got) / float64(time.Millisecond)
+	if gotMS < want*0.99 || gotMS > want*1.5 {
+		t.Fatalf("ping = %vms topology RTT = %vms", gotMS, want)
+	}
+}
+
+func TestPingInstantNoSleep(t *testing.T) {
+	nw := testNetwork(t, 5, 1.0) // real time would make sleeping obvious
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := h0.PingInstant("host-4", 32); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("PingInstant must not sleep")
+	}
+}
+
+func TestPingUnknownHost(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	h0, err := nw.Host("host-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h0.Ping(context.Background(), "ghost", 1); err == nil {
+		t.Fatal("unknown target must error")
+	}
+	if _, err := h0.PingInstant("ghost", 1); err == nil {
+		t.Fatal("unknown target must error")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept() //nolint:errcheck // hold the conn open, never write
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn.Read(make([]byte, 8))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v want deadline exceeded", err)
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	nw := testNetwork(t, 3, 0.0001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	if _, err := conn.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Peer first drains the in-flight data, then sees EOF.
+	buf := make([]byte, 8)
+	n, err := srv.Read(buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("read %q %v", buf[:n], err)
+	}
+	if _, err := srv.Read(buf); err != io.EOF {
+		t.Fatalf("err = %v want EOF", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	nw := testNetwork(t, 3, 0.0001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept() //nolint:errcheck
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write after close must fail")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Accept after Close must error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+	// Address is released: listening again succeeds.
+	ln2, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2.Close()
+}
+
+func TestDoubleListenRejected(t *testing.T) {
+	nw := testNetwork(t, 3, 0.001)
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := h1.Listen(); err == nil {
+		t.Fatal("second listener on one host must be rejected")
+	}
+}
+
+func TestMinOfSamplesReducesJitter(t *testing.T) {
+	topo, err := topology.Generate(topology.Config{Seed: 3, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(topo, DefaultNames(3), Config{TimeScale: 0.0001, JitterMean: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := nw.Host("host-0")
+	one, err := h0.PingInstant("host-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := h0.PingInstant("host-1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := topo.RTT(0, 1)
+	oneMS := float64(one) / float64(time.Millisecond)
+	manyMS := float64(many) / float64(time.Millisecond)
+	if manyMS > oneMS+1e-9 {
+		t.Fatalf("min of 64 (%v) must not exceed single sample (%v)", manyMS, oneMS)
+	}
+	if manyMS > base*1.2 {
+		t.Fatalf("min of 64 samples = %v should approach base %v", manyMS, base)
+	}
+}
+
+func TestWriteDeadlineOnBackpressure(t *testing.T) {
+	nw := testNetwork(t, 3, 0.0001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept() //nolint:errcheck // never read: fill the in-flight window
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	var sawDeadline bool
+	for i := 0; i < 100000; i++ {
+		if _, err := conn.Write(buf); err != nil {
+			if !errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatalf("unexpected write error %v", err)
+			}
+			sawDeadline = true
+			break
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("write should eventually hit the deadline when the peer never reads")
+	}
+}
+
+func TestWritePastDeadlineFailsImmediately(t *testing.T) {
+	nw := testNetwork(t, 3, 0.0001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept() //nolint:errcheck
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v want deadline exceeded", err)
+	}
+}
+
+func TestPartialReadBuffersRemainder(t *testing.T) {
+	nw := testNetwork(t, 3, 0.0001)
+	h0, _ := nw.Host("host-0")
+	h1, _ := nw.Host("host-1")
+	ln, err := h1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := h0.DialContext(context.Background(), "simnet", "host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	srv := <-accepted
+	defer srv.Close()
+	if _, err := conn.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 5)
+	n, err := srv.Read(small)
+	if err != nil || string(small[:n]) != "hello" {
+		t.Fatalf("first read %q %v", small[:n], err)
+	}
+	rest := make([]byte, 16)
+	n, err = srv.Read(rest)
+	if err != nil || string(rest[:n]) != " world" {
+		t.Fatalf("second read %q %v", rest[:n], err)
+	}
+}

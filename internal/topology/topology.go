@@ -1,0 +1,414 @@
+// Package topology synthesizes Internet-like network topologies and the
+// pairwise round-trip times they induce. It replaces the paper's five
+// measurement datasets (NLANR, GNP, AGNP, P2PSim, PL-RTT), which are no
+// longer obtainable, with a transit-stub model whose routing layer
+// reproduces the structural phenomena the paper's argument depends on:
+//
+//   - clustered geography (continents), so distance matrices are close to
+//     low rank — the property matrix factorization exploits;
+//   - sub-optimal inter-domain routing (random path inflation), so a large
+//     fraction of host pairs has a shorter two-hop detour and the triangle
+//     inequality fails, as measured in [3,20] and cited in §2.2;
+//   - optionally asymmetric routing and asymmetric last-mile links [10,15],
+//     so D is not a symmetric matrix.
+//
+// The generator is fully deterministic given Config.Seed.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// Config parameterizes topology generation. Latencies are one-way
+// milliseconds; RTTs in the produced matrix are two-way.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// NumHosts is the number of end hosts.
+	NumHosts int
+	// ContinentWeights gives the relative probability of a host (and its
+	// stub domain) being placed on each continent. Its length fixes the
+	// number of continents. Default: {0.45, 0.25, 0.2, 0.1}.
+	ContinentWeights []float64
+	// TransitPerContinent is the number of backbone routers per continent.
+	// Default 4.
+	TransitPerContinent int
+	// HostsPerStub controls how many hosts share one stub domain.
+	// Default 5.
+	HostsPerStub int
+
+	// InterContinentMin/Max bound one-way latency of intercontinental
+	// backbone links. Defaults 25/90 ms.
+	InterContinentMin, InterContinentMax float64
+	// IntraContinentMin/Max bound one-way latency between backbone routers
+	// of one continent. Defaults 2/18 ms.
+	IntraContinentMin, IntraContinentMax float64
+	// StubMin/Max bound the stub-to-transit access link. Defaults 0.5/5 ms.
+	StubMin, StubMax float64
+	// HostMin/Max bound the host last-mile link. Defaults 0.1/3 ms.
+	HostMin, HostMax float64
+
+	// InflationProb is the probability that an unordered pair of *transit
+	// domains* suffers sub-optimal inter-domain routing; every path between
+	// their customer stubs is stretched by a shared factor in
+	// [1, 1+InflationMax]. Because the factor is shared by all stub pairs
+	// homed on the two transits, this noise is low rank — real policy
+	// routing correlates the same way (a stub inherits its provider's
+	// paths). Default 0.5 / 0.8.
+	InflationProb float64
+	InflationMax  float64
+	// StubInflationProb adds independent per-stub-pair stretch in
+	// [1, 1+StubInflationMax] on top, modeling site-local detours. This
+	// noise is full rank, so it sets the error floor a low-dimensional
+	// model cannot cross. Defaults 0.3 / 0.25.
+	StubInflationProb float64
+	StubInflationMax  float64
+	// AsymmetryProb is the probability that an inflated transit pair is
+	// also direction-asymmetric: the forward direction gains an extra
+	// factor in [1, 1+AsymmetryMax]. Zero yields a symmetric matrix.
+	// Defaults 0 / 0.
+	AsymmetryProb float64
+	AsymmetryMax  float64
+	// HostAsymmetryMax, when positive, gives each host's last-mile link
+	// independent up/down latencies differing by up to this many ms,
+	// modeling broadband up/down capacity gaps [10].
+	HostAsymmetryMax float64
+	// MultihomeProb is the probability a stub domain connects to a second
+	// transit router. Default 0.25.
+	MultihomeProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.ContinentWeights) == 0 {
+		c.ContinentWeights = []float64{0.45, 0.25, 0.2, 0.1}
+	}
+	if c.TransitPerContinent <= 0 {
+		c.TransitPerContinent = 4
+	}
+	if c.HostsPerStub <= 0 {
+		c.HostsPerStub = 5
+	}
+	if c.InterContinentMax <= 0 {
+		c.InterContinentMin, c.InterContinentMax = 25, 90
+	}
+	if c.IntraContinentMax <= 0 {
+		c.IntraContinentMin, c.IntraContinentMax = 2, 18
+	}
+	if c.StubMax <= 0 {
+		c.StubMin, c.StubMax = 0.5, 5
+	}
+	if c.HostMax <= 0 {
+		c.HostMin, c.HostMax = 0.1, 3
+	}
+	if c.InflationProb == 0 && c.InflationMax == 0 {
+		c.InflationProb, c.InflationMax = 0.5, 0.8
+	}
+	if c.StubInflationProb == 0 && c.StubInflationMax == 0 {
+		c.StubInflationProb, c.StubInflationMax = 0.3, 0.25
+	}
+	if c.MultihomeProb == 0 {
+		c.MultihomeProb = 0.25
+	}
+	return c
+}
+
+// Host describes where an end host attaches.
+type Host struct {
+	Continent int
+	Stub      int // stub domain index
+	// Up and Down are the last-mile one-way latencies (host→stub and
+	// stub→host); they differ when HostAsymmetryMax > 0.
+	Up, Down float64
+}
+
+// Topology is a generated network together with its routed one-way
+// distances.
+type Topology struct {
+	Hosts []Host
+	// stubDist[a][b] is the routed (possibly inflated, possibly asymmetric)
+	// one-way latency from stub a's router to stub b's router.
+	stubDist *mat.Dense
+	numStubs int
+}
+
+// Generate builds a topology per cfg.
+func Generate(cfg Config) (*Topology, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumHosts <= 0 {
+		return nil, fmt.Errorf("topology: NumHosts must be positive, got %d", cfg.NumHosts)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numContinents := len(cfg.ContinentWeights)
+	numTransit := numContinents * cfg.TransitPerContinent
+	numStubs := (cfg.NumHosts + cfg.HostsPerStub - 1) / cfg.HostsPerStub
+	if numStubs < 1 {
+		numStubs = 1
+	}
+
+	// Assign each stub domain to a continent by weight.
+	cum := make([]float64, numContinents)
+	var total float64
+	for i, w := range cfg.ContinentWeights {
+		if w < 0 {
+			return nil, fmt.Errorf("topology: negative continent weight %v", w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("topology: continent weights sum to %v", total)
+	}
+	stubContinent := make([]int, numStubs)
+	for s := range stubContinent {
+		r := rng.Float64() * total
+		for ci, c := range cum {
+			if r <= c {
+				stubContinent[s] = ci
+				break
+			}
+		}
+	}
+
+	// Router graph: transit routers first, then one router per stub domain.
+	g := newGraph(numTransit + numStubs)
+	transitID := func(cont, k int) int { return cont*cfg.TransitPerContinent + k }
+	// Intra-continent backbone: ring plus random chords keeps the graph
+	// sparse but well-connected.
+	for c := 0; c < numContinents; c++ {
+		n := cfg.TransitPerContinent
+		for k := 0; k < n; k++ {
+			next := transitID(c, (k+1)%n)
+			g.addEdge(transitID(c, k), next, uniform(rng, cfg.IntraContinentMin, cfg.IntraContinentMax))
+		}
+		extra := n / 2
+		for e := 0; e < extra; e++ {
+			a := transitID(c, rng.Intn(n))
+			b := transitID(c, rng.Intn(n))
+			if a != b {
+				g.addEdge(a, b, uniform(rng, cfg.IntraContinentMin, cfg.IntraContinentMax))
+			}
+		}
+	}
+	// Intercontinental links: every continent pair gets 1–2 links whose
+	// latency grows with index distance (a crude stand-in for geography).
+	for c1 := 0; c1 < numContinents; c1++ {
+		for c2 := c1 + 1; c2 < numContinents; c2++ {
+			links := 1 + rng.Intn(2)
+			spread := 1 + 0.35*float64(c2-c1-1)
+			for l := 0; l < links; l++ {
+				a := transitID(c1, rng.Intn(cfg.TransitPerContinent))
+				b := transitID(c2, rng.Intn(cfg.TransitPerContinent))
+				lat := uniform(rng, cfg.InterContinentMin, cfg.InterContinentMax) * spread
+				g.addEdge(a, b, lat)
+			}
+		}
+	}
+	// Stub access links.
+	stubHome := make([]int, numStubs)
+	for s := 0; s < numStubs; s++ {
+		home := transitID(stubContinent[s], rng.Intn(cfg.TransitPerContinent))
+		stubHome[s] = home
+		g.addEdge(numTransit+s, home, uniform(rng, cfg.StubMin, cfg.StubMax))
+		if rng.Float64() < cfg.MultihomeProb {
+			second := transitID(stubContinent[s], rng.Intn(cfg.TransitPerContinent))
+			if second != home {
+				g.addEdge(numTransit+s, second, uniform(rng, cfg.StubMin, cfg.StubMax))
+			}
+		}
+	}
+
+	// Shortest paths between all stub routers.
+	base := mat.NewDense(numStubs, numStubs)
+	for s := 0; s < numStubs; s++ {
+		dist := g.dijkstra(numTransit + s)
+		row := base.Row(s)
+		for t := 0; t < numStubs; t++ {
+			row[t] = dist[numTransit+t]
+		}
+	}
+
+	// Policy inflation, level 1: transit-domain pairs. The same (possibly
+	// direction-dependent) stretch applies to every stub pair homed on the
+	// two transits, producing correlated, low-rank sub-optimality.
+	// tInf.At(a, b) is the stretch applied to traffic routed in the
+	// direction transit a → transit b.
+	tInf := mat.NewDense(numTransit, numTransit)
+	tInf.Fill(1)
+	for a := 0; a < numTransit; a++ {
+		for b := a + 1; b < numTransit; b++ {
+			if rng.Float64() < cfg.InflationProb {
+				f := 1 + rng.Float64()*cfg.InflationMax
+				fwd, rev := f, f
+				if cfg.AsymmetryProb > 0 && rng.Float64() < cfg.AsymmetryProb {
+					fwd *= 1 + rng.Float64()*cfg.AsymmetryMax
+				}
+				tInf.Set(a, b, fwd)
+				tInf.Set(b, a, rev)
+			}
+		}
+	}
+	// Level 2: independent per-stub-pair stretch (full-rank residual).
+	// Intra-stub traffic is never inflated.
+	stubDist := mat.NewDense(numStubs, numStubs)
+	for a := 0; a < numStubs; a++ {
+		for b := a + 1; b < numStubs; b++ {
+			local := 1.0
+			if rng.Float64() < cfg.StubInflationProb {
+				local = 1 + rng.Float64()*cfg.StubInflationMax
+			}
+			ta, tb := stubHome[a], stubHome[b]
+			stubDist.Set(a, b, base.At(a, b)*tInf.At(ta, tb)*local)
+			stubDist.Set(b, a, base.At(b, a)*tInf.At(tb, ta)*local)
+		}
+	}
+
+	// Hosts.
+	hosts := make([]Host, cfg.NumHosts)
+	for h := range hosts {
+		s := h % numStubs
+		up := uniform(rng, cfg.HostMin, cfg.HostMax)
+		down := up
+		if cfg.HostAsymmetryMax > 0 {
+			down = up + rng.Float64()*cfg.HostAsymmetryMax
+			if rng.Float64() < 0.5 {
+				up, down = down, up
+			}
+		}
+		hosts[h] = Host{Continent: stubContinent[s], Stub: s, Up: up, Down: down}
+	}
+
+	return &Topology{Hosts: hosts, stubDist: stubDist, numStubs: numStubs}, nil
+}
+
+// OneWay returns the routed one-way latency from host i to host j in ms.
+func (t *Topology) OneWay(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	hi, hj := t.Hosts[i], t.Hosts[j]
+	if hi.Stub == hj.Stub {
+		// Same stub domain: traffic stays on the local segment.
+		return hi.Up + hj.Down
+	}
+	return hi.Up + t.stubDist.At(hi.Stub, hj.Stub) + hj.Down
+}
+
+// RTT returns the round-trip time from host i to host j as measured from i:
+// the forward one-way latency plus the reverse one. Note RTT(i,j) equals
+// RTT(j,i) only when the topology is symmetric.
+func (t *Topology) RTT(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return t.OneWay(i, j) + t.OneWay(j, i)
+}
+
+// Directed returns the full matrix of directed distances d(i,j) =
+// OneWay(i,j)*2, i.e. the "RTT as seen by the forward path"; with
+// asymmetric routing d(i,j) != d(j,i), which is how the AGNP dataset is
+// modeled.
+func (t *Topology) Directed() *mat.Dense {
+	n := len(t.Hosts)
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j := 0; j < n; j++ {
+			if i != j {
+				row[j] = 2 * t.OneWay(i, j)
+			}
+		}
+	}
+	return d
+}
+
+// RTTMatrix returns the full symmetric RTT matrix.
+func (t *Topology) RTTMatrix() *mat.Dense {
+	n := len(t.Hosts)
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := t.RTT(i, j)
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+// NumHosts returns the number of hosts.
+func (t *Topology) NumHosts() int { return len(t.Hosts) }
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// graph is a small undirected weighted graph with Dijkstra support.
+type graph struct {
+	adj [][]edge
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+func newGraph(n int) *graph {
+	return &graph{adj: make([][]edge, n)}
+}
+
+func (g *graph) addEdge(a, b int, w float64) {
+	g.adj[a] = append(g.adj[a], edge{to: b, w: w})
+	g.adj[b] = append(g.adj[b], edge{to: a, w: w})
+}
+
+// dijkstra returns shortest distances from src to every node; unreachable
+// nodes get +Inf.
+func (g *graph) dijkstra(src int) []float64 {
+	const inf = 1e18
+	dist := make([]float64, len(g.adj))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.node] {
+			continue
+		}
+		for _, e := range g.adj[item.node] {
+			if nd := item.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

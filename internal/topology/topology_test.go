@@ -1,0 +1,282 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateBasics(t *testing.T) {
+	topo := mustGen(t, Config{Seed: 1, NumHosts: 50})
+	if topo.NumHosts() != 50 {
+		t.Fatalf("NumHosts = %d", topo.NumHosts())
+	}
+	for i, h := range topo.Hosts {
+		if h.Up <= 0 || h.Down <= 0 {
+			t.Fatalf("host %d has non-positive last-mile latency %+v", i, h)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumHosts: 0}); err == nil {
+		t.Fatal("expected error for zero hosts")
+	}
+	if _, err := Generate(Config{Seed: 1, NumHosts: 5, ContinentWeights: []float64{-1, 2}}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestDistancesPositiveAndFinite(t *testing.T) {
+	topo := mustGen(t, Config{Seed: 2, NumHosts: 60})
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			d := topo.OneWay(i, j)
+			if i == j {
+				if d != 0 {
+					t.Fatalf("OneWay(%d,%d) = %v want 0", i, j, d)
+				}
+				continue
+			}
+			if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+				t.Fatalf("OneWay(%d,%d) = %v", i, j, d)
+			}
+			if d > 1e6 {
+				t.Fatalf("OneWay(%d,%d) = %v suggests a disconnected graph", i, j, d)
+			}
+		}
+	}
+}
+
+func TestRTTSymmetricWhenNoAsymmetry(t *testing.T) {
+	topo := mustGen(t, Config{Seed: 3, NumHosts: 40})
+	d := topo.RTTMatrix()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatalf("RTTMatrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDirectedAsymmetric(t *testing.T) {
+	topo := mustGen(t, Config{
+		Seed: 4, NumHosts: 60,
+		AsymmetryProb: 0.8, AsymmetryMax: 0.5, HostAsymmetryMax: 5,
+	})
+	d := topo.Directed()
+	var asym int
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			if math.Abs(d.At(i, j)-d.At(j, i)) > 0.05*math.Max(d.At(i, j), d.At(j, i)) {
+				asym++
+			}
+		}
+	}
+	if asym == 0 {
+		t.Fatal("asymmetric config must yield asymmetric directed distances")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := mustGen(t, Config{Seed: 5, NumHosts: 30})
+	b := mustGen(t, Config{Seed: 5, NumHosts: 30})
+	if !a.RTTMatrix().Equal(b.RTTMatrix(), 0) {
+		t.Fatal("same seed must reproduce the same topology")
+	}
+	c := mustGen(t, Config{Seed: 6, NumHosts: 30})
+	if a.RTTMatrix().Equal(c.RTTMatrix(), 1e-9) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestInflationCreatesTriangleViolations(t *testing.T) {
+	topo := mustGen(t, Config{Seed: 7, NumHosts: 80, InflationProb: 0.6, InflationMax: 1.0})
+	d := topo.RTTMatrix()
+	n := 80
+	var violated, total int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total++
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if d.At(i, k)+d.At(k, j) < d.At(i, j)*0.98 {
+					violated++
+					break
+				}
+			}
+		}
+	}
+	frac := float64(violated) / float64(total)
+	if frac < 0.1 {
+		t.Fatalf("triangle violation fraction %v too low; inflation is not working", frac)
+	}
+}
+
+func TestNoInflationFewViolations(t *testing.T) {
+	// With inflation disabled, routed shortest-path distances violate the
+	// triangle inequality only through last-mile constants; the fraction
+	// must be far below the inflated case.
+	topo := mustGen(t, Config{
+		Seed: 8, NumHosts: 60,
+		InflationProb: 1e-12, InflationMax: 1e-12,
+		StubInflationProb: 1e-12, StubInflationMax: 1e-12,
+	})
+	d := topo.RTTMatrix()
+	n := 60
+	var violated, total int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total++
+		inner:
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if d.At(i, k)+d.At(k, j) < d.At(i, j)*0.98 {
+					violated++
+					break inner
+				}
+			}
+		}
+	}
+	frac := float64(violated) / float64(total)
+	if frac > 0.05 {
+		t.Fatalf("uninflated topology shows %v violations; routing is broken", frac)
+	}
+}
+
+func TestSameStubShortPath(t *testing.T) {
+	// Hosts sharing a stub must be much closer to each other than to hosts
+	// on other continents.
+	topo := mustGen(t, Config{Seed: 9, NumHosts: 40, HostsPerStub: 4})
+	var same, cross []float64
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			d := topo.RTT(i, j)
+			if topo.Hosts[i].Stub == topo.Hosts[j].Stub {
+				same = append(same, d)
+			} else if topo.Hosts[i].Continent != topo.Hosts[j].Continent {
+				cross = append(cross, d)
+			}
+		}
+	}
+	if len(same) == 0 || len(cross) == 0 {
+		t.Skip("topology draw produced no same-stub or cross-continent pairs")
+	}
+	meanSame := mean(same)
+	meanCross := mean(cross)
+	if meanSame*3 > meanCross {
+		t.Fatalf("same-stub mean %v should be far below cross-continent mean %v", meanSame, meanCross)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Property: any generated topology yields finite nonnegative one-way
+// distances with zero diagonal and positive off-diagonal.
+func TestPropGeneratedDistancesWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(seed%23+23)%23
+		topo, err := Generate(Config{Seed: seed, NumHosts: n})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d := topo.OneWay(i, j)
+				if i == j && d != 0 {
+					return false
+				}
+				if i != j && (d <= 0 || math.IsNaN(d) || d > 1e6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the symmetric RTT matrix is exactly the average of the two
+// directed distances — the two views must never disagree.
+func TestPropDirectedRTTConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4 + int(seed%17+17)%17
+		topo, err := Generate(Config{
+			Seed: seed, NumHosts: n,
+			AsymmetryProb: 0.5, AsymmetryMax: 0.4, HostAsymmetryMax: 3,
+		})
+		if err != nil {
+			return false
+		}
+		dir := topo.Directed()
+		rtt := topo.RTTMatrix()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := (dir.At(i, j) + dir.At(j, i)) / 2
+				if math.Abs(rtt.At(i, j)-want) > 1e-9*(1+want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinentWeightsRespected(t *testing.T) {
+	// With a heavily skewed weight vector, most stubs land on continent 0.
+	topo := mustGen(t, Config{
+		Seed: 40, NumHosts: 200, HostsPerStub: 1,
+		ContinentWeights: []float64{0.9, 0.05, 0.05},
+	})
+	counts := map[int]int{}
+	for _, h := range topo.Hosts {
+		counts[h.Continent]++
+	}
+	if counts[0] < 140 {
+		t.Fatalf("continent 0 has %d of 200 hosts, want ~180", counts[0])
+	}
+}
+
+func TestHostAsymmetryProducesUpDownGap(t *testing.T) {
+	topo := mustGen(t, Config{Seed: 41, NumHosts: 60, HostAsymmetryMax: 8})
+	var differ int
+	for _, h := range topo.Hosts {
+		if math.Abs(h.Up-h.Down) > 0.5 {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("HostAsymmetryMax should produce differing up/down latencies")
+	}
+}

@@ -1,0 +1,119 @@
+// Package transport defines the small contracts that connect the IDES
+// components to a network — real TCP/UDP in the cmd/ binaries, simnet in
+// tests and examples — plus the request/response helper all clients share.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// Dialer opens client connections. *net.Dialer and *simnet.Host both
+// satisfy it.
+type Dialer interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// Pinger measures round-trip time to a host. samples > 1 asks for the
+// minimum over that many probes. simnet.Host satisfies it natively; for
+// real networks use TCPPinger (or an ICMP/UDP pinger outside this module's
+// scope).
+type Pinger interface {
+	Ping(ctx context.Context, addr string, samples int) (time.Duration, error)
+}
+
+// Call performs one request/response exchange with an IDES peer: dial,
+// send a frame, read a frame, close. A wire.Error response is decoded and
+// returned as an error. Deadlines derive from ctx.
+func Call(ctx context.Context, d Dialer, addr string, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return Roundtrip(ctx, conn, t, payload)
+}
+
+// Roundtrip sends one frame on an open connection and reads one reply,
+// decoding wire errors. The connection can be reused for further calls.
+func Roundtrip(ctx context.Context, conn net.Conn, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return 0, nil, fmt.Errorf("transport: setting deadline: %w", err)
+		}
+	}
+	if err := wire.WriteFrame(conn, t, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: sending %v: %w", t, err)
+	}
+	rt, rp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: reading reply to %v: %w", t, err)
+	}
+	if rt == wire.TypeError {
+		werr, derr := wire.DecodeError(rp)
+		if derr != nil {
+			return 0, nil, fmt.Errorf("transport: undecodable remote error: %w", derr)
+		}
+		return rt, nil, werr
+	}
+	return rt, rp, nil
+}
+
+// TCPPinger measures RTT with application-level echo frames over a fresh
+// connection: it dials addr, exchanges Ping/Pong frames, and reports the
+// minimum observed round trip. This measures transport RTT plus a little
+// processing time — exactly what an IDES deployment without raw-socket
+// privileges would use.
+type TCPPinger struct {
+	Dialer Dialer
+}
+
+// Ping implements Pinger.
+func (p *TCPPinger) Ping(ctx context.Context, addr string, samples int) (time.Duration, error) {
+	if samples <= 0 {
+		samples = 1
+	}
+	conn, err := p.Dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: ping dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return 0, fmt.Errorf("transport: setting deadline: %w", err)
+		}
+	}
+	var best time.Duration = -1
+	buf := make([]byte, 0, 16)
+	for s := 0; s < samples; s++ {
+		token := uint64(s) + 1
+		buf = (&wire.Ping{Token: token}).Encode(buf[:0])
+		start := time.Now()
+		if err := wire.WriteFrame(conn, wire.TypePing, buf); err != nil {
+			return 0, fmt.Errorf("transport: ping send: %w", err)
+		}
+		rt, rp, err := wire.ReadFrame(conn)
+		if err != nil {
+			return 0, fmt.Errorf("transport: ping recv: %w", err)
+		}
+		elapsed := time.Since(start)
+		if rt != wire.TypePong {
+			return 0, fmt.Errorf("transport: ping got %v, want Pong", rt)
+		}
+		pong, err := wire.DecodePong(rp)
+		if err != nil {
+			return 0, fmt.Errorf("transport: ping decode: %w", err)
+		}
+		if pong.Token != token {
+			return 0, fmt.Errorf("transport: pong token %d, want %d", pong.Token, token)
+		}
+		if best < 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}

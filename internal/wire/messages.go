@@ -1,0 +1,370 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Error reports a request failure.
+type Error struct {
+	Code uint16
+	Text string
+}
+
+// Error codes.
+const (
+	CodeInternal     uint16 = 1
+	CodeUnknownType  uint16 = 2
+	CodeNotFound     uint16 = 3
+	CodeModelNotFit  uint16 = 4
+	CodeBadRequest   uint16 = 5
+	CodeNotLandmark  uint16 = 6
+	CodeUnavailable  uint16 = 7
+	CodeUnauthorized uint16 = 8
+)
+
+// Encode appends the message payload to dst.
+func (m *Error) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, m.Code)
+	return appendString(dst, m.Text)
+}
+
+// DecodeError parses an Error payload.
+func DecodeError(b []byte) (*Error, error) {
+	if len(b) < 2 {
+		return nil, ErrShortPayload
+	}
+	code := binary.BigEndian.Uint16(b)
+	text, _, err := consumeString(b[2:])
+	if err != nil {
+		return nil, err
+	}
+	return &Error{Code: code, Text: text}, nil
+}
+
+// Error implements the error interface so a decoded wire error can be
+// returned directly up a client call chain.
+func (m *Error) Error() string {
+	return fmt.Sprintf("ides: remote error %d: %s", m.Code, m.Text)
+}
+
+// Ping is an application-level echo request used for RTT measurement over
+// the same transport the service runs on.
+type Ping struct {
+	Token uint64
+}
+
+// Encode appends the message payload to dst.
+func (m *Ping) Encode(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.Token)
+}
+
+// DecodePing parses a Ping payload.
+func DecodePing(b []byte) (*Ping, error) {
+	if len(b) < 8 {
+		return nil, ErrShortPayload
+	}
+	return &Ping{Token: binary.BigEndian.Uint64(b)}, nil
+}
+
+// Pong answers a Ping, echoing its token.
+type Pong struct {
+	Token uint64
+}
+
+// Encode appends the message payload to dst.
+func (m *Pong) Encode(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.Token)
+}
+
+// DecodePong parses a Pong payload.
+func DecodePong(b []byte) (*Pong, error) {
+	if len(b) < 8 {
+		return nil, ErrShortPayload
+	}
+	return &Pong{Token: binary.BigEndian.Uint64(b)}, nil
+}
+
+// Info describes the server's current model.
+type Info struct {
+	Dim          uint32
+	NumLandmarks uint32
+	Algorithm    string
+	ModelReady   bool
+}
+
+// Encode appends the message payload to dst.
+func (m *Info) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Dim)
+	dst = binary.BigEndian.AppendUint32(dst, m.NumLandmarks)
+	dst = appendString(dst, m.Algorithm)
+	return appendBool(dst, m.ModelReady)
+}
+
+// DecodeInfo parses an Info payload.
+func DecodeInfo(b []byte) (*Info, error) {
+	if len(b) < 8 {
+		return nil, ErrShortPayload
+	}
+	m := &Info{
+		Dim:          binary.BigEndian.Uint32(b),
+		NumLandmarks: binary.BigEndian.Uint32(b[4:]),
+	}
+	var err error
+	rest := b[8:]
+	if m.Algorithm, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if m.ModelReady, _, err = consumeBool(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LandmarkVec carries one landmark's identity and fitted vectors.
+type LandmarkVec struct {
+	Addr string
+	Out  []float64
+	In   []float64
+}
+
+// Model carries the full landmark model to a client.
+type Model struct {
+	Dim       uint32
+	Algorithm string
+	Landmarks []LandmarkVec
+}
+
+// Encode appends the message payload to dst.
+func (m *Model) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Dim)
+	dst = appendString(dst, m.Algorithm)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Landmarks)))
+	for i := range m.Landmarks {
+		l := &m.Landmarks[i]
+		dst = appendString(dst, l.Addr)
+		dst = appendFloats(dst, l.Out)
+		dst = appendFloats(dst, l.In)
+	}
+	return dst
+}
+
+// DecodeModel parses a Model payload.
+func DecodeModel(b []byte) (*Model, error) {
+	if len(b) < 4 {
+		return nil, ErrShortPayload
+	}
+	m := &Model{Dim: binary.BigEndian.Uint32(b)}
+	rest := b[4:]
+	var err error
+	if m.Algorithm, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > MaxPayload/16 {
+		return nil, ErrShortPayload
+	}
+	m.Landmarks = make([]LandmarkVec, n)
+	for i := 0; i < n; i++ {
+		l := &m.Landmarks[i]
+		if l.Addr, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if l.Out, rest, err = consumeFloats(rest); err != nil {
+			return nil, err
+		}
+		if l.In, rest, err = consumeFloats(rest); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RTTEntry is one measured round-trip time.
+type RTTEntry struct {
+	To string
+	// RTTMillis is the measured RTT in milliseconds.
+	RTTMillis float64
+}
+
+// ReportRTT is a landmark agent's batched measurement report.
+type ReportRTT struct {
+	From    string
+	Entries []RTTEntry
+}
+
+// Encode appends the message payload to dst.
+func (m *ReportRTT) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for i := range m.Entries {
+		dst = appendString(dst, m.Entries[i].To)
+		dst = appendFloat(dst, m.Entries[i].RTTMillis)
+	}
+	return dst
+}
+
+// DecodeReportRTT parses a ReportRTT payload.
+func DecodeReportRTT(b []byte) (*ReportRTT, error) {
+	m := &ReportRTT{}
+	var err error
+	rest := b
+	if m.From, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > MaxPayload/10 {
+		return nil, ErrShortPayload
+	}
+	m.Entries = make([]RTTEntry, n)
+	for i := 0; i < n; i++ {
+		if m.Entries[i].To, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if m.Entries[i].RTTMillis, rest, err = consumeFloat(rest); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RegisterHost publishes an ordinary host's solved vectors to the server's
+// directory so other hosts can estimate distances to it.
+type RegisterHost struct {
+	Addr string
+	Out  []float64
+	In   []float64
+}
+
+// Encode appends the message payload to dst.
+func (m *RegisterHost) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.Addr)
+	dst = appendFloats(dst, m.Out)
+	return appendFloats(dst, m.In)
+}
+
+// DecodeRegisterHost parses a RegisterHost payload.
+func DecodeRegisterHost(b []byte) (*RegisterHost, error) {
+	m := &RegisterHost{}
+	var err error
+	rest := b
+	if m.Addr, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if m.Out, rest, err = consumeFloats(rest); err != nil {
+		return nil, err
+	}
+	if m.In, _, err = consumeFloats(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GetVectors asks the directory for a host's published vectors.
+type GetVectors struct {
+	Addr string
+}
+
+// Encode appends the message payload to dst.
+func (m *GetVectors) Encode(dst []byte) []byte { return appendString(dst, m.Addr) }
+
+// DecodeGetVectors parses a GetVectors payload.
+func DecodeGetVectors(b []byte) (*GetVectors, error) {
+	addr, _, err := consumeString(b)
+	if err != nil {
+		return nil, err
+	}
+	return &GetVectors{Addr: addr}, nil
+}
+
+// Vectors answers GetVectors.
+type Vectors struct {
+	Found bool
+	Out   []float64
+	In    []float64
+}
+
+// Encode appends the message payload to dst.
+func (m *Vectors) Encode(dst []byte) []byte {
+	dst = appendBool(dst, m.Found)
+	dst = appendFloats(dst, m.Out)
+	return appendFloats(dst, m.In)
+}
+
+// DecodeVectors parses a Vectors payload.
+func DecodeVectors(b []byte) (*Vectors, error) {
+	m := &Vectors{}
+	var err error
+	rest := b
+	if m.Found, rest, err = consumeBool(rest); err != nil {
+		return nil, err
+	}
+	if m.Out, rest, err = consumeFloats(rest); err != nil {
+		return nil, err
+	}
+	if m.In, _, err = consumeFloats(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// QueryDist asks the server to estimate the distance between two
+// registered hosts (either may also be a landmark address).
+type QueryDist struct {
+	From, To string
+}
+
+// Encode appends the message payload to dst.
+func (m *QueryDist) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	return appendString(dst, m.To)
+}
+
+// DecodeQueryDist parses a QueryDist payload.
+func DecodeQueryDist(b []byte) (*QueryDist, error) {
+	m := &QueryDist{}
+	var err error
+	rest := b
+	if m.From, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if m.To, _, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Distance answers QueryDist.
+type Distance struct {
+	Found bool
+	// Millis is the estimated distance in milliseconds.
+	Millis float64
+}
+
+// Encode appends the message payload to dst.
+func (m *Distance) Encode(dst []byte) []byte {
+	dst = appendBool(dst, m.Found)
+	return appendFloat(dst, m.Millis)
+}
+
+// DecodeDistance parses a Distance payload.
+func DecodeDistance(b []byte) (*Distance, error) {
+	m := &Distance{}
+	var err error
+	rest := b
+	if m.Found, rest, err = consumeBool(rest); err != nil {
+		return nil, err
+	}
+	if m.Millis, _, err = consumeFloat(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,234 @@
+// Package wire defines the binary protocol spoken between the IDES
+// information server, landmark agents, and ordinary-host clients (§5.1's
+// architecture). Frames are length-prefixed and versioned; payloads are
+// fixed-layout big-endian with explicit counts, so a frame can be decoded
+// without reflection or allocation beyond the payload copy.
+//
+// Frame layout:
+//
+//	magic   uint16  0x1DE5
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint32  payload byte count
+//	payload [length]byte
+//
+// Encode* functions append to a caller-provided buffer (gopacket-style
+// zero-copy building); Decode* functions parse from a payload slice and
+// copy what they keep.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x1DE5
+	Version = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 8
+	// MaxPayload bounds a frame payload; a model for 10k landmarks at
+	// d=32 is ~5 MB, so 64 MB leaves ample headroom while stopping
+	// memory-exhaustion frames.
+	MaxPayload = 64 << 20
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types. Requests are odd-numbered concepts with even replies only
+// by convention of ordering here; the dispatcher switches on type.
+const (
+	TypeError        MsgType = 0x00
+	TypePing         MsgType = 0x01
+	TypePong         MsgType = 0x02
+	TypeGetInfo      MsgType = 0x03
+	TypeInfo         MsgType = 0x04
+	TypeGetModel     MsgType = 0x05
+	TypeModel        MsgType = 0x06
+	TypeReportRTT    MsgType = 0x07
+	TypeAck          MsgType = 0x08
+	TypeRegisterHost MsgType = 0x09
+	TypeGetVectors   MsgType = 0x0a
+	TypeVectors      MsgType = 0x0b
+	TypeQueryDist    MsgType = 0x0c
+	TypeDistance     MsgType = 0x0d
+)
+
+// String names the message type for logs.
+func (t MsgType) String() string {
+	switch t {
+	case TypeError:
+		return "Error"
+	case TypePing:
+		return "Ping"
+	case TypePong:
+		return "Pong"
+	case TypeGetInfo:
+		return "GetInfo"
+	case TypeInfo:
+		return "Info"
+	case TypeGetModel:
+		return "GetModel"
+	case TypeModel:
+		return "Model"
+	case TypeReportRTT:
+		return "ReportRTT"
+	case TypeAck:
+		return "Ack"
+	case TypeRegisterHost:
+		return "RegisterHost"
+	case TypeGetVectors:
+		return "GetVectors"
+	case TypeVectors:
+		return "Vectors"
+	case TypeQueryDist:
+		return "QueryDist"
+	case TypeDistance:
+		return "Distance"
+	default:
+		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
+	}
+}
+
+// Errors returned by frame and payload parsing.
+var (
+	ErrBadMagic     = errors.New("wire: bad magic")
+	ErrBadVersion   = errors.New("wire: unsupported protocol version")
+	ErrFrameTooBig  = errors.New("wire: frame exceeds MaxPayload")
+	ErrShortPayload = errors.New("wire: payload truncated")
+)
+
+// AppendFrame appends a complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(t))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// WriteFrame writes a frame to w.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooBig
+	}
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = byte(t)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: writing payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r. The returned payload is freshly
+// allocated and owned by the caller.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// Propagate io.EOF untouched so callers can detect clean shutdown.
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	t := MsgType(hdr[3])
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxPayload {
+		return 0, nil, ErrFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+// ---- primitive append/consume helpers ----
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func consumeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, ErrShortPayload
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendFloats(dst []byte, v []float64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+	for _, f := range v {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+func consumeFloats(b []byte) ([]float64, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n > MaxPayload/8 || len(b) < 8*n {
+		return nil, nil, ErrShortPayload
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return out, b[8*n:], nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func consumeFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrShortPayload
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func consumeBool(b []byte) (bool, []byte, error) {
+	if len(b) < 1 {
+		return false, nil, ErrShortPayload
+	}
+	return b[0] != 0, b[1:], nil
+}

@@ -1,0 +1,337 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteFrame(&buf, TypePing, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypePing || !bytes.Equal(got, payload) {
+		t.Fatalf("got type %v payload %v", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeGetInfo, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeGetInfo || len(got) != 0 {
+		t.Fatalf("got type %v payload %v", typ, got)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeAck, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	appended := AppendFrame(nil, TypeAck, []byte("xy"))
+	if !bytes.Equal(buf.Bytes(), appended) {
+		t.Fatalf("WriteFrame %x != AppendFrame %x", buf.Bytes(), appended)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	raw := AppendFrame(nil, TypePing, []byte{0})
+	raw[0] = 0xFF
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameBadVersion(t *testing.T) {
+	raw := AppendFrame(nil, TypePing, []byte{0})
+	raw[2] = 99
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v want ErrBadVersion", err)
+	}
+}
+
+func TestReadFrameTooBig(t *testing.T) {
+	raw := AppendFrame(nil, TypePing, []byte{0})
+	raw[4], raw[5], raw[6], raw[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v want ErrFrameTooBig", err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Fatalf("err = %v want bare io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	raw := AppendFrame(nil, TypePing, []byte{1, 2, 3, 4})
+	_, _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-2]))
+	if err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	big := make([]byte, MaxPayload+1)
+	if err := WriteFrame(io.Discard, TypePing, big); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v want ErrFrameTooBig", err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	in := &Error{Code: CodeNotFound, Text: "no such host"}
+	out, err := DecodeError(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != in.Code || out.Text != in.Text {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	if !strings.Contains(out.Error(), "no such host") {
+		t.Fatalf("Error() = %q", out.Error())
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	p, err := DecodePing((&Ping{Token: 0xDEADBEEF}).Encode(nil))
+	if err != nil || p.Token != 0xDEADBEEF {
+		t.Fatalf("ping round trip: %v %v", p, err)
+	}
+	q, err := DecodePong((&Pong{Token: 42}).Encode(nil))
+	if err != nil || q.Token != 42 {
+		t.Fatalf("pong round trip: %v %v", q, err)
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	in := &Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true}
+	out, err := DecodeInfo(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	in := &Model{
+		Dim:       3,
+		Algorithm: "NMF",
+		Landmarks: []LandmarkVec{
+			{Addr: "lm-0:4100", Out: []float64{1, 2, 3}, In: []float64{4, 5, 6}},
+			{Addr: "lm-1:4100", Out: []float64{-1, 0.5, math.Pi}, In: []float64{0, 0, 0}},
+		},
+	}
+	out, err := DecodeModel(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != in.Dim || out.Algorithm != in.Algorithm || len(out.Landmarks) != 2 {
+		t.Fatalf("round trip header %+v", out)
+	}
+	for i := range in.Landmarks {
+		if out.Landmarks[i].Addr != in.Landmarks[i].Addr {
+			t.Fatalf("landmark %d addr %q", i, out.Landmarks[i].Addr)
+		}
+		for k := range in.Landmarks[i].Out {
+			if out.Landmarks[i].Out[k] != in.Landmarks[i].Out[k] ||
+				out.Landmarks[i].In[k] != in.Landmarks[i].In[k] {
+				t.Fatalf("landmark %d vectors differ", i)
+			}
+		}
+	}
+}
+
+func TestReportRTTRoundTrip(t *testing.T) {
+	in := &ReportRTT{
+		From: "lm-3:4100",
+		Entries: []RTTEntry{
+			{To: "lm-0:4100", RTTMillis: 12.5},
+			{To: "lm-1:4100", RTTMillis: 80.25},
+		},
+	}
+	out, err := DecodeReportRTT(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || len(out.Entries) != 2 ||
+		out.Entries[0] != in.Entries[0] || out.Entries[1] != in.Entries[1] {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestRegisterHostVectorsDistanceRoundTrip(t *testing.T) {
+	rh := &RegisterHost{Addr: "host-9", Out: []float64{1.5}, In: []float64{-2.5}}
+	rh2, err := DecodeRegisterHost(rh.Encode(nil))
+	if err != nil || rh2.Addr != rh.Addr || rh2.Out[0] != 1.5 || rh2.In[0] != -2.5 {
+		t.Fatalf("RegisterHost round trip: %+v %v", rh2, err)
+	}
+	gv, err := DecodeGetVectors((&GetVectors{Addr: "host-9"}).Encode(nil))
+	if err != nil || gv.Addr != "host-9" {
+		t.Fatalf("GetVectors round trip: %+v %v", gv, err)
+	}
+	v := &Vectors{Found: true, Out: []float64{9}, In: []float64{8}}
+	v2, err := DecodeVectors(v.Encode(nil))
+	if err != nil || !v2.Found || v2.Out[0] != 9 || v2.In[0] != 8 {
+		t.Fatalf("Vectors round trip: %+v %v", v2, err)
+	}
+	q, err := DecodeQueryDist((&QueryDist{From: "a", To: "b"}).Encode(nil))
+	if err != nil || q.From != "a" || q.To != "b" {
+		t.Fatalf("QueryDist round trip: %+v %v", q, err)
+	}
+	dd, err := DecodeDistance((&Distance{Found: true, Millis: 31.25}).Encode(nil))
+	if err != nil || !dd.Found || dd.Millis != 31.25 {
+		t.Fatalf("Distance round trip: %+v %v", dd, err)
+	}
+}
+
+func TestDecodersRejectTruncation(t *testing.T) {
+	// Every decoder must reject every strict prefix of a valid payload
+	// (or decode it to the same value, never panic or over-read).
+	full := map[string][]byte{
+		"Error":        (&Error{Code: 1, Text: "x"}).Encode(nil),
+		"Ping":         (&Ping{Token: 1}).Encode(nil),
+		"Info":         (&Info{Dim: 1, NumLandmarks: 2, Algorithm: "SVD", ModelReady: true}).Encode(nil),
+		"Model":        (&Model{Dim: 1, Algorithm: "SVD", Landmarks: []LandmarkVec{{Addr: "a", Out: []float64{1}, In: []float64{2}}}}).Encode(nil),
+		"ReportRTT":    (&ReportRTT{From: "a", Entries: []RTTEntry{{To: "b", RTTMillis: 3}}}).Encode(nil),
+		"RegisterHost": (&RegisterHost{Addr: "a", Out: []float64{1}, In: []float64{2}}).Encode(nil),
+		"Vectors":      (&Vectors{Found: true, Out: []float64{1}, In: []float64{2}}).Encode(nil),
+		"QueryDist":    (&QueryDist{From: "a", To: "b"}).Encode(nil),
+		"Distance":     (&Distance{Found: true, Millis: 1}).Encode(nil),
+	}
+	decoders := map[string]func([]byte) error{
+		"Error":        func(b []byte) error { _, err := DecodeError(b); return err },
+		"Ping":         func(b []byte) error { _, err := DecodePing(b); return err },
+		"Info":         func(b []byte) error { _, err := DecodeInfo(b); return err },
+		"Model":        func(b []byte) error { _, err := DecodeModel(b); return err },
+		"ReportRTT":    func(b []byte) error { _, err := DecodeReportRTT(b); return err },
+		"RegisterHost": func(b []byte) error { _, err := DecodeRegisterHost(b); return err },
+		"Vectors":      func(b []byte) error { _, err := DecodeVectors(b); return err },
+		"QueryDist":    func(b []byte) error { _, err := DecodeQueryDist(b); return err },
+		"Distance":     func(b []byte) error { _, err := DecodeDistance(b); return err },
+	}
+	for name, payload := range full {
+		dec := decoders[name]
+		if err := dec(payload); err != nil {
+			t.Fatalf("%s: full payload rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at cut %d: %v", name, cut, r)
+					}
+				}()
+				_ = dec(payload[:cut]) // must not panic; error is fine
+			}()
+		}
+	}
+}
+
+// Property: random Model messages survive an encode/decode round trip.
+func TestPropModelRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5)
+		in := &Model{Dim: uint32(rng.Intn(100)), Algorithm: "SVD"}
+		for i := 0; i < n; i++ {
+			d := 1 + rng.Intn(6)
+			lv := LandmarkVec{Addr: randString(rng), Out: make([]float64, d), In: make([]float64, d)}
+			for k := 0; k < d; k++ {
+				lv.Out[k] = rng.NormFloat64()
+				lv.In[k] = rng.NormFloat64()
+			}
+			in.Landmarks = append(in.Landmarks, lv)
+		}
+		out, err := DecodeModel(in.Encode(nil))
+		if err != nil || out.Dim != in.Dim || len(out.Landmarks) != len(in.Landmarks) {
+			return false
+		}
+		for i := range in.Landmarks {
+			if out.Landmarks[i].Addr != in.Landmarks[i].Addr {
+				return false
+			}
+			for k := range in.Landmarks[i].Out {
+				if out.Landmarks[i].Out[k] != in.Landmarks[i].Out[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames of random type and payload survive a round trip through
+// a stream containing several frames back to back.
+func TestPropFrameStream(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 1 + rng.Intn(5)
+		var buf bytes.Buffer
+		types := make([]MsgType, count)
+		payloads := make([][]byte, count)
+		for i := 0; i < count; i++ {
+			types[i] = MsgType(rng.Intn(14))
+			payloads[i] = make([]byte, rng.Intn(64))
+			rng.Read(payloads[i])
+			if err := WriteFrame(&buf, types[i], payloads[i]); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < count; i++ {
+			typ, p, err := ReadFrame(&buf)
+			if err != nil || typ != types[i] || !bytes.Equal(p, payloads[i]) {
+				return false
+			}
+		}
+		_, _, err := ReadFrame(&buf)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if TypePing.String() != "Ping" || TypeModel.String() != "Model" {
+		t.Fatal("known types must have names")
+	}
+	if !strings.Contains(MsgType(0xEE).String(), "0xee") {
+		t.Fatalf("unknown type = %q", MsgType(0xEE).String())
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
