@@ -36,7 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "landmark subset selection seed")
 	to := flag.String("to", "", "estimate distance to this host after registering")
 	from := flag.String("from", "", "estimate distance from this host after registering")
-	nearest := flag.String("nearest", "", "comma-separated candidates; print the nearest")
+	nearest := flag.String("nearest", "", "comma-separated candidates; print the nearest (one batch round trip)")
+	knn := flag.Int("knn", 0, "print the k registered hosts estimated closest to this one (one round trip)")
 	listen := flag.String("listen", "", "also answer echo probes on this address, so other hosts can use this one as a §5.2 reference point (keeps running)")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
 	flag.Parse()
@@ -95,6 +96,15 @@ func main() {
 			logger.Fatalf("ides-client: %v", err)
 		}
 		fmt.Printf("nearest: %s (%.2f ms estimated)\n", best, dist)
+	}
+	if *knn > 0 {
+		neighbors, err := c.KNearest(ctx, *knn)
+		if err != nil {
+			logger.Fatalf("ides-client: %v", err)
+		}
+		for i, nb := range neighbors {
+			fmt.Printf("neighbor %d: %s (%.2f ms estimated)\n", i+1, nb.Addr, nb.Millis)
+		}
 	}
 
 	if *listen != "" {

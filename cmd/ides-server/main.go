@@ -31,6 +31,7 @@ func main() {
 	alg := flag.String("alg", "svd", "factorization algorithm: svd or nmf")
 	nmfIters := flag.Int("nmf-iters", 200, "NMF iteration budget")
 	seed := flag.Int64("seed", 1, "model fitting seed")
+	hostTTL := flag.Duration("host-ttl", 0, "expire directory entries not re-registered within this window (0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -55,6 +56,7 @@ func main() {
 		Algorithm: algorithm,
 		Seed:      *seed,
 		NMFIters:  *nmfIters,
+		HostTTL:   *hostTTL,
 		Logger:    logger,
 	})
 	if err != nil {

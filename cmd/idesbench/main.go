@@ -8,7 +8,7 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, all.
+// fig7b, ablations, bulkquery, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
 	flag.Parse()
@@ -43,8 +43,9 @@ func main() {
 		"fig7a":     func(s experiments.Scale, sd int64) error { return runFig7("NLANR", "7(a)", s, sd) },
 		"fig7b":     func(s experiments.Scale, sd int64) error { return runFig7("P2PSim", "7(b)", s, sd) },
 		"ablations": runAblations,
+		"bulkquery": runBulkQuery,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery"}
 
 	var ids []string
 	if *exp == "all" {

@@ -15,6 +15,11 @@
 //   - the networked service: information server (NewServer), landmark
 //     agent (NewLandmark), and ordinary-host client (NewClient), which run
 //     identically over real TCP and over the simulated network (NewSimNet);
+//   - the bulk query engine (NewDirectory, NewQueryEngine): a sharded host
+//     directory with amortized TTL expiry, and vectorized one-to-many
+//     (Client.EstimateBatch), all-pairs (QueryEngine.EstimateMatrix), and
+//     k-nearest (Client.KNearest) queries, each answered in one wire round
+//     trip via the QueryBatch/Distances and QueryKNN/Neighbors messages;
 //   - the synthetic datasets and baselines used to reproduce every table
 //     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
 //     FitVivaldi).

@@ -1,22 +1,30 @@
 // Mirror selection: the CDN use case from the paper's §3 — a client picks
 // the closest of several mirror servers using only dot products of IDES
-// vectors, no on-demand measurement. The example quantifies how often the
-// IDES choice matches the true-best mirror and how much latency the
-// occasional misses cost, versus picking mirrors at random.
+// vectors, no on-demand measurement. Unlike the paper's offline math, this
+// example runs the real service over the simulated network: mirrors join
+// the information server's directory, and a client gets its ranked
+// shortlist with ONE QueryKNN round trip (the old way cost one QueryDist
+// round trip per candidate). The remaining clients each pick a mirror with
+// one EstimateBatch round trip, and the example quantifies how often that
+// choice matches the true-best mirror and what the misses cost versus
+// random selection.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"github.com/ides-go/ides"
 )
 
 const (
-	numHosts   = 140
-	numLM      = 20
-	numMirrors = 5
+	numHosts   = 60
+	numLM      = 16
+	numMirrors = 6
+	numClients = 20
 	dim        = 8
 	seed       = 11
 )
@@ -28,76 +36,134 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(numHosts)
-	landmarks := perm[:numLM]
-	mirrors := perm[numLM : numLM+numMirrors]
-	clients := perm[numLM+numMirrors:]
-
-	// Fit the landmark model.
-	dl := ides.NewMatrix(numLM, numLM)
-	for i, a := range landmarks {
-		for j, b := range landmarks {
-			if i != j {
-				dl.Set(i, j, topo.RTT(a, b))
-			}
-		}
-	}
-	model, err := ides.FitSVD(dl, dim, 1)
+	names := ides.SimHostNames(numHosts)
+	nw, err := ides.NewSimNet(topo, names, ides.SimNetConfig{TimeScale: 1e-4, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	// Every mirror and client measures the landmarks once and solves its
-	// vectors; after that, selection is pure arithmetic.
-	place := func(h int) ides.Vectors {
-		d := make([]float64, numLM)
-		for i, l := range landmarks {
-			d[i] = topo.RTT(h, l)
-		}
-		v, err := model.SolveHost(d, d)
+	lmNames := names[:numLM]
+	serverName := names[numLM]
+	mirrors := names[numLM+1 : numLM+1+numMirrors]
+	clients := names[numLM+1+numMirrors : numLM+1+numMirrors+numClients]
+
+	// Information server + landmark reports, exactly as in cmd/ides-server.
+	srv, err := ides.NewServer(ides.ServerConfig{
+		Landmarks: lmNames, Dim: dim, Algorithm: ides.SVD, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvHost, err := nw.Host(serverName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvLn, err := srvHost.Listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ctx, srvLn) //nolint:errcheck
+	for _, lm := range lmNames {
+		h, err := nw.Host(lm)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return v
-	}
-	mirrorVecs := make([]ides.Vectors, numMirrors)
-	for i, m := range mirrors {
-		mirrorVecs[i] = place(m)
+		agent, err := ides.NewLandmark(ides.LandmarkConfig{
+			Self: lm, Peers: lmNames, Server: serverName,
+			Dialer: h, Pinger: h, Samples: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agent.ReportOnce(ctx); err != nil {
+			log.Fatalf("landmark %s: %v", lm, err)
+		}
 	}
 
+	join := func(name string, seed int64) *ides.Client {
+		h, err := nw.Host(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := ides.NewClient(ides.ClientConfig{
+			Self: name, Server: serverName,
+			Dialer: h, Pinger: h, Samples: 4, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Bootstrap(ctx); err != nil {
+			log.Fatalf("bootstrap %s: %v", name, err)
+		}
+		return c
+	}
+
+	// Mirrors measure the landmarks once and publish their vectors; after
+	// that, every selection below is pure directory arithmetic.
+	for i, m := range mirrors {
+		join(m, int64(100+i))
+	}
+
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+
+	// First client: the directory holds exactly the mirrors, so one
+	// QueryKNN round trip returns the ranked shortlist directly.
+	first := join(clients[0], 1)
+	shortlist, err := first.KNearest(ctx, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranked mirror shortlist for %s — 1 round trip for %d candidates (QueryDist would take %d):\n",
+		clients[0], numMirrors, numMirrors)
+	for rank, nb := range shortlist {
+		fmt.Printf("  %d. %-8s est %6.1f ms | true %6.1f ms\n",
+			rank+1, nb.Addr, nb.Millis, topo.RTT(idx[clients[0]], idx[nb.Addr]))
+	}
+
+	// Remaining clients: each joins and picks its mirror with one
+	// EstimateBatch round trip over the candidate list. (They are now
+	// registered too, so KNearest would rank fellow clients as well —
+	// batch estimation scopes the query to the mirrors.)
+	rng := rand.New(rand.NewSource(seed))
 	var hits int
 	var idesLatency, bestLatency, randomLatency float64
-	for _, c := range clients {
-		vc := place(c)
-		// IDES choice: smallest estimated distance.
-		bestEst, choice := -1.0, 0
-		for i := range mirrors {
-			if est := ides.Estimate(vc, mirrorVecs[i]); bestEst < 0 || est < bestEst {
-				bestEst, choice = est, i
-			}
+	choices := []string{shortlist[0].Addr}
+	for i, name := range clients[1:] {
+		best, _, err := join(name, int64(i+2)).Nearest(ctx, mirrors)
+		if err != nil {
+			log.Fatal(err)
 		}
-		// Ground truth.
-		trueBest, trueIdx := -1.0, 0
-		for i, m := range mirrors {
-			if d := topo.RTT(c, m); trueBest < 0 || d < trueBest {
-				trueBest, trueIdx = d, i
+		choices = append(choices, best)
+	}
+	for i, name := range clients {
+		choice := choices[i]
+		trueBest, trueIdx := -1.0, ""
+		for _, m := range mirrors {
+			if d := topo.RTT(idx[name], idx[m]); trueBest < 0 || d < trueBest {
+				trueBest, trueIdx = d, m
 			}
 		}
 		if choice == trueIdx {
 			hits++
 		}
-		idesLatency += topo.RTT(c, mirrors[choice])
+		idesLatency += topo.RTT(idx[name], idx[choice])
 		bestLatency += trueBest
-		randomLatency += topo.RTT(c, mirrors[rng.Intn(numMirrors)])
+		randomLatency += topo.RTT(idx[name], idx[mirrors[rng.Intn(numMirrors)]])
 	}
 
-	n := float64(len(clients))
-	fmt.Printf("clients: %d, mirrors: %d, landmarks: %d, d=%d\n", len(clients), numMirrors, numLM, dim)
+	n := float64(numClients)
+	fmt.Printf("\nclients: %d, mirrors: %d, landmarks: %d, d=%d\n", numClients, numMirrors, numLM, dim)
 	fmt.Printf("IDES picked the true-best mirror for %d/%d clients (%.0f%%)\n",
-		hits, len(clients), 100*float64(hits)/n)
+		hits, numClients, 100*float64(hits)/n)
 	fmt.Printf("mean RTT to chosen mirror:  IDES %.1f ms | optimal %.1f ms | random %.1f ms\n",
 		idesLatency/n, bestLatency/n, randomLatency/n)
 	fmt.Printf("IDES latency stretch over optimal: %.3fx (random: %.3fx)\n",
 		idesLatency/bestLatency, randomLatency/bestLatency)
+	fmt.Printf("wire round trips for all selections: %d (QueryDist would take %d)\n",
+		numClients, numClients*numMirrors)
 }

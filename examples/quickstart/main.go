@@ -50,6 +50,11 @@ func paperExample() {
 		ides.Estimate(h1, h2))
 	fmt.Printf("estimated H1->L4: %.2f ms (measured: %.2f ms)\n\n",
 		ides.Estimate(h1, ides.Vectors{Out: model.Outgoing(3), In: model.Incoming(3)}), h1Dist[3])
+	// At scale, estimate in bulk rather than pair by pair: against a live
+	// server, Client.EstimateBatch answers one-source→many-targets and
+	// Client.KNearest ranks the whole directory, each in a single wire
+	// round trip (see examples/mirrorselect); in process, ides.NewDirectory
+	// + ides.NewQueryEngine expose the same batch operations directly.
 }
 
 // syntheticExample runs the same flow on a generated Internet-like

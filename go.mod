@@ -1,0 +1,3 @@
+module github.com/ides-go/ides
+
+go 1.24

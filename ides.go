@@ -8,6 +8,7 @@ import (
 	"github.com/ides-go/ides/internal/factor"
 	"github.com/ides-go/ides/internal/landmark"
 	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/server"
 	"github.com/ides-go/ides/internal/simnet"
 	"github.com/ides-go/ides/internal/stats"
@@ -179,6 +180,38 @@ type ClientConfig = client.Config
 
 // NewClient builds an ordinary-host client.
 var NewClient = client.New
+
+// BatchEstimate is one answer from Client.EstimateBatch.
+type BatchEstimate = client.BatchEstimate
+
+// NeighborEstimate is one answer from Client.KNearest.
+type NeighborEstimate = client.NeighborEstimate
+
+// ---- query engine ----
+
+// HostDirectory is the sharded, TTL-sweeping registry of host vectors
+// that backs the server; embed it directly for in-process deployments.
+type HostDirectory = query.Directory
+
+// DirectoryConfig parameterizes a HostDirectory.
+type DirectoryConfig = query.Config
+
+// NewDirectory builds a sharded host directory.
+var NewDirectory = query.New
+
+// QueryEngine answers bulk distance queries (one-to-many, all-pairs,
+// k-nearest) over a HostDirectory with vectorized linear algebra.
+type QueryEngine = query.Engine
+
+// NewQueryEngine builds an engine over a directory; the resolver (may be
+// nil) handles addresses outside the directory, e.g. landmarks.
+var NewQueryEngine = query.NewEngine
+
+// Neighbor is one QueryEngine.KNearest result.
+type Neighbor = query.Neighbor
+
+// KNNOptions tunes QueryEngine.KNearest.
+type KNNOptions = query.KNNOptions
 
 // Dialer and Pinger are the transport contracts the service components are
 // written against; both real sockets and the simulated network satisfy

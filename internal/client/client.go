@@ -266,30 +266,187 @@ func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, e
 	return core.Vectors{Out: v.Out, In: v.In}, nil
 }
 
+// BatchEstimate is one answer from EstimateBatch, parallel to the
+// requested targets.
+type BatchEstimate struct {
+	Addr string
+	// Millis is the estimated distance in milliseconds; meaningless when
+	// Found is false.
+	Millis float64
+	// Found reports whether the target resolved on the server.
+	Found bool
+}
+
+// EstimateBatch predicts the distance from this host to every target in
+// ONE wire round trip: the server answers the whole batch from a single
+// matrix-vector product over its directory. Unregistered targets come
+// back with Found=false rather than failing the batch. This is the bulk
+// counterpart of EstimateTo — prefer it whenever there is more than a
+// handful of candidates. If the server's HostTTL has expired this host's
+// own directory entry, the client re-registers its solved vectors and
+// retries once, so long-lived processes keep working.
+func (c *Client) EstimateBatch(ctx context.Context, targets []string) ([]BatchEstimate, error) {
+	if err := c.requireReady(); err != nil {
+		return nil, err
+	}
+	resp, err := c.queryBatch(ctx, targets)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.SrcFound {
+		if err := c.reRegister(ctx); err != nil {
+			return nil, err
+		}
+		if resp, err = c.queryBatch(ctx, targets); err != nil {
+			return nil, err
+		}
+		if !resp.SrcFound {
+			return nil, fmt.Errorf("client: host %s is not registered even after re-registering", c.cfg.Self)
+		}
+	}
+	if len(resp.Results) != len(targets) {
+		return nil, fmt.Errorf("client: server answered %d of %d targets", len(resp.Results), len(targets))
+	}
+	out := make([]BatchEstimate, len(targets))
+	for i, r := range resp.Results {
+		out[i] = BatchEstimate{Addr: targets[i], Millis: r.Millis, Found: r.Found}
+	}
+	return out, nil
+}
+
+func (c *Client) queryBatch(ctx context.Context, targets []string) (*wire.Distances, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req := &wire.QueryBatch{From: c.cfg.Self, Targets: targets}
+	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeQueryBatch, req.Encode(nil))
+	if err != nil {
+		return nil, fmt.Errorf("client: batch query: %w", err)
+	}
+	if respT != wire.TypeDistances {
+		return nil, fmt.Errorf("client: QueryBatch answered with %v", respT)
+	}
+	resp, err := wire.DecodeDistances(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding distances: %w", err)
+	}
+	return resp, nil
+}
+
+// requireReady errors before Bootstrap has succeeded.
+func (c *Client) requireReady() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.ready {
+		return fmt.Errorf("client: not bootstrapped")
+	}
+	return nil
+}
+
+// reRegister republishes this host's locally solved vectors — no new
+// measurements — used when the server reports the source unknown (its
+// HostTTL expired the entry while this process kept running).
+func (c *Client) reRegister(ctx context.Context) error {
+	c.mu.RLock()
+	vec := c.vectors
+	c.mu.RUnlock()
+	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
+	if err != nil {
+		return fmt.Errorf("client: re-registering: %w", err)
+	}
+	if respT != wire.TypeAck {
+		return fmt.Errorf("client: re-register answered with %v, want Ack", respT)
+	}
+	return nil
+}
+
+// NeighborEstimate is one KNearest result.
+type NeighborEstimate struct {
+	Addr string
+	// Millis is the estimated distance in milliseconds.
+	Millis float64
+}
+
+// KNearest returns the k registered hosts estimated closest to this
+// host, ascending, in ONE wire round trip — no candidate list needed:
+// the server's query engine partially sorts its whole directory. Fewer
+// than k entries come back when the directory is smaller, or when k
+// exceeds the server's MaxKNN cap (default 4096). This host itself is
+// excluded. Like EstimateBatch, an expired self entry is transparently
+// re-registered and the query retried once.
+func (c *Client) KNearest(ctx context.Context, k int) ([]NeighborEstimate, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("client: k must be positive")
+	}
+	if err := c.requireReady(); err != nil {
+		return nil, err
+	}
+	resp, err := c.queryKNN(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.SrcFound {
+		if err := c.reRegister(ctx); err != nil {
+			return nil, err
+		}
+		if resp, err = c.queryKNN(ctx, k); err != nil {
+			return nil, err
+		}
+		if !resp.SrcFound {
+			return nil, fmt.Errorf("client: host %s is not registered even after re-registering", c.cfg.Self)
+		}
+	}
+	out := make([]NeighborEstimate, len(resp.Entries))
+	for i, e := range resp.Entries {
+		out[i] = NeighborEstimate{Addr: e.Addr, Millis: e.Millis}
+	}
+	return out, nil
+}
+
+func (c *Client) queryKNN(ctx context.Context, k int) (*wire.Neighbors, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req := &wire.QueryKNN{From: c.cfg.Self, K: uint32(k)}
+	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeQueryKNN, req.Encode(nil))
+	if err != nil {
+		return nil, fmt.Errorf("client: knn query: %w", err)
+	}
+	if respT != wire.TypeNeighbors {
+		return nil, fmt.Errorf("client: QueryKNN answered with %v", respT)
+	}
+	resp, err := wire.DecodeNeighbors(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding neighbors: %w", err)
+	}
+	return resp, nil
+}
+
 // Nearest returns the candidate with the smallest estimated distance from
-// this host — the paper's mirror-selection use case (§3): one directory
-// lookup per candidate, zero network measurements.
+// this host — the paper's mirror-selection use case (§3). The whole
+// candidate list is answered by one EstimateBatch round trip instead of
+// one directory lookup per candidate.
 func (c *Client) Nearest(ctx context.Context, candidates []string) (string, float64, error) {
 	if len(candidates) == 0 {
 		return "", 0, fmt.Errorf("client: no candidates")
 	}
+	ests, err := c.EstimateBatch(ctx, candidates)
+	if err != nil {
+		return "", 0, err
+	}
 	bestAddr := ""
 	bestDist := 0.0
-	var firstErr error
-	for _, cand := range candidates {
-		d, err := c.EstimateTo(ctx, cand)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+	for _, e := range ests {
+		if !e.Found {
 			continue
 		}
-		if bestAddr == "" || d < bestDist {
-			bestAddr, bestDist = cand, d
+		if bestAddr == "" || e.Millis < bestDist {
+			bestAddr, bestDist = e.Addr, e.Millis
 		}
 	}
 	if bestAddr == "" {
-		return "", 0, fmt.Errorf("client: no candidate usable: %w", firstErr)
+		return "", 0, fmt.Errorf("client: no candidate usable: none of the %d candidates are registered", len(candidates))
 	}
 	return bestAddr, bestDist, nil
 }

@@ -301,6 +301,214 @@ func TestNearestMirrorSelection(t *testing.T) {
 	}
 }
 
+// TestEstimateBatchMatchesPointQueries bootstraps several hosts, then
+// checks the one-round-trip batch answers agree with per-target point
+// estimates, and that unknown targets are flagged rather than fatal.
+func TestEstimateBatchMatchesPointQueries(t *testing.T) {
+	nw, _, srvAddr, ordinary, _ := testSystem(t, 26, 8, 4, core.SVD)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	peers := ordinary[:4]
+	for i, name := range peers {
+		c := newTestClient(t, nw, name, srvAddr, 0, int64(20+i))
+		if err := c.Bootstrap(ctx); err != nil {
+			t.Fatalf("bootstrap %s: %v", name, err)
+		}
+	}
+	cl := newTestClient(t, nw, ordinary[5], srvAddr, 0, 77)
+	if err := cl.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	targets := append(append([]string{}, peers...), "ghost-host", "host-0" /* landmark */)
+	got, err := cl.EstimateBatch(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(targets) {
+		t.Fatalf("batch returned %d of %d", len(got), len(targets))
+	}
+	for i, e := range got {
+		if e.Addr != targets[i] {
+			t.Fatalf("result %d is for %q want %q", i, e.Addr, targets[i])
+		}
+		if targets[i] == "ghost-host" {
+			if e.Found {
+				t.Fatal("ghost target must be not-found")
+			}
+			continue
+		}
+		if !e.Found {
+			t.Fatalf("target %s not found", targets[i])
+		}
+		point, err := cl.EstimateTo(ctx, targets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(point-e.Millis) > 1e-9 {
+			t.Fatalf("target %s: batch %v != point %v", targets[i], e.Millis, point)
+		}
+	}
+}
+
+func TestEstimateBatchBeforeBootstrap(t *testing.T) {
+	nw, _, srvAddr, ordinary, _ := testSystem(t, 20, 8, 4, core.SVD)
+	c := newTestClient(t, nw, ordinary[0], srvAddr, 0, 1)
+	if _, err := c.EstimateBatch(context.Background(), []string{"x"}); err == nil {
+		t.Fatal("EstimateBatch before bootstrap must fail")
+	}
+	if _, err := c.KNearest(context.Background(), 3); err == nil {
+		t.Fatal("KNearest before bootstrap must fail")
+	}
+}
+
+// TestKNearestService: the k-NN answer comes back sorted, excludes the
+// querying host, and its first entry agrees with Nearest over the same
+// peer set.
+func TestKNearestService(t *testing.T) {
+	nw, _, srvAddr, ordinary, _ := testSystem(t, 26, 8, 4, core.SVD)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	peers := ordinary[:5]
+	for i, name := range peers {
+		c := newTestClient(t, nw, name, srvAddr, 0, int64(30+i))
+		if err := c.Bootstrap(ctx); err != nil {
+			t.Fatalf("bootstrap %s: %v", name, err)
+		}
+	}
+	cl := newTestClient(t, nw, ordinary[6], srvAddr, 0, 88)
+	if err := cl.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	nbs, err := cl.KNearest(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 {
+		t.Fatalf("got %d neighbors want 3", len(nbs))
+	}
+	for i, nb := range nbs {
+		if nb.Addr == ordinary[6] {
+			t.Fatal("KNearest must exclude self")
+		}
+		if i > 0 && nb.Millis < nbs[i-1].Millis {
+			t.Fatal("neighbors not ascending")
+		}
+	}
+	// One KNearest call replaces Nearest over all registered peers.
+	best, bestDist, err := cl.Nearest(ctx, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbs[0].Addr != best || math.Abs(nbs[0].Millis-bestDist) > 1e-9 {
+		t.Fatalf("KNearest[0] = %+v, Nearest = %s@%v", nbs[0], best, bestDist)
+	}
+
+	// k larger than the directory: all peers + self are registered, so at
+	// most len(peers)+1-1 results.
+	all, err := cl.KNearest(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(peers) {
+		t.Fatalf("k>n returned %d want %d", len(all), len(peers))
+	}
+
+	if _, err := cl.KNearest(ctx, 0); err == nil {
+		t.Fatal("k=0 must fail client-side")
+	}
+}
+
+// TestBatchQueryReRegistersAfterTTLExpiry: a long-lived client whose
+// directory entry the server's HostTTL reaped must transparently
+// re-register (it still holds its solved vectors) and keep answering.
+func TestBatchQueryReRegistersAfterTTLExpiry(t *testing.T) {
+	topo, err := topology.Generate(topology.Config{Seed: 42, NumHosts: 22, HostsPerStub: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := simnet.DefaultNames(22)
+	nw, err := simnet.New(topo, names, simnet.Config{TimeScale: 1e-5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmNames := names[:8]
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv, err := server.New(server.Config{
+		Landmarks: lmNames, Dim: 4, Algorithm: core.SVD, Seed: 1,
+		HostTTL: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvHost, err := nw.Host(names[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := srvHost.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ctx, ln) //nolint:errcheck
+	for _, lm := range lmNames {
+		h, err := nw.Host(lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := landmark.New(landmark.Config{
+			Self: lm, Peers: lmNames, Server: names[8], Dialer: h, Pinger: h, Samples: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.ReportOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1 := newTestClient(t, nw, names[9], names[8], 0, 1)
+	if err := c1.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestClient(t, nw, names[10], names[8], 0, 2)
+	if err := c2.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let both entries expire, then refresh only the target so the source
+	// side is what's missing. The TTL is a full second so a slow CI
+	// scheduler cannot expire the refreshed entry mid-recovery.
+	time.Sleep(2 * time.Second)
+	if err := c2.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ests, err := c1.EstimateBatch(ctx, []string{names[10]})
+	if err != nil {
+		t.Fatalf("EstimateBatch after TTL expiry: %v", err)
+	}
+	if !ests[0].Found {
+		t.Fatal("refreshed target must resolve after source re-registration")
+	}
+	if srv.NumHosts() < 2 {
+		t.Fatalf("NumHosts = %d, source did not re-register", srv.NumHosts())
+	}
+	// KNearest takes the same recovery path.
+	time.Sleep(2 * time.Second)
+	if err := c2.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nbs, err := c1.KNearest(ctx, 1)
+	if err != nil {
+		t.Fatalf("KNearest after TTL expiry: %v", err)
+	}
+	if len(nbs) != 1 || nbs[0].Addr != names[10] {
+		t.Fatalf("KNearest after recovery = %+v", nbs)
+	}
+}
+
 func TestNMFSystemEndToEnd(t *testing.T) {
 	nw, topo, srvAddr, ordinary, _ := testSystem(t, 22, 8, 4, core.NMF)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -1,0 +1,257 @@
+// Package query is the IDES query engine: a sharded, concurrency-friendly
+// directory of registered host vectors, and bulk estimation primitives
+// (one-to-many, all-pairs, k-nearest) built on top of it.
+//
+// The paper's central property — any pairwise distance is a dot product of
+// two short vectors (Eq. 4) — pays off exactly when many estimates are
+// answered at once: server selection, closest-mirror lookup, overlay
+// neighbor choice. This package turns the server's directory from a pair
+// oracle into a vectorized query engine. The Directory scales registration
+// and lookup across cores by sharding the address space over independently
+// RW-locked shards, and amortizes TTL expiry into per-shard sweeps instead
+// of scanning every entry under a global lock on every request.
+package query
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+)
+
+// Config parameterizes a Directory.
+type Config struct {
+	// Shards is the number of independent map shards. It is rounded up to
+	// a power of two; default 16. More shards reduce lock contention for
+	// write-heavy registration workloads.
+	Shards int
+	// TTL expires entries that have not been re-registered within the
+	// window. Zero keeps entries forever.
+	TTL time.Duration
+	// SweepInterval bounds how often one shard pays for a full expiry
+	// scan. Default TTL/4 (and irrelevant when TTL is zero). Between
+	// sweeps, expired entries are invisible to reads but still occupy
+	// memory and may be counted by Len.
+	SweepInterval time.Duration
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+}
+
+// entry is one directory record. The registration time is kept as
+// monotonic-friendly wall nanos so sweeps compare int64s, not time.Time.
+type entry struct {
+	vec core.Vectors
+	at  int64 // registration time, unix nanos
+}
+
+// shard is an independently locked slice of the directory.
+type shard struct {
+	mu        sync.RWMutex
+	hosts     map[string]entry
+	count     atomic.Int64 // len(hosts), maintained under mu
+	lastSweep atomic.Int64 // unix nanos of the last expiry scan
+}
+
+// Directory is a sharded host-vector directory. All methods are safe for
+// concurrent use.
+type Directory struct {
+	shards []shard
+	mask   uint64
+	seed   maphash.Seed
+	ttl    time.Duration
+	sweep  time.Duration
+	now    func() time.Time
+}
+
+// New builds a Directory from cfg.
+func New(cfg Config) *Directory {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	sweep := cfg.SweepInterval
+	if sweep <= 0 {
+		sweep = cfg.TTL / 4
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	d := &Directory{
+		shards: make([]shard, pow),
+		mask:   uint64(pow - 1),
+		seed:   maphash.MakeSeed(),
+		ttl:    cfg.TTL,
+		sweep:  sweep,
+		now:    now,
+	}
+	for i := range d.shards {
+		d.shards[i].hosts = make(map[string]entry)
+	}
+	return d
+}
+
+func (d *Directory) shardFor(addr string) *shard {
+	return &d.shards[maphash.String(d.seed, addr)&d.mask]
+}
+
+// NumShards returns the shard count (after power-of-two rounding).
+func (d *Directory) NumShards() int { return len(d.shards) }
+
+// Put inserts or refreshes a host's vectors. The slices are stored as
+// given; callers that reuse buffers must copy first.
+func (d *Directory) Put(addr string, vec core.Vectors) {
+	sh := d.shardFor(addr)
+	now := d.now().UnixNano()
+	sh.mu.Lock()
+	d.maybeSweepLocked(sh, now)
+	sh.hosts[addr] = entry{vec: vec, at: now}
+	sh.count.Store(int64(len(sh.hosts)))
+	sh.mu.Unlock()
+}
+
+// Get returns the vectors registered for addr. Expired entries read as
+// absent, and the one an unlucky Get touches is reclaimed on the spot
+// (an O(1) write-locked delete) so queried-but-departed hosts free their
+// memory even on shards that no longer see writes; the rest are
+// reclaimed by the next sweep of their shard.
+func (d *Directory) Get(addr string) (core.Vectors, bool) {
+	sh := d.shardFor(addr)
+	var now int64
+	if d.ttl > 0 {
+		now = d.now().UnixNano()
+	}
+	sh.mu.RLock()
+	e, ok := sh.hosts[addr]
+	sh.mu.RUnlock()
+	if !ok {
+		return core.Vectors{}, false
+	}
+	if d.expired(e, now) {
+		sh.mu.Lock()
+		// Re-check: a concurrent Put may have refreshed the entry.
+		if e, ok = sh.hosts[addr]; ok && d.expired(e, now) {
+			delete(sh.hosts, addr)
+			sh.count.Store(int64(len(sh.hosts)))
+		}
+		sh.mu.Unlock()
+		return core.Vectors{}, false
+	}
+	return e.vec, true
+}
+
+// Remove deletes addr from the directory.
+func (d *Directory) Remove(addr string) {
+	sh := d.shardFor(addr)
+	sh.mu.Lock()
+	delete(sh.hosts, addr)
+	sh.count.Store(int64(len(sh.hosts)))
+	sh.mu.Unlock()
+}
+
+// Len returns the number of live entries. It reads per-shard counters —
+// no scan — after giving each shard whose sweep is due the chance to
+// reclaim expired entries, so the count converges to exact within one
+// SweepInterval of any expiry.
+func (d *Directory) Len() int {
+	var now int64
+	if d.ttl > 0 {
+		now = d.now().UnixNano()
+	}
+	total := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		if d.ttl > 0 && now-sh.lastSweep.Load() >= int64(d.sweep) {
+			sh.mu.Lock()
+			d.maybeSweepLocked(sh, now)
+			sh.mu.Unlock()
+		}
+		total += int(sh.count.Load())
+	}
+	return total
+}
+
+// approxSize sums the per-shard counters with no locking and no sweeps:
+// a cheap upper bound (expired-but-unswept entries count) for sizing
+// decisions on paths that must not block writers.
+func (d *Directory) approxSize() int {
+	total := 0
+	for i := range d.shards {
+		total += int(d.shards[i].count.Load())
+	}
+	return total
+}
+
+// expired reports whether e is past TTL at unix-nanos now (0 = no TTL).
+func (d *Directory) expired(e entry, now int64) bool {
+	return d.ttl > 0 && now-e.at > int64(d.ttl)
+}
+
+// maybeSweepLocked scans the shard for expired entries if its sweep is
+// due. Callers hold sh.mu. The cost is O(shard size), paid by at most one
+// writer per shard per SweepInterval — every other operation is O(1).
+func (d *Directory) maybeSweepLocked(sh *shard, now int64) {
+	if d.ttl <= 0 || now-sh.lastSweep.Load() < int64(d.sweep) {
+		return
+	}
+	sh.lastSweep.Store(now)
+	for addr, e := range sh.hosts {
+		if d.expired(e, now) {
+			delete(sh.hosts, addr)
+		}
+	}
+	sh.count.Store(int64(len(sh.hosts)))
+}
+
+// Range calls fn for every live entry until fn returns false. The
+// callback runs outside the shard lock (entries are copied out one shard
+// at a time), so fn may call back into the Directory.
+func (d *Directory) Range(fn func(addr string, vec core.Vectors) bool) {
+	var now int64
+	if d.ttl > 0 {
+		now = d.now().UnixNano()
+	}
+	buf := make([]addrVec, 0, 64)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		buf = buf[:0]
+		sh.mu.RLock()
+		for addr, e := range sh.hosts {
+			if !d.expired(e, now) {
+				buf = append(buf, addrVec{addr, e.vec})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, av := range buf {
+			if !fn(av.addr, av.vec) {
+				return
+			}
+		}
+	}
+}
+
+type addrVec struct {
+	addr string
+	vec  core.Vectors
+}
+
+// snapshotShard copies shard i's live entries into buf and returns it.
+// Used by the engine's parallel scans.
+func (d *Directory) snapshotShard(i int, now int64, buf []addrVec) []addrVec {
+	sh := &d.shards[i]
+	sh.mu.RLock()
+	for addr, e := range sh.hosts {
+		if !d.expired(e, now) {
+			buf = append(buf, addrVec{addr, e.vec})
+		}
+	}
+	sh.mu.RUnlock()
+	return buf
+}

@@ -1,0 +1,345 @@
+package query
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// Resolver resolves addresses the directory does not hold — typically
+// landmarks, whose vectors live in the fitted model rather than the
+// directory. It must be safe for concurrent use.
+type Resolver func(addr string) (core.Vectors, bool)
+
+// Engine answers bulk distance queries over a Directory. All methods are
+// safe for concurrent use; scans hold one shard read-lock at a time, so
+// queries never block registration globally (the only write lock a read
+// path ever takes is Get's O(1) reclamation of an expired entry).
+type Engine struct {
+	dir      *Directory
+	fallback Resolver
+}
+
+// NewEngine builds an Engine over dir. fallback may be nil.
+func NewEngine(dir *Directory, fallback Resolver) *Engine {
+	return &Engine{dir: dir, fallback: fallback}
+}
+
+// Directory returns the engine's underlying directory.
+func (e *Engine) Directory() *Directory { return e.dir }
+
+// Lookup resolves an address: directory first, then the fallback.
+func (e *Engine) Lookup(addr string) (core.Vectors, bool) {
+	if v, ok := e.dir.Get(addr); ok {
+		return v, true
+	}
+	if e.fallback != nil {
+		return e.fallback(addr)
+	}
+	return core.Vectors{}, false
+}
+
+// Estimate is one answered distance in a batch.
+type Estimate struct {
+	// Millis is the estimated distance in milliseconds; meaningless when
+	// Found is false.
+	Millis float64
+	// Found reports whether the target was resolvable.
+	Found bool
+}
+
+// EstimateBatch estimates the distance from a single source to every
+// target in one pass: the targets' incoming vectors are gathered into a
+// k x d matrix T and all k estimates fall out of one matrix-vector
+// product T · src.Out (Eq. 4 batched). Unresolvable targets and targets
+// whose vector dimension disagrees with the source are marked not found.
+func (e *Engine) EstimateBatch(src core.Vectors, targets []string) []Estimate {
+	out := make([]Estimate, len(targets))
+	if len(targets) == 0 {
+		return out
+	}
+	d := len(src.Out)
+	tm := mat.NewDense(len(targets), d)
+	rows := 0
+	// rowOf[i] is the row of tm holding target i's incoming vector, or -1.
+	rowOf := make([]int, len(targets))
+	for i, addr := range targets {
+		rowOf[i] = -1
+		v, ok := e.Lookup(addr)
+		if !ok || len(v.In) != d {
+			continue
+		}
+		tm.SetRow(rows, v.In)
+		rowOf[i] = rows
+		rows++
+	}
+	if rows == 0 {
+		return out
+	}
+	// SubMatrix copies; skip it in the common all-targets-found case.
+	if rows < len(targets) {
+		tm = tm.SubMatrix(0, rows, 0, d)
+	}
+	dist := mat.MulVec(tm, src.Out)
+	for i := range targets {
+		if r := rowOf[i]; r >= 0 {
+			out[i] = Estimate{Millis: dist[r], Found: true}
+		}
+	}
+	return out
+}
+
+// EstimateMatrix estimates all pairwise distances among addrs: the result
+// is an n x n matrix D with D[i][j] the estimated distance from addrs[i]
+// to addrs[j], computed as one X·Yᵀ product over the resolved outgoing
+// and incoming vectors. found[i] reports whether addrs[i] resolved; rows
+// and columns of unresolved addresses are NaN.
+func (e *Engine) EstimateMatrix(addrs []string) (*mat.Dense, []bool) {
+	n := len(addrs)
+	found := make([]bool, n)
+	if n == 0 {
+		return mat.NewDense(0, 0), found
+	}
+	// Resolve everything first so the vector dimension is known.
+	vecs := make([]core.Vectors, n)
+	d := -1
+	for i, addr := range addrs {
+		v, ok := e.Lookup(addr)
+		if !ok {
+			continue
+		}
+		if d < 0 {
+			d = len(v.Out)
+		}
+		if len(v.Out) != d || len(v.In) != d {
+			continue
+		}
+		vecs[i], found[i] = v, true
+	}
+	if d < 0 {
+		d = 0
+	}
+	x := mat.NewDense(n, d)
+	y := mat.NewDense(n, d)
+	for i := range addrs {
+		if found[i] {
+			x.SetRow(i, vecs[i].Out)
+			y.SetRow(i, vecs[i].In)
+		}
+	}
+	dm := mat.MulABT(x, y)
+	for i := range addrs {
+		if found[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			dm.Set(i, j, math.NaN())
+			dm.Set(j, i, math.NaN())
+		}
+	}
+	return dm, found
+}
+
+// Neighbor is one k-nearest result.
+type Neighbor struct {
+	Addr   string
+	Millis float64
+}
+
+// KNNOptions tunes KNearest.
+type KNNOptions struct {
+	// Exclude names an address to omit from the results (typically the
+	// querying host itself, which is trivially at distance ~0).
+	Exclude string
+	// PrefilterDims, when in (0, d), enables the approximate prefilter: a
+	// first pass scores every host using only the leading PrefilterDims
+	// vector components (under SVD ordering these carry the dominant
+	// landmark-space energy), keeps the best Oversample*k candidates, and
+	// only they are scored exactly. Zero disables the prefilter; results
+	// are then exact.
+	PrefilterDims int
+	// Oversample is the prefilter's candidate multiple (default 4).
+	Oversample int
+}
+
+// KNearest returns the k registered hosts with the smallest estimated
+// distance from a source with vectors src, ascending, ties broken by
+// address. Selection is a partial sort: each directory shard is scanned
+// in parallel into a bounded max-heap of size k, and the per-shard
+// winners are merged — O(n log k) work and O(shards · k) merge, never a
+// full sort of the directory. If the directory holds fewer than k live
+// hosts, all of them are returned.
+func (e *Engine) KNearest(src core.Vectors, k int, opts KNNOptions) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	if opts.PrefilterDims > 0 && opts.PrefilterDims < len(src.Out) {
+		return e.knnPrefiltered(src, k, opts)
+	}
+	return e.knnScan(src.Out, len(src.Out), k, opts.Exclude)
+}
+
+// knnScan is the parallel top-k scan. Scoring uses the first p components
+// of out against each host's incoming vector (p == len(out) for the exact
+// pass; p < len(out) for the prefilter's coarse pass). Hosts whose vector
+// dimension differs from the source's are skipped entirely — a truncated
+// dot product against a differently-dimensioned vector is not an
+// estimate, mirroring EstimateBatch's not-found handling.
+func (e *Engine) knnScan(out []float64, p, k int, exclude string) []Neighbor {
+	dim := len(out)
+	numShards := len(e.dir.shards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numShards {
+		workers = numShards
+	}
+	// A serial scan avoids goroutine overhead for small directories.
+	// approxSize never locks or sweeps, so this sizing decision cannot
+	// stall concurrent registration.
+	if workers <= 1 || e.dir.approxSize() < 4096 {
+		workers = 1
+	}
+	var now int64
+	if e.dir.ttl > 0 {
+		now = e.dir.now().UnixNano()
+	}
+	heaps := make([]*boundedHeap, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h := newBoundedHeap(k)
+		heaps[w] = h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []addrVec
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= numShards {
+					return
+				}
+				buf = e.dir.snapshotShard(i, now, buf[:0])
+				for _, av := range buf {
+					if av.addr == exclude || len(av.vec.In) != dim {
+						continue
+					}
+					est := dotPrefix(out, av.vec.In, p)
+					h.offer(av.addr, est)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	merged := heaps[0].items
+	for _, h := range heaps[1:] {
+		merged = append(merged, h.items...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return neighborLess(merged[i], merged[j]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// knnPrefiltered runs the coarse pass over the leading dims, then scores
+// the surviving candidates exactly.
+func (e *Engine) knnPrefiltered(src core.Vectors, k int, opts KNNOptions) []Neighbor {
+	over := opts.Oversample
+	if over <= 0 {
+		over = 4
+	}
+	cand := e.knnScan(src.Out, opts.PrefilterDims, k*over, opts.Exclude)
+	exact := make([]Neighbor, 0, len(cand))
+	for _, c := range cand {
+		v, ok := e.dir.Get(c.Addr)
+		if !ok || len(v.In) != len(src.Out) {
+			continue
+		}
+		exact = append(exact, Neighbor{Addr: c.Addr, Millis: mat.Dot(src.Out, v.In)})
+	}
+	sort.Slice(exact, func(i, j int) bool { return neighborLess(exact[i], exact[j]) })
+	if len(exact) > k {
+		exact = exact[:k]
+	}
+	return exact
+}
+
+func dotPrefix(x, y []float64, p int) float64 {
+	s := 0.0
+	for i := 0; i < p; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// neighborLess is the total order used everywhere: distance ascending,
+// then address, so ties are deterministic.
+func neighborLess(a, b Neighbor) bool {
+	if a.Millis != b.Millis {
+		return a.Millis < b.Millis
+	}
+	return a.Addr < b.Addr
+}
+
+// boundedHeap keeps the k least neighbors seen so far, as a max-heap
+// rooted at the current worst survivor.
+type boundedHeap struct {
+	k     int
+	items []Neighbor
+}
+
+func newBoundedHeap(k int) *boundedHeap {
+	return &boundedHeap{k: k, items: make([]Neighbor, 0, min(k, 1024))}
+}
+
+// offer inserts the neighbor if it ranks among the k least.
+func (h *boundedHeap) offer(addr string, millis float64) {
+	if math.IsNaN(millis) {
+		return
+	}
+	n := Neighbor{Addr: addr, Millis: millis}
+	if len(h.items) < h.k {
+		h.items = append(h.items, n)
+		h.siftUp(len(h.items) - 1)
+		return
+	}
+	if !neighborLess(n, h.items[0]) {
+		return
+	}
+	h.items[0] = n
+	h.siftDown(0)
+}
+
+func (h *boundedHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !neighborLess(h.items[parent], h.items[i]) {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *boundedHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && neighborLess(h.items[largest], h.items[l]) {
+			largest = l
+		}
+		if r < n && neighborLess(h.items[largest], h.items[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}

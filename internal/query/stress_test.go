@@ -1,0 +1,100 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+)
+
+// TestConcurrentStress hammers one directory + engine from many
+// goroutines — registering, expiring (via a racing fake clock), removing,
+// and querying — and checks invariants rather than exact values. Run
+// with -race; that is the point of the test.
+func TestConcurrentStress(t *testing.T) {
+	var clock atomic.Int64
+	clock.Store(time.Unix(1e6, 0).UnixNano())
+	d := New(Config{
+		Shards:        8,
+		TTL:           50 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+		Now:           func() time.Time { return time.Unix(0, clock.Load()) },
+	})
+	e := NewEngine(d, nil)
+
+	const (
+		writers  = 4
+		queriers = 4
+		hosts    = 256
+		iters    = 400
+	)
+	addr := func(i int) string { return fmt.Sprintf("h%03d", i%hosts) }
+	vecFor := func(i int) core.Vectors {
+		f := float64(i%hosts) + 1
+		return core.Vectors{Out: []float64{f, 1}, In: []float64{f, 1}}
+	}
+	src := core.Vectors{Out: []float64{1, 0}, In: []float64{1, 0}}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := w*iters + i
+				switch n % 8 {
+				case 7:
+					d.Remove(addr(n))
+				default:
+					d.Put(addr(n), vecFor(n))
+				}
+				// Advance the clock so entries age and sweeps trigger
+				// while other goroutines read.
+				clock.Add(int64(time.Millisecond))
+			}
+		}(w)
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			targets := make([]string, 32)
+			for i := range targets {
+				targets[i] = addr(q*31 + i)
+			}
+			for i := 0; i < iters; i++ {
+				if v, ok := d.Get(addr(i)); ok && len(v.Out) != 2 {
+					t.Errorf("Get returned malformed vectors: %+v", v)
+					return
+				}
+				res := e.EstimateBatch(src, targets)
+				if len(res) != len(targets) {
+					t.Errorf("EstimateBatch returned %d of %d", len(res), len(targets))
+					return
+				}
+				nb := e.KNearest(src, 5, KNNOptions{})
+				for j := 1; j < len(nb); j++ {
+					if neighborLess(nb[j], nb[j-1]) {
+						t.Error("KNearest results out of order")
+						return
+					}
+				}
+				if n := d.Len(); n < 0 || n > hosts {
+					t.Errorf("Len = %d outside [0,%d]", n, hosts)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+
+	// Quiesce: with the clock frozen past every TTL, the directory must
+	// converge to empty.
+	clock.Add(int64(time.Hour))
+	if n := d.Len(); n != 0 {
+		t.Fatalf("directory did not drain after TTL: Len = %d", n)
+	}
+}

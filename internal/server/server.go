@@ -14,10 +14,12 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/wire"
 )
 
@@ -40,8 +42,21 @@ type Config struct {
 	RequestTimeout time.Duration
 	// HostTTL expires directory entries that have not been re-registered
 	// within the window, so vectors from departed or re-routed hosts stop
-	// serving estimates. Zero keeps entries forever.
+	// serving estimates. Zero keeps entries forever. Expiry is amortized:
+	// expired entries stop resolving immediately, and are physically
+	// reclaimed by per-shard sweeps instead of full scans per request.
 	HostTTL time.Duration
+	// DirectoryShards sets the host directory's shard count (rounded up
+	// to a power of two; default 16). More shards reduce lock contention
+	// under registration-heavy load.
+	DirectoryShards int
+	// MaxKNN caps the K a QueryKNN request may ask for (default 4096),
+	// bounding response size and per-request work.
+	MaxKNN int
+	// MaxBatch caps the number of targets one QueryBatch may name
+	// (default 100000), bounding per-request allocation and keeping the
+	// reply under the frame size limit.
+	MaxBatch int
 	// Logger receives operational messages. Nil disables logging.
 	Logger *log.Logger
 }
@@ -56,15 +71,17 @@ type Server struct {
 	dist       *mat.Dense // landmark RTTs; NaN = not yet measured
 	model      *core.Model
 	modelDirty bool
-	hosts      map[string]hostEntry
+
+	// dir holds registered host vectors, sharded for concurrent access.
+	// engine answers point, batch and k-NN queries over it, falling back
+	// to landmark model vectors for landmark addresses; its resolver is
+	// pinned to one model generation and the pointer is swapped on refit,
+	// so queries touching several landmarks never mix two fits and the
+	// hot path takes no lock and allocates nothing to resolve.
+	dir    *query.Directory
+	engine atomic.Pointer[query.Engine]
 
 	connWG sync.WaitGroup
-}
-
-// hostEntry is one directory record.
-type hostEntry struct {
-	vec          core.Vectors
-	registeredAt time.Time
 }
 
 // New validates cfg and builds a Server.
@@ -77,6 +94,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxKNN <= 0 {
+		cfg.MaxKNN = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 100_000
 	}
 	idx := make(map[string]int, len(cfg.Landmarks))
 	for i, addr := range cfg.Landmarks {
@@ -94,13 +117,36 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		lmIndex: idx,
 		now:     time.Now,
 		dist:    dist,
-		hosts:   make(map[string]hostEntry),
-	}, nil
+	}
+	// The directory reads the clock through s.now so tests that inject a
+	// fake clock steer TTL expiry too.
+	s.dir = query.New(query.Config{
+		Shards: cfg.DirectoryShards,
+		TTL:    cfg.HostTTL,
+		Now:    func() time.Time { return s.now() },
+	})
+	s.setEngine(nil)
+	return s, nil
+}
+
+// setEngine installs the query engine for a (possibly nil) fitted model.
+// The resolver closure pins that model generation: models are immutable
+// once fitted, so handlers that Load the engine once per request can
+// resolve any number of landmark addresses without locks and without
+// ever mixing vectors from two fits.
+func (s *Server) setEngine(m *core.Model) {
+	s.engine.Store(query.NewEngine(s.dir, func(addr string) (core.Vectors, bool) {
+		i, ok := s.lmIndex[addr]
+		if !ok || m == nil {
+			return core.Vectors{}, false
+		}
+		return core.Vectors{Out: m.Outgoing(i), In: m.Incoming(i)}, true
+	}))
 }
 
 // Serve accepts and handles connections on ln until ctx is cancelled or
@@ -172,6 +218,10 @@ func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte)
 		return s.handleGetVectors(payload)
 	case wire.TypeQueryDist:
 		return s.handleQueryDist(payload)
+	case wire.TypeQueryBatch:
+		return s.handleQueryBatch(payload)
+	case wire.TypeQueryKNN:
+		return s.handleQueryKNN(payload)
 	default:
 		return errFrame(wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
 	}
@@ -252,21 +302,19 @@ func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
 	if reg.Addr == "" {
 		return errFrame(wire.CodeBadRequest, "empty host address")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	want := s.cfg.Dim
 	if s.model != nil {
 		want = s.model.Dim()
 	}
+	s.mu.RUnlock()
 	if len(reg.Out) != want || len(reg.In) != want {
 		return errFrame(wire.CodeBadRequest,
 			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
 	}
-	s.hosts[reg.Addr] = hostEntry{
-		vec:          core.Vectors{Out: reg.Out, In: reg.In},
-		registeredAt: s.now(),
-	}
-	s.sweepExpiredLocked()
+	// The directory shard-locks internally; expiry of stale entries is
+	// amortized into its per-shard sweeps, so registration is O(1).
+	s.dir.Put(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In})
 	return wire.TypeAck, nil
 }
 
@@ -275,9 +323,7 @@ func (s *Server) handleGetVectors(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.lookupLocked(req.Addr)
+	v, ok := s.engine.Load().Lookup(req.Addr)
 	if !ok {
 		return wire.TypeVectors, (&wire.Vectors{Found: false}).Encode(nil)
 	}
@@ -289,43 +335,66 @@ func (s *Server) handleQueryDist(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, okA := s.lookupLocked(req.From)
-	b, okB := s.lookupLocked(req.To)
+	eng := s.engine.Load()
+	a, okA := eng.Lookup(req.From)
+	b, okB := eng.Lookup(req.To)
 	if !okA || !okB {
 		return wire.TypeDistance, (&wire.Distance{Found: false}).Encode(nil)
 	}
 	return wire.TypeDistance, (&wire.Distance{Found: true, Millis: core.Estimate(a, b)}).Encode(nil)
 }
 
-// lookupLocked resolves an address to vectors: registered hosts first,
-// then landmarks (whose vectors come from the model). Callers hold mu.
-// Expired entries are treated as absent (and reaped on the next write).
-func (s *Server) lookupLocked(addr string) (core.Vectors, bool) {
-	if e, ok := s.hosts[addr]; ok && !s.expired(e) {
-		return e.vec, true
+// handleQueryBatch answers one-source → many-targets in a single round
+// trip: all estimates fall out of one matrix-vector product.
+func (s *Server) handleQueryBatch(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeQueryBatch(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	if i, ok := s.lmIndex[addr]; ok && s.model != nil {
-		return core.Vectors{Out: s.model.Outgoing(i), In: s.model.Incoming(i)}, true
+	if len(req.Targets) > s.cfg.MaxBatch {
+		return errFrame(wire.CodeBadRequest,
+			fmt.Sprintf("batch names %d targets, limit %d", len(req.Targets), s.cfg.MaxBatch))
 	}
-	return core.Vectors{}, false
+	eng := s.engine.Load()
+	resp := &wire.Distances{Results: make([]wire.DistResult, len(req.Targets))}
+	src, ok := eng.Lookup(req.From)
+	if !ok {
+		return wire.TypeDistances, resp.Encode(nil)
+	}
+	resp.SrcFound = true
+	for i, est := range eng.EstimateBatch(src, req.Targets) {
+		resp.Results[i] = wire.DistResult{Found: est.Found, Millis: est.Millis}
+	}
+	return wire.TypeDistances, resp.Encode(nil)
 }
 
-func (s *Server) expired(e hostEntry) bool {
-	return s.cfg.HostTTL > 0 && s.now().Sub(e.registeredAt) > s.cfg.HostTTL
-}
-
-// sweepExpiredLocked drops expired directory entries. Callers hold mu.
-func (s *Server) sweepExpiredLocked() {
-	if s.cfg.HostTTL <= 0 {
-		return
+// handleQueryKNN answers "the K registered hosts closest to From" with a
+// partial-heap selection over the sharded directory.
+func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeQueryKNN(payload)
+	if err != nil {
+		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	for addr, e := range s.hosts {
-		if s.expired(e) {
-			delete(s.hosts, addr)
-		}
+	if req.K == 0 {
+		return errFrame(wire.CodeBadRequest, "k must be positive")
 	}
+	k := int(req.K)
+	if k > s.cfg.MaxKNN {
+		k = s.cfg.MaxKNN
+	}
+	eng := s.engine.Load()
+	resp := &wire.Neighbors{}
+	src, ok := eng.Lookup(req.From)
+	if !ok {
+		return wire.TypeNeighbors, resp.Encode(nil)
+	}
+	resp.SrcFound = true
+	neighbors := eng.KNearest(src, k, query.KNNOptions{Exclude: req.From})
+	resp.Entries = make([]wire.NeighborEntry, len(neighbors))
+	for i, n := range neighbors {
+		resp.Entries[i] = wire.NeighborEntry{Addr: n.Addr, Millis: n.Millis}
+	}
+	return wire.TypeNeighbors, resp.Encode(nil)
 }
 
 // ensureModel refits the landmark model if new measurements arrived.
@@ -379,6 +448,7 @@ func (s *Server) ensureModel() error {
 	}
 	s.model = model
 	s.modelDirty = false
+	s.setEngine(model)
 	s.logf("model refit: %d landmarks, d=%d, algorithm=%v", m, model.Dim(), model.Algorithm)
 	return nil
 }
@@ -394,18 +464,15 @@ func (s *Server) Model() (*core.Model, error) {
 	return s.model, nil
 }
 
-// NumHosts returns the number of live (unexpired) registered hosts.
-func (s *Server) NumHosts() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, e := range s.hosts {
-		if !s.expired(e) {
-			n++
-		}
-	}
-	return n
-}
+// NumHosts returns the number of live (unexpired) registered hosts. It
+// reads the directory's per-shard counters instead of scanning every
+// entry; the count is exact within one sweep interval of any expiry.
+func (s *Server) NumHosts() int { return s.dir.Len() }
+
+// Engine exposes the server's query engine for in-process callers (the
+// idesbench bulk-query workload, tests); remote callers use the
+// QueryBatch/QueryKNN wire messages.
+func (s *Server) Engine() *query.Engine { return s.engine.Load() }
 
 func errFrame(code uint16, text string) (wire.MsgType, []byte) {
 	return wire.TypeError, (&wire.Error{Code: code, Text: text}).Encode(nil)

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net"
 	"testing"
@@ -263,6 +264,203 @@ func TestRegisterAndQuery(t *testing.T) {
 	}
 }
 
+// registerRingHosts solves and registers n hosts against the fitted ring
+// model, at distances (base+i)·[0.5, 1.5, 1.5, 2.5] so host 0 is closest
+// to L1. Returns the registered addresses.
+func registerRingHosts(t *testing.T, s *Server, n int) []string {
+	t.Helper()
+	model, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		scale := 1 + float64(i)
+		d := []float64{0.5 * scale, 1.5 * scale, 1.5 * scale, 2.5 * scale}
+		v, err := model.SolveHost(d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = fmt.Sprintf("H%d", i)
+		reg := &wire.RegisterHost{Addr: addrs[i], Out: v.Out, In: v.In}
+		if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+			t.Fatalf("register %s answered %v", addrs[i], typ)
+		}
+	}
+	return addrs
+}
+
+func TestQueryBatch(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	addrs := registerRingHosts(t, s, 3)
+
+	// Source H0 → two hosts, one landmark, one ghost: one round trip.
+	req := &wire.QueryBatch{From: addrs[0], Targets: []string{addrs[1], "ghost", "L4", addrs[2]}}
+	typ, payload := s.dispatch(wire.TypeQueryBatch, req.Encode(nil))
+	if typ != wire.TypeDistances {
+		t.Fatalf("type %v", typ)
+	}
+	resp, err := wire.DecodeDistances(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.SrcFound {
+		t.Fatal("source H0 must resolve")
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("%d results", len(resp.Results))
+	}
+	if !resp.Results[0].Found || resp.Results[1].Found || !resp.Results[2].Found || !resp.Results[3].Found {
+		t.Fatalf("found flags wrong: %+v", resp.Results)
+	}
+	// Batch answers must agree with the point query, entry by entry.
+	for i, target := range req.Targets {
+		typ, p := s.dispatch(wire.TypeQueryDist, (&wire.QueryDist{From: addrs[0], To: target}).Encode(nil))
+		if typ != wire.TypeDistance {
+			t.Fatalf("point query type %v", typ)
+		}
+		point, _ := wire.DecodeDistance(p)
+		if point.Found != resp.Results[i].Found {
+			t.Fatalf("target %d: batch found=%v point found=%v", i, resp.Results[i].Found, point.Found)
+		}
+		if point.Found && math.Abs(point.Millis-resp.Results[i].Millis) > 1e-9 {
+			t.Fatalf("target %d: batch %v != point %v", i, resp.Results[i].Millis, point.Millis)
+		}
+	}
+	// L4 from the paper example: H0→L4 = 2.5.
+	if math.Abs(resp.Results[2].Millis-2.5) > 1e-6 {
+		t.Fatalf("H0→L4 = %v want 2.5", resp.Results[2].Millis)
+	}
+}
+
+func TestQueryBatchUnknownSource(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	registerRingHosts(t, s, 1)
+	req := &wire.QueryBatch{From: "nobody", Targets: []string{"H0"}}
+	typ, payload := s.dispatch(wire.TypeQueryBatch, req.Encode(nil))
+	if typ != wire.TypeDistances {
+		t.Fatalf("type %v", typ)
+	}
+	resp, _ := wire.DecodeDistances(payload)
+	if resp.SrcFound {
+		t.Fatal("unknown source must report SrcFound=false")
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Found {
+		t.Fatalf("results for unknown source: %+v", resp.Results)
+	}
+}
+
+func TestQueryKNN(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	addrs := registerRingHosts(t, s, 5)
+
+	typ, payload := s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: addrs[0], K: 3}).Encode(nil))
+	if typ != wire.TypeNeighbors {
+		t.Fatalf("type %v", typ)
+	}
+	resp, err := wire.DecodeNeighbors(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.SrcFound {
+		t.Fatal("source must resolve")
+	}
+	if len(resp.Entries) != 3 {
+		t.Fatalf("%d neighbors, want 3", len(resp.Entries))
+	}
+	// The source itself must be excluded, results ascending.
+	for i, e := range resp.Entries {
+		if e.Addr == addrs[0] {
+			t.Fatal("KNN must exclude the source")
+		}
+		if i > 0 && e.Millis < resp.Entries[i-1].Millis {
+			t.Fatal("KNN results not ascending")
+		}
+	}
+	// Hosts were registered at increasing distance scales, so the
+	// nearest neighbor of H0 is H1.
+	if resp.Entries[0].Addr != "H1" {
+		t.Fatalf("nearest = %s want H1 (got %+v)", resp.Entries[0].Addr, resp.Entries)
+	}
+
+	// k > n returns all (other) hosts, not an error.
+	typ, payload = s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: addrs[0], K: 100}).Encode(nil))
+	if typ != wire.TypeNeighbors {
+		t.Fatalf("type %v", typ)
+	}
+	resp, _ = wire.DecodeNeighbors(payload)
+	if len(resp.Entries) != 4 {
+		t.Fatalf("k>n returned %d, want 4", len(resp.Entries))
+	}
+
+	// k = 0 is a bad request.
+	typ, payload = s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: addrs[0], K: 0}).Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("k=0: type %v want Error", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeBadRequest {
+		t.Fatalf("k=0: code %d", werr.Code)
+	}
+
+	// Unknown source: SrcFound=false, no neighbors.
+	typ, payload = s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: "nobody", K: 2}).Encode(nil))
+	if typ != wire.TypeNeighbors {
+		t.Fatalf("type %v", typ)
+	}
+	resp, _ = wire.DecodeNeighbors(payload)
+	if resp.SrcFound || len(resp.Entries) != 0 {
+		t.Fatalf("unknown source: %+v", resp)
+	}
+}
+
+func TestQueryBatchRespectsMaxBatch(t *testing.T) {
+	lm := []string{"L1", "L2"}
+	s, err := New(Config{Landmarks: lm, Dim: 2, Algorithm: core.SVD, Seed: 1, MaxBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &wire.QueryBatch{From: "H0", Targets: []string{"a", "b", "c", "d"}}
+	typ, payload := s.dispatch(wire.TypeQueryBatch, req.Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("type %v want Error", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeBadRequest {
+		t.Fatalf("code %d", werr.Code)
+	}
+	// At the limit it is served normally.
+	req.Targets = req.Targets[:3]
+	if typ, _ := s.dispatch(wire.TypeQueryBatch, req.Encode(nil)); typ != wire.TypeDistances {
+		t.Fatalf("at-limit batch answered %v", typ)
+	}
+}
+
+func TestQueryKNNRespectsMaxKNN(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{Landmarks: lm, Dim: 3, Algorithm: core.SVD, Seed: 1, MaxKNN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i != j {
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+			}
+		}
+		s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	}
+	addrs := registerRingHosts(t, s, 5)
+	typ, payload := s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: addrs[0], K: 100}).Encode(nil))
+	if typ != wire.TypeNeighbors {
+		t.Fatalf("type %v", typ)
+	}
+	resp, _ := wire.DecodeNeighbors(payload)
+	if len(resp.Entries) != 2 {
+		t.Fatalf("MaxKNN=2 returned %d entries", len(resp.Entries))
+	}
+}
+
 func TestQueryUnknownHost(t *testing.T) {
 	s := ringLandmarks(t, core.SVD)
 	if _, err := s.Model(); err != nil {
@@ -481,6 +679,7 @@ func TestDispatchMalformedPayloads(t *testing.T) {
 	types := []wire.MsgType{
 		wire.TypePing, wire.TypeReportRTT, wire.TypeRegisterHost,
 		wire.TypeGetVectors, wire.TypeQueryDist,
+		wire.TypeQueryBatch, wire.TypeQueryKNN,
 	}
 	payloads := [][]byte{nil, {0x01}, {0xFF, 0xFF, 0xFF, 0xFF}}
 	for _, typ := range types {

@@ -61,6 +61,89 @@ func FuzzDecodeReportRTT(f *testing.F) {
 	})
 }
 
+func FuzzDecodeQueryBatch(f *testing.F) {
+	f.Add((&QueryBatch{From: "h0", Targets: []string{"a", "b"}}).Encode(nil))
+	// Truncated: count claims two targets, only one present.
+	valid := (&QueryBatch{From: "h0", Targets: []string{"a", "b"}}).Encode(nil)
+	f.Add(valid[:len(valid)-2])
+	// Oversized count with no payload behind it.
+	f.Add([]byte{0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeQueryBatch(data)
+		if err != nil {
+			return
+		}
+		// Successfully decoded messages must re-encode and re-decode to
+		// the same value.
+		out, err := DecodeQueryBatch(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.From != m.From || len(out.Targets) != len(m.Targets) {
+			t.Fatal("QueryBatch round-trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeDistances(f *testing.F) {
+	f.Add((&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 1.5}}}).Encode(nil))
+	valid := (&Distances{Results: []DistResult{{Found: true, Millis: 1}, {Found: true, Millis: 2}}}).Encode(nil)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeDistances(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeDistances(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.SrcFound != m.SrcFound || len(out.Results) != len(m.Results) {
+			t.Fatal("Distances round-trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeQueryKNN(f *testing.F) {
+	f.Add((&QueryKNN{From: "h0", K: 10}).Encode(nil))
+	f.Add([]byte{0, 1, 'a'}) // string ok, K truncated
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeQueryKNN(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeQueryKNN(m.Encode(nil))
+		if err != nil || out.From != m.From || out.K != m.K {
+			t.Fatalf("QueryKNN round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodeNeighbors(f *testing.F) {
+	f.Add((&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "m", Millis: 2}}}).Encode(nil))
+	valid := (&Neighbors{Entries: []NeighborEntry{{Addr: "m", Millis: 2}}}).Encode(nil)
+	f.Add(valid[:len(valid)-4])
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeNeighbors(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeNeighbors(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.SrcFound != m.SrcFound || len(out.Entries) != len(m.Entries) {
+			t.Fatal("Neighbors round-trip mismatch")
+		}
+	})
+}
+
 func FuzzFrameStream(f *testing.F) {
 	var stream []byte
 	stream = AppendFrame(stream, TypePing, []byte{9})

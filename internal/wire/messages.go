@@ -368,3 +368,194 @@ func DecodeDistance(b []byte) (*Distance, error) {
 	}
 	return m, nil
 }
+
+// QueryBatch asks the server to estimate the distance from one source to
+// every listed target in a single round trip. Targets may be registered
+// hosts or landmark addresses; unresolvable targets come back flagged,
+// not errored, so one stale candidate does not fail the batch.
+type QueryBatch struct {
+	From    string
+	Targets []string
+}
+
+// Encode appends the message payload to dst.
+func (m *QueryBatch) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Targets)))
+	for _, t := range m.Targets {
+		dst = appendString(dst, t)
+	}
+	return dst
+}
+
+// DecodeQueryBatch parses a QueryBatch payload.
+func DecodeQueryBatch(b []byte) (*QueryBatch, error) {
+	m := &QueryBatch{}
+	var err error
+	rest := b
+	if m.From, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	// Each target costs at least its 2-byte length prefix on the wire.
+	if n > MaxPayload/2 || 2*n > len(rest) {
+		return nil, ErrShortPayload
+	}
+	// Grow incrementally: a string header is 8x a target's minimum wire
+	// cost, so trusting n up front would let a 64 MB frame of empty
+	// targets force a ~0.5 GB allocation before any validation.
+	m.Targets = make([]string, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var t string
+		if t, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		m.Targets = append(m.Targets, t)
+	}
+	return m, nil
+}
+
+// Distances answers QueryBatch: Results is parallel to the request's
+// Targets. SrcFound distinguishes "source unknown" (every result is then
+// not-found) from "these particular targets are unknown".
+type Distances struct {
+	SrcFound bool
+	Results  []DistResult
+}
+
+// DistResult is one entry of a Distances reply.
+type DistResult struct {
+	Found bool
+	// Millis is the estimated distance in milliseconds.
+	Millis float64
+}
+
+// Encode appends the message payload to dst.
+func (m *Distances) Encode(dst []byte) []byte {
+	dst = appendBool(dst, m.SrcFound)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Results)))
+	for _, r := range m.Results {
+		dst = appendBool(dst, r.Found)
+		dst = appendFloat(dst, r.Millis)
+	}
+	return dst
+}
+
+// DecodeDistances parses a Distances payload.
+func DecodeDistances(b []byte) (*Distances, error) {
+	m := &Distances{}
+	var err error
+	rest := b
+	if m.SrcFound, rest, err = consumeBool(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	// Each result is exactly 9 bytes.
+	if n > MaxPayload/9 || len(rest) < 9*n {
+		return nil, ErrShortPayload
+	}
+	m.Results = make([]DistResult, n)
+	for i := 0; i < n; i++ {
+		if m.Results[i].Found, rest, err = consumeBool(rest); err != nil {
+			return nil, err
+		}
+		if m.Results[i].Millis, rest, err = consumeFloat(rest); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// QueryKNN asks for the K registered hosts closest to From, by estimated
+// distance, in one round trip — the directory-wide generalization of
+// mirror selection (§3).
+type QueryKNN struct {
+	From string
+	K    uint32
+}
+
+// Encode appends the message payload to dst.
+func (m *QueryKNN) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	return binary.BigEndian.AppendUint32(dst, m.K)
+}
+
+// DecodeQueryKNN parses a QueryKNN payload.
+func DecodeQueryKNN(b []byte) (*QueryKNN, error) {
+	m := &QueryKNN{}
+	var err error
+	rest := b
+	if m.From, rest, err = consumeString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	m.K = binary.BigEndian.Uint32(rest)
+	return m, nil
+}
+
+// Neighbors answers QueryKNN: the closest hosts, ascending by estimated
+// distance (ties broken by address), excluding the source itself. Fewer
+// than K entries come back when the directory holds fewer live hosts.
+type Neighbors struct {
+	SrcFound bool
+	Entries  []NeighborEntry
+}
+
+// NeighborEntry is one k-nearest result.
+type NeighborEntry struct {
+	Addr string
+	// Millis is the estimated distance in milliseconds.
+	Millis float64
+}
+
+// Encode appends the message payload to dst.
+func (m *Neighbors) Encode(dst []byte) []byte {
+	dst = appendBool(dst, m.SrcFound)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for i := range m.Entries {
+		dst = appendString(dst, m.Entries[i].Addr)
+		dst = appendFloat(dst, m.Entries[i].Millis)
+	}
+	return dst
+}
+
+// DecodeNeighbors parses a Neighbors payload.
+func DecodeNeighbors(b []byte) (*Neighbors, error) {
+	m := &Neighbors{}
+	var err error
+	rest := b
+	if m.SrcFound, rest, err = consumeBool(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	// Each entry costs at least 10 bytes (2-byte length + 8-byte float).
+	if n > MaxPayload/10 || 10*n > len(rest) {
+		return nil, ErrShortPayload
+	}
+	m.Entries = make([]NeighborEntry, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var e NeighborEntry
+		if e.Addr, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if e.Millis, rest, err = consumeFloat(rest); err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}

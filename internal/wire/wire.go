@@ -57,6 +57,10 @@ const (
 	TypeVectors      MsgType = 0x0b
 	TypeQueryDist    MsgType = 0x0c
 	TypeDistance     MsgType = 0x0d
+	TypeQueryBatch   MsgType = 0x0e
+	TypeDistances    MsgType = 0x0f
+	TypeQueryKNN     MsgType = 0x10
+	TypeNeighbors    MsgType = 0x11
 )
 
 // String names the message type for logs.
@@ -90,6 +94,14 @@ func (t MsgType) String() string {
 		return "QueryDist"
 	case TypeDistance:
 		return "Distance"
+	case TypeQueryBatch:
+		return "QueryBatch"
+	case TypeDistances:
+		return "Distances"
+	case TypeQueryKNN:
+		return "QueryKNN"
+	case TypeNeighbors:
+		return "Neighbors"
 	default:
 		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 	}

@@ -208,6 +208,85 @@ func TestRegisterHostVectorsDistanceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQueryBatchRoundTrip(t *testing.T) {
+	in := &QueryBatch{From: "h0", Targets: []string{"a", "b", "c", ""}}
+	out, err := DecodeQueryBatch(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || len(out.Targets) != len(in.Targets) {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	for i := range in.Targets {
+		if out.Targets[i] != in.Targets[i] {
+			t.Fatalf("target %d: %q != %q", i, out.Targets[i], in.Targets[i])
+		}
+	}
+	// Empty target list is valid.
+	empty, err := DecodeQueryBatch((&QueryBatch{From: "x"}).Encode(nil))
+	if err != nil || empty.From != "x" || len(empty.Targets) != 0 {
+		t.Fatalf("empty batch: %+v %v", empty, err)
+	}
+}
+
+func TestDistancesRoundTrip(t *testing.T) {
+	in := &Distances{SrcFound: true, Results: []DistResult{
+		{Found: true, Millis: 12.5},
+		{Found: false, Millis: 0},
+		{Found: true, Millis: math.Inf(1)},
+	}}
+	out, err := DecodeDistances(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcFound != in.SrcFound || len(out.Results) != len(in.Results) {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	for i := range in.Results {
+		if out.Results[i] != in.Results[i] {
+			t.Fatalf("result %d: %+v != %+v", i, out.Results[i], in.Results[i])
+		}
+	}
+}
+
+func TestQueryKNNNeighborsRoundTrip(t *testing.T) {
+	q, err := DecodeQueryKNN((&QueryKNN{From: "h7", K: 25}).Encode(nil))
+	if err != nil || q.From != "h7" || q.K != 25 {
+		t.Fatalf("QueryKNN round trip: %+v %v", q, err)
+	}
+	in := &Neighbors{SrcFound: true, Entries: []NeighborEntry{
+		{Addr: "m1", Millis: 3.5},
+		{Addr: "m2", Millis: 9},
+	}}
+	out, err := DecodeNeighbors(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SrcFound || len(out.Entries) != 2 ||
+		out.Entries[0] != in.Entries[0] || out.Entries[1] != in.Entries[1] {
+		t.Fatalf("Neighbors round trip: %+v", out)
+	}
+}
+
+// TestQueryDecodersRejectOversizedCounts feeds payloads whose length
+// prefix claims far more entries than the payload could hold; decoders
+// must error without attempting the implied giant allocation.
+func TestQueryDecodersRejectOversizedCounts(t *testing.T) {
+	huge := []byte{0, 0} // empty From string
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeQueryBatch(huge); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("QueryBatch oversized count: err = %v", err)
+	}
+	hugeDist := []byte{1}
+	hugeDist = append(hugeDist, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeDistances(hugeDist); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("Distances oversized count: err = %v", err)
+	}
+	if _, err := DecodeNeighbors(hugeDist); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("Neighbors oversized count: err = %v", err)
+	}
+}
+
 func TestDecodersRejectTruncation(t *testing.T) {
 	// Every decoder must reject every strict prefix of a valid payload
 	// (or decode it to the same value, never panic or over-read).
@@ -221,6 +300,10 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"Vectors":      (&Vectors{Found: true, Out: []float64{1}, In: []float64{2}}).Encode(nil),
 		"QueryDist":    (&QueryDist{From: "a", To: "b"}).Encode(nil),
 		"Distance":     (&Distance{Found: true, Millis: 1}).Encode(nil),
+		"QueryBatch":   (&QueryBatch{From: "a", Targets: []string{"b", "c"}}).Encode(nil),
+		"Distances":    (&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 1}}}).Encode(nil),
+		"QueryKNN":     (&QueryKNN{From: "a", K: 3}).Encode(nil),
+		"Neighbors":    (&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "b", Millis: 2}}}).Encode(nil),
 	}
 	decoders := map[string]func([]byte) error{
 		"Error":        func(b []byte) error { _, err := DecodeError(b); return err },
@@ -232,6 +315,10 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		"Vectors":      func(b []byte) error { _, err := DecodeVectors(b); return err },
 		"QueryDist":    func(b []byte) error { _, err := DecodeQueryDist(b); return err },
 		"Distance":     func(b []byte) error { _, err := DecodeDistance(b); return err },
+		"QueryBatch":   func(b []byte) error { _, err := DecodeQueryBatch(b); return err },
+		"Distances":    func(b []byte) error { _, err := DecodeDistances(b); return err },
+		"QueryKNN":     func(b []byte) error { _, err := DecodeQueryKNN(b); return err },
+		"Neighbors":    func(b []byte) error { _, err := DecodeNeighbors(b); return err },
 	}
 	for name, payload := range full {
 		dec := decoders[name]
