@@ -68,7 +68,11 @@ func main() {
 		logger.Fatalf("ides-client: bootstrap: %v", err)
 	}
 	vec, _ := c.Vectors()
-	logger.Printf("ides-client: registered %s (d=%d)", *self, len(vec.Out))
+	if epoch := c.Epoch(); epoch != 0 {
+		logger.Printf("ides-client: registered %s (d=%d, model epoch %d)", *self, len(vec.Out), epoch)
+	} else {
+		logger.Printf("ides-client: registered %s (d=%d)", *self, len(vec.Out))
+	}
 
 	if *to != "" {
 		d, err := c.EstimateTo(ctx, *to)

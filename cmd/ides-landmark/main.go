@@ -32,6 +32,7 @@ func main() {
 	serverAddr := flag.String("server", "", "information server address (required)")
 	interval := flag.Duration("interval", time.Minute, "measurement round interval")
 	samples := flag.Int("samples", 4, "echo probes per peer per round (minimum is reported)")
+	once := flag.Bool("once", false, "measure and report a single round, then exit; no echo service is started, so peers must be running persistent landmarks for the probes to succeed (e.g. a cron-driven extra report cadence on top of a persistent fleet)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -58,15 +59,23 @@ func main() {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		if err := agent.ReportOnce(ctx); err != nil {
+			logger.Fatalf("ides-landmark: %v", err)
+		}
+		logger.Printf("ides-landmark: %s reported one round to %s", *self, *serverAddr)
+		return
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 	logger.Printf("ides-landmark: %s echoing on %s, reporting to %s every %v",
 		*self, ln.Addr(), *serverAddr, *interval)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 2)
 	go func() { errCh <- agent.ServeEcho(ctx, ln) }()

@@ -6,7 +6,13 @@
 //
 //	ides-server -listen :4100 \
 //	    -landmarks lm0.example.net:4101,lm1.example.net:4101,... \
-//	    -dim 10 -alg svd
+//	    -dim 10 -alg svd -refit-interval 30s -refit-threshold 8
+//
+// The landmark model is refit in the background as measurement reports
+// churn: -refit-interval bounds how often the factorization runs and
+// -refit-threshold how many accepted measurements must accumulate first.
+// Each refit publishes a new model epoch; clients registered against an
+// older epoch transparently re-solve and re-register.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/server"
@@ -32,6 +39,9 @@ func main() {
 	nmfIters := flag.Int("nmf-iters", 200, "NMF iteration budget")
 	seed := flag.Int64("seed", 1, "model fitting seed")
 	hostTTL := flag.Duration("host-ttl", 0, "expire directory entries not re-registered within this window (0 = never)")
+	refitInterval := flag.Duration("refit-interval", 10*time.Second, "minimum time between background model refits")
+	refitThreshold := flag.Int("refit-threshold", 1, "accepted measurements required before a background refit is scheduled")
+	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -50,18 +60,32 @@ func main() {
 		logger.Fatalf("ides-server: unknown algorithm %q (want svd or nmf)", *alg)
 	}
 
+	base := *epochBase
+	if base == 0 {
+		// Epochs are in-memory state: restarting from 0 would reissue
+		// epochs the previous incarnation already published, and clients
+		// that solved against the old model would not notice the swap.
+		// A clock-derived base keeps every incarnation's epochs distinct
+		// down to microsecond-scale restart gaps (crash loops included),
+		// with ~1M refits of headroom per second between incarnations.
+		base = uint64(time.Now().UnixNano()) >> 10
+	}
 	srv, err := server.New(server.Config{
-		Landmarks: lms,
-		Dim:       *dim,
-		Algorithm: algorithm,
-		Seed:      *seed,
-		NMFIters:  *nmfIters,
-		HostTTL:   *hostTTL,
-		Logger:    logger,
+		Landmarks:        lms,
+		Dim:              *dim,
+		Algorithm:        algorithm,
+		Seed:             *seed,
+		NMFIters:         *nmfIters,
+		HostTTL:          *hostTTL,
+		BaseEpoch:        base,
+		RefitMinInterval: *refitInterval,
+		RefitThreshold:   *refitThreshold,
+		Logger:           logger,
 	})
 	if err != nil {
 		logger.Fatalf("ides-server: %v", err)
 	}
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -8,7 +8,8 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, all.
+// fig7b, ablations, bulkquery, churn, all. The churn workload also
+// writes BENCH_churn.json for the perf trajectory.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
 	flag.Parse()
@@ -44,8 +45,9 @@ func main() {
 		"fig7b":     func(s experiments.Scale, sd int64) error { return runFig7("P2PSim", "7(b)", s, sd) },
 		"ablations": runAblations,
 		"bulkquery": runBulkQuery,
+		"churn":     runChurn,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn"}
 
 	var ids []string
 	if *exp == "all" {

@@ -15,6 +15,14 @@
 //   - the networked service: information server (NewServer), landmark
 //     agent (NewLandmark), and ordinary-host client (NewClient), which run
 //     identically over real TCP and over the simulated network (NewSimNet);
+//   - the versioned model lifecycle: the server refits the landmark model
+//     on a debounced background goroutine as measurement reports churn —
+//     never on a request handler — and publishes each fit as an immutable
+//     epoch-stamped Snapshot. The epoch rides along in every model-bearing
+//     response, directory entries die with the generation they were solved
+//     against, and clients that observe an epoch bump transparently
+//     re-fetch the model, re-solve, and re-register (tune with the server
+//     flags -refit-interval and -refit-threshold);
 //   - the bulk query engine (NewDirectory, NewQueryEngine): a sharded host
 //     directory with amortized TTL expiry, and vectorized one-to-many
 //     (Client.EstimateBatch), all-pairs (QueryEngine.EstimateMatrix), and

@@ -7,6 +7,7 @@ import (
 	"github.com/ides-go/ides/internal/dataset"
 	"github.com/ides-go/ides/internal/factor"
 	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/lifecycle"
 	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/server"
@@ -161,6 +162,14 @@ type ServerConfig = server.Config
 
 // NewServer builds an information server.
 var NewServer = server.New
+
+// Snapshot is one immutable model generation served by the information
+// server: the fitted landmark model plus the epoch that identifies it.
+// The server refits in the background as measurements churn and swaps
+// snapshots atomically; Server.Epoch reports the current one, and
+// clients recover automatically when the epoch moves (see README,
+// "The model lifecycle and the epoch protocol").
+type Snapshot = lifecycle.Snapshot
 
 // Landmark is a landmark agent: it measures peers, reports to the server,
 // and answers echo probes.

@@ -4,10 +4,21 @@
 // (Eqs. 13–16), registers them in the server's directory, and then
 // estimates distances to arbitrary hosts with dot products — no further
 // measurement required (§5).
+//
+// The client tracks the model epoch it solved against. Every
+// model-bearing server response is stamped with the server's current
+// epoch; when a response shows the epoch moved (the server refit its
+// landmark model in the background), the client transparently re-fetches
+// the model, re-solves its vectors from the landmark RTTs it already
+// measured (a refit changes the model, not the routes), re-registers,
+// and retries — the same self-healing contract as the HostTTL
+// re-registration path, extended to model churn without turning every
+// refit into a fleet-wide re-measurement storm.
 package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -49,9 +60,21 @@ type Client struct {
 	mu      sync.RWMutex
 	model   *wire.Model
 	vectors core.Vectors
+	epoch   uint64 // model epoch the vectors were solved against
 	ready   bool
+	// measured holds the last measurement round's landmark RTTs
+	// (addr → min milliseconds). RTTs are route state, not model state,
+	// so they stay valid across refits: epoch recovery re-solves from
+	// them instead of re-probing every landmark. Read-only once stored.
+	measured map[string]float64
 	// cache of other hosts' vectors fetched from the directory
 	peerCache map[string]core.Vectors
+
+	// recoverMu single-flights epoch recovery: when many in-flight
+	// queries observe the same epoch bump, one rejoin runs and the rest
+	// piggyback on its result instead of issuing duplicate
+	// fetch/solve/register rounds.
+	recoverMu sync.Mutex
 }
 
 // New validates cfg and builds a Client.
@@ -76,11 +99,33 @@ func New(cfg Config) (*Client, error) {
 
 // Bootstrap performs the full §5.1 join sequence: fetch model, measure
 // landmarks, solve vectors, register. It is safe to call again later to
-// re-measure (e.g. after a route change).
+// re-measure (e.g. after a route change), and the epoch-recovery paths
+// fall back to it when their cached measurements no longer fit.
 func (c *Client) Bootstrap(ctx context.Context) error {
+	// A background refit can land between fetching the model and
+	// registering; the server then rejects the now-stale registration
+	// (CodeStaleEpoch). The probes just taken are still valid — a refit
+	// changes the model, not the routes — so retry by re-fetching and
+	// re-solving, never by re-measuring.
+	measured, err := c.bootstrapOnce(ctx)
+	if err == nil || !isStaleEpoch(err) {
+		return err
+	}
+	err = c.rejoinWith(ctx, measured, err)
+	if errors.Is(err, errTooFewMeasurements) {
+		// The landmark set itself changed mid-join: one fresh round.
+		_, err = c.bootstrapOnce(ctx)
+	}
+	return err
+}
+
+// bootstrapOnce runs one measure-and-join round. The measurement map is
+// returned even when registration fails, so callers can retry the join
+// without repeating the probes.
+func (c *Client) bootstrapOnce(ctx context.Context) (map[string]float64, error) {
 	model, err := c.fetchModel(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dim := int(model.Dim)
 	k := c.cfg.K
@@ -88,19 +133,15 @@ func (c *Client) Bootstrap(ctx context.Context) error {
 		k = len(model.Landmarks)
 	}
 	if k < dim {
-		return fmt.Errorf("client: K=%d landmarks < model dimension %d (problem singular, §5.2)", k, dim)
+		return nil, fmt.Errorf("client: K=%d landmarks < model dimension %d (problem singular, §5.2)", k, dim)
 	}
 
 	// Choose the landmark subset and measure.
 	order := rand.New(rand.NewSource(c.cfg.Seed)).Perm(len(model.Landmarks))
-	refOut := mat.NewDense(k, dim)
-	refIn := mat.NewDense(k, dim)
-	dout := make([]float64, 0, k)
-	din := make([]float64, 0, k)
-	measured := 0
+	measured := make(map[string]float64, k)
 	var lastErr error
 	for _, li := range order {
-		if measured == k {
+		if len(measured) == k {
 			break
 		}
 		lm := model.Landmarks[li]
@@ -112,21 +153,44 @@ func (c *Client) Bootstrap(ctx context.Context) error {
 			lastErr = err
 			continue
 		}
-		ms := float64(rtt) / float64(time.Millisecond)
-		refOut.SetRow(measured, lm.Out)
-		refIn.SetRow(measured, lm.In)
+		measured[lm.Addr] = float64(rtt) / float64(time.Millisecond)
+	}
+	if len(measured) < dim {
+		return nil, fmt.Errorf("client: only %d of %d landmark measurements succeeded (need >= %d): %w",
+			len(measured), k, dim, lastErr)
+	}
+	return measured, c.solveAndRegister(ctx, model, measured)
+}
+
+// solveAndRegister places this host against the given model from a set
+// of landmark RTT measurements, registers the solved vectors at the
+// model's epoch, and commits the new state. The measurement map is
+// stored as-is and treated as read-only afterwards.
+func (c *Client) solveAndRegister(ctx context.Context, model *wire.Model, measured map[string]float64) error {
+	dim := int(model.Dim)
+	refOut := mat.NewDense(len(model.Landmarks), dim)
+	refIn := mat.NewDense(len(model.Landmarks), dim)
+	dout := make([]float64, 0, len(measured))
+	din := make([]float64, 0, len(measured))
+	n := 0
+	for _, lm := range model.Landmarks {
+		ms, ok := measured[lm.Addr]
+		if !ok {
+			continue
+		}
+		refOut.SetRow(n, lm.Out)
+		refIn.SetRow(n, lm.In)
 		// Ping measures round-trip time, the metric the landmark matrix is
 		// built from; it serves as both the to- and from- distance.
 		dout = append(dout, ms)
 		din = append(din, ms)
-		measured++
+		n++
 	}
-	if measured < dim {
-		return fmt.Errorf("client: only %d of %d landmark measurements succeeded (need >= %d): %w",
-			measured, k, dim, lastErr)
+	if n < dim {
+		return fmt.Errorf("%w: %d measured landmarks overlap the model, need >= %d", errTooFewMeasurements, n, dim)
 	}
-	refOut = refOut.SubMatrix(0, measured, 0, dim)
-	refIn = refIn.SubMatrix(0, measured, 0, dim)
+	refOut = refOut.SubMatrix(0, n, 0, dim)
+	refIn = refIn.SubMatrix(0, n, 0, dim)
 
 	solve := core.SolveVectors
 	if c.cfg.NNLS {
@@ -137,8 +201,9 @@ func (c *Client) Bootstrap(ctx context.Context) error {
 		return fmt.Errorf("client: solving vectors: %w", err)
 	}
 
-	// Publish to the directory.
-	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In}
+	// Publish to the directory, stamped with the epoch we solved against
+	// so the server can refuse it if the model moved meanwhile.
+	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In, Epoch: model.Epoch}
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
@@ -152,9 +217,75 @@ func (c *Client) Bootstrap(ctx context.Context) error {
 	c.mu.Lock()
 	c.model = model
 	c.vectors = vec
+	c.epoch = model.Epoch
 	c.ready = true
+	c.measured = measured
+	// Cached peer vectors from an earlier epoch must not be dotted with
+	// the fresh self vectors.
+	c.peerCache = make(map[string]core.Vectors)
 	c.mu.Unlock()
 	return nil
+}
+
+// errTooFewMeasurements marks a rejoin attempt whose measurements no
+// longer cover the fresh model (landmark set changed, dimension grew):
+// the caller falls back to a measuring round.
+var errTooFewMeasurements = errors.New("client: cached measurements insufficient")
+
+// isStaleEpoch reports whether err is the server's CodeStaleEpoch
+// rejection.
+func isStaleEpoch(err error) bool {
+	var werr *wire.Error
+	return errors.As(err, &werr) && werr.Code == wire.CodeStaleEpoch
+}
+
+// rejoinWith joins the service from an existing measurement map: fetch
+// the current model, solve, register — retrying a bounded number of
+// times when refits keep landing in between. No probes are sent.
+func (c *Client) rejoinWith(ctx context.Context, measured map[string]float64, lastErr error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		model, err := c.fetchModel(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.solveAndRegister(ctx, model, measured)
+		if err == nil || !isStaleEpoch(err) {
+			return err
+		}
+		lastErr = err // the model moved again mid-rejoin: refetch
+	}
+	return fmt.Errorf("client: model epoch kept moving while joining: %w", lastErr)
+}
+
+// recoverEpoch rejoins after the server's model moved: re-fetch the
+// model, re-solve from the cached landmark RTTs (no re-probing — the
+// routes did not change because the factorization did), re-register.
+// Falls back to a full measuring Bootstrap when the cached measurements
+// no longer cover the fresh model. Concurrent callers single-flight:
+// whoever holds the latch rejoins, the rest see the epoch already moved
+// and return immediately.
+func (c *Client) recoverEpoch(ctx context.Context) error {
+	c.mu.RLock()
+	startEpoch := c.epoch
+	c.mu.RUnlock()
+	c.recoverMu.Lock()
+	defer c.recoverMu.Unlock()
+	c.mu.RLock()
+	cur := c.epoch
+	measured := c.measured
+	c.mu.RUnlock()
+	if cur != startEpoch {
+		// Another goroutine recovered while we waited for the latch; the
+		// caller re-reads state and retries its query against it.
+		return nil
+	}
+	if len(measured) > 0 {
+		err := c.rejoinWith(ctx, measured, nil)
+		if err == nil || !errors.Is(err, errTooFewMeasurements) {
+			return err
+		}
+	}
+	return c.Bootstrap(ctx)
 }
 
 func (c *Client) fetchModel(ctx context.Context) (*wire.Model, error) {
@@ -185,64 +316,105 @@ func (c *Client) Vectors() (core.Vectors, bool) {
 	return c.vectors, c.ready
 }
 
+// Epoch returns the model epoch this host's vectors were solved against
+// (0 before Bootstrap, or against a pre-epoch server).
+func (c *Client) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// staleEpoch reports whether a response epoch stamp disagrees with the
+// epoch this host solved against. 0 means the server sent no stamp.
+func (c *Client) staleEpoch(respEpoch uint64) bool {
+	if respEpoch == 0 {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return respEpoch != c.epoch
+}
+
 // EstimateTo predicts the distance in milliseconds from this host to the
 // named host using only vector algebra: the peer's incoming vector is
 // fetched from the directory (and cached), never measured.
 func (c *Client) EstimateTo(ctx context.Context, addr string) (float64, error) {
-	c.mu.RLock()
-	ready := c.ready
-	self := c.vectors
-	peer, cached := c.peerCache[addr]
-	c.mu.RUnlock()
-	if !ready {
-		return 0, fmt.Errorf("client: not bootstrapped")
-	}
-	if !cached {
-		var err error
-		peer, err = c.fetchVectors(ctx, addr)
-		if err != nil {
-			return 0, err
-		}
-		c.mu.Lock()
-		c.peerCache[addr] = peer
-		c.mu.Unlock()
-	}
-	return core.Estimate(self, peer), nil
+	return c.estimate(ctx, addr, false)
 }
 
 // EstimateFrom predicts the distance from the named host to this host
 // (they differ under asymmetric routing).
 func (c *Client) EstimateFrom(ctx context.Context, addr string) (float64, error) {
-	c.mu.RLock()
-	ready := c.ready
-	self := c.vectors
-	peer, cached := c.peerCache[addr]
-	c.mu.RUnlock()
-	if !ready {
-		return 0, fmt.Errorf("client: not bootstrapped")
-	}
-	if !cached {
-		var err error
-		peer, err = c.fetchVectors(ctx, addr)
-		if err != nil {
-			return 0, err
-		}
-		c.mu.Lock()
-		c.peerCache[addr] = peer
-		c.mu.Unlock()
-	}
-	return core.Estimate(peer, self), nil
+	return c.estimate(ctx, addr, true)
 }
 
-func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, error) {
+// estimate resolves the peer's vectors and dots them with our own. If
+// the directory response reveals an epoch bump, the whole local state —
+// self vectors and peer cache — belongs to a dead generation: rejoin
+// once and retry with everything re-read. The response epoch is compared
+// against the epoch captured with the self vectors (not re-read), so a
+// concurrent recovery on another goroutine cannot slip a cross-epoch
+// self/peer pair through.
+func (c *Client) estimate(ctx context.Context, addr string, fromPeer bool) (float64, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.RLock()
+		ready := c.ready
+		self := c.vectors
+		epoch := c.epoch
+		peer, cached := c.peerCache[addr]
+		c.mu.RUnlock()
+		if !ready {
+			return 0, fmt.Errorf("client: not bootstrapped")
+		}
+		if !cached {
+			v, respEpoch, err := c.fetchVectors(ctx, addr)
+			// An epoch mismatch outranks any fetch error: a not-found
+			// directory miss is often just the refit having evicted the
+			// peer's whole generation, and the recovery below is what
+			// makes this host usable again either way.
+			if respEpoch != 0 && respEpoch != epoch {
+				if attempt > 0 {
+					return 0, fmt.Errorf("client: model epoch kept moving while estimating to %s", addr)
+				}
+				if err := c.recoverEpoch(ctx); err != nil {
+					return 0, fmt.Errorf("client: recovering from model epoch change: %w", err)
+				}
+				continue
+			}
+			if err != nil {
+				return 0, err
+			}
+			peer = v
+			c.mu.Lock()
+			// Drop the entry if a concurrent recovery moved the epoch
+			// between the capture above and now: caching a dead-generation
+			// vector under the new epoch would poison later estimates.
+			if c.epoch == epoch {
+				c.peerCache[addr] = peer
+			}
+			c.mu.Unlock()
+		}
+		if fromPeer {
+			return core.Estimate(peer, self), nil
+		}
+		return core.Estimate(self, peer), nil
+	}
+}
+
+// fetchVectors resolves a peer's vectors: from the locally held model
+// for landmark addresses, otherwise from the server's directory. The
+// returned epoch is the server's stamp (our own epoch for the local
+// landmark path, since the held model is that generation).
+func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, uint64, error) {
 	// Landmarks are in the model already; skip the directory for them.
 	c.mu.RLock()
 	model := c.model
+	epoch := c.epoch
 	c.mu.RUnlock()
 	if model != nil {
 		for i := range model.Landmarks {
 			if model.Landmarks[i].Addr == addr {
-				return core.Vectors{Out: model.Landmarks[i].Out, In: model.Landmarks[i].In}, nil
+				return core.Vectors{Out: model.Landmarks[i].Out, In: model.Landmarks[i].In}, epoch, nil
 			}
 		}
 	}
@@ -251,19 +423,24 @@ func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, e
 	req := &wire.GetVectors{Addr: addr}
 	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeGetVectors, req.Encode(nil))
 	if err != nil {
-		return core.Vectors{}, fmt.Errorf("client: fetching vectors for %s: %w", addr, err)
+		return core.Vectors{}, 0, fmt.Errorf("client: fetching vectors for %s: %w", addr, err)
 	}
 	if respT != wire.TypeVectors {
-		return core.Vectors{}, fmt.Errorf("client: GetVectors answered with %v", respT)
+		return core.Vectors{}, 0, fmt.Errorf("client: GetVectors answered with %v", respT)
 	}
 	v, err := wire.DecodeVectors(payload)
 	if err != nil {
-		return core.Vectors{}, fmt.Errorf("client: decoding vectors: %w", err)
+		return core.Vectors{}, 0, fmt.Errorf("client: decoding vectors: %w", err)
 	}
 	if !v.Found {
-		return core.Vectors{}, fmt.Errorf("client: host %s is not registered", addr)
+		// Report the epoch alongside: the caller may recover if the miss
+		// is a symptom of a refit having evicted the whole generation.
+		if c.staleEpoch(v.Epoch) {
+			return core.Vectors{}, v.Epoch, fmt.Errorf("client: host %s is not registered (server moved to epoch %d)", addr, v.Epoch)
+		}
+		return core.Vectors{}, v.Epoch, fmt.Errorf("client: host %s is not registered", addr)
 	}
-	return core.Vectors{Out: v.Out, In: v.In}, nil
+	return core.Vectors{Out: v.Out, In: v.In}, v.Epoch, nil
 }
 
 // BatchEstimate is one answer from EstimateBatch, parallel to the
@@ -282,9 +459,12 @@ type BatchEstimate struct {
 // matrix-vector product over its directory. Unregistered targets come
 // back with Found=false rather than failing the batch. This is the bulk
 // counterpart of EstimateTo — prefer it whenever there is more than a
-// handful of candidates. If the server's HostTTL has expired this host's
-// own directory entry, the client re-registers its solved vectors and
-// retries once, so long-lived processes keep working.
+// handful of candidates. Two self-healing paths keep long-lived
+// processes working: if the server's HostTTL expired this host's
+// directory entry, the client re-registers its solved vectors; if the
+// response epoch shows the model was refit, it re-fetches the model,
+// re-solves from its cached landmark measurements, and re-registers.
+// Either way the query retries once.
 func (c *Client) EstimateBatch(ctx context.Context, targets []string) ([]BatchEstimate, error) {
 	if err := c.requireReady(); err != nil {
 		return nil, err
@@ -293,8 +473,8 @@ func (c *Client) EstimateBatch(ctx context.Context, targets []string) ([]BatchEs
 	if err != nil {
 		return nil, err
 	}
-	if !resp.SrcFound {
-		if err := c.reRegister(ctx); err != nil {
+	if !resp.SrcFound || c.staleEpoch(resp.Epoch) {
+		if err := c.recoverRegistration(ctx, resp.Epoch); err != nil {
 			return nil, err
 		}
 		if resp, err = c.queryBatch(ctx, targets); err != nil {
@@ -342,14 +522,42 @@ func (c *Client) requireReady() error {
 	return nil
 }
 
+// recoverRegistration restores this host's directory entry after a
+// query reported it unresolvable or stamped a different epoch. A
+// matching (or absent) epoch means the server simply expired the entry
+// by HostTTL: the locally solved vectors are still valid and a cheap
+// re-register suffices. A moved epoch means the model was refit: the
+// vectors are solved against a dead generation, so re-solve against
+// the fresh model (reusing the cached landmark measurements) and
+// re-register.
+func (c *Client) recoverRegistration(ctx context.Context, respEpoch uint64) error {
+	if !c.staleEpoch(respEpoch) {
+		err := c.reRegister(ctx)
+		if err == nil {
+			return nil
+		}
+		var werr *wire.Error
+		if !errors.As(err, &werr) || werr.Code != wire.CodeStaleEpoch {
+			return err
+		}
+		// A refit landed between the query and the re-register; fall
+		// through to the full rejoin.
+	}
+	if err := c.recoverEpoch(ctx); err != nil {
+		return fmt.Errorf("client: recovering from model epoch change: %w", err)
+	}
+	return nil
+}
+
 // reRegister republishes this host's locally solved vectors — no new
 // measurements — used when the server reports the source unknown (its
 // HostTTL expired the entry while this process kept running).
 func (c *Client) reRegister(ctx context.Context) error {
 	c.mu.RLock()
 	vec := c.vectors
+	epoch := c.epoch
 	c.mu.RUnlock()
-	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In}
+	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In, Epoch: epoch}
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
@@ -375,7 +583,8 @@ type NeighborEstimate struct {
 // than k entries come back when the directory is smaller, or when k
 // exceeds the server's MaxKNN cap (default 4096). This host itself is
 // excluded. Like EstimateBatch, an expired self entry is transparently
-// re-registered and the query retried once.
+// re-registered — and an epoch bump triggers a re-solve against the
+// fresh model — before the query is retried once.
 func (c *Client) KNearest(ctx context.Context, k int) ([]NeighborEstimate, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("client: k must be positive")
@@ -387,8 +596,8 @@ func (c *Client) KNearest(ctx context.Context, k int) ([]NeighborEstimate, error
 	if err != nil {
 		return nil, err
 	}
-	if !resp.SrcFound {
-		if err := c.reRegister(ctx); err != nil {
+	if !resp.SrcFound || c.staleEpoch(resp.Epoch) {
+		if err := c.recoverRegistration(ctx, resp.Epoch); err != nil {
 			return nil, err
 		}
 		if resp, err = c.queryKNN(ctx, k); err != nil {

@@ -142,6 +142,13 @@ func (m *Model) Outgoing(i int) []float64 { return m.X.Row(i) }
 // Incoming returns landmark i's incoming vector (shared storage).
 func (m *Model) Incoming(i int) []float64 { return m.Y.Row(i) }
 
+// Vectors returns landmark i's vector pair (shared storage). Models are
+// immutable once fitted, so the pair stays valid across refits — it just
+// describes the generation it was taken from.
+func (m *Model) Vectors(i int) Vectors {
+	return Vectors{Out: m.Outgoing(i), In: m.Incoming(i)}
+}
+
 // Vectors is a host's pair of IDES vectors. Estimate distance from a to b
 // with Estimate(a, b) = a.Out · b.In.
 type Vectors struct {

@@ -1,0 +1,344 @@
+// Package lifecycle manages the versioned lifecycle of the landmark
+// model: immutable epoch-stamped snapshots published through an atomic
+// pointer, and a debounced background refitter that keeps the snapshot
+// fresh as measurements churn without ever blocking readers.
+//
+// The paper's service model assumes the landmark factorization is refit
+// periodically as landmark measurements change (§5.1); DMFSGD (Liao et
+// al.) makes the same point for continuously updated distance models.
+// This package turns that into a concrete contract: readers Load one
+// Snapshot and see a consistent (epoch, model) pair forever; writers
+// report measurement churn with Dirty, and the refitter factors in the
+// background — outside any lock — once enough measurements accumulate
+// and a minimum interval has passed, then atomically swaps the snapshot
+// and bumps the epoch. Request handlers therefore never pay for a fit;
+// the epoch travels through the wire protocol so clients can tell when
+// their solved vectors belong to a dead generation.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+)
+
+// Snapshot is one immutable model generation. Epoch starts at
+// Config.BaseEpoch+1 for the first successful fit and increases by one
+// per refit; 0 is reserved as the "no epoch" marker on the wire, so a
+// Snapshot never carries it.
+type Snapshot struct {
+	Epoch uint64
+	Model *core.Model
+}
+
+// FitFunc produces a freshly fitted model. It runs on the refitter's
+// goroutine with no refitter locks held; implementations should copy
+// their inputs under their own short-lived locks and do the heavy
+// factorization outside them.
+type FitFunc func() (*core.Model, error)
+
+// ErrClosed is returned by Ready and Refresh after Close.
+var ErrClosed = errors.New("lifecycle: refitter closed")
+
+// Config parameterizes a Refitter.
+type Config struct {
+	// BaseEpoch offsets the epoch sequence: the first successful fit
+	// publishes BaseEpoch+1. Epoch state is in-memory, so a restarted
+	// process that kept BaseEpoch 0 would reissue epochs an earlier
+	// incarnation already used and a surviving client could mistake the
+	// new model for the generation it solved against; long-lived
+	// deployments should derive the base from the clock (cmd/ides-server
+	// does). Default 0 — deterministic epochs 1, 2, 3, ...
+	BaseEpoch uint64
+	// MinInterval is the minimum time between fit attempts (default
+	// 10s). Ready and Refresh bypass it when they must fit.
+	MinInterval time.Duration
+	// Threshold is how many accepted measurements must accumulate before
+	// a background refit is considered (default 1).
+	Threshold int
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+	// OnSwap, if set, runs just before each new snapshot becomes visible
+	// through Snapshot(). The server uses it to advance the directory
+	// epoch and install the new query engine, so all per-generation
+	// consumers swap before the generation itself is announced.
+	OnSwap func(*Snapshot)
+	// OnError, if set, observes background fit failures that no waiter
+	// is around to receive (the server logs them). The failure also
+	// restores the consumed measurement count, so the retry schedule is
+	// not silenced either way.
+	OnError func(error)
+}
+
+// Refitter owns the model snapshot and the background refit schedule.
+// All methods are safe for concurrent use. Fits are serialized: at most
+// one FitFunc call is in flight at any time.
+type Refitter struct {
+	fit FitFunc
+	cfg Config
+
+	snap atomic.Pointer[Snapshot]
+
+	mu          sync.Mutex
+	epoch       uint64
+	pending     int // accepted measurements since the last fit started
+	inFlight    int // measurements consumed by the running fit
+	fitting     bool
+	lastAttempt time.Time
+	timer       *time.Timer // pending debounce wake-up, nil if none
+	waiters     []chan fitResult
+	closed      bool
+}
+
+type fitResult struct {
+	snap *Snapshot
+	err  error
+}
+
+// New builds a Refitter around fit. No fit happens until measurements
+// are reported via Dirty or a caller demands one via Ready/Refresh.
+func New(fit FitFunc, cfg Config) *Refitter {
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 10 * time.Second
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Refitter{fit: fit, cfg: cfg, epoch: cfg.BaseEpoch, lastAttempt: cfg.Now()}
+}
+
+// Snapshot returns the current model generation, or nil before the
+// first successful fit. The result is immutable: it never blocks, and
+// holding it across a refit is safe — it just describes an old epoch.
+func (r *Refitter) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Epoch returns the current epoch, 0 before the first fit.
+func (r *Refitter) Epoch() uint64 {
+	if s := r.snap.Load(); s != nil {
+		return s.Epoch
+	}
+	return 0
+}
+
+// Dirty records n accepted measurements. Once Threshold measurements
+// have accumulated and MinInterval has elapsed since the last attempt,
+// a background refit starts (or a wake-up is armed for the moment the
+// interval expires). Dirty never blocks on a fit.
+func (r *Refitter) Dirty(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending += n
+	r.scheduleLocked(false)
+}
+
+// scheduleLocked starts a fit goroutine if one is due. force bypasses
+// both the threshold and the interval debounce. Callers hold r.mu.
+func (r *Refitter) scheduleLocked(force bool) {
+	if r.closed || r.fitting {
+		return
+	}
+	if !force {
+		if r.pending < r.cfg.Threshold {
+			return
+		}
+		if wait := r.cfg.MinInterval - r.cfg.Now().Sub(r.lastAttempt); wait > 0 {
+			if r.timer == nil {
+				r.timer = time.AfterFunc(wait, r.timerFired)
+			}
+			return
+		}
+	}
+	r.startFitLocked()
+}
+
+// startFitLocked launches the fit goroutine. Callers hold r.mu and have
+// decided a fit is due.
+func (r *Refitter) startFitLocked() {
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	r.fitting = true
+	r.inFlight = r.pending
+	r.pending = 0
+	go r.runFit()
+}
+
+// timerFired runs when the armed debounce delay elapses. The armed
+// duration already embodied the interval, so the wait is NOT recomputed
+// from the clock: under an injected fake clock that has not advanced,
+// recomputing would re-arm the real timer forever and pending
+// measurements would never fit.
+func (r *Refitter) timerFired() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timer = nil
+	if r.closed || r.fitting || r.pending < r.cfg.Threshold {
+		return
+	}
+	r.startFitLocked()
+}
+
+// runFit performs one fit on its own goroutine and publishes the result.
+func (r *Refitter) runFit() {
+	model, err := r.fit()
+
+	r.mu.Lock()
+	r.lastAttempt = r.cfg.Now()
+	var snap *Snapshot
+	if err == nil {
+		r.epoch++
+		snap = &Snapshot{Epoch: r.epoch, Model: model}
+	}
+	r.mu.Unlock()
+
+	// Publish outside the lock. OnSwap runs before the Store so every
+	// per-generation consumer (directory epoch, query engine) is swapped
+	// by the time the snapshot can be observed.
+	if snap != nil {
+		if r.cfg.OnSwap != nil {
+			r.cfg.OnSwap(snap)
+		}
+		r.snap.Store(snap)
+	}
+
+	r.mu.Lock()
+	r.fitting = false
+	if err != nil {
+		// A failed fit must not silently drop the measurements it
+		// consumed: restoring them keeps the state dirty, so the
+		// debounce timer retries once the interval passes and Refresh's
+		// fast path cannot serve the stale snapshot as up to date.
+		r.pending += r.inFlight
+	}
+	r.inFlight = 0
+	waiters := r.waiters
+	r.waiters = nil
+	r.scheduleLocked(false) // measurements may have arrived during the fit
+	r.mu.Unlock()
+
+	if err != nil && len(waiters) == 0 && r.cfg.OnError != nil {
+		r.cfg.OnError(err)
+	}
+	res := fitResult{snap: snap, err: err}
+	for _, ch := range waiters {
+		ch <- res // buffered: an abandoned waiter cannot block publication
+	}
+}
+
+// Ready returns the current snapshot, triggering and awaiting a first
+// fit when none exists yet. Once a snapshot exists it returns without
+// blocking, even if newer measurements are pending — the cold-start
+// path for request handlers, which must never stall on a refit while a
+// servable model exists.
+func (r *Refitter) Ready(ctx context.Context) (*Snapshot, error) {
+	for {
+		if s := r.snap.Load(); s != nil {
+			return s, nil
+		}
+		wasFitting, ch, err := r.await(true)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case res := <-ch:
+			if res.snap != nil {
+				return res.snap, nil
+			}
+			if !wasFitting {
+				// The fit this call triggered itself failed; report it.
+				return nil, res.err
+			}
+			// The failure belongs to a fit already in flight when we
+			// arrived, possibly predating the measurements that prompted
+			// this call — loop and request a fresh one.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Refresh returns a snapshot that folds in every measurement reported
+// before the call, fitting synchronously when anything is pending — the
+// in-process equivalent of fit-on-demand, for callers like Server.Model
+// that want read-your-writes semantics. Measurements that arrive DURING
+// the call are not chased: under sustained churn chasing them would run
+// forced fits forever, so the call is bounded by at most two fits (one
+// already in flight on arrival, one it forces itself). Request handlers
+// must not use it: it blocks for a full fit.
+func (r *Refitter) Refresh(ctx context.Context) (*Snapshot, error) {
+	for {
+		r.mu.Lock()
+		if snap := r.snap.Load(); snap != nil && r.pending == 0 && !r.fitting {
+			r.mu.Unlock()
+			return snap, nil
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrClosed
+		}
+		wasFitting := r.fitting
+		ch := make(chan fitResult, 1)
+		r.waiters = append(r.waiters, ch)
+		r.scheduleLocked(true)
+		r.mu.Unlock()
+		select {
+		case res := <-ch:
+			if !wasFitting {
+				// This fit started after the call did, so it copied a
+				// matrix containing every measurement reported before the
+				// call — read-your-writes holds, success or failure.
+				return res.snap, res.err
+			}
+			// The completed fit was already in flight on arrival and may
+			// predate this caller's measurements (e.g. it started on a
+			// still-too-sparse matrix that later reports completed) —
+			// loop and force a fresh one.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// await registers a completion waiter and forces a fit if none is in
+// flight. It reports whether a fit was already running.
+func (r *Refitter) await(force bool) (wasFitting bool, ch chan fitResult, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, nil, ErrClosed
+	}
+	wasFitting = r.fitting
+	ch = make(chan fitResult, 1)
+	r.waiters = append(r.waiters, ch)
+	r.scheduleLocked(force)
+	return wasFitting, ch, nil
+}
+
+// Close stops future refits and releases any waiters with ErrClosed. A
+// fit already in flight still completes and publishes its snapshot.
+// Safe to call multiple times.
+func (r *Refitter) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	waiters := r.waiters
+	r.waiters = nil
+	for _, ch := range waiters {
+		ch <- fitResult{err: ErrClosed}
+	}
+}

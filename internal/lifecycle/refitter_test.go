@@ -1,0 +1,350 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// testFit is a controllable FitFunc: it counts calls and fails until
+// unlocked.
+type testFit struct {
+	calls atomic.Int64
+	fail  atomic.Bool
+	slow  atomic.Int64 // per-call sleep, nanoseconds
+}
+
+func (f *testFit) fn() (*core.Model, error) {
+	f.calls.Add(1)
+	// Capture the outcome at call start: a fit's fate is decided by the
+	// state it copied when it began, not by what changes mid-flight.
+	failed := f.fail.Load()
+	if d := f.slow.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if failed {
+		return nil, errors.New("not enough measurements")
+	}
+	d := mat.NewDense(2, 2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	return core.FitSVD(d, 2, 1)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestNoFitBeforeThreshold(t *testing.T) {
+	fit := &testFit{}
+	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 3})
+	defer r.Close()
+	r.Dirty(1)
+	r.Dirty(1)
+	time.Sleep(20 * time.Millisecond)
+	if n := fit.calls.Load(); n != 0 {
+		t.Fatalf("fit ran %d times below threshold", n)
+	}
+	if r.Snapshot() != nil || r.Epoch() != 0 {
+		t.Fatal("snapshot must be nil before any fit")
+	}
+	r.Dirty(1) // crosses the threshold
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 1 })
+	if fit.calls.Load() != 1 {
+		t.Fatalf("fit calls = %d, want 1", fit.calls.Load())
+	}
+}
+
+func TestMinIntervalDebounce(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
+
+	fit := &testFit{}
+	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 1, Now: clock})
+	defer r.Close()
+
+	// Within the interval of construction: debounced, not fitted.
+	r.Dirty(1)
+	time.Sleep(10 * time.Millisecond)
+	if fit.calls.Load() != 0 {
+		t.Fatal("fit ran inside MinInterval")
+	}
+	// Once the (fake) interval has elapsed, the next Dirty fires it.
+	advance(2 * time.Hour)
+	r.Dirty(0)
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 1 })
+
+	// A second burst inside the new interval stays debounced.
+	r.Dirty(5)
+	time.Sleep(10 * time.Millisecond)
+	if got := fit.calls.Load(); got != 1 {
+		t.Fatalf("fit calls = %d, want 1 (debounced)", got)
+	}
+}
+
+// TestFailedBackgroundFitRetriesAndReports: a failed background fit has
+// no waiter to observe it, so it must surface through OnError AND keep
+// the state dirty — restoring the consumed measurement count so the
+// debounce schedule retries until a fit lands.
+func TestFailedBackgroundFitRetriesAndReports(t *testing.T) {
+	var errs atomic.Int64
+	fit := &testFit{}
+	fit.fail.Store(true)
+	r := New(fit.fn, Config{MinInterval: time.Millisecond, Threshold: 1,
+		OnError: func(error) { errs.Add(1) }})
+	defer r.Close()
+	r.Dirty(1)
+	// At least two failures prove the retry schedule survived the first.
+	waitFor(t, 5*time.Second, func() bool { return errs.Load() >= 2 })
+	if r.Epoch() != 0 {
+		t.Fatal("failed fits must not publish a snapshot")
+	}
+	fit.fail.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 1 })
+}
+
+// TestDebounceTimerFiresUnderFrozenClock: the debounce delay is armed
+// on a real timer from a wait computed via cfg.Now; when that injected
+// clock never advances, the firing timer must still run the fit instead
+// of recomputing the (still positive) wait and re-arming forever.
+func TestDebounceTimerFiresUnderFrozenClock(t *testing.T) {
+	frozen := time.Unix(1_000_000, 0)
+	fit := &testFit{}
+	r := New(fit.fn, Config{MinInterval: 20 * time.Millisecond, Threshold: 1,
+		Now: func() time.Time { return frozen }})
+	defer r.Close()
+	r.Dirty(1)
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 1 })
+}
+
+func TestRefreshForcesAndIsClean(t *testing.T) {
+	fit := &testFit{}
+	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 100})
+	defer r.Close()
+	r.Dirty(1) // far below threshold: background never fires
+	snap, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || snap.Model == nil {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// Clean refresh returns the same generation without another fit.
+	again, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != snap || fit.calls.Load() != 1 {
+		t.Fatalf("clean Refresh refit (calls=%d)", fit.calls.Load())
+	}
+	// New measurements re-dirty it: Refresh must fold them in.
+	r.Dirty(1)
+	next, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", next.Epoch)
+	}
+}
+
+// TestRefreshOutlivesDoomedInflightFit: a Refresh arriving while a
+// doomed fit is already in flight must not adopt that fit's failure —
+// the measurements that would make a fresh fit succeed may have arrived
+// after the doomed one started.
+func TestRefreshOutlivesDoomedInflightFit(t *testing.T) {
+	fit := &testFit{}
+	fit.fail.Store(true)
+	fit.slow.Store(int64(50 * time.Millisecond))
+	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	defer r.Close()
+	r.Dirty(1) // launches the doomed fit
+	waitFor(t, 5*time.Second, func() bool { return fit.calls.Load() == 1 })
+	// "New measurements" land while it is still failing in flight.
+	fit.fail.Store(false)
+	r.Dirty(1)
+	snap, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("Refresh adopted the stale in-flight failure: %v", err)
+	}
+	if snap.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", snap.Epoch)
+	}
+}
+
+func TestBaseEpochOffsetsSequence(t *testing.T) {
+	fit := &testFit{}
+	r := New(fit.fn, Config{BaseEpoch: 1 << 40, MinInterval: time.Hour})
+	defer r.Close()
+	snap, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1<<40+1 {
+		t.Fatalf("epoch = %d, want BaseEpoch+1", snap.Epoch)
+	}
+}
+
+func TestReadyColdStartAndErrors(t *testing.T) {
+	fit := &testFit{}
+	fit.fail.Store(true)
+	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 100})
+	defer r.Close()
+	if _, err := r.Ready(context.Background()); err == nil {
+		t.Fatal("Ready must surface the fit error when no snapshot exists")
+	}
+	fit.fail.Store(false)
+	snap, err := r.Ready(context.Background())
+	if err != nil || snap.Epoch != 1 {
+		t.Fatalf("Ready: %+v %v", snap, err)
+	}
+	// With a snapshot present, Ready never blocks — even when dirty.
+	r.Dirty(1000)
+	got, err := r.Ready(context.Background())
+	if err != nil || got != snap {
+		t.Fatalf("Ready with live snapshot: %+v %v", got, err)
+	}
+}
+
+func TestOnSwapOrderAndEpochMonotonic(t *testing.T) {
+	var mu sync.Mutex
+	var swaps []uint64
+	fit := &testFit{}
+	var r *Refitter
+	r = New(fit.fn, Config{
+		MinInterval: time.Nanosecond,
+		Threshold:   1,
+		OnSwap: func(s *Snapshot) {
+			mu.Lock()
+			defer mu.Unlock()
+			// The snapshot must not be visible until OnSwap returns.
+			if cur := r.Snapshot(); cur != nil && cur.Epoch >= s.Epoch {
+				t.Errorf("snapshot %d visible during OnSwap(%d)", cur.Epoch, s.Epoch)
+			}
+			swaps = append(swaps, s.Epoch)
+		},
+	})
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		r.Dirty(1)
+		if _, err := r.Refresh(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, e := range swaps {
+		if e != uint64(i+1) {
+			t.Fatalf("swap epochs %v, want 1..n in order", swaps)
+		}
+	}
+}
+
+func TestConcurrentDirtyAndRefresh(t *testing.T) {
+	fit := &testFit{}
+	fit.slow.Store(int64(time.Millisecond))
+	r := New(fit.fn, Config{MinInterval: time.Millisecond, Threshold: 2})
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < 50; i++ {
+				r.Dirty(1)
+				if w == 0 {
+					if _, err := r.Refresh(ctx); err != nil {
+						t.Errorf("refresh: %v", err)
+						return
+					}
+				}
+				if e := r.Epoch(); e < last {
+					t.Errorf("epoch went backward: %d -> %d", last, e)
+					return
+				} else {
+					last = e
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Epoch() == 0 {
+		t.Fatal("no fit completed")
+	}
+}
+
+func TestCloseReleasesWaiters(t *testing.T) {
+	fit := &testFit{}
+	fit.slow.Store(int64(50 * time.Millisecond))
+	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	r.Dirty(1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.Refresh(context.Background())
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.Close()
+	r.Close() // idempotent
+	select {
+	case err := <-errc:
+		// Either the in-flight fit completed for the waiter or Close
+		// released it; hanging is the only failure mode.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("Refresh hung across Close")
+	}
+	if _, err := r.Refresh(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Refresh after Close: %v", err)
+	}
+	if _, err := r.Ready(context.Background()); err == nil {
+		t.Fatal("Ready after Close with no snapshot must fail")
+	}
+}
+
+func TestContextCancelUnblocksWaiters(t *testing.T) {
+	fit := &testFit{}
+	fit.slow.Store(int64(time.Second))
+	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	r.Dirty(1)
+	if _, err := r.Refresh(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func ExampleRefitter() {
+	fit := func() (*core.Model, error) {
+		d := mat.NewDense(2, 2)
+		d.Set(0, 1, 7)
+		d.Set(1, 0, 7)
+		return core.FitSVD(d, 2, 1)
+	}
+	r := New(fit, Config{MinInterval: time.Millisecond})
+	defer r.Close()
+	snap, _ := r.Ready(context.Background())
+	fmt.Println("epoch", snap.Epoch)
+	// Output: epoch 1
+}

@@ -42,20 +42,30 @@ type Config struct {
 // entry is one directory record. The registration time is kept as
 // monotonic-friendly wall nanos so sweeps compare int64s, not time.Time.
 type entry struct {
-	vec core.Vectors
-	at  int64 // registration time, unix nanos
+	vec   core.Vectors
+	at    int64  // registration time, unix nanos
+	epoch uint64 // model epoch the vectors were solved against; 0 = unversioned
 }
 
 // shard is an independently locked slice of the directory.
 type shard struct {
-	mu        sync.RWMutex
-	hosts     map[string]entry
-	count     atomic.Int64 // len(hosts), maintained under mu
-	lastSweep atomic.Int64 // unix nanos of the last expiry scan
+	mu         sync.RWMutex
+	hosts      map[string]entry
+	count      atomic.Int64  // len(hosts), maintained under mu
+	lastSweep  atomic.Int64  // unix nanos of the last expiry scan
+	sweptEpoch atomic.Uint64 // directory epoch as of the last scan
 }
 
 // Directory is a sharded host-vector directory. All methods are safe for
 // concurrent use.
+//
+// Entries carry the model epoch their vectors were solved against
+// (PutEpoch). When the directory's epoch advances past an entry's, the
+// entry stops resolving immediately — a vector solved against a dead
+// model generation must never be dotted with vectors from the live one —
+// and its memory is reclaimed lazily: by the Get that touches it, and by
+// the one per-shard sweep each epoch bump schedules. Epoch-0 entries are
+// unversioned (registered by pre-epoch peers) and only expire by TTL.
 type Directory struct {
 	shards []shard
 	mask   uint64
@@ -63,6 +73,7 @@ type Directory struct {
 	ttl    time.Duration
 	sweep  time.Duration
 	now    func() time.Time
+	epoch  atomic.Uint64 // current model epoch; older entries are dead
 }
 
 // New builds a Directory from cfg.
@@ -105,43 +116,80 @@ func (d *Directory) shardFor(addr string) *shard {
 // NumShards returns the shard count (after power-of-two rounding).
 func (d *Directory) NumShards() int { return len(d.shards) }
 
-// Put inserts or refreshes a host's vectors. The slices are stored as
+// Put inserts or refreshes a host's vectors as an unversioned entry
+// (epoch 0, exempt from epoch staleness). The slices are stored as
 // given; callers that reuse buffers must copy first.
-func (d *Directory) Put(addr string, vec core.Vectors) {
+func (d *Directory) Put(addr string, vec core.Vectors) { d.PutEpoch(addr, vec, 0) }
+
+// PutEpoch inserts or refreshes a host's vectors, tagged with the model
+// epoch they were solved against; the entry stops resolving once
+// AdvanceEpoch moves past that epoch. The slices are stored as given;
+// callers that reuse buffers must copy first.
+func (d *Directory) PutEpoch(addr string, vec core.Vectors, epoch uint64) {
 	sh := d.shardFor(addr)
 	now := d.now().UnixNano()
 	sh.mu.Lock()
 	d.maybeSweepLocked(sh, now)
-	sh.hosts[addr] = entry{vec: vec, at: now}
+	sh.hosts[addr] = entry{vec: vec, at: now, epoch: epoch}
 	sh.count.Store(int64(len(sh.hosts)))
 	sh.mu.Unlock()
 }
 
-// Get returns the vectors registered for addr. Expired entries read as
-// absent, and the one an unlucky Get touches is reclaimed on the spot
-// (an O(1) write-locked delete) so queried-but-departed hosts free their
-// memory even on shards that no longer see writes; the rest are
-// reclaimed by the next sweep of their shard.
+// AdvanceEpoch moves the directory to a new model epoch: every entry
+// tagged with an older (nonzero) epoch immediately reads as absent.
+// Regressions are ignored, so out-of-order announcements cannot
+// resurrect dead entries.
+func (d *Directory) AdvanceEpoch(epoch uint64) {
+	for {
+		cur := d.epoch.Load()
+		if epoch <= cur || d.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// Epoch returns the directory's current model epoch.
+func (d *Directory) Epoch() uint64 { return d.epoch.Load() }
+
+// Get returns the vectors registered for addr, as seen from the
+// directory's current epoch. See GetAt.
 func (d *Directory) Get(addr string) (core.Vectors, bool) {
+	return d.GetAt(addr, d.epoch.Load())
+}
+
+// GetAt returns the vectors registered for addr as seen from one model
+// epoch: entries tagged with a different nonzero epoch read as absent,
+// so a caller pinned to one generation (the query engine) never
+// resolves vectors solved against another — even while registrations
+// for a newer epoch race in. Expired and stale-epoch entries also read
+// as absent, and the one an unlucky GetAt touches is reclaimed on the
+// spot (an O(1) write-locked delete) so queried-but-departed hosts free
+// their memory even on shards that no longer see writes; the rest are
+// reclaimed by the next sweep of their shard.
+func (d *Directory) GetAt(addr string, epoch uint64) (core.Vectors, bool) {
 	sh := d.shardFor(addr)
 	var now int64
 	if d.ttl > 0 {
 		now = d.now().UnixNano()
 	}
+	cur := d.epoch.Load()
 	sh.mu.RLock()
 	e, ok := sh.hosts[addr]
 	sh.mu.RUnlock()
 	if !ok {
 		return core.Vectors{}, false
 	}
-	if d.expired(e, now) {
+	if d.expired(e, now) || d.stale(e, cur) {
 		sh.mu.Lock()
 		// Re-check: a concurrent Put may have refreshed the entry.
-		if e, ok = sh.hosts[addr]; ok && d.expired(e, now) {
+		if e, ok = sh.hosts[addr]; ok && (d.expired(e, now) || d.stale(e, cur)) {
 			delete(sh.hosts, addr)
 			sh.count.Store(int64(len(sh.hosts)))
 		}
 		sh.mu.Unlock()
+		return core.Vectors{}, false
+	}
+	if e.epoch != 0 && e.epoch != epoch {
 		return core.Vectors{}, false
 	}
 	return e.vec, true
@@ -157,18 +205,21 @@ func (d *Directory) Remove(addr string) {
 }
 
 // Len returns the number of live entries. It reads per-shard counters —
-// no scan — after giving each shard whose sweep is due the chance to
-// reclaim expired entries, so the count converges to exact within one
-// SweepInterval of any expiry.
+// no scan — after giving each shard whose sweep is due (by TTL interval
+// or epoch bump) the chance to reclaim dead entries, so the count
+// converges to exact within one SweepInterval of any expiry and one call
+// of any epoch advance.
 func (d *Directory) Len() int {
 	var now int64
 	if d.ttl > 0 {
 		now = d.now().UnixNano()
 	}
+	cur := d.epoch.Load()
 	total := 0
 	for i := range d.shards {
 		sh := &d.shards[i]
-		if d.ttl > 0 && now-sh.lastSweep.Load() >= int64(d.sweep) {
+		ttlDue := d.ttl > 0 && now-sh.lastSweep.Load() >= int64(d.sweep)
+		if ttlDue || sh.sweptEpoch.Load() != cur {
 			sh.mu.Lock()
 			d.maybeSweepLocked(sh, now)
 			sh.mu.Unlock()
@@ -194,16 +245,27 @@ func (d *Directory) expired(e entry, now int64) bool {
 	return d.ttl > 0 && now-e.at > int64(d.ttl)
 }
 
-// maybeSweepLocked scans the shard for expired entries if its sweep is
-// due. Callers hold sh.mu. The cost is O(shard size), paid by at most one
-// writer per shard per SweepInterval — every other operation is O(1).
+// stale reports whether e was solved against a model epoch older than
+// cur. Epoch-0 entries are unversioned and never stale.
+func (d *Directory) stale(e entry, cur uint64) bool {
+	return e.epoch != 0 && e.epoch < cur
+}
+
+// maybeSweepLocked scans the shard for expired and stale entries if a
+// sweep is due — the TTL interval elapsed, or the directory epoch moved
+// since this shard's last scan. Callers hold sh.mu. The cost is O(shard
+// size), paid by at most one writer per shard per SweepInterval plus one
+// per epoch bump — every other operation is O(1).
 func (d *Directory) maybeSweepLocked(sh *shard, now int64) {
-	if d.ttl <= 0 || now-sh.lastSweep.Load() < int64(d.sweep) {
+	cur := d.epoch.Load()
+	ttlDue := d.ttl > 0 && now-sh.lastSweep.Load() >= int64(d.sweep)
+	if !ttlDue && sh.sweptEpoch.Load() == cur {
 		return
 	}
 	sh.lastSweep.Store(now)
+	sh.sweptEpoch.Store(cur)
 	for addr, e := range sh.hosts {
-		if d.expired(e, now) {
+		if d.expired(e, now) || d.stale(e, cur) {
 			delete(sh.hosts, addr)
 		}
 	}
@@ -218,13 +280,14 @@ func (d *Directory) Range(fn func(addr string, vec core.Vectors) bool) {
 	if d.ttl > 0 {
 		now = d.now().UnixNano()
 	}
+	cur := d.epoch.Load()
 	buf := make([]addrVec, 0, 64)
 	for i := range d.shards {
 		sh := &d.shards[i]
 		buf = buf[:0]
 		sh.mu.RLock()
 		for addr, e := range sh.hosts {
-			if !d.expired(e, now) {
+			if !d.expired(e, now) && !d.stale(e, cur) {
 				buf = append(buf, addrVec{addr, e.vec})
 			}
 		}
@@ -242,15 +305,22 @@ type addrVec struct {
 	vec  core.Vectors
 }
 
-// snapshotShard copies shard i's live entries into buf and returns it.
-// Used by the engine's parallel scans.
-func (d *Directory) snapshotShard(i int, now int64, buf []addrVec) []addrVec {
+// snapshotShard copies shard i's live entries — as seen from the given
+// model epoch — into buf and returns it. Used by the engine's parallel
+// scans; the caller passes one epoch for the whole scan, so a scan that
+// straddles an AdvanceEpoch cannot mix entries from two generations.
+func (d *Directory) snapshotShard(i int, now int64, epoch uint64, buf []addrVec) []addrVec {
 	sh := &d.shards[i]
+	cur := d.epoch.Load()
 	sh.mu.RLock()
 	for addr, e := range sh.hosts {
-		if !d.expired(e, now) {
-			buf = append(buf, addrVec{addr, e.vec})
+		if d.expired(e, now) || d.stale(e, cur) {
+			continue
 		}
+		if e.epoch != 0 && e.epoch != epoch {
+			continue
+		}
+		buf = append(buf, addrVec{addr, e.vec})
 	}
 	sh.mu.RUnlock()
 	return buf

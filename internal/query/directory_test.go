@@ -157,3 +157,85 @@ func TestRangeVisitsLiveEntries(t *testing.T) {
 		t.Fatalf("Range after false: %d calls", calls)
 	}
 }
+
+// ---- epoch tagging ----
+
+func TestEpochEviction(t *testing.T) {
+	d := New(Config{})
+	d.PutEpoch("v1", vec(1, 1), 1)
+	d.PutEpoch("v2", vec(2, 2), 2)
+	d.Put("legacy", vec(3, 3)) // epoch 0: unversioned
+	d.AdvanceEpoch(2)
+	if d.Epoch() != 2 {
+		t.Fatalf("Epoch = %d", d.Epoch())
+	}
+	if _, ok := d.Get("v1"); ok {
+		t.Fatal("epoch-1 entry must not resolve at epoch 2")
+	}
+	if _, ok := d.Get("v2"); !ok {
+		t.Fatal("current-epoch entry must resolve")
+	}
+	if _, ok := d.Get("legacy"); !ok {
+		t.Fatal("unversioned entry must survive epoch advances")
+	}
+	// The unlucky Get reclaimed v1; Len sweeps the rest.
+	if n := d.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	// Range and shard snapshots skip stale entries too.
+	d.PutEpoch("v1b", vec(4, 4), 1)
+	seen := map[string]bool{}
+	d.Range(func(addr string, _ core.Vectors) bool {
+		seen[addr] = true
+		return true
+	})
+	if seen["v1b"] || !seen["v2"] || !seen["legacy"] {
+		t.Fatalf("Range saw %v", seen)
+	}
+}
+
+func TestEpochSweepReclaimsWithoutGets(t *testing.T) {
+	d := New(Config{Shards: 1})
+	for i := 0; i < 64; i++ {
+		d.PutEpoch(fmt.Sprintf("h%d", i), vec(float64(i)), 1)
+	}
+	d.AdvanceEpoch(2)
+	// One Put after the bump triggers the shard's epoch sweep.
+	d.PutEpoch("fresh", vec(9), 2)
+	if n := d.Len(); n != 1 {
+		t.Fatalf("Len = %d after epoch sweep, want 1", n)
+	}
+}
+
+func TestAdvanceEpochMonotonic(t *testing.T) {
+	d := New(Config{})
+	d.AdvanceEpoch(5)
+	d.AdvanceEpoch(3) // regression ignored
+	if d.Epoch() != 5 {
+		t.Fatalf("Epoch = %d, want 5", d.Epoch())
+	}
+	d.PutEpoch("a", vec(1), 5)
+	d.AdvanceEpoch(6)
+	if _, ok := d.Get("a"); ok {
+		t.Fatal("entry from epoch 5 must die at epoch 6")
+	}
+}
+
+func TestEpochAndTTLCompose(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	d := New(Config{TTL: time.Minute, Now: func() time.Time { return now }})
+	d.PutEpoch("a", vec(1), 1)
+	d.Put("legacy", vec(2))
+	d.AdvanceEpoch(1) // same epoch: both live
+	if _, ok := d.Get("a"); !ok {
+		t.Fatal("current-epoch entry must resolve")
+	}
+	// TTL still applies to versioned entries.
+	now = now.Add(2 * time.Minute)
+	if _, ok := d.Get("a"); ok {
+		t.Fatal("TTL must expire versioned entries too")
+	}
+	if _, ok := d.Get("legacy"); ok {
+		t.Fatal("TTL must expire unversioned entries")
+	}
+}

@@ -19,23 +19,33 @@ type Resolver func(addr string) (core.Vectors, bool)
 // Engine answers bulk distance queries over a Directory. All methods are
 // safe for concurrent use; scans hold one shard read-lock at a time, so
 // queries never block registration globally (the only write lock a read
-// path ever takes is Get's O(1) reclamation of an expired entry).
+// path ever takes is a lookup's O(1) reclamation of a dead entry).
+//
+// An Engine is pinned to the model epoch current at construction:
+// directory entries tagged with a different nonzero epoch are invisible
+// to it. Together with a fallback resolver pinned to the same model
+// generation (how the server builds engines), this guarantees no query
+// through one Engine ever dots vectors from two different fits, even
+// while a refit swaps generations and new registrations race in.
 type Engine struct {
 	dir      *Directory
 	fallback Resolver
+	epoch    uint64
 }
 
-// NewEngine builds an Engine over dir. fallback may be nil.
+// NewEngine builds an Engine over dir, pinned to dir's current model
+// epoch. fallback may be nil.
 func NewEngine(dir *Directory, fallback Resolver) *Engine {
-	return &Engine{dir: dir, fallback: fallback}
+	return &Engine{dir: dir, fallback: fallback, epoch: dir.Epoch()}
 }
 
 // Directory returns the engine's underlying directory.
 func (e *Engine) Directory() *Directory { return e.dir }
 
-// Lookup resolves an address: directory first, then the fallback.
+// Lookup resolves an address: directory first (at the engine's pinned
+// epoch), then the fallback.
 func (e *Engine) Lookup(addr string) (core.Vectors, bool) {
-	if v, ok := e.dir.Get(addr); ok {
+	if v, ok := e.dir.GetAt(addr, e.epoch); ok {
 		return v, true
 	}
 	if e.fallback != nil {
@@ -222,7 +232,7 @@ func (e *Engine) knnScan(out []float64, p, k int, exclude string) []Neighbor {
 				if i >= numShards {
 					return
 				}
-				buf = e.dir.snapshotShard(i, now, buf[:0])
+				buf = e.dir.snapshotShard(i, now, e.epoch, buf[:0])
 				for _, av := range buf {
 					if av.addr == exclude || len(av.vec.In) != dim {
 						continue
@@ -255,7 +265,7 @@ func (e *Engine) knnPrefiltered(src core.Vectors, k int, opts KNNOptions) []Neig
 	cand := e.knnScan(src.Out, opts.PrefilterDims, k*over, opts.Exclude)
 	exact := make([]Neighbor, 0, len(cand))
 	for _, c := range cand {
-		v, ok := e.dir.Get(c.Addr)
+		v, ok := e.dir.GetAt(c.Addr, e.epoch)
 		if !ok || len(v.In) != len(src.Out) {
 			continue
 		}

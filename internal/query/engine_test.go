@@ -261,3 +261,47 @@ func randVec(r *xorshift, n int) []float64 {
 	}
 	return v
 }
+
+// TestEnginePinnedEpoch: an Engine resolves only entries of the epoch
+// current at its construction (plus unversioned ones), so a handler
+// holding a pre-refit engine can never mix generations even while
+// registrations for the new epoch race in.
+func TestEnginePinnedEpoch(t *testing.T) {
+	d := New(Config{})
+	d.AdvanceEpoch(1)
+	old := NewEngine(d, nil)
+	d.Put("legacy", core.Vectors{Out: []float64{1, 1}, In: []float64{1, 1}})
+	d.PutEpoch("gen1", core.Vectors{Out: []float64{2, 2}, In: []float64{2, 2}}, 1)
+
+	d.AdvanceEpoch(2)
+	fresh := NewEngine(d, nil)
+	d.PutEpoch("gen2", core.Vectors{Out: []float64{3, 3}, In: []float64{3, 3}}, 2)
+
+	if _, ok := old.Lookup("gen2"); ok {
+		t.Fatal("pre-refit engine must not resolve a newer-epoch entry")
+	}
+	if _, ok := old.Lookup("legacy"); !ok {
+		t.Fatal("unversioned entries resolve through any engine")
+	}
+	if _, ok := fresh.Lookup("gen1"); ok {
+		t.Fatal("dead-generation entry must not resolve")
+	}
+	if _, ok := fresh.Lookup("gen2"); !ok {
+		t.Fatal("current-epoch entry must resolve")
+	}
+	src := core.Vectors{Out: []float64{1, 0}, In: []float64{1, 0}}
+	for _, n := range fresh.KNearest(src, 10, KNNOptions{}) {
+		if n.Addr == "gen1" {
+			t.Fatal("scan through fresh engine surfaced a dead entry")
+		}
+	}
+	for _, n := range old.KNearest(src, 10, KNNOptions{}) {
+		if n.Addr == "gen2" {
+			t.Fatal("scan through pre-refit engine surfaced a newer entry")
+		}
+	}
+	ests := fresh.EstimateBatch(src, []string{"legacy", "gen1", "gen2"})
+	if !ests[0].Found || ests[1].Found || !ests[2].Found {
+		t.Fatalf("batch resolution across epochs wrong: %+v", ests)
+	}
+}

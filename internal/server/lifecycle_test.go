@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// bumpEpoch forces one refit by injecting a fresh measurement and
+// refitting synchronously, returning the new epoch.
+func bumpEpoch(t *testing.T, s *Server, ms float64) uint64 {
+	t.Helper()
+	rep := &wire.ReportRTT{From: s.cfg.Landmarks[0], Entries: []wire.RTTEntry{
+		{To: s.cfg.Landmarks[1], RTTMillis: ms},
+	}}
+	if typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("report rejected")
+	}
+	epoch, err := s.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch
+}
+
+func TestModelCarriesEpoch(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	defer s.Close()
+	typ, payload := s.dispatch(wire.TypeGetModel, nil)
+	if typ != wire.TypeModel {
+		t.Fatalf("type %v", typ)
+	}
+	model, err := wire.DecodeModel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Epoch != 1 || s.Epoch() != 1 {
+		t.Fatalf("first fit epoch = %d / %d, want 1", model.Epoch, s.Epoch())
+	}
+	if e := bumpEpoch(t, s, 1.5); e != 2 {
+		t.Fatalf("epoch after refit = %d, want 2", e)
+	}
+	typ, payload = s.dispatch(wire.TypeGetInfo, nil)
+	if typ != wire.TypeInfo {
+		t.Fatalf("type %v", typ)
+	}
+	info, err := wire.DecodeInfo(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 || !info.ModelReady {
+		t.Fatalf("info %+v, want epoch 2 ready", info)
+	}
+}
+
+// TestRegisterEpochValidation is the epoch-mismatch registration table:
+// current and unversioned epochs are accepted, anything else is refused
+// with CodeStaleEpoch.
+func TestRegisterEpochValidation(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	defer s.Close()
+	model, err := s.Model() // epoch 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := bumpEpoch(t, s, 1.2); e != 2 {
+		t.Fatalf("epoch = %d", e)
+	}
+
+	cases := []struct {
+		name     string
+		epoch    uint64
+		wantType wire.MsgType
+		wantCode uint16
+	}{
+		{"unversioned accepted", 0, wire.TypeAck, 0},
+		{"current epoch accepted", 2, wire.TypeAck, 0},
+		{"stale epoch rejected", 1, wire.TypeError, wire.CodeStaleEpoch},
+		{"future epoch rejected", 7, wire.TypeError, wire.CodeStaleEpoch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := &wire.RegisterHost{Addr: "H-" + tc.name, Out: h.Out, In: h.In, Epoch: tc.epoch}
+			typ, payload := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+			if typ != tc.wantType {
+				t.Fatalf("type %v, want %v", typ, tc.wantType)
+			}
+			if tc.wantType == wire.TypeError {
+				werr, err := wire.DecodeError(payload)
+				if err != nil || werr.Code != tc.wantCode {
+					t.Fatalf("error %+v %v, want code %d", werr, err, tc.wantCode)
+				}
+			}
+		})
+	}
+}
+
+// TestStaleVectorsEvictedOnRefit: entries registered against an epoch
+// stop resolving the moment the model moves past it; unversioned
+// entries survive.
+func TestStaleVectorsEvictedOnRefit(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	defer s.Close()
+	model, err := s.Model() // epoch 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regV := &wire.RegisterHost{Addr: "versioned", Out: h.Out, In: h.In, Epoch: 1}
+	regU := &wire.RegisterHost{Addr: "legacy", Out: h.Out, In: h.In} // epoch 0
+	for _, reg := range []*wire.RegisterHost{regV, regU} {
+		if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+			t.Fatalf("register %s failed", reg.Addr)
+		}
+	}
+	if n := s.NumHosts(); n != 2 {
+		t.Fatalf("NumHosts = %d", n)
+	}
+
+	bumpEpoch(t, s, 1.3) // epoch 2: "versioned" is now a dead generation
+
+	typ, payload := s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "versioned"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	v, _ := wire.DecodeVectors(payload)
+	if v.Found {
+		t.Fatal("stale-epoch vectors must not be served after a refit")
+	}
+	if v.Epoch != 2 {
+		t.Fatalf("Vectors epoch = %d, want 2", v.Epoch)
+	}
+	typ, payload = s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "legacy"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("type %v", typ)
+	}
+	if v, _ := wire.DecodeVectors(payload); !v.Found {
+		t.Fatal("unversioned entry must survive refits")
+	}
+
+	// The stale source reads as unknown in queries, and the response
+	// carries the new epoch so the client knows why.
+	typ, payload = s.dispatch(wire.TypeQueryBatch, (&wire.QueryBatch{From: "versioned", Targets: []string{"legacy"}}).Encode(nil))
+	if typ != wire.TypeDistances {
+		t.Fatalf("type %v", typ)
+	}
+	resp, _ := wire.DecodeDistances(payload)
+	if resp.SrcFound || resp.Epoch != 2 {
+		t.Fatalf("stale source: %+v", resp)
+	}
+	// KNN from the legacy host must not rank the dead entry.
+	typ, payload = s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: "legacy", K: 5}).Encode(nil))
+	if typ != wire.TypeNeighbors {
+		t.Fatalf("type %v", typ)
+	}
+	nbrs, _ := wire.DecodeNeighbors(payload)
+	for _, e := range nbrs.Entries {
+		if e.Addr == "versioned" {
+			t.Fatal("stale entry served through KNN")
+		}
+	}
+	if nbrs.Epoch != 2 {
+		t.Fatalf("Neighbors epoch = %d", nbrs.Epoch)
+	}
+	if n := s.NumHosts(); n != 1 {
+		t.Fatalf("NumHosts = %d after eviction, want 1", n)
+	}
+	// Re-registering at the current epoch resurrects the host.
+	regV.Epoch = 2
+	if typ, _ := s.dispatch(wire.TypeRegisterHost, regV.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("re-register at current epoch failed")
+	}
+	typ, payload = s.dispatch(wire.TypeQueryBatch, (&wire.QueryBatch{From: "versioned", Targets: []string{"legacy"}}).Encode(nil))
+	if typ != wire.TypeDistances {
+		t.Fatalf("type %v", typ)
+	}
+	if resp, _ := wire.DecodeDistances(payload); !resp.SrcFound || !resp.Results[0].Found {
+		t.Fatalf("recovered host unusable: %+v", resp)
+	}
+}
+
+// TestQueriesServeDuringRefit makes the factorization artificially slow
+// (NMF with a huge iteration budget) and proves the serving path never
+// stalls behind it: while the refit is in flight, GetInfo, GetModel,
+// QueryBatch and RegisterHost all keep answering — stamped with the old
+// epoch — and the epoch advances once the fit lands. Run with -race this
+// also hammers the snapshot swap from many goroutines.
+func TestQueriesServeDuringRefit(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{
+		Landmarks:        lm,
+		Dim:              2,
+		Algorithm:        core.NMF,
+		Seed:             1,
+		NMFIters:         60, // quick first fit
+		RefitMinInterval: time.Nanosecond,
+		RefitThreshold:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i != j {
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+			}
+		}
+		s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	}
+	if _, err := s.Model(); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+	model, _ := s.Model()
+	dh := []float64{0.5, 1.5, 1.5, 2.5}
+	h, err := model.SolveHost(dh, dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unversioned so it keeps resolving across the refit.
+	reg := &wire.RegisterHost{Addr: "H1", Out: h.Out, In: h.In}
+	if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("register failed")
+	}
+
+	// Make the next fit slow, then trigger it in the background. The
+	// first fits may have raced the report loop, so anchor on whatever
+	// epoch is current now rather than assuming 1.
+	baseEpoch := s.Epoch()
+	s.cfg.NMFIters = 200_000 // ~hundreds of ms plain, seconds under -race
+	rep := &wire.ReportRTT{From: "L1", Entries: []wire.RTTEntry{{To: "L2", RTTMillis: 1.1}}}
+	if typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("report rejected")
+	}
+
+	var served, servedDuringFit atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				epochBefore := s.Epoch()
+				typ, payload := s.dispatch(wire.TypeQueryBatch,
+					(&wire.QueryBatch{From: "H1", Targets: []string{"L4", "H1"}}).Encode(nil))
+				if typ != wire.TypeDistances {
+					t.Errorf("QueryBatch answered %v", typ)
+					return
+				}
+				resp, err := wire.DecodeDistances(payload)
+				if err != nil || !resp.SrcFound {
+					t.Errorf("batch during refit: %+v %v", resp, err)
+					return
+				}
+				for _, r := range resp.Results {
+					if r.Found && (math.IsNaN(r.Millis) || math.IsInf(r.Millis, 0)) {
+						t.Errorf("torn estimate: %v", r.Millis)
+						return
+					}
+				}
+				typ, payload = s.dispatch(wire.TypeGetModel, nil)
+				if typ != wire.TypeModel {
+					t.Errorf("GetModel answered %v", typ)
+					return
+				}
+				m, err := wire.DecodeModel(payload)
+				if err != nil {
+					t.Errorf("torn model: %v", err)
+					return
+				}
+				for _, l := range m.Landmarks {
+					if len(l.Out) != int(m.Dim) || len(l.In) != int(m.Dim) {
+						t.Errorf("torn model: landmark dims %d/%d vs %d", len(l.Out), len(l.In), m.Dim)
+						return
+					}
+				}
+				if m.Epoch < epochBefore {
+					t.Errorf("epoch went backward: %d -> %d", epochBefore, m.Epoch)
+					return
+				}
+				served.Add(1)
+				if epochBefore == baseEpoch {
+					servedDuringFit.Add(1)
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Epoch() <= baseEpoch {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatal("refit never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if servedDuringFit.Load() == 0 {
+		t.Fatalf("no queries served while the refit was in flight (served %d total)", served.Load())
+	}
+	t.Logf("served %d requests, %d of them during the in-flight refit", served.Load(), servedDuringFit.Load())
+}
+
+// TestConcurrentReportsQueriesRefits is a pure race soak: reporters,
+// registrars and queriers run against continuous background refits.
+func TestConcurrentReportsQueriesRefits(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{
+		Landmarks:        lm,
+		Dim:              2,
+		Algorithm:        core.SVD,
+		Seed:             1,
+		RefitMinInterval: time.Microsecond,
+		RefitThreshold:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i != j {
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+			}
+		}
+		s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	}
+	if _, err := s.Model(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	work := []func(i int){
+		func(i int) { // reporter: drives refit churn
+			ms := 1 + float64(i%10)/10
+			rep := &wire.ReportRTT{From: "L1", Entries: []wire.RTTEntry{{To: "L2", RTTMillis: ms}}}
+			s.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+		},
+		func(i int) { // registrar: unversioned, always valid
+			reg := &wire.RegisterHost{Addr: "H", Out: []float64{1, 2}, In: []float64{3, 4}}
+			s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+		},
+		func(i int) { // querier
+			s.dispatch(wire.TypeQueryBatch, (&wire.QueryBatch{From: "H", Targets: []string{"L1", "L3", "H"}}).Encode(nil))
+			s.dispatch(wire.TypeQueryKNN, (&wire.QueryKNN{From: "L1", K: 3}).Encode(nil))
+		},
+		func(i int) { // info/model readers
+			s.dispatch(wire.TypeGetInfo, nil)
+			s.dispatch(wire.TypeGetModel, nil)
+		},
+	}
+	for _, fn := range work {
+		wg.Add(1)
+		go func(fn func(int)) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					fn(i)
+				}
+			}
+		}(fn)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if s.Epoch() < 2 {
+		t.Fatalf("expected refit churn, epoch = %d", s.Epoch())
+	}
+}
+
+// TestRegisterRefusedDuringPublicationWindow: installSnapshot advances
+// the directory epoch before the snapshot store makes the new epoch
+// visible. A registration arriving in that window, stamped with the
+// snapshot's (older) epoch, would be dead on arrival — it must be
+// refused with CodeStaleEpoch, not Acked.
+func TestRegisterRefusedDuringPublicationWindow(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	defer s.Close()
+	model, err := s.Model() // epoch 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{0.5, 1.5, 1.5, 2.5}
+	h, err := model.SolveHost(d1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate mid-publication: directory already at 2, snapshot still 1.
+	s.dir.AdvanceEpoch(2)
+	reg := &wire.RegisterHost{Addr: "H", Out: h.Out, In: h.In, Epoch: 1}
+	typ, payload := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("window registration answered %v, want Error", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeStaleEpoch {
+		t.Fatalf("code %d, want CodeStaleEpoch", werr.Code)
+	}
+}

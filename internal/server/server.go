@@ -3,6 +3,15 @@
 // into the landmark model with SVD or NMF, serves the model to ordinary
 // hosts, and runs the directory of registered host vectors that lets any
 // two hosts estimate their distance without measuring it.
+//
+// The model has a versioned lifecycle: each successful fit publishes an
+// immutable epoch-stamped snapshot through internal/lifecycle, refits run
+// on a debounced background goroutine (never on a request handler), and
+// the epoch travels in every model-bearing response so clients can tell
+// when their solved vectors belong to a dead generation. Directory
+// entries are tagged with the epoch they were solved against; a refit
+// evicts stale entries and rejects stale registrations (CodeStaleEpoch)
+// instead of silently serving cross-generation estimates.
 package server
 
 import (
@@ -18,6 +27,7 @@ import (
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/lifecycle"
 	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/wire"
@@ -57,6 +67,23 @@ type Config struct {
 	// (default 100000), bounding per-request allocation and keeping the
 	// reply under the frame size limit.
 	MaxBatch int
+	// BaseEpoch offsets the model epoch sequence: the first fit
+	// publishes BaseEpoch+1. Epochs live in memory, so a restarted
+	// server starting again from 0 would reuse epochs its previous
+	// incarnation already published, and a client that solved against
+	// the old incarnation could mistake the new model for its own
+	// generation. Long-lived deployments should derive the base from
+	// the clock, as cmd/ides-server does; the default 0 keeps epochs
+	// small and deterministic for in-process use and tests.
+	BaseEpoch uint64
+	// RefitMinInterval is the minimum time between background refits
+	// (default 10s): however fast measurements churn, the factorization
+	// runs at most once per interval. In-process Model/Refit calls
+	// bypass it.
+	RefitMinInterval time.Duration
+	// RefitThreshold is how many accepted measurements must accumulate
+	// before a background refit is scheduled (default 1).
+	RefitThreshold int
 	// Logger receives operational messages. Nil disables logging.
 	Logger *log.Logger
 }
@@ -67,10 +94,17 @@ type Server struct {
 	lmIndex map[string]int
 	now     func() time.Time // injectable clock for TTL tests
 
-	mu         sync.RWMutex
-	dist       *mat.Dense // landmark RTTs; NaN = not yet measured
-	model      *core.Model
-	modelDirty bool
+	// mu guards dist — the raw landmark measurement matrix — and nothing
+	// else: report handlers hold it just long enough to write accepted
+	// entries, and the refitter holds it (read-side) just long enough to
+	// copy the matrix out. Model state never lives under it.
+	mu   sync.RWMutex
+	dist *mat.Dense // landmark RTTs; NaN = not yet measured
+
+	// refit owns the model lifecycle: epoch-stamped immutable snapshots,
+	// dirty tracking, and the debounced background fit. Handlers read
+	// snapshots lock-free; no request handler ever runs a factorization.
+	refit *lifecycle.Refitter
 
 	// dir holds registered host vectors, sharded for concurrent access.
 	// engine answers point, batch and k-NN queries over it, falling back
@@ -123,16 +157,28 @@ func New(cfg Config) (*Server, error) {
 		now:     time.Now,
 		dist:    dist,
 	}
-	// The directory reads the clock through s.now so tests that inject a
-	// fake clock steer TTL expiry too.
+	// The directory and the refitter read the clock through s.now so
+	// tests that inject a fake clock steer TTL expiry and debounce too.
 	s.dir = query.New(query.Config{
 		Shards: cfg.DirectoryShards,
 		TTL:    cfg.HostTTL,
 		Now:    func() time.Time { return s.now() },
 	})
 	s.setEngine(nil)
+	s.refit = lifecycle.New(s.fitModel, lifecycle.Config{
+		BaseEpoch:   cfg.BaseEpoch,
+		MinInterval: cfg.RefitMinInterval,
+		Threshold:   cfg.RefitThreshold,
+		Now:         func() time.Time { return s.now() },
+		OnSwap:      s.installSnapshot,
+		OnError:     func(err error) { s.logf("background refit failed (will retry): %v", err) },
+	})
 	return s, nil
 }
+
+// Close stops the background refitter. The server keeps serving the
+// last published snapshot; Serve is unaffected. Safe to call twice.
+func (s *Server) Close() { s.refit.Close() }
 
 // setEngine installs the query engine for a (possibly nil) fitted model.
 // The resolver closure pins that model generation: models are immutable
@@ -145,8 +191,21 @@ func (s *Server) setEngine(m *core.Model) {
 		if !ok || m == nil {
 			return core.Vectors{}, false
 		}
-		return core.Vectors{Out: m.Outgoing(i), In: m.Incoming(i)}, true
+		return m.Vectors(i), true
 	}))
+}
+
+// installSnapshot swaps every per-generation consumer over to a freshly
+// fitted snapshot. It runs on the refitter's goroutine just before the
+// snapshot becomes visible, and ordering matters: the directory epoch
+// advances first — vectors solved against the old model stop resolving —
+// and only then does the engine start serving the new landmark vectors,
+// so no query ever dots vectors from two different fits.
+func (s *Server) installSnapshot(snap *lifecycle.Snapshot) {
+	s.dir.AdvanceEpoch(snap.Epoch)
+	s.setEngine(snap.Model)
+	s.logf("model refit: epoch %d, %d landmarks, d=%d, algorithm=%v",
+		snap.Epoch, len(s.cfg.Landmarks), snap.Model.Dim(), snap.Model.Algorithm)
 }
 
 // Serve accepts and handles connections on ln until ctx is cancelled or
@@ -228,33 +287,44 @@ func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte)
 }
 
 func (s *Server) handleGetInfo() (wire.MsgType, []byte) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	info := &wire.Info{
 		Dim:          uint32(s.cfg.Dim),
 		NumLandmarks: uint32(len(s.cfg.Landmarks)),
 		Algorithm:    s.cfg.Algorithm.String(),
-		ModelReady:   s.model != nil && !s.modelDirty,
+	}
+	if snap := s.refit.Snapshot(); snap != nil {
+		info.ModelReady = true
+		info.Epoch = snap.Epoch
+		info.Dim = uint32(snap.Model.Dim())
 	}
 	return wire.TypeInfo, info.Encode(nil)
 }
 
 func (s *Server) handleGetModel() (wire.MsgType, []byte) {
-	if err := s.ensureModel(); err != nil {
+	// Ready serves the live snapshot without blocking. Only when no model
+	// has ever been fit does it wait — for a fit run by the refitter
+	// goroutine, not this handler — because there is nothing to serve
+	// stale in the meantime.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	snap, err := s.refit.Ready(ctx)
+	if err != nil {
 		return errFrame(wire.CodeModelNotFit, err.Error())
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	model := snap.Model
 	msg := &wire.Model{
-		Dim:       uint32(s.model.Dim()),
-		Algorithm: s.model.Algorithm.String(),
+		Dim:       uint32(model.Dim()),
+		Algorithm: model.Algorithm.String(),
+		Epoch:     snap.Epoch,
 		Landmarks: make([]wire.LandmarkVec, len(s.cfg.Landmarks)),
 	}
 	for i, addr := range s.cfg.Landmarks {
+		// Vector storage is shared with the model, which is immutable;
+		// Encode only reads it.
 		msg.Landmarks[i] = wire.LandmarkVec{
 			Addr: addr,
-			Out:  append([]float64(nil), s.model.Outgoing(i)...),
-			In:   append([]float64(nil), s.model.Incoming(i)...),
+			Out:  model.Outgoing(i),
+			In:   model.Incoming(i),
 		}
 	}
 	return wire.TypeModel, msg.Encode(nil)
@@ -265,13 +335,17 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// lmIndex is immutable after New, so source and entry validation run
+	// before the lock; mu is held only for the dist writes themselves.
 	from, ok := s.lmIndex[rep.From]
 	if !ok {
 		return errFrame(wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
 	}
-	accepted := 0
+	type obs struct {
+		to int
+		ms float64
+	}
+	accepted := make([]obs, 0, len(rep.Entries))
 	for _, e := range rep.Entries {
 		to, ok := s.lmIndex[e.To]
 		if !ok || to == from {
@@ -280,16 +354,20 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 		if e.RTTMillis < 0 || math.IsNaN(e.RTTMillis) || math.IsInf(e.RTTMillis, 0) {
 			continue
 		}
-		s.dist.Set(from, to, e.RTTMillis)
-		// RTT is symmetric; mirror unless the reverse direction was
-		// measured independently.
-		if math.IsNaN(s.dist.At(to, from)) {
-			s.dist.Set(to, from, e.RTTMillis)
-		}
-		accepted++
+		accepted = append(accepted, obs{to: to, ms: e.RTTMillis})
 	}
-	if accepted > 0 {
-		s.modelDirty = true
+	if len(accepted) > 0 {
+		s.mu.Lock()
+		for _, o := range accepted {
+			s.dist.Set(from, o.to, o.ms)
+			// RTT is symmetric; mirror unless the reverse direction was
+			// measured independently.
+			if math.IsNaN(s.dist.At(o.to, from)) {
+				s.dist.Set(o.to, from, o.ms)
+			}
+		}
+		s.mu.Unlock()
+		s.refit.Dirty(len(accepted))
 	}
 	return wire.TypeAck, nil
 }
@@ -302,19 +380,33 @@ func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
 	if reg.Addr == "" {
 		return errFrame(wire.CodeBadRequest, "empty host address")
 	}
-	s.mu.RLock()
+	var cur uint64
 	want := s.cfg.Dim
-	if s.model != nil {
-		want = s.model.Dim()
+	if snap := s.refit.Snapshot(); snap != nil {
+		cur = snap.Epoch
+		want = snap.Model.Dim()
 	}
-	s.mu.RUnlock()
+	// During snapshot publication the directory epoch advances before
+	// the snapshot becomes visible; in that window the directory is the
+	// authority — accepting a registration at the snapshot's older epoch
+	// would Ack an entry that is dead on arrival.
+	if de := s.dir.Epoch(); de > cur {
+		cur = de
+	}
+	// Vectors solved against a replaced model generation must not enter
+	// the directory: estimates would mix two fits. Epoch 0 marks a
+	// pre-epoch client and is accepted as unversioned.
+	if reg.Epoch != 0 && reg.Epoch != cur {
+		return errFrame(wire.CodeStaleEpoch,
+			fmt.Sprintf("vectors solved against epoch %d, server at epoch %d: re-fetch the model and re-solve", reg.Epoch, cur))
+	}
 	if len(reg.Out) != want || len(reg.In) != want {
 		return errFrame(wire.CodeBadRequest,
 			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
 	}
 	// The directory shard-locks internally; expiry of stale entries is
 	// amortized into its per-shard sweeps, so registration is O(1).
-	s.dir.Put(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In})
+	s.dir.PutEpoch(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In}, reg.Epoch)
 	return wire.TypeAck, nil
 }
 
@@ -323,11 +415,18 @@ func (s *Server) handleGetVectors(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	v, ok := s.engine.Load().Lookup(req.Addr)
-	if !ok {
-		return wire.TypeVectors, (&wire.Vectors{Found: false}).Encode(nil)
+	resp := &wire.Vectors{}
+	if v, ok := s.engine.Load().Lookup(req.Addr); ok {
+		resp.Found = true
+		resp.Out = v.Out
+		resp.In = v.In
 	}
-	return wire.TypeVectors, (&wire.Vectors{Found: true, Out: v.Out, In: v.In}).Encode(nil)
+	// Stamp the epoch after the lookup: a refit landing in between then
+	// yields data from the old generation stamped with the new epoch,
+	// which errs toward client recovery. The reverse order could stamp
+	// new-generation data with the old epoch and suppress it.
+	resp.Epoch = s.refit.Epoch()
+	return wire.TypeVectors, resp.Encode(nil)
 }
 
 func (s *Server) handleQueryDist(payload []byte) (wire.MsgType, []byte) {
@@ -357,14 +456,18 @@ func (s *Server) handleQueryBatch(payload []byte) (wire.MsgType, []byte) {
 	}
 	eng := s.engine.Load()
 	resp := &wire.Distances{Results: make([]wire.DistResult, len(req.Targets))}
+	// Epoch stamped after the engine work, for the same recovery-biased
+	// ordering as handleGetVectors.
 	src, ok := eng.Lookup(req.From)
 	if !ok {
+		resp.Epoch = s.refit.Epoch()
 		return wire.TypeDistances, resp.Encode(nil)
 	}
 	resp.SrcFound = true
 	for i, est := range eng.EstimateBatch(src, req.Targets) {
 		resp.Results[i] = wire.DistResult{Found: est.Found, Millis: est.Millis}
 	}
+	resp.Epoch = s.refit.Epoch()
 	return wire.TypeDistances, resp.Encode(nil)
 }
 
@@ -386,6 +489,7 @@ func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
 	resp := &wire.Neighbors{}
 	src, ok := eng.Lookup(req.From)
 	if !ok {
+		resp.Epoch = s.refit.Epoch()
 		return wire.TypeNeighbors, resp.Encode(nil)
 	}
 	resp.SrcFound = true
@@ -394,21 +498,21 @@ func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
 	for i, n := range neighbors {
 		resp.Entries[i] = wire.NeighborEntry{Addr: n.Addr, Millis: n.Millis}
 	}
+	// Post-work stamp: see handleGetVectors for the ordering rationale.
+	resp.Epoch = s.refit.Epoch()
 	return wire.TypeNeighbors, resp.Encode(nil)
 }
 
-// ensureModel refits the landmark model if new measurements arrived.
-func (s *Server) ensureModel() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.model != nil && !s.modelDirty {
-		return nil
-	}
+// fitModel builds one model generation: it copies the observed landmark
+// matrix under a short read lock, then factors with no locks held. It
+// runs only on the lifecycle refitter's goroutine.
+func (s *Server) fitModel() (*core.Model, error) {
 	m := len(s.cfg.Landmarks)
 	complete := true
 	var observed int
 	mask := mat.NewDense(m, m)
 	d := mat.NewDense(m, m)
+	s.mu.RLock()
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
 			v := s.dist.At(i, j)
@@ -425,10 +529,11 @@ func (s *Server) ensureModel() error {
 			observed++
 		}
 	}
+	s.mu.RUnlock()
 	// Require a usable measurement density: every landmark needs at least
 	// Dim observations for its vectors to be determined.
 	if observed < m*s.cfg.Dim && observed < m*(m-1) {
-		return fmt.Errorf("server: only %d of %d landmark pairs measured", observed, m*(m-1))
+		return nil, fmt.Errorf("server: only %d of %d landmark pairs measured", observed, m*(m-1))
 	}
 	opts := core.FitOptions{
 		Dim:       s.cfg.Dim,
@@ -438,35 +543,49 @@ func (s *Server) ensureModel() error {
 	}
 	if !complete {
 		if s.cfg.Algorithm != core.NMF {
-			return errors.New("server: landmark matrix incomplete; SVD cannot fit around holes (configure NMF, §4.2)")
+			return nil, errors.New("server: landmark matrix incomplete; SVD cannot fit around holes (configure NMF, §4.2)")
 		}
 		opts.Mask = mask
 	}
 	model, err := core.Fit(d, opts)
 	if err != nil {
-		return fmt.Errorf("server: fitting model: %w", err)
+		return nil, fmt.Errorf("server: fitting model: %w", err)
 	}
-	s.model = model
-	s.modelDirty = false
-	s.setEngine(model)
-	s.logf("model refit: %d landmarks, d=%d, algorithm=%v", m, model.Dim(), model.Algorithm)
-	return nil
+	return model, nil
 }
 
-// Model returns the current landmark model, fitting it first if needed.
-// It is the in-process equivalent of a GetModel request.
+// Model returns the current landmark model, synchronously refitting
+// first if new measurements are pending — read-your-writes semantics
+// for in-process callers and tests. Wire handlers never take this path:
+// they serve the published snapshot as-is.
 func (s *Server) Model() (*core.Model, error) {
-	if err := s.ensureModel(); err != nil {
+	snap, err := s.refit.Refresh(context.Background())
+	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.model, nil
+	return snap.Model, nil
 }
 
-// NumHosts returns the number of live (unexpired) registered hosts. It
-// reads the directory's per-shard counters instead of scanning every
-// entry; the count is exact within one sweep interval of any expiry.
+// Epoch returns the epoch of the model generation currently being
+// served, 0 before the first fit.
+func (s *Server) Epoch() uint64 { return s.refit.Epoch() }
+
+// Refit synchronously folds all pending measurements into a new model
+// generation (bumping the epoch if anything was pending) and returns
+// the resulting epoch — an operational hook for tests and tools; the
+// serving path refits in the background on its own schedule.
+func (s *Server) Refit(ctx context.Context) (uint64, error) {
+	snap, err := s.refit.Refresh(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return snap.Epoch, nil
+}
+
+// NumHosts returns the number of live (unexpired, current-epoch)
+// registered hosts. It reads the directory's per-shard counters instead
+// of scanning every entry; the count is exact within one sweep interval
+// of any expiry.
 func (s *Server) NumHosts() int { return s.dir.Len() }
 
 // Engine exposes the server's query engine for in-process callers (the

@@ -30,7 +30,7 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 func FuzzDecodeModel(f *testing.F) {
-	f.Add((&Model{Dim: 3, Algorithm: "NMF", Landmarks: []LandmarkVec{
+	f.Add((&Model{Dim: 3, Algorithm: "NMF", Epoch: 2, Landmarks: []LandmarkVec{
 		{Addr: "a", Out: []float64{1, 2, 3}, In: []float64{4, 5, 6}},
 	}}).Encode(nil))
 	f.Add([]byte{})
@@ -45,7 +45,7 @@ func FuzzDecodeModel(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if out.Dim != m.Dim || len(out.Landmarks) != len(m.Landmarks) {
+		if out.Dim != m.Dim || len(out.Landmarks) != len(m.Landmarks) || out.Epoch != m.Epoch {
 			t.Fatal("model round-trip mismatch")
 		}
 	})
@@ -87,7 +87,7 @@ func FuzzDecodeQueryBatch(f *testing.F) {
 }
 
 func FuzzDecodeDistances(f *testing.F) {
-	f.Add((&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 1.5}}}).Encode(nil))
+	f.Add((&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 1.5}}, Epoch: 3}).Encode(nil))
 	valid := (&Distances{Results: []DistResult{{Found: true, Millis: 1}, {Found: true, Millis: 2}}}).Encode(nil)
 	f.Add(valid[:len(valid)-3])
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
@@ -101,8 +101,27 @@ func FuzzDecodeDistances(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if out.SrcFound != m.SrcFound || len(out.Results) != len(m.Results) {
+		if out.SrcFound != m.SrcFound || len(out.Results) != len(m.Results) || out.Epoch != m.Epoch {
 			t.Fatal("Distances round-trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeRegisterHost(f *testing.F) {
+	f.Add((&RegisterHost{Addr: "h1", Out: []float64{1, 2}, In: []float64{3, 4}, Epoch: 5}).Encode(nil))
+	f.Add([]byte{0, 1, 'a'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeRegisterHost(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeRegisterHost(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.Addr != m.Addr || len(out.Out) != len(m.Out) || out.Epoch != m.Epoch {
+			t.Fatal("RegisterHost round-trip mismatch")
 		}
 	})
 }
@@ -124,7 +143,7 @@ func FuzzDecodeQueryKNN(f *testing.F) {
 }
 
 func FuzzDecodeNeighbors(f *testing.F) {
-	f.Add((&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "m", Millis: 2}}}).Encode(nil))
+	f.Add((&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "m", Millis: 2}}, Epoch: 4}).Encode(nil))
 	valid := (&Neighbors{Entries: []NeighborEntry{{Addr: "m", Millis: 2}}}).Encode(nil)
 	f.Add(valid[:len(valid)-4])
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
@@ -138,7 +157,7 @@ func FuzzDecodeNeighbors(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if out.SrcFound != m.SrcFound || len(out.Entries) != len(m.Entries) {
+		if out.SrcFound != m.SrcFound || len(out.Entries) != len(m.Entries) || out.Epoch != m.Epoch {
 			t.Fatal("Neighbors round-trip mismatch")
 		}
 	})

@@ -21,6 +21,10 @@ const (
 	CodeNotLandmark  uint16 = 6
 	CodeUnavailable  uint16 = 7
 	CodeUnauthorized uint16 = 8
+	// CodeStaleEpoch rejects a registration whose vectors were solved
+	// against a model epoch the server has since replaced; the client
+	// must re-fetch the model, re-solve, and register again.
+	CodeStaleEpoch uint16 = 9
 )
 
 // Encode appends the message payload to dst.
@@ -91,6 +95,9 @@ type Info struct {
 	NumLandmarks uint32
 	Algorithm    string
 	ModelReady   bool
+	// Epoch identifies the model generation currently being served; 0
+	// means no model has been fit yet, or the server predates epochs.
+	Epoch uint64
 }
 
 // Encode appends the message payload to dst.
@@ -98,7 +105,8 @@ func (m *Info) Encode(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Dim)
 	dst = binary.BigEndian.AppendUint32(dst, m.NumLandmarks)
 	dst = appendString(dst, m.Algorithm)
-	return appendBool(dst, m.ModelReady)
+	dst = appendBool(dst, m.ModelReady)
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeInfo parses an Info payload.
@@ -115,9 +123,10 @@ func DecodeInfo(b []byte) (*Info, error) {
 	if m.Algorithm, rest, err = consumeString(rest); err != nil {
 		return nil, err
 	}
-	if m.ModelReady, _, err = consumeBool(rest); err != nil {
+	if m.ModelReady, rest, err = consumeBool(rest); err != nil {
 		return nil, err
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }
 
@@ -133,6 +142,10 @@ type Model struct {
 	Dim       uint32
 	Algorithm string
 	Landmarks []LandmarkVec
+	// Epoch identifies this model generation. A client registers with
+	// the epoch of the model it solved against, and re-fetches when any
+	// later response is stamped with a different epoch.
+	Epoch uint64
 }
 
 // Encode appends the message payload to dst.
@@ -146,7 +159,7 @@ func (m *Model) Encode(dst []byte) []byte {
 		dst = appendFloats(dst, l.Out)
 		dst = appendFloats(dst, l.In)
 	}
-	return dst
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeModel parses a Model payload.
@@ -181,6 +194,7 @@ func DecodeModel(b []byte) (*Model, error) {
 			return nil, err
 		}
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }
 
@@ -242,13 +256,18 @@ type RegisterHost struct {
 	Addr string
 	Out  []float64
 	In   []float64
+	// Epoch is the model generation the vectors were solved against. The
+	// server rejects a nonzero Epoch that does not match its current one
+	// (CodeStaleEpoch); 0 marks a pre-epoch client and is accepted.
+	Epoch uint64
 }
 
 // Encode appends the message payload to dst.
 func (m *RegisterHost) Encode(dst []byte) []byte {
 	dst = appendString(dst, m.Addr)
 	dst = appendFloats(dst, m.Out)
-	return appendFloats(dst, m.In)
+	dst = appendFloats(dst, m.In)
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeRegisterHost parses a RegisterHost payload.
@@ -262,9 +281,10 @@ func DecodeRegisterHost(b []byte) (*RegisterHost, error) {
 	if m.Out, rest, err = consumeFloats(rest); err != nil {
 		return nil, err
 	}
-	if m.In, _, err = consumeFloats(rest); err != nil {
+	if m.In, rest, err = consumeFloats(rest); err != nil {
 		return nil, err
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }
 
@@ -290,13 +310,17 @@ type Vectors struct {
 	Found bool
 	Out   []float64
 	In    []float64
+	// Epoch is the server's current model epoch, so a caller can tell
+	// when its own solved vectors are from a dead generation.
+	Epoch uint64
 }
 
 // Encode appends the message payload to dst.
 func (m *Vectors) Encode(dst []byte) []byte {
 	dst = appendBool(dst, m.Found)
 	dst = appendFloats(dst, m.Out)
-	return appendFloats(dst, m.In)
+	dst = appendFloats(dst, m.In)
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeVectors parses a Vectors payload.
@@ -310,9 +334,10 @@ func DecodeVectors(b []byte) (*Vectors, error) {
 	if m.Out, rest, err = consumeFloats(rest); err != nil {
 		return nil, err
 	}
-	if m.In, _, err = consumeFloats(rest); err != nil {
+	if m.In, rest, err = consumeFloats(rest); err != nil {
 		return nil, err
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }
 
@@ -425,6 +450,9 @@ func DecodeQueryBatch(b []byte) (*QueryBatch, error) {
 type Distances struct {
 	SrcFound bool
 	Results  []DistResult
+	// Epoch is the server's current model epoch; a client registered at
+	// a different epoch should re-solve and re-register.
+	Epoch uint64
 }
 
 // DistResult is one entry of a Distances reply.
@@ -442,7 +470,7 @@ func (m *Distances) Encode(dst []byte) []byte {
 		dst = appendBool(dst, r.Found)
 		dst = appendFloat(dst, r.Millis)
 	}
-	return dst
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeDistances parses a Distances payload.
@@ -471,6 +499,7 @@ func DecodeDistances(b []byte) (*Distances, error) {
 			return nil, err
 		}
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }
 
@@ -509,6 +538,9 @@ func DecodeQueryKNN(b []byte) (*QueryKNN, error) {
 type Neighbors struct {
 	SrcFound bool
 	Entries  []NeighborEntry
+	// Epoch is the server's current model epoch; a client registered at
+	// a different epoch should re-solve and re-register.
+	Epoch uint64
 }
 
 // NeighborEntry is one k-nearest result.
@@ -526,7 +558,7 @@ func (m *Neighbors) Encode(dst []byte) []byte {
 		dst = appendString(dst, m.Entries[i].Addr)
 		dst = appendFloat(dst, m.Entries[i].Millis)
 	}
-	return dst
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // DecodeNeighbors parses a Neighbors payload.
@@ -557,5 +589,6 @@ func DecodeNeighbors(b []byte) (*Neighbors, error) {
 		}
 		m.Entries = append(m.Entries, e)
 	}
+	m.Epoch, _ = consumeOptionalUint64(rest)
 	return m, nil
 }

@@ -15,6 +15,15 @@
 // Encode* functions append to a caller-provided buffer (gopacket-style
 // zero-copy building); Decode* functions parse from a payload slice and
 // copy what they keep.
+//
+// Evolution policy: the frame version is bumped only for incompatible
+// layout changes. Compatible additions are appended to the end of a
+// payload — decoders ignore unrecognized trailing bytes, and treat an
+// absent trailing field as its zero value — so old and new peers
+// interoperate. The model-epoch stamps on Info, Model, RegisterHost,
+// Vectors, Distances and Neighbors are such trailing fields: a peer that
+// predates them reads and writes epoch 0, which every component treats
+// as "unversioned".
 package wire
 
 import (
@@ -243,4 +252,15 @@ func consumeBool(b []byte) (bool, []byte, error) {
 		return false, nil, ErrShortPayload
 	}
 	return b[0] != 0, b[1:], nil
+}
+
+// consumeOptionalUint64 reads a trailing uint64 if one is present and
+// returns 0 otherwise — the decoding half of the append-only evolution
+// policy: fields added after the first protocol release are absent in
+// frames from old peers, and absent means zero.
+func consumeOptionalUint64(b []byte) (uint64, []byte) {
+	if len(b) < 8 {
+		return 0, b
+	}
+	return binary.BigEndian.Uint64(b), b[8:]
 }

@@ -126,13 +126,70 @@ func TestPingPongRoundTrip(t *testing.T) {
 }
 
 func TestInfoRoundTrip(t *testing.T) {
-	in := &Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true}
+	in := &Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true, Epoch: 7}
 	out, err := DecodeInfo(in.Encode(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if *out != *in {
 		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+// TestEpochRoundTrip checks the epoch stamp survives every message that
+// carries one.
+func TestEpochRoundTrip(t *testing.T) {
+	const e = uint64(42)
+	if m, err := DecodeModel((&Model{Dim: 2, Algorithm: "SVD", Epoch: e}).Encode(nil)); err != nil || m.Epoch != e {
+		t.Fatalf("Model epoch: %+v %v", m, err)
+	}
+	if m, err := DecodeRegisterHost((&RegisterHost{Addr: "h", Out: []float64{1}, In: []float64{2}, Epoch: e}).Encode(nil)); err != nil || m.Epoch != e {
+		t.Fatalf("RegisterHost epoch: %+v %v", m, err)
+	}
+	if m, err := DecodeVectors((&Vectors{Found: true, Out: []float64{1}, In: []float64{2}, Epoch: e}).Encode(nil)); err != nil || m.Epoch != e {
+		t.Fatalf("Vectors epoch: %+v %v", m, err)
+	}
+	if m, err := DecodeDistances((&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 1}}, Epoch: e}).Encode(nil)); err != nil || m.Epoch != e {
+		t.Fatalf("Distances epoch: %+v %v", m, err)
+	}
+	if m, err := DecodeNeighbors((&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "n", Millis: 1}}, Epoch: e}).Encode(nil)); err != nil || m.Epoch != e {
+		t.Fatalf("Neighbors epoch: %+v %v", m, err)
+	}
+}
+
+// TestEpochBackwardCompat simulates frames from a pre-epoch peer: the
+// epoch is a trailing field, so stripping the final 8 bytes of a modern
+// encoding yields exactly the old layout. Decoders must accept it and
+// read epoch 0, and every other field must come through intact.
+func TestEpochBackwardCompat(t *testing.T) {
+	strip := func(b []byte) []byte { return b[:len(b)-8] }
+
+	info, err := DecodeInfo(strip((&Info{Dim: 3, NumLandmarks: 4, Algorithm: "NMF", ModelReady: true, Epoch: 9}).Encode(nil)))
+	if err != nil || info.Epoch != 0 || info.Dim != 3 || !info.ModelReady {
+		t.Fatalf("Info compat: %+v %v", info, err)
+	}
+	model, err := DecodeModel(strip((&Model{
+		Dim: 1, Algorithm: "SVD", Epoch: 9,
+		Landmarks: []LandmarkVec{{Addr: "a", Out: []float64{1}, In: []float64{2}}},
+	}).Encode(nil)))
+	if err != nil || model.Epoch != 0 || len(model.Landmarks) != 1 || model.Landmarks[0].Out[0] != 1 {
+		t.Fatalf("Model compat: %+v %v", model, err)
+	}
+	reg, err := DecodeRegisterHost(strip((&RegisterHost{Addr: "h", Out: []float64{1}, In: []float64{2}, Epoch: 9}).Encode(nil)))
+	if err != nil || reg.Epoch != 0 || reg.Addr != "h" || reg.In[0] != 2 {
+		t.Fatalf("RegisterHost compat: %+v %v", reg, err)
+	}
+	vec, err := DecodeVectors(strip((&Vectors{Found: true, Out: []float64{1}, In: []float64{2}, Epoch: 9}).Encode(nil)))
+	if err != nil || vec.Epoch != 0 || !vec.Found {
+		t.Fatalf("Vectors compat: %+v %v", vec, err)
+	}
+	dists, err := DecodeDistances(strip((&Distances{SrcFound: true, Results: []DistResult{{Found: true, Millis: 5}}, Epoch: 9}).Encode(nil)))
+	if err != nil || dists.Epoch != 0 || !dists.SrcFound || dists.Results[0].Millis != 5 {
+		t.Fatalf("Distances compat: %+v %v", dists, err)
+	}
+	nbrs, err := DecodeNeighbors(strip((&Neighbors{SrcFound: true, Entries: []NeighborEntry{{Addr: "n", Millis: 5}}, Epoch: 9}).Encode(nil)))
+	if err != nil || nbrs.Epoch != 0 || len(nbrs.Entries) != 1 {
+		t.Fatalf("Neighbors compat: %+v %v", nbrs, err)
 	}
 }
 
