@@ -40,6 +40,9 @@ func main() {
 	knn := flag.Int("knn", 0, "print the k registered hosts estimated closest to this one (one round trip)")
 	listen := flag.String("listen", "", "also answer echo probes on this address, so other hosts can use this one as a §5.2 reference point (keeps running)")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
+	poolMaxIdle := flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
+	poolMaxPerHost := flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
+	poolIdleTimeout := flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this (keep below the server's -idle-timeout)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -48,6 +51,16 @@ func main() {
 	}
 
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	pool, err := transport.NewPool(transport.PoolConfig{
+		Dialer:         dialer,
+		MaxIdlePerHost: *poolMaxIdle,
+		MaxPerHost:     *poolMaxPerHost,
+		IdleTimeout:    *poolIdleTimeout,
+	})
+	if err != nil {
+		logger.Fatalf("ides-client: %v", err)
+	}
+	defer pool.Close()
 	c, err := client.New(client.Config{
 		Self:    *self,
 		Server:  *serverAddr,
@@ -57,6 +70,7 @@ func main() {
 		K:       *k,
 		Seed:    *seed,
 		NNLS:    *nnls,
+		Pool:    pool,
 	})
 	if err != nil {
 		logger.Fatalf("ides-client: %v", err)
@@ -120,6 +134,7 @@ func main() {
 			Server: *serverAddr,
 			Dialer: dialer,
 			Pinger: &transport.TCPPinger{Dialer: dialer},
+			Pool:   pool,
 			Logger: logger,
 		})
 		if err != nil {

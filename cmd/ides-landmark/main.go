@@ -33,6 +33,9 @@ func main() {
 	interval := flag.Duration("interval", time.Minute, "measurement round interval")
 	samples := flag.Int("samples", 4, "echo probes per peer per round (minimum is reported)")
 	once := flag.Bool("once", false, "measure and report a single round, then exit; no echo service is started, so peers must be running persistent landmarks for the probes to succeed (e.g. a cron-driven extra report cadence on top of a persistent fleet)")
+	poolMaxIdle := flag.Int("pool-max-idle", 2, "idle pooled report connections kept to the server")
+	poolMaxPerHost := flag.Int("pool-max-per-host", 4, "total pooled connections to the server (negative = unlimited)")
+	poolIdleTimeout := flag.Duration("pool-idle-timeout", 2*time.Minute, "close pooled connections idle longer than this (keep below the server's -idle-timeout; reports arrive every -interval, so a pool idle budget above it keeps one warm connection across rounds)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -45,6 +48,16 @@ func main() {
 	}
 
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	pool, err := transport.NewPool(transport.PoolConfig{
+		Dialer:         dialer,
+		MaxIdlePerHost: *poolMaxIdle,
+		MaxPerHost:     *poolMaxPerHost,
+		IdleTimeout:    *poolIdleTimeout,
+	})
+	if err != nil {
+		logger.Fatalf("ides-landmark: %v", err)
+	}
+	defer pool.Close()
 	agent, err := landmark.New(landmark.Config{
 		Self:     *self,
 		Peers:    peerList,
@@ -53,6 +66,7 @@ func main() {
 		Pinger:   &transport.TCPPinger{Dialer: dialer},
 		Samples:  *samples,
 		Interval: *interval,
+		Pool:     pool,
 		Logger:   logger,
 	})
 	if err != nil {

@@ -39,6 +39,8 @@ func main() {
 	nmfIters := flag.Int("nmf-iters", 200, "NMF iteration budget")
 	seed := flag.Int64("seed", 1, "model fitting seed")
 	hostTTL := flag.Duration("host-ttl", 0, "expire directory entries not re-registered within this window (0 = never)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "budget for one request/response exchange")
+	idleTimeout := flag.Duration("idle-timeout", 0, "budget for a keep-alive connection idling between requests (0 = 10x request timeout, min 5m; negative applies the request timeout to idle waits)")
 	refitInterval := flag.Duration("refit-interval", 10*time.Second, "minimum time between background model refits")
 	refitThreshold := flag.Int("refit-threshold", 1, "accepted measurements required before a background refit is scheduled")
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
@@ -77,6 +79,8 @@ func main() {
 		Seed:             *seed,
 		NMFIters:         *nmfIters,
 		HostTTL:          *hostTTL,
+		RequestTimeout:   *requestTimeout,
+		IdleTimeout:      *idleTimeout,
 		BaseEpoch:        base,
 		RefitMinInterval: *refitInterval,
 		RefitThreshold:   *refitThreshold,

@@ -125,6 +125,19 @@ func runChurn(scale experiments.Scale, seed int64) error {
 	defer func() { cancel(); <-done }()
 	addr := ln.Addr().String()
 	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	// Reports ride the pool instead of dialing per round: the reporter
+	// goroutine fires every 50ms for the whole run, exactly the small-
+	// message cadence the pool exists for.
+	pool, err := transport.NewPool(transport.PoolConfig{
+		Dialer:         dialer,
+		MaxIdlePerHost: *poolMaxIdle,
+		MaxPerHost:     *poolMaxPerHost,
+		IdleTimeout:    *poolIdleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
 
 	report := func(from int, jitter float64) error {
 		rep := &wire.ReportRTT{From: lmNames[from]}
@@ -135,7 +148,7 @@ func runChurn(scale experiments.Scale, seed int64) error {
 			ms := rtt(lmPts[from], lmPts[j]) * (1 + jitter*(rng.Float64()-0.5))
 			rep.Entries = append(rep.Entries, wire.RTTEntry{To: lmNames[j], RTTMillis: ms})
 		}
-		typ, _, err := transport.Call(ctx, dialer, addr, wire.TypeReportRTT, rep.Encode(nil))
+		typ, _, err := pool.Call(ctx, addr, wire.TypeReportRTT, rep.Encode(nil))
 		if err != nil {
 			return err
 		}

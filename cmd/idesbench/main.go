@@ -8,8 +8,9 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, churn, all. The churn workload also
-// writes BENCH_churn.json for the perf trajectory.
+// fig7b, ablations, bulkquery, churn, pool, all. The churn and pool
+// workloads also write BENCH_churn.json / BENCH_pool.json for the perf
+// trajectory.
 package main
 
 import (
@@ -17,13 +18,21 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/stats"
 )
 
+// Pool tuning shared by the network workloads (churn, pool).
+var (
+	poolMaxIdle     = flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
+	poolMaxPerHost  = flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
+	poolIdleTimeout = flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
 	flag.Parse()
@@ -46,8 +55,9 @@ func main() {
 		"ablations": runAblations,
 		"bulkquery": runBulkQuery,
 		"churn":     runChurn,
+		"pool":      runPool,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool"}
 
 	var ids []string
 	if *exp == "all" {

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"github.com/ides-go/ides/internal/experiments"
+	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// poolResult is the JSON shape written to BENCH_pool.json: the same
+// request stream measured dial-per-call and over the connection pool.
+type poolResult struct {
+	Workload string `json:"workload"`
+	Hosts    int    `json:"hosts"`
+	Dim      int    `json:"dim"`
+
+	PointDial   churnOpStats `json:"point_query_dial"`
+	PointPooled churnOpStats `json:"point_query_pooled"`
+	// PointP50Speedup is dial p50 / pooled p50 — how much of the small-
+	// request latency was handshake churn.
+	PointP50Speedup float64 `json:"point_p50_speedup"`
+
+	BatchDial       churnOpStats `json:"query_batch_dial"`
+	BatchPooled     churnOpStats `json:"query_batch_pooled"`
+	BatchP50Speedup float64      `json:"batch_p50_speedup"`
+
+	PoolDials   int64 `json:"pool_dials"`
+	PoolReuses  int64 `json:"pool_reuses"`
+	PoolRetries int64 `json:"pool_retries"`
+}
+
+// runPool is the transport workload: a real loopback TCP server loaded
+// with registered hosts answers the same stream of point queries and
+// QueryBatch calls twice — once dialing a fresh connection per call (the
+// pre-pool client behavior) and once over a transport.Pool of persistent
+// connections. The paper's architecture assumes hosts fire many small
+// exchanges at the service; this measures how much of that cost was TCP
+// handshake churn. Writes BENCH_pool.json.
+func runPool(scale experiments.Scale, seed int64) error {
+	numHosts, pointOps, batchOps := 2_000, 2_000, 200
+	if scale == experiments.Full {
+		numHosts, pointOps, batchOps = 10_000, 10_000, 1_000
+	}
+	const (
+		dim       = 8
+		batchSize = 256
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	// The transport is the subject here, not the model: hosts register
+	// synthetic epoch-0 vectors directly, which the directory serves
+	// without any landmark fit.
+	srv, err := server.New(server.Config{Landmarks: []string{"lm-0", "lm-1"}, Dim: dim, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ctx, ln) }() //nolint:errcheck
+	defer func() { cancel(); <-done }()
+	addr := ln.Addr().String()
+
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	pool, err := transport.NewPool(transport.PoolConfig{
+		Dialer:         dialer,
+		MaxIdlePerHost: *poolMaxIdle,
+		MaxPerHost:     *poolMaxPerHost,
+		IdleTimeout:    *poolIdleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	addrs := make([]string, numHosts)
+	var buf []byte
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("host-%06d", i)
+		out := make([]float64, dim)
+		in := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			out[d] = rng.Float64() * 10
+			in[d] = rng.Float64() * 10
+		}
+		reg := &wire.RegisterHost{Addr: addrs[i], Out: out, In: in}
+		buf = reg.Encode(buf[:0])
+		typ, _, err := pool.Call(ctx, addr, wire.TypeRegisterHost, buf)
+		if err != nil {
+			return err
+		}
+		if typ != wire.TypeAck {
+			return fmt.Errorf("register %s answered %v", addrs[i], typ)
+		}
+	}
+
+	// Both modes replay identical request streams: caller is a function
+	// of (type, payload) so the dial-per-call and pooled passes differ
+	// only in transport.
+	type caller func(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error)
+	dialCall := func(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+		return transport.Call(ctx, dialer, addr, t, payload)
+	}
+	pooledCall := func(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+		return pool.Call(ctx, addr, t, payload)
+	}
+
+	runPoint := func(call caller, seed int64) (churnOpStats, error) {
+		rng := rand.New(rand.NewSource(seed))
+		lat := make([]time.Duration, pointOps)
+		start := time.Now()
+		for i := 0; i < pointOps; i++ {
+			q := &wire.QueryDist{From: addrs[rng.Intn(numHosts)], To: addrs[rng.Intn(numHosts)]}
+			buf = q.Encode(buf[:0])
+			t0 := time.Now()
+			typ, payload, err := call(wire.TypeQueryDist, buf)
+			lat[i] = time.Since(t0)
+			if err != nil || typ != wire.TypeDistance {
+				return churnOpStats{}, fmt.Errorf("QueryDist: %v %v", typ, err)
+			}
+			if _, err := wire.DecodeDistance(payload); err != nil {
+				return churnOpStats{}, err
+			}
+		}
+		return churnStats(lat, time.Since(start)), nil
+	}
+	runBatch := func(call caller, seed int64) (churnOpStats, error) {
+		rng := rand.New(rand.NewSource(seed))
+		lat := make([]time.Duration, batchOps)
+		targets := make([]string, batchSize)
+		start := time.Now()
+		for i := 0; i < batchOps; i++ {
+			for j := range targets {
+				targets[j] = addrs[rng.Intn(numHosts)]
+			}
+			q := &wire.QueryBatch{From: addrs[rng.Intn(numHosts)], Targets: targets}
+			buf = q.Encode(buf[:0])
+			t0 := time.Now()
+			typ, payload, err := call(wire.TypeQueryBatch, buf)
+			lat[i] = time.Since(t0)
+			if err != nil || typ != wire.TypeDistances {
+				return churnOpStats{}, fmt.Errorf("QueryBatch: %v %v", typ, err)
+			}
+			if _, err := wire.DecodeDistances(payload); err != nil {
+				return churnOpStats{}, err
+			}
+		}
+		return churnStats(lat, time.Since(start)), nil
+	}
+
+	result := poolResult{Workload: "pool", Hosts: numHosts, Dim: dim}
+	if result.PointDial, err = runPoint(dialCall, seed+1); err != nil {
+		return err
+	}
+	if result.PointPooled, err = runPoint(pooledCall, seed+1); err != nil {
+		return err
+	}
+	if result.BatchDial, err = runBatch(dialCall, seed+2); err != nil {
+		return err
+	}
+	if result.BatchPooled, err = runBatch(pooledCall, seed+2); err != nil {
+		return err
+	}
+	if result.PointPooled.P50Us > 0 {
+		result.PointP50Speedup = result.PointDial.P50Us / result.PointPooled.P50Us
+	}
+	if result.BatchPooled.P50Us > 0 {
+		result.BatchP50Speedup = result.BatchDial.P50Us / result.BatchPooled.P50Us
+	}
+	st := pool.Stats()
+	result.PoolDials, result.PoolReuses, result.PoolRetries = st.Dials, st.Reuses, st.Retries
+
+	fmt.Printf("\n== Pool workload: %d hosts, pooled vs dial-per-call over loopback TCP ==\n", numHosts)
+	fmt.Printf("point query  dial-per-call: %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)\n",
+		result.PointDial.Ops, result.PointDial.P50Us, result.PointDial.P99Us, result.PointDial.OpsPerSec)
+	fmt.Printf("point query  pooled:        %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)  [p50 %.1fx]\n",
+		result.PointPooled.Ops, result.PointPooled.P50Us, result.PointPooled.P99Us, result.PointPooled.OpsPerSec, result.PointP50Speedup)
+	fmt.Printf("batch (%d)   dial-per-call: %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)\n",
+		batchSize, result.BatchDial.Ops, result.BatchDial.P50Us, result.BatchDial.P99Us, result.BatchDial.OpsPerSec)
+	fmt.Printf("batch (%d)   pooled:        %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)  [p50 %.1fx]\n",
+		batchSize, result.BatchPooled.Ops, result.BatchPooled.P50Us, result.BatchPooled.P99Us, result.BatchPooled.OpsPerSec, result.BatchP50Speedup)
+	fmt.Printf("pool: %d dials, %d reuses, %d retries\n", st.Dials, st.Reuses, st.Retries)
+
+	f, err := os.Create("BENCH_pool.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_pool.json)")
+	return nil
+}

@@ -28,6 +28,12 @@
 //     (Client.EstimateBatch), all-pairs (QueryEngine.EstimateMatrix), and
 //     k-nearest (Client.KNearest) queries, each answered in one wire round
 //     trip via the QueryBatch/Distances and QueryKNN/Neighbors messages;
+//   - the pooled transport (NewPool): clients and landmark agents carry
+//     every exchange over keep-alive connections reused per address — with
+//     idle reaping, per-host caps, per-call deadline reset, and one
+//     transparent retry when a pooled connection died idle — while the
+//     server runs idle waits and in-flight requests on separate timeout
+//     budgets (Config.IdleTimeout vs Config.RequestTimeout);
 //   - the synthetic datasets and baselines used to reproduce every table
 //     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
 //     FitVivaldi).

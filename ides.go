@@ -233,6 +233,19 @@ type (
 // TCPPinger measures RTT with echo frames over the service transport.
 type TCPPinger = transport.TCPPinger
 
+// Pool is a client-side pool of persistent connections: calls reuse
+// keep-alive connections per address instead of dialing per request,
+// with idle reaping, per-host caps, and one transparent retry when a
+// pooled connection died idle. Share one Pool across clients and
+// landmark agents via their Config.Pool fields.
+type Pool = transport.Pool
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig = transport.PoolConfig
+
+// NewPool validates cfg and builds a connection Pool.
+var NewPool = transport.NewPool
+
 // ---- simulated network ----
 
 // SimNet is an in-process virtual network driven by a topology's delays.

@@ -14,6 +14,12 @@
 // and retries — the same self-healing contract as the HostTTL
 // re-registration path, extended to model churn without turning every
 // refit into a fleet-wide re-measurement storm.
+//
+// All exchanges with the information server ride a transport.Pool of
+// persistent connections — model fetches, registrations, vector lookups
+// and queries reuse keep-alive connections instead of dialing per call.
+// Supply a shared pool through Config.Pool or let New build a private
+// one; Close releases the latter.
 package client
 
 import (
@@ -51,11 +57,21 @@ type Config struct {
 	NNLS bool
 	// Timeout bounds each network exchange. Default 15s.
 	Timeout time.Duration
+	// Pool, when set, carries every server-directed exchange over pooled
+	// persistent connections shared with other components. When nil, New
+	// builds a private pool over Dialer (released by Close). Either way
+	// the client never dials per call.
+	Pool *transport.Pool
 }
 
 // Client is an IDES ordinary host. Create with New, then Bootstrap.
 type Client struct {
 	cfg Config
+
+	// pool carries all exchanges with the information server; ownPool
+	// records whether Close should release it.
+	pool    *transport.Pool
+	ownPool bool
 
 	mu      sync.RWMutex
 	model   *wire.Model
@@ -94,7 +110,35 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 15 * time.Second
 	}
-	return &Client{cfg: cfg, peerCache: make(map[string]core.Vectors)}, nil
+	c := &Client{cfg: cfg, pool: cfg.Pool, peerCache: make(map[string]core.Vectors)}
+	if c.pool == nil {
+		pool, err := transport.NewPool(transport.PoolConfig{
+			Dialer:      cfg.Dialer,
+			CallTimeout: cfg.Timeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		c.pool, c.ownPool = pool, true
+	}
+	return c, nil
+}
+
+// Close releases the client's private connection pool (a no-op when the
+// pool was supplied through Config.Pool). The client is unusable after.
+func (c *Client) Close() error {
+	if c.ownPool {
+		return c.pool.Close()
+	}
+	return nil
+}
+
+// call performs one pooled request/response exchange with the information
+// server under the configured per-exchange timeout.
+func (c *Client) call(ctx context.Context, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	return c.pool.Call(rctx, c.cfg.Server, t, payload)
 }
 
 // Bootstrap performs the full §5.1 join sequence: fetch model, measure
@@ -204,9 +248,7 @@ func (c *Client) solveAndRegister(ctx context.Context, model *wire.Model, measur
 	// Publish to the directory, stamped with the epoch we solved against
 	// so the server can refuse it if the model moved meanwhile.
 	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In, Epoch: model.Epoch}
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
-	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
+	respT, _, err := c.call(ctx, wire.TypeRegisterHost, reg.Encode(nil))
 	if err != nil {
 		return fmt.Errorf("client: registering: %w", err)
 	}
@@ -289,9 +331,7 @@ func (c *Client) recoverEpoch(ctx context.Context) error {
 }
 
 func (c *Client) fetchModel(ctx context.Context) (*wire.Model, error) {
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
-	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeGetModel, nil)
+	respT, payload, err := c.call(ctx, wire.TypeGetModel, nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: fetching model: %w", err)
 	}
@@ -418,10 +458,8 @@ func (c *Client) fetchVectors(ctx context.Context, addr string) (core.Vectors, u
 			}
 		}
 	}
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
 	req := &wire.GetVectors{Addr: addr}
-	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeGetVectors, req.Encode(nil))
+	respT, payload, err := c.call(ctx, wire.TypeGetVectors, req.Encode(nil))
 	if err != nil {
 		return core.Vectors{}, 0, fmt.Errorf("client: fetching vectors for %s: %w", addr, err)
 	}
@@ -495,10 +533,8 @@ func (c *Client) EstimateBatch(ctx context.Context, targets []string) ([]BatchEs
 }
 
 func (c *Client) queryBatch(ctx context.Context, targets []string) (*wire.Distances, error) {
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
 	req := &wire.QueryBatch{From: c.cfg.Self, Targets: targets}
-	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeQueryBatch, req.Encode(nil))
+	respT, payload, err := c.call(ctx, wire.TypeQueryBatch, req.Encode(nil))
 	if err != nil {
 		return nil, fmt.Errorf("client: batch query: %w", err)
 	}
@@ -558,9 +594,7 @@ func (c *Client) reRegister(ctx context.Context) error {
 	epoch := c.epoch
 	c.mu.RUnlock()
 	reg := &wire.RegisterHost{Addr: c.cfg.Self, Out: vec.Out, In: vec.In, Epoch: epoch}
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
-	respT, _, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeRegisterHost, reg.Encode(nil))
+	respT, _, err := c.call(ctx, wire.TypeRegisterHost, reg.Encode(nil))
 	if err != nil {
 		return fmt.Errorf("client: re-registering: %w", err)
 	}
@@ -615,10 +649,8 @@ func (c *Client) KNearest(ctx context.Context, k int) ([]NeighborEstimate, error
 }
 
 func (c *Client) queryKNN(ctx context.Context, k int) (*wire.Neighbors, error) {
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
 	req := &wire.QueryKNN{From: c.cfg.Self, K: uint32(k)}
-	respT, payload, err := transport.Call(rctx, c.cfg.Dialer, c.cfg.Server, wire.TypeQueryKNN, req.Encode(nil))
+	respT, payload, err := c.call(ctx, wire.TypeQueryKNN, req.Encode(nil))
 	if err != nil {
 		return nil, fmt.Errorf("client: knn query: %w", err)
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -149,4 +150,97 @@ func TestFullSystemOverTCP(t *testing.T) {
 	if err != nil || !dd.Found {
 		t.Fatalf("distance: %+v %v", dd, err)
 	}
+}
+
+// connCountingListener counts connections the server accepts, so tests
+// can prove the client reuses pooled connections instead of dialing per
+// call.
+type connCountingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *connCountingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestClientPoolsServerConnections drives a client through register +
+// many queries over real TCP and asserts the server saw a small, bounded
+// number of connections — the pooled-transport contract — rather than
+// one dial per exchange.
+func TestClientPoolsServerConnections(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+
+	lmAddrs := []string{"lm-a", "lm-b"}
+	srv, err := server.New(server.Config{Landmarks: lmAddrs, Dim: 2, Algorithm: core.SVD, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &connCountingListener{Listener: base}
+	go srv.Serve(ctx, ln) //nolint:errcheck
+	srvAddr := base.Addr().String()
+
+	for i, self := range lmAddrs {
+		rep := &wire.ReportRTT{From: self}
+		for j, to := range lmAddrs {
+			if i == j {
+				continue
+			}
+			rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: float64(10 + i + j)})
+		}
+		typ, _, err := transport.Call(ctx, dialer, srvAddr, wire.TypeReportRTT, rep.Encode(nil))
+		if err != nil || typ != wire.TypeAck {
+			t.Fatalf("report: %v %v", typ, err)
+		}
+	}
+
+	// The landmark "addresses" are names, not dialable endpoints; a stub
+	// pinger lets Bootstrap measure them without real landmark agents.
+	c, err := New(Config{
+		Self:    "client-pool",
+		Server:  srvAddr,
+		Dialer:  dialer,
+		Pinger:  stubPinger{rtt: 5 * time.Millisecond},
+		Samples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		if _, err := c.EstimateBatch(ctx, []string{"client-pool"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bootstrap (GetModel + RegisterHost) plus 50 batch queries used to
+	// cost ~52 dials; pooled they share a handful of connections. The
+	// report calls above used transport.Call directly, so allow those
+	// two dials plus the pool's.
+	if got := ln.accepts.Load(); got > int64(len(lmAddrs))+4 {
+		t.Fatalf("server accepted %d connections for %d exchanges; pooling should bound this near %d",
+			got, queries+2, len(lmAddrs)+2)
+	}
+}
+
+// stubPinger reports a fixed RTT for any address.
+type stubPinger struct{ rtt time.Duration }
+
+func (p stubPinger) Ping(ctx context.Context, addr string, samples int) (time.Duration, error) {
+	return p.rtt, nil
 }

@@ -1,7 +1,10 @@
 // Package landmark implements the IDES landmark agent: a well-positioned
 // node that measures round-trip times to its landmark peers, reports them
 // to the information server, and answers echo requests so that other nodes
-// can measure their distance to it (§5.1).
+// can measure their distance to it (§5.1). Reports ride a transport.Pool
+// of persistent connections to the server (shared via Config.Pool or
+// private, released by Close), and the echo service keeps client
+// connections alive across probe batches under EchoIdleTimeout.
 package landmark
 
 import (
@@ -36,13 +39,25 @@ type Config struct {
 	Interval time.Duration
 	// Timeout bounds one measurement or report exchange. Default 15s.
 	Timeout time.Duration
+	// EchoIdleTimeout bounds how long an echo connection may sit idle
+	// between Ping frames before ServeEcho closes it. Pingers batch
+	// several probes per connection, so idle waits are normal; the
+	// default is ten times Timeout. Negative restores the old behavior
+	// of applying Timeout to idle waits too.
+	EchoIdleTimeout time.Duration
+	// Pool, when set, carries report exchanges over pooled persistent
+	// connections shared with other components. When nil, New builds a
+	// private pool over Dialer (released by Close).
+	Pool *transport.Pool
 	// Logger receives operational messages. Nil disables logging.
 	Logger *log.Logger
 }
 
 // Agent measures and reports landmark-to-landmark distances.
 type Agent struct {
-	cfg Config
+	cfg     Config
+	pool    *transport.Pool
+	ownPool bool
 }
 
 // New validates cfg and builds an Agent.
@@ -65,7 +80,33 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 15 * time.Second
 	}
-	return &Agent{cfg: cfg}, nil
+	switch {
+	case cfg.EchoIdleTimeout < 0:
+		cfg.EchoIdleTimeout = cfg.Timeout
+	case cfg.EchoIdleTimeout == 0:
+		cfg.EchoIdleTimeout = 10 * cfg.Timeout
+	}
+	a := &Agent{cfg: cfg, pool: cfg.Pool}
+	if a.pool == nil {
+		pool, err := transport.NewPool(transport.PoolConfig{
+			Dialer:      cfg.Dialer,
+			CallTimeout: cfg.Timeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("landmark: %w", err)
+		}
+		a.pool, a.ownPool = pool, true
+	}
+	return a, nil
+}
+
+// Close releases the agent's private connection pool (a no-op when the
+// pool was supplied through Config.Pool).
+func (a *Agent) Close() error {
+	if a.ownPool {
+		return a.pool.Close()
+	}
+	return nil
 }
 
 // MeasureOnce pings every peer and returns the observed RTTs in
@@ -101,7 +142,7 @@ func (a *Agent) ReportOnce(ctx context.Context) error {
 	msg := &wire.ReportRTT{From: a.cfg.Self, Entries: entries}
 	rctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
 	defer cancel()
-	respT, _, err := transport.Call(rctx, a.cfg.Dialer, a.cfg.Server, wire.TypeReportRTT, msg.Encode(nil))
+	respT, _, err := a.pool.Call(rctx, a.cfg.Server, wire.TypeReportRTT, msg.Encode(nil))
 	if err != nil {
 		return fmt.Errorf("landmark %s: reporting: %w", a.cfg.Self, err)
 	}
@@ -162,15 +203,23 @@ func (a *Agent) echoConn(ctx context.Context, conn net.Conn) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 	buf := make([]byte, 0, 16)
+	// Like Server.handleConn, only the wait for a frame's first bytes
+	// runs on the long EchoIdleTimeout budget; reading the rest of an
+	// arrived frame (via RequestConn) and answering it run on Timeout.
+	rc := &transport.RequestConn{Conn: conn, Budget: a.cfg.Timeout}
 	for {
-		if err := conn.SetDeadline(time.Now().Add(a.cfg.Timeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(a.cfg.EchoIdleTimeout)); err != nil {
 			return
 		}
-		t, payload, err := wire.ReadFrame(conn)
+		rc.Rearm()
+		t, payload, err := wire.ReadFrame(rc)
 		if err != nil {
 			if err != io.EOF && ctx.Err() == nil {
 				a.logf("echo read: %v", err)
 			}
+			return
+		}
+		if err := conn.SetDeadline(time.Now().Add(a.cfg.Timeout)); err != nil {
 			return
 		}
 		if t != wire.TypePing {

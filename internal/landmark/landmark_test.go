@@ -3,6 +3,7 @@ package landmark
 import (
 	"context"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -248,5 +249,95 @@ func TestRunReportsPeriodically(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+// acceptCounter counts accepted connections (to prove pooled reports
+// reuse one connection across rounds).
+type acceptCounter struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *acceptCounter) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+func TestReportOncePoolsServerConnection(t *testing.T) {
+	// A fake server that Acks every report, counting connections; several
+	// report rounds must share one pooled connection.
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { base.Close() })
+	ln := &acceptCounter{Listener: base}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					typ, _, err := wire.ReadFrame(c)
+					if err != nil || typ != wire.TypeReportRTT {
+						return
+					}
+					if err := wire.WriteFrame(c, wire.TypeAck, nil); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	// Echo peer so MeasureOnce succeeds.
+	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peerLn.Close() })
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	peer, err := New(Config{
+		Self:   peerLn.Addr().String(),
+		Peers:  []string{"unused"},
+		Server: base.Addr().String(),
+		Dialer: dialer,
+		Pinger: &transport.TCPPinger{Dialer: dialer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	go peer.ServeEcho(ctx, peerLn) //nolint:errcheck
+
+	agent, err := New(Config{
+		Self:    "lm-self",
+		Peers:   []string{peerLn.Addr().String()},
+		Server:  base.Addr().String(),
+		Dialer:  dialer,
+		Pinger:  &transport.TCPPinger{Dialer: dialer},
+		Samples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if err := agent.ReportOnce(ctx); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if got := ln.accepts.Load(); got != 1 {
+		t.Fatalf("%d report rounds opened %d server connections, want 1 pooled", rounds, got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/topology"
@@ -41,11 +42,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Pinger samples round-trip times over a topology with realistic noise.
-// A Pinger is not safe for concurrent use; create one per goroutine.
+// A Pinger is safe for concurrent use: the underlying *rand.Rand is not,
+// so a mutex serializes every draw. Single-goroutine campaigns see the
+// exact same sample sequence as before; concurrent callers interleave
+// draws nondeterministically (use one seeded Pinger per goroutine when
+// per-goroutine reproducibility matters).
 type Pinger struct {
 	topo *topology.Topology
-	rng  *rand.Rand
 	cfg  Config
+
+	mu  sync.Mutex // guards rng: rand.Rand races under concurrent use
+	rng *rand.Rand
 }
 
 // NewPinger returns a Pinger over t.
@@ -57,6 +64,12 @@ func NewPinger(t *topology.Topology, cfg Config) *Pinger {
 // Sample sends one simulated ping from host i to host j and reports the
 // observed RTT. ok is false when the sample was lost.
 func (p *Pinger) Sample(i, j int) (rtt float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sampleLocked(i, j)
+}
+
+func (p *Pinger) sampleLocked(i, j int) (rtt float64, ok bool) {
 	if p.cfg.LossProb > 0 && p.rng.Float64() < p.cfg.LossProb {
 		return 0, false
 	}
@@ -72,12 +85,18 @@ func (p *Pinger) Sample(i, j int) (rtt float64, ok bool) {
 // the NLANR and PlanetLab datasets were built (minimum of periodic pings
 // over a day). ok is false if every sample was lost.
 func (p *Pinger) MinRTT(i, j, k int) (rtt float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.minRTTLocked(i, j, k)
+}
+
+func (p *Pinger) minRTTLocked(i, j, k int) (rtt float64, ok bool) {
 	if k <= 0 {
 		panic(fmt.Sprintf("measure: MinRTT sample count %d must be positive", k))
 	}
 	best := math.Inf(1)
 	for s := 0; s < k; s++ {
-		if v, sampled := p.Sample(i, j); sampled && v < best {
+		if v, sampled := p.sampleLocked(i, j); sampled && v < best {
 			best = v
 		}
 	}
@@ -92,6 +111,12 @@ func (p *Pinger) MinRTT(i, j, k int) (rtt float64, ok bool) {
 // estimate carries multiplicative error (the name servers are near, not at,
 // the hosts) plus a small additive processing delay.
 func (p *Pinger) King(i, j int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kingLocked(i, j)
+}
+
+func (p *Pinger) kingLocked(i, j int) float64 {
 	base := p.topo.RTT(i, j)
 	// Multiplicative error: normal around 1 with 6% sd, biased slightly
 	// high, truncated to keep estimates positive. Gross misattribution
@@ -128,6 +153,8 @@ const (
 // samples is the per-pair ping budget for ModeMinRTT. pairLossProb drops a
 // whole pair's measurement (both directions) to produce missing entries.
 func (p *Pinger) MeasureMatrix(hosts []int, mode MatrixMode, samples int, pairLossProb float64) *Campaign {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := len(hosts)
 	d := mat.NewDense(n, n)
 	mask := mat.NewDense(n, n)
@@ -143,11 +170,11 @@ func (p *Pinger) MeasureMatrix(hosts []int, mode MatrixMode, samples int, pairLo
 			var ok bool
 			switch mode {
 			case ModeMinRTT:
-				v, ok = p.MinRTT(hosts[a], hosts[b], samples)
+				v, ok = p.minRTTLocked(hosts[a], hosts[b], samples)
 			case ModeSinglePing:
-				v, ok = p.Sample(hosts[a], hosts[b])
+				v, ok = p.sampleLocked(hosts[a], hosts[b])
 			case ModeKing:
-				v, ok = p.King(hosts[a], hosts[b]), true
+				v, ok = p.kingLocked(hosts[a], hosts[b]), true
 			default:
 				panic(fmt.Sprintf("measure: unknown mode %d", mode))
 			}
@@ -167,6 +194,8 @@ func (p *Pinger) MeasureMatrix(hosts []int, mode MatrixMode, samples int, pairLo
 // distance from rows[a] to cols[b] is the forward-path RTT (asymmetric when
 // the topology is). Used to build the AGNP-style rectangular dataset.
 func (p *Pinger) MeasureDirected(rows, cols []int, samples int) *Campaign {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	nr, nc := len(rows), len(cols)
 	d := mat.NewDense(nr, nc)
 	mask := mat.NewDense(nr, nc)

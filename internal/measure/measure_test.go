@@ -2,6 +2,7 @@ package measure
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"github.com/ides-go/ides/internal/topology"
@@ -219,4 +220,32 @@ func TestKingNoGrossOutliers(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestPingerConcurrentUse(t *testing.T) {
+	// The rng behind Sample/MinRTT/King used to race under concurrent
+	// callers; run a mixed workload from many goroutines (meaningful
+	// under -race).
+	topo := testTopo(t, 16, 30)
+	p := NewPinger(topo, Config{Seed: 31, LossProb: 0.05})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				i, j := (g+n)%16, (g+n+1)%16
+				if v, ok := p.Sample(i, j); ok && v < topo.RTT(i, j) {
+					t.Errorf("concurrent Sample %v below base %v", v, topo.RTT(i, j))
+				}
+				if v, ok := p.MinRTT(i, j, 3); ok && v < topo.RTT(i, j) {
+					t.Errorf("concurrent MinRTT %v below base %v", v, topo.RTT(i, j))
+				}
+				if v := p.King(i, j); v <= 0 {
+					t.Errorf("concurrent King estimate %v must be positive", v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

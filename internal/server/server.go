@@ -30,6 +30,7 @@ import (
 	"github.com/ides-go/ides/internal/lifecycle"
 	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/query"
+	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
 
@@ -50,6 +51,14 @@ type Config struct {
 	// RequestTimeout bounds a single request/response exchange on a
 	// connection. Default 30s.
 	RequestTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// between requests before it is closed. Client-side connection pools
+	// hold connections open across calls, so this budget is distinct
+	// from — and much longer than — RequestTimeout: the default is ten
+	// times RequestTimeout (at least 5 minutes). A negative value
+	// restores the pre-pool behavior of applying RequestTimeout to idle
+	// waits too.
+	IdleTimeout time.Duration
 	// HostTTL expires directory entries that have not been re-registered
 	// within the window, so vectors from departed or re-routed hosts stop
 	// serving estimates. Zero keeps entries forever. Expiry is amortized:
@@ -128,6 +137,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
+	}
+	switch {
+	case cfg.IdleTimeout < 0:
+		cfg.IdleTimeout = cfg.RequestTimeout
+	case cfg.IdleTimeout == 0:
+		cfg.IdleTimeout = 10 * cfg.RequestTimeout
+		if cfg.IdleTimeout < 5*time.Minute {
+			cfg.IdleTimeout = 5 * time.Minute
+		}
 	}
 	if cfg.MaxKNN <= 0 {
 		cfg.MaxKNN = 4096
@@ -237,15 +255,29 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+	// Two distinct budgets per iteration: IdleTimeout covers only the
+	// wait for a request's first bytes (pooled clients keep connections
+	// open between calls), and RequestTimeout covers everything after —
+	// the rest of the frame (armed by the wrapper as soon as data
+	// arrives, so a slow-loris trickler cannot stretch one request over
+	// the idle budget), then dispatch and the response write (re-armed
+	// after the read). Conflating them would either kill pooled idle
+	// connections after one request budget or let a stalled reader or
+	// writer hold the connection for the whole idle budget.
+	rc := &transport.RequestConn{Conn: conn, Budget: s.cfg.RequestTimeout}
 	for {
-		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 			return
 		}
-		t, payload, err := wire.ReadFrame(conn)
+		rc.Rearm()
+		t, payload, err := wire.ReadFrame(rc)
 		if err != nil {
 			if err != io.EOF && ctx.Err() == nil {
 				s.logf("read from %v: %v", conn.RemoteAddr(), err)
 			}
+			return
+		}
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
 			return
 		}
 		respT, respPayload := s.dispatch(t, payload)

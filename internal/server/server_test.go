@@ -738,3 +738,136 @@ func TestServeRejectsGarbageStream(t *testing.T) {
 		t.Fatalf("server unusable after garbage stream: %v %v", typ, err)
 	}
 }
+
+// serveTCP starts s on a loopback listener and returns its address plus a
+// shutdown func.
+func serveTCP(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); s.Serve(ctx, ln) }() //nolint:errcheck
+	t.Cleanup(func() { cancel(); <-done })
+	return ln.Addr().String()
+}
+
+func TestIdleConnectionOutlivesRequestTimeout(t *testing.T) {
+	// A keep-alive connection idling past RequestTimeout must stay open:
+	// idle waits run on the (longer) IdleTimeout budget, not the request
+	// budget. Before the split, pooled connections died after one
+	// RequestTimeout of idleness.
+	lm := []string{"L1", "L2"}
+	s, err := New(Config{Landmarks: lm, Dim: 2, Seed: 1, RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ping := func(token uint64) {
+		t.Helper()
+		if err := wire.WriteFrame(conn, wire.TypePing, (&wire.Ping{Token: token}).Encode(nil)); err != nil {
+			t.Fatalf("write after idle: %v", err)
+		}
+		typ, _, err := wire.ReadFrame(conn)
+		if err != nil || typ != wire.TypePong {
+			t.Fatalf("exchange %d: %v %v", token, typ, err)
+		}
+	}
+	ping(1)
+	time.Sleep(500 * time.Millisecond) // > 3x RequestTimeout of idleness
+	ping(2)
+}
+
+func TestNegativeIdleTimeoutRestoresOldBehavior(t *testing.T) {
+	// IdleTimeout < 0 applies RequestTimeout to idle waits, the pre-pool
+	// behavior: an idle keep-alive connection is closed after one request
+	// budget.
+	lm := []string{"L1", "L2"}
+	s, err := New(Config{Landmarks: lm, Dim: 2, Seed: 1,
+		RequestTimeout: 100 * time.Millisecond, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.TypePing, (&wire.Ping{Token: 1}).Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := wire.ReadFrame(conn); err != nil || typ != wire.TypePong {
+		t.Fatalf("first exchange: %v %v", typ, err)
+	}
+	// Wait out the request budget, then expect the server to have closed
+	// the connection: the next read reports EOF/reset rather than a pong.
+	time.Sleep(400 * time.Millisecond)
+	_ = wire.WriteFrame(conn, wire.TypePing, (&wire.Ping{Token: 2}).Encode(nil))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if typ, _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatalf("idle connection survived RequestTimeout with IdleTimeout<0 (got %v)", typ)
+	}
+}
+
+func TestIdleTimeoutDefaultsWellAboveRequestTimeout(t *testing.T) {
+	s, err := New(Config{Landmarks: []string{"L1", "L2"}, Dim: 2, RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.cfg.IdleTimeout < 5*time.Minute {
+		t.Fatalf("default IdleTimeout %v, want >= 5m", s.cfg.IdleTimeout)
+	}
+	s2, err := New(Config{Landmarks: []string{"L1", "L2"}, Dim: 2, RequestTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.cfg.IdleTimeout != 10*time.Hour {
+		t.Fatalf("IdleTimeout %v for 1h RequestTimeout, want 10h", s2.cfg.IdleTimeout)
+	}
+}
+
+func TestSlowRequestBoundedByRequestTimeout(t *testing.T) {
+	// A client that starts a frame and then stalls must be dropped after
+	// RequestTimeout, not held for the whole (much longer) IdleTimeout:
+	// the idle budget covers only the wait for a request to start.
+	lm := []string{"L1", "L2"}
+	s, err := New(Config{Landmarks: lm, Dim: 2, Seed: 1,
+		RequestTimeout: 150 * time.Millisecond, IdleTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0x01}); err != nil { // first byte of a frame, then silence
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a half-sent frame")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("half-sent frame held the connection for %v; want ~RequestTimeout", elapsed)
+	}
+}

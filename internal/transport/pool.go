@@ -1,0 +1,371 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig struct {
+	// Dialer opens new connections (required). *net.Dialer and
+	// *simnet.Host both work.
+	Dialer Dialer
+	// MaxIdlePerHost caps how many idle connections are kept per address;
+	// surplus connections are closed when returned. Default 4.
+	MaxIdlePerHost int
+	// MaxPerHost caps the total connections (checked out + idle) per
+	// address; callers beyond the cap wait for one to free up. Default 16.
+	// Negative means unlimited.
+	MaxPerHost int
+	// IdleTimeout closes connections that sit unused in the pool longer
+	// than this. It should stay below the server's own idle budget so the
+	// pool retires connections before the peer does. Default 60s.
+	IdleTimeout time.Duration
+	// CallTimeout bounds a Call whose context carries no deadline of its
+	// own. Default 15s. Negative disables the fallback.
+	CallTimeout time.Duration
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxIdlePerHost == 0 {
+		c.MaxIdlePerHost = 4
+	}
+	if c.MaxPerHost == 0 {
+		c.MaxPerHost = 16
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// PoolStats counts pool activity since creation. Reuses/(Dials+Reuses) is
+// the hit rate; Retries counts calls transparently replayed on a fresh
+// connection after a pooled one turned out to be dead.
+type PoolStats struct {
+	Dials   int64
+	Reuses  int64
+	Retries int64
+	// Discards counts connections dropped for any reason: broken during a
+	// call, reaped after idling out, or surplus over MaxIdlePerHost.
+	Discards int64
+}
+
+// Pool is a client-side connection pool for the IDES request/response
+// protocol. Call performs one exchange over a pooled persistent
+// connection instead of dialing per request: connections are kept per
+// address, reused LIFO (the warmest connection first), reaped after
+// IdleTimeout, and capped both in how many may exist per address
+// (MaxPerHost) and how many may sit idle (MaxIdlePerHost).
+//
+// Server.handleConn serves any number of frames per connection, so a
+// pooled connection stays valid until the server's idle budget expires
+// it. A reused connection can always have died while idle (server
+// restart, idle eviction, middlebox timeout); Call transparently retries
+// exactly once on a fresh connection when that happens. All IDES
+// exchanges are idempotent request/response pairs, so the single replay
+// is safe.
+//
+// A Pool is safe for concurrent use. The zero value is not usable;
+// create with NewPool and release with Close.
+type Pool struct {
+	cfg PoolConfig
+
+	mu     sync.Mutex
+	hosts  map[string]*hostPool
+	closed bool
+
+	dials    atomic.Int64
+	reuses   atomic.Int64
+	retries  atomic.Int64
+	discards atomic.Int64
+}
+
+// hostPool tracks one address's connections under the pool mutex: the
+// LIFO idle list and the count of connections in existence (checked out
+// + idle), which MaxPerHost bounds. cond wakes callers waiting at the
+// cap whenever a connection goes idle or is closed.
+type hostPool struct {
+	idle   []idleConn
+	active int
+	cond   *sync.Cond
+	// reapScheduled dedups the idle-reap timer: at most one is armed per
+	// host at a time.
+	reapScheduled bool
+}
+
+type idleConn struct {
+	c     net.Conn
+	since time.Time
+}
+
+// NewPool validates cfg, applies defaults, and builds a Pool.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Dialer == nil {
+		return nil, errors.New("transport: pool needs a Dialer")
+	}
+	return &Pool{cfg: cfg.withDefaults(), hosts: make(map[string]*hostPool)}, nil
+}
+
+// Call performs one request/response exchange with the IDES peer at addr
+// over a pooled connection, with Roundtrip's semantics: a wire.Error
+// response is decoded and returned as an error (the connection is healthy
+// and goes back to the pool). If the context carries no deadline the
+// pool's CallTimeout applies.
+func (p *Pool) Call(ctx context.Context, addr string, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	if _, ok := ctx.Deadline(); !ok && p.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
+		defer cancel()
+	}
+	for attempt := 0; ; attempt++ {
+		// The retry attempt must not pop another pooled connection: when
+		// one idle connection turns out dead its cohort (same server
+		// restart or idle eviction) almost certainly is too, so the
+		// replay flushes the idle list and dials fresh.
+		conn, reused, err := p.get(ctx, addr, attempt > 0)
+		if err != nil {
+			return 0, nil, err
+		}
+		rt, rp, err := Roundtrip(ctx, conn, t, payload)
+		var werr *wire.Error
+		if err == nil || errors.As(err, &werr) {
+			// The exchange completed (possibly with an application-level
+			// error frame); the connection stays good.
+			p.put(addr, conn)
+			return rt, rp, err
+		}
+		p.discard(addr, conn)
+		if reused && attempt == 0 && ctx.Err() == nil {
+			// The pooled connection most likely died while idle; one
+			// replay on a fresh connection.
+			p.retries.Add(1)
+			continue
+		}
+		return 0, nil, err
+	}
+}
+
+// Stats returns a snapshot of the pool's activity counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Dials:    p.dials.Load(),
+		Reuses:   p.reuses.Load(),
+		Retries:  p.retries.Load(),
+		Discards: p.discards.Load(),
+	}
+}
+
+// Close closes every idle connection and marks the pool closed: future
+// Calls fail, waiters at the per-host cap give up, and checked-out
+// connections are closed as they come back. Safe to call twice.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, hp := range p.hosts {
+		for _, ic := range hp.idle {
+			ic.c.Close()
+			hp.active--
+		}
+		hp.idle = nil
+		hp.cond.Broadcast()
+	}
+	return nil
+}
+
+// get returns a connection to addr: a pooled one when available (reused
+// = true), otherwise a fresh dial — waiting at the MaxPerHost cap for a
+// connection to go idle or close first. mustDial skips — and flushes —
+// the idle list: a retry after a dead pooled connection must not gamble
+// on the rest of the same cohort.
+func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn net.Conn, reused bool, err error) {
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	if hp == nil {
+		hp = &hostPool{cond: sync.NewCond(&p.mu)}
+		p.hosts[addr] = hp
+	}
+	// Waiters at the cap park on the cond; a context cancellation must
+	// wake them so they can observe ctx.Err() and give up. Registered
+	// lazily before the first Wait — the common uncontended call never
+	// pays for it.
+	var stopWake func() bool
+	defer func() {
+		if stopWake != nil {
+			stopWake()
+		}
+	}()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false, errors.New("transport: pool is closed")
+		}
+		// LIFO pop, skipping connections that already idled out: the
+		// warmest connection is the least likely to have been expired by
+		// the peer.
+		cutoff := time.Now().Add(-p.cfg.IdleTimeout)
+		for n := len(hp.idle); n > 0; n = len(hp.idle) {
+			ic := hp.idle[n-1]
+			hp.idle = hp.idle[:n-1]
+			if mustDial || ic.since.Before(cutoff) {
+				hp.active--
+				p.mu.Unlock()
+				ic.c.Close()
+				p.discards.Add(1)
+				p.mu.Lock()
+				continue
+			}
+			p.mu.Unlock()
+			p.reuses.Add(1)
+			return ic.c, true, nil
+		}
+		if p.cfg.MaxPerHost < 0 || hp.active < p.cfg.MaxPerHost {
+			hp.active++
+			break
+		}
+		if ctx.Err() != nil {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("transport: waiting for a connection to %s: %w", addr, ctx.Err())
+		}
+		if stopWake == nil {
+			stopWake = context.AfterFunc(ctx, func() {
+				p.mu.Lock()
+				hp.cond.Broadcast()
+				p.mu.Unlock()
+			})
+		}
+		hp.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	c, err := p.cfg.Dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		p.connClosed(hp)
+		return nil, false, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	p.dials.Add(1)
+	return c, false, nil
+}
+
+// put returns a healthy connection to addr's idle list, or closes it when
+// the pool is closed or the idle list is full.
+func (p *Pool) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	if hp == nil {
+		// Cannot happen via Call (get creates the entry), but fail safe.
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if p.closed || len(hp.idle) >= p.cfg.MaxIdlePerHost {
+		hp.active--
+		hp.cond.Signal()
+		p.mu.Unlock()
+		conn.Close()
+		p.discards.Add(1)
+		return
+	}
+	hp.idle = append(hp.idle, idleConn{c: conn, since: time.Now()})
+	p.scheduleReapLocked(addr, hp)
+	hp.cond.Signal()
+	p.mu.Unlock()
+}
+
+// discard closes a broken connection and releases its slot.
+func (p *Pool) discard(addr string, conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	p.mu.Unlock()
+	if hp != nil {
+		p.connClosed(hp)
+	}
+	p.discards.Add(1)
+}
+
+// connClosed releases one per-host connection slot and wakes a waiter.
+func (p *Pool) connClosed(hp *hostPool) {
+	p.mu.Lock()
+	hp.active--
+	hp.cond.Signal()
+	p.mu.Unlock()
+}
+
+// scheduleReapLocked arms a one-shot reap for addr's idle list. The pool
+// has no standing goroutine: a timer fires only while connections are
+// actually idling, and re-arms itself for the next-expiring one.
+func (p *Pool) scheduleReapLocked(addr string, hp *hostPool) {
+	if hp.reapScheduled || len(hp.idle) == 0 {
+		return
+	}
+	hp.reapScheduled = true
+	wait := time.Until(hp.idle[0].since.Add(p.cfg.IdleTimeout))
+	if wait < 0 {
+		wait = 0
+	}
+	time.AfterFunc(wait, func() { p.reap(addr) })
+}
+
+// reap closes addr's expired idle connections and re-arms the timer if
+// any remain.
+func (p *Pool) reap(addr string) {
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	if hp == nil {
+		p.mu.Unlock()
+		return
+	}
+	hp.reapScheduled = false
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	cutoff := time.Now().Add(-p.cfg.IdleTimeout)
+	kept := hp.idle[:0]
+	var expired []net.Conn
+	for _, ic := range hp.idle {
+		if ic.since.Before(cutoff) {
+			expired = append(expired, ic.c)
+			hp.active--
+		} else {
+			kept = append(kept, ic)
+		}
+	}
+	hp.idle = kept
+	if len(expired) > 0 {
+		hp.cond.Broadcast()
+	}
+	p.scheduleReapLocked(addr, hp)
+	p.mu.Unlock()
+	for _, c := range expired {
+		c.Close()
+		p.discards.Add(int64(1))
+	}
+}
+
+// idleCount reports how many connections are currently idle across all
+// hosts (test hook).
+func (p *Pool) idleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, hp := range p.hosts {
+		n += len(hp.idle)
+	}
+	return n
+}

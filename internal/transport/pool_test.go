@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// countingListener wraps a listener and counts accepted connections.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+func newCountingEcho(t *testing.T) (*countingListener, string) {
+	t.Helper()
+	ln := &countingListener{Listener: newLoopback(t)}
+	echoServer(t, ln)
+	return ln, ln.Addr().String()
+}
+
+func newTestPool(t *testing.T, cfg PoolConfig) *Pool {
+	t.Helper()
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{}
+	}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func poolPing(t *testing.T, p *Pool, addr string, token uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	typ, payload, err := p.Call(ctx, addr, wire.TypePing, (&wire.Ping{Token: token}).Encode(nil))
+	if err != nil {
+		t.Fatalf("pool call: %v", err)
+	}
+	if typ != wire.TypePong {
+		t.Fatalf("type %v, want Pong", typ)
+	}
+	pong, err := wire.DecodePong(payload)
+	if err != nil || pong.Token != token {
+		t.Fatalf("pong %+v err %v, want token %d", pong, err, token)
+	}
+}
+
+// TestRoundtripClearsStaleDeadline is the regression test for the reuse
+// bug: a call with a context deadline used to leave that deadline armed
+// on the connection, so a later call with no deadline on the same
+// connection failed as soon as the stale deadline passed.
+func TestRoundtripClearsStaleDeadline(t *testing.T) {
+	ln := newLoopback(t)
+	echoServer(t, ln)
+	d := &net.Dialer{}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	typ, _, err := Roundtrip(ctx, conn, wire.TypePing, (&wire.Ping{Token: 1}).Encode(nil))
+	cancel()
+	if err != nil || typ != wire.TypePong {
+		t.Fatalf("with-deadline call: type %v err %v", typ, err)
+	}
+
+	// Let the first call's absolute deadline expire, then reuse the
+	// connection with a deadline-free context: the call must succeed
+	// rather than inherit the stale deadline and time out instantly.
+	time.Sleep(250 * time.Millisecond)
+	typ, _, err = Roundtrip(context.Background(), conn, wire.TypePing, (&wire.Ping{Token: 2}).Encode(nil))
+	if err != nil {
+		t.Fatalf("no-deadline call on reused conn inherited a stale deadline: %v", err)
+	}
+	if typ != wire.TypePong {
+		t.Fatalf("type %v, want Pong", typ)
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	ln, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{})
+	for i := 0; i < 20; i++ {
+		poolPing(t, p, addr, uint64(i+1))
+	}
+	if got := ln.accepts.Load(); got != 1 {
+		t.Fatalf("20 sequential pooled calls used %d connections, want 1", got)
+	}
+	st := p.Stats()
+	if st.Dials != 1 || st.Reuses != 19 {
+		t.Fatalf("stats %+v, want 1 dial and 19 reuses", st)
+	}
+}
+
+func TestPoolConcurrentCalls(t *testing.T) {
+	// Hammer one pool from many goroutines (meaningful under -race) and
+	// check the per-host cap was respected.
+	const maxConns = 4
+	ln, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{MaxPerHost: maxConns, MaxIdlePerHost: maxConns})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				poolPing(t, p, addr, uint64(g*1000+i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ln.accepts.Load(); got > maxConns {
+		t.Fatalf("pool opened %d connections, MaxPerHost is %d", got, maxConns)
+	}
+	st := p.Stats()
+	if st.Dials+st.Reuses != 16*25 {
+		t.Fatalf("stats %+v do not account for all %d calls", st, 16*25)
+	}
+}
+
+func TestPoolWireErrorKeepsConnection(t *testing.T) {
+	// An application-level error frame is a healthy exchange: the
+	// connection must go back to the pool, not be discarded.
+	ln, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _, err := p.Call(ctx, addr, wire.TypeGetModel, nil)
+	var werr *wire.Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("error %v should unwrap to *wire.Error", err)
+	}
+	poolPing(t, p, addr, 7)
+	if got := ln.accepts.Load(); got != 1 {
+		t.Fatalf("wire error discarded the connection: %d accepts, want 1", got)
+	}
+}
+
+func TestPoolRetriesDeadIdleConnection(t *testing.T) {
+	// A server that serves one request per connection and then closes it:
+	// every pooled reuse finds a dead connection and must transparently
+	// replay on a fresh one.
+	ln := newLoopback(t)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				typ, payload, err := wire.ReadFrame(c)
+				if err != nil || typ != wire.TypePing {
+					return
+				}
+				p, err := wire.DecodePing(payload)
+				if err != nil {
+					return
+				}
+				_ = wire.WriteFrame(c, wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil))
+			}(conn)
+		}
+	}()
+	p := newTestPool(t, PoolConfig{})
+	poolPing(t, p, ln.Addr().String(), 1)
+	// Give the server's close time to land so the next call reuses a
+	// genuinely dead connection rather than winning the race.
+	time.Sleep(50 * time.Millisecond)
+	poolPing(t, p, ln.Addr().String(), 2)
+	if st := p.Stats(); st.Retries != 1 {
+		t.Fatalf("stats %+v, want exactly one transparent retry", st)
+	}
+}
+
+func TestPoolReapsIdleConnections(t *testing.T) {
+	_, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{IdleTimeout: 50 * time.Millisecond})
+	poolPing(t, p, addr, 1)
+	if n := p.idleCount(); n != 1 {
+		t.Fatalf("%d idle connections after call, want 1", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.idleCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection was never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := p.Stats(); st.Discards != 1 {
+		t.Fatalf("stats %+v, want the reaped connection counted as a discard", st)
+	}
+}
+
+func TestPoolSurvivesServerRestart(t *testing.T) {
+	// track accepted connections so the "restart" can sever them: closing
+	// a listener alone does not close conns already handed to handlers.
+	var connMu sync.Mutex
+	var serverConns []net.Conn
+	ln := newLoopback(t)
+	addr := ln.Addr().String()
+	tracking := &trackingListener{Listener: ln, mu: &connMu, conns: &serverConns}
+	echoServer(t, tracking)
+	p := newTestPool(t, PoolConfig{})
+	poolPing(t, p, addr, 1)
+
+	// Restart: close the listener and every accepted connection (killing
+	// the pooled connection's peer), then re-listen on the same address.
+	ln.Close()
+	connMu.Lock()
+	for _, c := range serverConns {
+		c.Close()
+	}
+	connMu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { ln2.Close() })
+	echoServer(t, ln2)
+
+	// The pooled connection is dead; the call must recover via the
+	// single transparent retry against the restarted server.
+	poolPing(t, p, addr, 2)
+	if st := p.Stats(); st.Retries == 0 && st.Dials < 2 {
+		t.Fatalf("stats %+v: expected a retry or fresh dial after restart", st)
+	}
+}
+
+// trackingListener records accepted connections so tests can sever them.
+type trackingListener struct {
+	net.Listener
+	mu    *sync.Mutex
+	conns *[]net.Conn
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		*l.conns = append(*l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func TestPoolAppliesDefaultCallTimeout(t *testing.T) {
+	// A server that accepts and never answers: a Call with a deadline-free
+	// context must still return once the pool's CallTimeout expires.
+	ln := newLoopback(t)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	p := newTestPool(t, PoolConfig{CallTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	_, _, err := p.Call(context.Background(), ln.Addr().String(), wire.TypePing, (&wire.Ping{Token: 1}).Encode(nil))
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("default CallTimeout was not applied")
+	}
+}
+
+func TestPoolMaxIdleCapDiscardsSurplus(t *testing.T) {
+	// Finish several calls concurrently so more connections come back
+	// than the idle list may hold; the surplus must be closed.
+	ln, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{MaxIdlePerHost: 1, MaxPerHost: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			poolPing(t, p, addr, uint64(g+1))
+		}(g)
+	}
+	wg.Wait()
+	if n := p.idleCount(); n > 1 {
+		t.Fatalf("%d idle connections, MaxIdlePerHost is 1", n)
+	}
+	if got := ln.accepts.Load(); got > 8 {
+		t.Fatalf("%d connections opened, MaxPerHost is 8", got)
+	}
+}
+
+func TestPoolClosedRefusesCalls(t *testing.T) {
+	_, addr := newCountingEcho(t)
+	p := newTestPool(t, PoolConfig{})
+	poolPing(t, p, addr, 1)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.idleCount(); n != 0 {
+		t.Fatalf("%d idle connections survived Close", n)
+	}
+	if _, _, err := p.Call(context.Background(), addr, wire.TypePing, (&wire.Ping{Token: 2}).Encode(nil)); err == nil {
+		t.Fatal("Call on a closed pool must fail")
+	}
+}
+
+func TestNewPoolRequiresDialer(t *testing.T) {
+	if _, err := NewPool(PoolConfig{}); err == nil {
+		t.Fatal("NewPool without a Dialer must fail")
+	}
+}

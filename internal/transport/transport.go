@@ -39,12 +39,14 @@ func Call(ctx context.Context, d Dialer, addr string, t wire.MsgType, payload []
 }
 
 // Roundtrip sends one frame on an open connection and reads one reply,
-// decoding wire errors. The connection can be reused for further calls.
+// decoding wire errors. The connection can be reused for further calls:
+// the deadline is reset on every call — to the context's deadline when it
+// has one, cleared otherwise — so a reused connection never inherits a
+// stale deadline from an earlier exchange.
 func Roundtrip(ctx context.Context, conn net.Conn, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
-	if dl, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(dl); err != nil {
-			return 0, nil, fmt.Errorf("transport: setting deadline: %w", err)
-		}
+	dl, _ := ctx.Deadline() // zero time clears any previous deadline
+	if err := conn.SetDeadline(dl); err != nil {
+		return 0, nil, fmt.Errorf("transport: setting deadline: %w", err)
 	}
 	if err := wire.WriteFrame(conn, t, payload); err != nil {
 		return 0, nil, fmt.Errorf("transport: sending %v: %w", t, err)
@@ -61,6 +63,35 @@ func Roundtrip(ctx context.Context, conn net.Conn, t wire.MsgType, payload []byt
 		return rt, nil, werr
 	}
 	return rt, rp, nil
+}
+
+// RequestConn is the server-side companion to the keep-alive split of
+// idle and request budgets: it re-arms the connection deadline to Budget
+// as soon as a Read returns data. The caller sets the long idle deadline
+// and calls Rearm before waiting for each request; the idle budget then
+// covers only the wait for a request's first bytes — once data starts
+// arriving, the rest of the frame must land within Budget, so a trickling
+// client cannot stretch one request over the whole idle budget.
+type RequestConn struct {
+	net.Conn
+	// Budget bounds a request once its first bytes have arrived.
+	Budget time.Duration
+	armed  bool
+}
+
+// Rearm resets the trigger for the next request: the following Read that
+// returns data re-arms the deadline to Budget again.
+func (c *RequestConn) Rearm() { c.armed = false }
+
+func (c *RequestConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && !c.armed {
+		c.armed = true
+		if derr := c.Conn.SetDeadline(time.Now().Add(c.Budget)); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return n, err
 }
 
 // TCPPinger measures RTT with application-level echo frames over a fresh
