@@ -13,6 +13,13 @@
 // -refit-threshold how many accepted measurements must accumulate first.
 // Each refit publishes a new model epoch; clients registered against an
 // older epoch transparently re-solve and re-register.
+//
+// -solver sgd switches model updates to incremental gradient steps:
+// each measurement folds into the model at O(d) cost and publishes a
+// revision under the SAME epoch — registered hosts keep their vectors —
+// while full corrective refits (and the epoch bumps they carry) happen
+// only when accumulated drift crosses -drift-epoch-threshold. Tune the
+// updates with -sgd-rate and -sgd-reg.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/solve"
 )
 
 func main() {
@@ -43,6 +51,10 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "budget for a keep-alive connection idling between requests (0 = 10x request timeout, min 5m; negative applies the request timeout to idle waits)")
 	refitInterval := flag.Duration("refit-interval", 10*time.Second, "minimum time between background model refits")
 	refitThreshold := flag.Int("refit-threshold", 1, "accepted measurements required before a background refit is scheduled")
+	solverName := flag.String("solver", "batch", "model-update strategy: batch (full refit per refresh) or sgd (incremental gradient updates between corrective refits)")
+	sgdRate := flag.Float64("sgd-rate", 0, "SGD solver step size in (0,1] (0 = default 0.3)")
+	sgdReg := flag.Float64("sgd-reg", 0, "SGD solver L2 regularization per update (0 = default 1e-4)")
+	driftThreshold := flag.Float64("drift-epoch-threshold", 0, "solver drift at which a corrective refit bumps the epoch (0 = default 0.15, negative disables)")
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
 	flag.Parse()
 
@@ -62,6 +74,11 @@ func main() {
 		logger.Fatalf("ides-server: unknown algorithm %q (want svd or nmf)", *alg)
 	}
 
+	solver, err := solve.ParseKind(*solverName)
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
+	}
+
 	base := *epochBase
 	if base == 0 {
 		// Epochs are in-memory state: restarting from 0 would reissue
@@ -73,18 +90,22 @@ func main() {
 		base = uint64(time.Now().UnixNano()) >> 10
 	}
 	srv, err := server.New(server.Config{
-		Landmarks:        lms,
-		Dim:              *dim,
-		Algorithm:        algorithm,
-		Seed:             *seed,
-		NMFIters:         *nmfIters,
-		HostTTL:          *hostTTL,
-		RequestTimeout:   *requestTimeout,
-		IdleTimeout:      *idleTimeout,
-		BaseEpoch:        base,
-		RefitMinInterval: *refitInterval,
-		RefitThreshold:   *refitThreshold,
-		Logger:           logger,
+		Landmarks:           lms,
+		Dim:                 *dim,
+		Algorithm:           algorithm,
+		Seed:                *seed,
+		NMFIters:            *nmfIters,
+		HostTTL:             *hostTTL,
+		RequestTimeout:      *requestTimeout,
+		IdleTimeout:         *idleTimeout,
+		BaseEpoch:           base,
+		RefitMinInterval:    *refitInterval,
+		RefitThreshold:      *refitThreshold,
+		Solver:              solver,
+		SGDRate:             *sgdRate,
+		SGDReg:              *sgdReg,
+		DriftEpochThreshold: *driftThreshold,
+		Logger:              logger,
 	})
 	if err != nil {
 		logger.Fatalf("ides-server: %v", err)

@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"text/tabwriter"
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/query"
+	"github.com/ides-go/ides/internal/stats"
 )
 
 // runBulkQuery is the query-engine workload: it loads a sharded directory
@@ -86,9 +86,9 @@ func runBulkQuery(scale experiments.Scale, seed int64) error {
 		sink += res[0].Millis
 	}
 	batchElapsed := time.Since(start)
-	p50, p99 := quantilesDur(lat)
-	fmt.Fprintf(w, "batch estimate (%d targets/call)\t%.0f\t%v\t%v\n",
-		batchSize, float64(rounds*batchSize)/batchElapsed.Seconds(), p50, p99)
+	sum := stats.SummarizeDurations(lat, batchElapsed)
+	fmt.Fprintf(w, "batch estimate (%d targets/call)\t%.0f\t%.0fµs\t%.0fµs\n",
+		batchSize, float64(rounds*batchSize)/batchElapsed.Seconds(), sum.P50Us, sum.P99Us)
 
 	// k-NN over the whole directory, exact and with the coarse prefilter.
 	for _, mode := range []struct {
@@ -106,8 +106,8 @@ func runBulkQuery(scale experiments.Scale, seed int64) error {
 			sink += nbs[0].Millis
 		}
 		elapsed := time.Since(start)
-		p50, p99 = quantilesDur(lat)
-		fmt.Fprintf(w, "%s\t%.1f\t%v\t%v\n", mode.label, float64(rounds)/elapsed.Seconds(), p50, p99)
+		sum = stats.SummarizeDurations(lat, elapsed)
+		fmt.Fprintf(w, "%s\t%.1f\t%.0fµs\t%.0fµs\n", mode.label, sum.OpsPerSec, sum.P50Us, sum.P99Us)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -115,10 +115,4 @@ func runBulkQuery(scale experiments.Scale, seed int64) error {
 	fmt.Printf("(batch answers %d estimates per wire round trip; the point path pays one round trip each)\n", batchSize)
 	_ = sink
 	return nil
-}
-
-func quantilesDur(lat []time.Duration) (p50, p99 time.Duration) {
-	s := append([]time.Duration(nil), lat...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2], s[len(s)*99/100]
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/stats"
 	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
@@ -29,21 +30,13 @@ type churnResult struct {
 	Dim         int     `json:"dim"`
 	DurationSec float64 `json:"duration_sec"`
 
-	QueryBatch churnOpStats `json:"query_batch"`
-	QueryKNN   churnOpStats `json:"query_knn"`
+	QueryBatch stats.OpSummary `json:"query_batch"`
+	QueryKNN   stats.OpSummary `json:"query_knn"`
 
 	RefitsObserved int     `json:"refits_observed"`
 	Recoveries     int     `json:"recoveries"`
 	RecoveryP50Ms  float64 `json:"recovery_p50_ms"`
 	RecoveryMaxMs  float64 `json:"recovery_max_ms"`
-}
-
-type churnOpStats struct {
-	Ops       int     `json:"ops"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50Us     float64 `json:"p50_us"`
-	P99Us     float64 `json:"p99_us"`
-	MaxUs     float64 `json:"max_us"`
 }
 
 // churnHost is one synthetic ordinary host: a point in the same latency
@@ -311,8 +304,8 @@ func runChurn(scale experiments.Scale, seed int64) error {
 		Landmarks:      numLM,
 		Dim:            dim,
 		DurationSec:    duration.Seconds(),
-		QueryBatch:     churnStats(batchLat, duration),
-		QueryKNN:       churnStats(knnLat, duration),
+		QueryBatch:     stats.SummarizeDurations(batchLat, duration),
+		QueryKNN:       stats.SummarizeDurations(knnLat, duration),
 		RefitsObserved: refits,
 		Recoveries:     len(recoveryLat),
 	}
@@ -346,20 +339,4 @@ func runChurn(scale experiments.Scale, seed int64) error {
 	}
 	fmt.Println("(wrote BENCH_churn.json)")
 	return nil
-}
-
-func churnStats(lat []time.Duration, elapsed time.Duration) churnOpStats {
-	if len(lat) == 0 {
-		return churnOpStats{}
-	}
-	s := append([]time.Duration(nil), lat...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
-	return churnOpStats{
-		Ops:       len(s),
-		OpsPerSec: float64(len(s)) / elapsed.Seconds(),
-		P50Us:     us(s[len(s)/2]),
-		P99Us:     us(s[len(s)*99/100]),
-		MaxUs:     us(s[len(s)-1]),
-	}
 }

@@ -8,9 +8,9 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, churn, pool, all. The churn and pool
-// workloads also write BENCH_churn.json / BENCH_pool.json for the perf
-// trajectory.
+// fig7b, ablations, bulkquery, churn, pool, solver, all. The churn,
+// pool and solver workloads also write BENCH_churn.json /
+// BENCH_pool.json / BENCH_solver.json for the perf trajectory.
 package main
 
 import (
@@ -32,7 +32,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, solver, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
 	flag.Parse()
@@ -56,8 +56,9 @@ func main() {
 		"bulkquery": runBulkQuery,
 		"churn":     runChurn,
 		"pool":      runPool,
+		"solver":    runSolver,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "solver"}
 
 	var ids []string
 	if *exp == "all" {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/stats"
 	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
@@ -22,15 +23,15 @@ type poolResult struct {
 	Hosts    int    `json:"hosts"`
 	Dim      int    `json:"dim"`
 
-	PointDial   churnOpStats `json:"point_query_dial"`
-	PointPooled churnOpStats `json:"point_query_pooled"`
+	PointDial   stats.OpSummary `json:"point_query_dial"`
+	PointPooled stats.OpSummary `json:"point_query_pooled"`
 	// PointP50Speedup is dial p50 / pooled p50 — how much of the small-
 	// request latency was handshake churn.
 	PointP50Speedup float64 `json:"point_p50_speedup"`
 
-	BatchDial       churnOpStats `json:"query_batch_dial"`
-	BatchPooled     churnOpStats `json:"query_batch_pooled"`
-	BatchP50Speedup float64      `json:"batch_p50_speedup"`
+	BatchDial       stats.OpSummary `json:"query_batch_dial"`
+	BatchPooled     stats.OpSummary `json:"query_batch_pooled"`
+	BatchP50Speedup float64         `json:"batch_p50_speedup"`
 
 	PoolDials   int64 `json:"pool_dials"`
 	PoolReuses  int64 `json:"pool_reuses"`
@@ -118,7 +119,7 @@ func runPool(scale experiments.Scale, seed int64) error {
 		return pool.Call(ctx, addr, t, payload)
 	}
 
-	runPoint := func(call caller, seed int64) (churnOpStats, error) {
+	runPoint := func(call caller, seed int64) (stats.OpSummary, error) {
 		rng := rand.New(rand.NewSource(seed))
 		lat := make([]time.Duration, pointOps)
 		start := time.Now()
@@ -129,15 +130,15 @@ func runPool(scale experiments.Scale, seed int64) error {
 			typ, payload, err := call(wire.TypeQueryDist, buf)
 			lat[i] = time.Since(t0)
 			if err != nil || typ != wire.TypeDistance {
-				return churnOpStats{}, fmt.Errorf("QueryDist: %v %v", typ, err)
+				return stats.OpSummary{}, fmt.Errorf("QueryDist: %v %v", typ, err)
 			}
 			if _, err := wire.DecodeDistance(payload); err != nil {
-				return churnOpStats{}, err
+				return stats.OpSummary{}, err
 			}
 		}
-		return churnStats(lat, time.Since(start)), nil
+		return stats.SummarizeDurations(lat, time.Since(start)), nil
 	}
-	runBatch := func(call caller, seed int64) (churnOpStats, error) {
+	runBatch := func(call caller, seed int64) (stats.OpSummary, error) {
 		rng := rand.New(rand.NewSource(seed))
 		lat := make([]time.Duration, batchOps)
 		targets := make([]string, batchSize)
@@ -152,13 +153,13 @@ func runPool(scale experiments.Scale, seed int64) error {
 			typ, payload, err := call(wire.TypeQueryBatch, buf)
 			lat[i] = time.Since(t0)
 			if err != nil || typ != wire.TypeDistances {
-				return churnOpStats{}, fmt.Errorf("QueryBatch: %v %v", typ, err)
+				return stats.OpSummary{}, fmt.Errorf("QueryBatch: %v %v", typ, err)
 			}
 			if _, err := wire.DecodeDistances(payload); err != nil {
-				return churnOpStats{}, err
+				return stats.OpSummary{}, err
 			}
 		}
-		return churnStats(lat, time.Since(start)), nil
+		return stats.SummarizeDurations(lat, time.Since(start)), nil
 	}
 
 	result := poolResult{Workload: "pool", Hosts: numHosts, Dim: dim}

@@ -23,6 +23,14 @@
 //     against, and clients that observe an epoch bump transparently
 //     re-fetch the model, re-solve, and re-register (tune with the server
 //     flags -refit-interval and -refit-threshold);
+//   - pluggable model-update solvers (internal/solve): the default batch
+//     solver refits the full factorization per refresh, while the SGD
+//     solver (server flag -solver sgd) folds each measurement into the
+//     touched landmark rows at O(d) cost and publishes incremental
+//     revisions under the SAME epoch — registered host vectors survive —
+//     until accumulated drift crosses -drift-epoch-threshold and a full
+//     corrective refit starts a new generation (tune with -sgd-rate and
+//     -sgd-reg; idesbench -exp solver compares the two strategies);
 //   - the bulk query engine (NewDirectory, NewQueryEngine): a sharded host
 //     directory with amortized TTL expiry, and vectorized one-to-many
 //     (Client.EstimateBatch), all-pairs (QueryEngine.EstimateMatrix), and

@@ -12,6 +12,7 @@ import (
 	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/server"
 	"github.com/ides-go/ides/internal/simnet"
+	"github.com/ides-go/ides/internal/solve"
 	"github.com/ides-go/ides/internal/stats"
 	"github.com/ides-go/ides/internal/topology"
 	"github.com/ides-go/ides/internal/transport"
@@ -163,13 +164,29 @@ type ServerConfig = server.Config
 // NewServer builds an information server.
 var NewServer = server.New
 
-// Snapshot is one immutable model generation served by the information
-// server: the fitted landmark model plus the epoch that identifies it.
-// The server refits in the background as measurements churn and swaps
+// Snapshot is one immutable model state served by the information
+// server: the fitted landmark model plus the epoch that identifies its
+// generation and the incremental revision count within it. The server
+// refreshes the model in the background as measurements churn and swaps
 // snapshots atomically; Server.Epoch reports the current one, and
 // clients recover automatically when the epoch moves (see README,
 // "The model lifecycle and the epoch protocol").
 type Snapshot = lifecycle.Snapshot
+
+// SolverKind selects the server's model-update strategy
+// (ServerConfig.Solver): how the landmark model keeps up with
+// measurement churn (see README, "Model updates & solvers").
+type SolverKind = solve.Kind
+
+const (
+	// SolverBatch refits the full factorization per model refresh — the
+	// paper's strategy, and the default.
+	SolverBatch = solve.Batch
+	// SolverSGD maintains the model by O(d) per-measurement gradient
+	// updates, publishing incremental revisions that keep registered
+	// host vectors alive between (rare) drift-forced full refits.
+	SolverSGD = solve.SGD
+)
 
 // Landmark is a landmark agent: it measures peers, reports to the server,
 // and answers echo probes.

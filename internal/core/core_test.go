@@ -171,6 +171,22 @@ func TestFitNMFWithMask(t *testing.T) {
 	}
 }
 
+func TestFitRejectsNonSquareMatrix(t *testing.T) {
+	// Every other invalid input returns an error; the non-square case
+	// must too, not panic — a malformed matrix reaching Fit through the
+	// service path should fail the fit, not kill the process.
+	d := mat.NewDense(3, 4)
+	for _, alg := range []Algorithm{SVD, NMF} {
+		m, err := Fit(d, FitOptions{Dim: 2, Algorithm: alg})
+		if !errors.Is(err, ErrNonSquare) {
+			t.Fatalf("%v: err = %v, want ErrNonSquare", alg, err)
+		}
+		if m != nil {
+			t.Fatalf("%v: model %+v returned with error", alg, m)
+		}
+	}
+}
+
 func TestFitUnknownAlgorithm(t *testing.T) {
 	if _, err := Fit(ringMatrix(), FitOptions{Dim: 2, Algorithm: Algorithm(99)}); err == nil {
 		t.Fatal("unknown algorithm must error")

@@ -59,11 +59,14 @@ type FitOptions struct {
 	Mask *mat.Dense
 }
 
-const defaultDim = 10
+// DefaultDim is the model dimensionality used when FitOptions.Dim is
+// unset — the paper's d ≈ 10 complexity/accuracy tradeoff (§4.3.2).
+// internal/solve validates measurement density against the same value.
+const DefaultDim = 10
 
 func (o FitOptions) withDefaults() FitOptions {
 	if o.Dim <= 0 {
-		o.Dim = defaultDim
+		o.Dim = DefaultDim
 	}
 	return o
 }
@@ -79,11 +82,16 @@ type Model struct {
 // ErrMaskRequiresNMF is returned when a masked fit is requested with SVD.
 var ErrMaskRequiresNMF = errors.New("core: missing landmark measurements require the NMF algorithm")
 
+// ErrNonSquare is returned when the landmark matrix is not square. (The
+// m x n rectangular factorizations live in internal/factor; the IDES
+// landmark model is defined over the m x m landmark pair matrix.)
+var ErrNonSquare = errors.New("core: landmark matrix must be square")
+
 // Fit factors the m x m landmark distance matrix into an IDES model.
 func Fit(landmarks *mat.Dense, opts FitOptions) (*Model, error) {
 	m, n := landmarks.Dims()
 	if m != n {
-		panic(fmt.Sprintf("core: landmark matrix must be square, got %dx%d", m, n))
+		return nil, fmt.Errorf("%w, got %dx%d", ErrNonSquare, m, n)
 	}
 	opts = opts.withDefaults()
 	if opts.Dim > m {

@@ -1,19 +1,26 @@
 // Package lifecycle manages the versioned lifecycle of the landmark
 // model: immutable epoch-stamped snapshots published through an atomic
-// pointer, and a debounced background refitter that keeps the snapshot
-// fresh as measurements churn without ever blocking readers.
+// pointer, and a background refitter that keeps the snapshot fresh as
+// measurements churn without ever blocking readers.
 //
 // The paper's service model assumes the landmark factorization is refit
 // periodically as landmark measurements change (§5.1); DMFSGD (Liao et
-// al.) makes the same point for continuously updated distance models.
-// This package turns that into a concrete contract: readers Load one
-// Snapshot and see a consistent (epoch, model) pair forever; writers
-// report measurement churn with Dirty, and the refitter factors in the
-// background — outside any lock — once enough measurements accumulate
-// and a minimum interval has passed, then atomically swaps the snapshot
-// and bumps the epoch. Request handlers therefore never pay for a fit;
-// the epoch travels through the wire protocol so clients can tell when
-// their solved vectors belong to a dead generation.
+// al.) shows the same model can instead be maintained by cheap
+// per-measurement gradient updates. The refitter drives either strategy
+// through the solve.Solver interface: measurement deltas stream in via
+// Deltas, a worker goroutine feeds them to the solver — publishing the
+// resulting models as incremental *revisions* under the current epoch —
+// and full corrective fits (which bump the epoch) run only when the
+// solver cannot update incrementally, when accumulated drift crosses a
+// threshold, or when a caller demands read-your-writes via Refresh.
+//
+// The epoch/revision split is the contract hosts depend on: a new Epoch
+// means the model generation died and solved host vectors must be
+// re-solved; a new Rev under the same Epoch means the landmark model
+// moved gently enough (drift below threshold) that registered vectors
+// remain servable. Readers Load one Snapshot and see a consistent
+// (epoch, rev, model) triple forever; request handlers never pay for a
+// fit or an update.
 package lifecycle
 
 import (
@@ -24,22 +31,21 @@ import (
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/solve"
 )
 
-// Snapshot is one immutable model generation. Epoch starts at
+// Snapshot is one immutable published model state. Epoch starts at
 // Config.BaseEpoch+1 for the first successful fit and increases by one
-// per refit; 0 is reserved as the "no epoch" marker on the wire, so a
-// Snapshot never carries it.
+// per full fit; 0 is reserved as the "no epoch" marker on the wire, so
+// a Snapshot never carries it. Rev counts incremental revisions
+// published since the epoch's full fit: the fit itself is Rev 0, each
+// solver-applied delta batch that refreshes the model increments it.
+// Hosts track epochs only — a Rev bump never invalidates their vectors.
 type Snapshot struct {
 	Epoch uint64
+	Rev   uint64
 	Model *core.Model
 }
-
-// FitFunc produces a freshly fitted model. It runs on the refitter's
-// goroutine with no refitter locks held; implementations should copy
-// their inputs under their own short-lived locks and do the heavy
-// factorization outside them.
-type FitFunc func() (*core.Model, error)
 
 // ErrClosed is returned by Ready and Refresh after Close.
 var ErrClosed = errors.New("lifecycle: refitter closed")
@@ -54,42 +60,78 @@ type Config struct {
 	// deployments should derive the base from the clock (cmd/ides-server
 	// does). Default 0 — deterministic epochs 1, 2, 3, ...
 	BaseEpoch uint64
-	// MinInterval is the minimum time between fit attempts (default
-	// 10s). Ready and Refresh bypass it when they must fit.
+	// MinInterval is the minimum time between full-fit attempts (default
+	// 10s). Ready and Refresh bypass it when they must fit. Incremental
+	// revisions are not subject to it: they are O(d) per measurement and
+	// run as deltas arrive.
 	MinInterval time.Duration
 	// Threshold is how many accepted measurements must accumulate before
-	// a background refit is considered (default 1).
+	// a background full fit is considered (default 1). It gates the
+	// batch path and the incremental solver's first seed; once an
+	// incremental solver is seeded, full fits come from DriftThreshold.
 	Threshold int
+	// DriftThreshold is the solver drift at which a full corrective fit
+	// (epoch bump) is scheduled, debounced by MinInterval. Drift is the
+	// relative displacement of the factors since the epoch's fit; the
+	// threshold bounds how far hosts' solved vectors may lag the served
+	// landmark model before everyone re-solves. Default 0.15; negative
+	// disables drift-triggered fits. Irrelevant for batch solvers, whose
+	// drift is always 0.
+	DriftThreshold float64
 	// Now is the clock, injectable for tests. Default time.Now.
 	Now func() time.Time
-	// OnSwap, if set, runs just before each new snapshot becomes visible
-	// through Snapshot(). The server uses it to advance the directory
-	// epoch and install the new query engine, so all per-generation
-	// consumers swap before the generation itself is announced.
+	// OnSwap, if set, runs just before each new snapshot — full fit or
+	// incremental revision — becomes visible through Snapshot(). The
+	// server uses it to swap per-generation consumers (directory epoch
+	// on fits, query engine on every snapshot) before the snapshot
+	// itself is announced. Distinguish fits from revisions by Rev == 0.
 	OnSwap func(*Snapshot)
-	// OnError, if set, observes background fit failures that no waiter
-	// is around to receive (the server logs them). The failure also
-	// restores the consumed measurement count, so the retry schedule is
-	// not silenced either way.
+	// OnError, if set, observes background fit or apply failures that no
+	// waiter is around to receive (the server logs them). A fit failure
+	// also restores the consumed measurement count, so the retry
+	// schedule is not silenced either way.
 	OnError func(error)
 }
 
-// Refitter owns the model snapshot and the background refit schedule.
-// All methods are safe for concurrent use. Fits are serialized: at most
-// one FitFunc call is in flight at any time.
+// DefaultDriftThreshold is the Config.DriftThreshold applied when the
+// field is zero.
+const DefaultDriftThreshold = 0.15
+
+// Refitter owns the model snapshot and drives the solver: incremental
+// delta application as measurements stream in, full corrective fits on
+// the debounced schedule. All methods are safe for concurrent use; all
+// solver calls are serialized on one worker goroutine.
 type Refitter struct {
-	fit FitFunc
-	cfg Config
+	solver solve.Solver
+	cfg    Config
+	// incremental caches solver.Incremental() from construction time:
+	// the solver contract makes its methods worker-goroutine-only, and
+	// Deltas/Refresh consult the capability from caller goroutines.
+	incremental bool
 
 	snap atomic.Pointer[Snapshot]
 
+	fits      atomic.Uint64 // successful full fits
+	revisions atomic.Uint64 // incremental revisions published
+	applied   atomic.Uint64 // deltas handed to the solver
+
 	mu          sync.Mutex
 	epoch       uint64
-	pending     int // accepted measurements since the last fit started
-	inFlight    int // measurements consumed by the running fit
-	fitting     bool
+	rev         uint64
+	pending     int // measurements counting toward the full-fit threshold
+	inFlight    int // measurements consumed by the running full fit
+	deltaQ      []solve.Delta
+	busy        bool // worker goroutine running
+	fitting     bool // a full fit is executing in the current worker cycle
+	applying    bool // a delta batch is being applied in the current worker cycle
+	forced      bool // Ready/Refresh demanded a full fit (bypasses debounce)
+	driftDue    bool // drift crossed the threshold; corrective fit due
+	debounced   bool // the armed debounce delay elapsed; skip the interval check once
 	lastAttempt time.Time
-	timer       *time.Timer // pending debounce wake-up, nil if none
+	attemptGen  uint64        // completed full-fit attempts; guards stale timer firings
+	timer       *time.Timer   // pending debounce wake-up, nil if none
+	timerGen    uint64        // attemptGen the armed timer belongs to
+	applyDoneC  chan struct{} // closed (and replaced) when a delta batch finishes applying
 	waiters     []chan fitResult
 	closed      bool
 }
@@ -99,24 +141,36 @@ type fitResult struct {
 	err  error
 }
 
-// New builds a Refitter around fit. No fit happens until measurements
-// are reported via Dirty or a caller demands one via Ready/Refresh.
-func New(fit FitFunc, cfg Config) *Refitter {
+// New builds a Refitter around solver. No fit happens until
+// measurements are reported via Deltas or Dirty, or a caller demands
+// one via Ready/Refresh.
+func New(solver solve.Solver, cfg Config) *Refitter {
 	if cfg.MinInterval <= 0 {
 		cfg.MinInterval = 10 * time.Second
 	}
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 1
 	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = DefaultDriftThreshold
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Refitter{fit: fit, cfg: cfg, epoch: cfg.BaseEpoch, lastAttempt: cfg.Now()}
+	return &Refitter{
+		solver:      solver,
+		cfg:         cfg,
+		incremental: solver.Incremental(),
+		epoch:       cfg.BaseEpoch,
+		lastAttempt: cfg.Now(),
+		applyDoneC:  make(chan struct{}),
+	}
 }
 
-// Snapshot returns the current model generation, or nil before the
+// Snapshot returns the current published model state, or nil before the
 // first successful fit. The result is immutable: it never blocks, and
-// holding it across a refit is safe — it just describes an old epoch.
+// holding it across a refit or revision is safe — it just describes an
+// old state.
 func (r *Refitter) Snapshot() *Snapshot { return r.snap.Load() }
 
 // Epoch returns the current epoch, 0 before the first fit.
@@ -127,74 +181,249 @@ func (r *Refitter) Epoch() uint64 {
 	return 0
 }
 
-// Dirty records n accepted measurements. Once Threshold measurements
-// have accumulated and MinInterval has elapsed since the last attempt,
-// a background refit starts (or a wake-up is armed for the moment the
-// interval expires). Dirty never blocks on a fit.
+// Stats are the refitter's lifetime counters plus the published state.
+type Stats struct {
+	// Epoch and Rev mirror the current Snapshot (0/0 before the first fit).
+	Epoch, Rev uint64
+	// Fits counts successful full fits, Revisions the incremental
+	// revisions published between them, Deltas the measurement deltas
+	// handed to the solver.
+	Fits, Revisions, Deltas uint64
+}
+
+// Stats returns the refitter's counters. Safe for concurrent use.
+func (r *Refitter) Stats() Stats {
+	st := Stats{Fits: r.fits.Load(), Revisions: r.revisions.Load(), Deltas: r.applied.Load()}
+	if s := r.snap.Load(); s != nil {
+		st.Epoch, st.Rev = s.Epoch, s.Rev
+	}
+	return st
+}
+
+// Deltas hands a batch of accepted measurements to the solver. The
+// solver records them (and, when incremental and seeded, publishes a
+// fresh revision) on the worker goroutine — Deltas never blocks on
+// solver work. Measurements count toward the full-fit Threshold only
+// when a full fit is the solver's route to surfacing them: always for
+// batch solvers, and for incremental solvers until their first seed.
+func (r *Refitter) Deltas(deltas []solve.Delta) {
+	if len(deltas) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	// "Seeded" is judged by the epoch counter, not the published
+	// snapshot: the epoch advances under this lock the moment a fit
+	// succeeds, while the snapshot is stored after OnSwap. Deltas
+	// arriving in that publication window will be folded into a revision
+	// by the next worker cycle — counting them toward pending too would
+	// leave a stale count that later forces a spurious epoch-bumping
+	// full fit no measurement needs.
+	if !r.incremental || r.epoch == r.cfg.BaseEpoch {
+		r.pending += len(deltas)
+	}
+	// The queue is unbounded like the old synchronous matrix writes
+	// were: the worker drains it whole each cycle and Apply is O(d) per
+	// delta, so its length is bounded by one cycle's duration times the
+	// report rate.
+	r.deltaQ = append(r.deltaQ, deltas...)
+	r.startWorkerLocked()
+}
+
+// Dirty records n accepted measurements without their values — the
+// batch-scheduling entry point for callers that manage measurement
+// state themselves. Once Threshold measurements have accumulated and
+// MinInterval has elapsed since the last attempt, a background full fit
+// starts (or a wake-up is armed for the moment the interval expires).
+// Dirty never blocks on a fit.
 func (r *Refitter) Dirty(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pending += n
-	r.scheduleLocked(false)
+	r.startWorkerLocked()
 }
 
-// scheduleLocked starts a fit goroutine if one is due. force bypasses
-// both the threshold and the interval debounce. Callers hold r.mu.
-func (r *Refitter) scheduleLocked(force bool) {
-	if r.closed || r.fitting {
+// fullDueLocked reports whether a full fit should run now. When one is
+// due but still inside MinInterval, it arms the debounce timer and
+// reports false. Callers hold r.mu.
+func (r *Refitter) fullDueLocked() bool {
+	if r.closed {
+		return false
+	}
+	if r.forced {
+		return true
+	}
+	if r.pending < r.cfg.Threshold && !r.driftDue {
+		return false
+	}
+	if r.debounced {
+		// The armed timer already served the interval wait; recomputing
+		// it from the clock would re-arm forever under an injected fake
+		// clock that has not advanced.
+		return true
+	}
+	if wait := r.cfg.MinInterval - r.cfg.Now().Sub(r.lastAttempt); wait > 0 {
+		if r.timer == nil {
+			gen := r.attemptGen
+			r.timerGen = gen
+			r.timer = time.AfterFunc(wait, func() { r.timerFired(gen) })
+		}
+		return false
+	}
+	return true
+}
+
+// startWorkerLocked launches the worker goroutine if there is work — a
+// delta batch to apply or a full fit due — and none is running. Callers
+// hold r.mu.
+func (r *Refitter) startWorkerLocked() {
+	if r.closed || r.busy {
 		return
 	}
-	if !force {
-		if r.pending < r.cfg.Threshold {
-			return
-		}
-		if wait := r.cfg.MinInterval - r.cfg.Now().Sub(r.lastAttempt); wait > 0 {
-			if r.timer == nil {
-				r.timer = time.AfterFunc(wait, r.timerFired)
-			}
-			return
-		}
+	if len(r.deltaQ) == 0 && !r.fullDueLocked() {
+		return
 	}
-	r.startFitLocked()
+	r.busy = true
+	go r.worker()
 }
 
-// startFitLocked launches the fit goroutine. Callers hold r.mu and have
-// decided a fit is due.
-func (r *Refitter) startFitLocked() {
-	if r.timer != nil {
-		r.timer.Stop()
-		r.timer = nil
-	}
-	r.fitting = true
-	r.inFlight = r.pending
-	r.pending = 0
-	go r.runFit()
-}
-
-// timerFired runs when the armed debounce delay elapses. The armed
-// duration already embodied the interval, so the wait is NOT recomputed
-// from the clock: under an injected fake clock that has not advanced,
-// recomputing would re-arm the real timer forever and pending
-// measurements would never fit.
-func (r *Refitter) timerFired() {
+// timerFired runs when the armed debounce delay elapses: it marks the
+// interval as served (see fullDueLocked) and pokes the worker. A worker
+// already running re-evaluates the schedule on its next cycle, so
+// firing into a busy refitter only sets the flag. gen is the
+// attemptGen the timer was armed under: a firing that lost the Stop
+// race against a fit that has since completed must not mark the — now
+// restarted — interval as served, and must not clobber the reference
+// to a newer armed timer.
+func (r *Refitter) timerFired(gen uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.timer = nil
-	if r.closed || r.fitting || r.pending < r.cfg.Threshold {
+	if gen == r.timerGen {
+		r.timer = nil
+	}
+	if r.closed || gen != r.attemptGen {
 		return
 	}
-	r.startFitLocked()
+	r.debounced = true
+	r.startWorkerLocked()
 }
 
-// runFit performs one fit on its own goroutine and publishes the result.
+// worker drains work cycles until none remains: each cycle takes the
+// queued deltas and the full-fit decision under the lock, then runs the
+// solver outside it. At most one worker runs at a time, so all solver
+// calls are serialized.
+func (r *Refitter) worker() {
+	for {
+		r.mu.Lock()
+		deltas := r.deltaQ
+		r.deltaQ = nil
+		r.applying = len(deltas) > 0
+		runFull := r.fullDueLocked()
+		if runFull {
+			if r.timer != nil {
+				r.timer.Stop()
+				r.timer = nil
+			}
+			r.fitting = true
+			r.inFlight += r.pending
+			r.pending = 0
+			r.forced = false
+			r.driftDue = false
+			r.debounced = false
+		}
+		if len(deltas) == 0 && !runFull {
+			r.busy = false
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+
+		if len(deltas) > 0 {
+			r.applyDeltas(deltas, runFull)
+		}
+		if runFull {
+			r.runFit()
+		}
+	}
+}
+
+// applyDeltas hands one delta batch to the solver and publishes the
+// resulting revision, if any. When a full fit runs in the same cycle
+// (fitNext) the revision is skipped: the fit supersedes it and will
+// publish moments later. Runs on the worker goroutine.
+func (r *Refitter) applyDeltas(deltas []solve.Delta, fitNext bool) {
+	// applying clears only once any resulting revision is visible, so
+	// Refresh's fast path cannot serve a snapshot that predates a delta
+	// batch mid-application; the completion signal wakes Refresh callers
+	// waiting out an in-flight revision instead of forcing a full fit.
+	defer func() {
+		r.mu.Lock()
+		r.applying = false
+		r.signalApplyDoneLocked()
+		r.mu.Unlock()
+	}()
+	model, err := r.solver.Apply(deltas)
+	r.applied.Add(uint64(len(deltas)))
+	if err != nil {
+		// The measurements are recorded in the solver's matrix even when
+		// the incremental update fails; fall back to a full corrective
+		// fit on the debounced schedule and surface the error. The
+		// restored pending count keeps Refresh's fast path honest until
+		// that fit lands.
+		r.mu.Lock()
+		r.driftDue = true
+		r.pending += len(deltas)
+		r.mu.Unlock()
+		if r.cfg.OnError != nil {
+			r.cfg.OnError(err)
+		}
+		return
+	}
+	if model == nil || fitNext {
+		return
+	}
+	r.mu.Lock()
+	r.rev++
+	snap := &Snapshot{Epoch: r.epoch, Rev: r.rev, Model: model}
+	r.mu.Unlock()
+	// Publish outside the lock. OnSwap runs before the Store so every
+	// per-generation consumer (the query engine) is swapped by the time
+	// the snapshot can be observed.
+	if r.cfg.OnSwap != nil {
+		r.cfg.OnSwap(snap)
+	}
+	r.snap.Store(snap)
+	r.revisions.Add(1)
+	if th := r.cfg.DriftThreshold; th > 0 && r.solver.Drift() >= th {
+		r.mu.Lock()
+		r.driftDue = true
+		r.mu.Unlock()
+	}
+}
+
+// signalApplyDoneLocked wakes everyone waiting on the current apply
+// cycle and rearms the signal for the next one. Callers hold r.mu.
+func (r *Refitter) signalApplyDoneLocked() {
+	close(r.applyDoneC)
+	r.applyDoneC = make(chan struct{})
+}
+
+// runFit performs one full fit on the worker goroutine and publishes
+// the result as a new epoch.
 func (r *Refitter) runFit() {
-	model, err := r.fit()
+	model, err := r.solver.Seed()
 
 	r.mu.Lock()
 	r.lastAttempt = r.cfg.Now()
+	r.debounced = false // any completed attempt restarts the interval
+	r.attemptGen++      // and invalidates timers armed against the old one
 	var snap *Snapshot
 	if err == nil {
 		r.epoch++
+		r.rev = 0
 		snap = &Snapshot{Epoch: r.epoch, Model: model}
 	}
 	r.mu.Unlock()
@@ -207,21 +436,41 @@ func (r *Refitter) runFit() {
 			r.cfg.OnSwap(snap)
 		}
 		r.snap.Store(snap)
+		r.fits.Add(1)
 	}
+
+	// A failed fit's motivation must survive the failure. The drift is
+	// re-read outside the lock (solver calls are worker-only) so a
+	// drift-triggered corrective fit that failed re-arms itself: without
+	// this, a seeded incremental solver — whose pending count is 0 — would
+	// retain its over-threshold drift forever once churn pauses, since the
+	// drift check otherwise runs only after successful revisions.
+	driftStillDue := err != nil && r.cfg.DriftThreshold > 0 && r.solver.Drift() >= r.cfg.DriftThreshold
 
 	r.mu.Lock()
 	r.fitting = false
-	if err != nil {
+	if driftStillDue {
+		r.driftDue = true
+	}
+	switch {
+	case err != nil:
 		// A failed fit must not silently drop the measurements it
 		// consumed: restoring them keeps the state dirty, so the
 		// debounce timer retries once the interval passes and Refresh's
 		// fast path cannot serve the stale snapshot as up to date.
 		r.pending += r.inFlight
+	case r.incremental:
+		// The solver is now seeded, so a full fit stops being the route
+		// to surfacing measurements: anything counted into pending while
+		// this fit executed (Deltas still saw the pre-fit epoch) sits in
+		// deltaQ and rides the next revision. Leaving the count would
+		// fire a spurious epoch-bumping fit ~MinInterval from now for
+		// measurements already served.
+		r.pending = 0
 	}
 	r.inFlight = 0
 	waiters := r.waiters
 	r.waiters = nil
-	r.scheduleLocked(false) // measurements may have arrived during the fit
 	r.mu.Unlock()
 
 	if err != nil && len(waiters) == 0 && r.cfg.OnError != nil {
@@ -243,7 +492,7 @@ func (r *Refitter) Ready(ctx context.Context) (*Snapshot, error) {
 		if s := r.snap.Load(); s != nil {
 			return s, nil
 		}
-		wasFitting, ch, err := r.await(true)
+		wasFitting, ch, err := r.await()
 		if err != nil {
 			return nil, err
 		}
@@ -266,17 +515,30 @@ func (r *Refitter) Ready(ctx context.Context) (*Snapshot, error) {
 }
 
 // Refresh returns a snapshot that folds in every measurement reported
-// before the call, fitting synchronously when anything is pending — the
-// in-process equivalent of fit-on-demand, for callers like Server.Model
-// that want read-your-writes semantics. Measurements that arrive DURING
-// the call are not chased: under sustained churn chasing them would run
-// forced fits forever, so the call is bounded by at most two fits (one
-// already in flight on arrival, one it forces itself). Request handlers
-// must not use it: it blocks for a full fit.
+// before the call — the in-process equivalent of fit-on-demand, for
+// callers like Server.Model that want read-your-writes semantics. With
+// a batch solver (or anything pending toward a full fit) it fits
+// synchronously; with a seeded incremental solver whose only in-flight
+// work is a delta batch, it waits for the revision to publish instead
+// of forcing an epoch-bumping fit the measurements do not need.
+// Measurements that arrive DURING the call are not chased: under
+// sustained churn chasing them would run forced work forever, so the
+// call is bounded by at most two fits (one already in flight on
+// arrival, one it forces itself) or two apply cycles. Request handlers
+// must not use it: it can block for a full fit.
 func (r *Refitter) Refresh(ctx context.Context) (*Snapshot, error) {
+	// Two full drain cycles cover every delta queued before the call:
+	// one to finish the batch mid-application on arrival, one for the
+	// drain that sweeps up the rest of the queue.
+	revWaits := 2
 	for {
 		r.mu.Lock()
-		if snap := r.snap.Load(); snap != nil && r.pending == 0 && !r.fitting {
+		// The fast path requires a quiescent update pipeline: nothing
+		// pending toward a full fit, nothing queued, no delta batch or
+		// fit mid-flight. An incremental solver often satisfies it
+		// without any full fit: its revisions already folded every
+		// reported measurement into the published snapshot.
+		if snap := r.snap.Load(); snap != nil && r.pending == 0 && len(r.deltaQ) == 0 && !r.applying && !r.fitting {
 			r.mu.Unlock()
 			return snap, nil
 		}
@@ -284,17 +546,47 @@ func (r *Refitter) Refresh(ctx context.Context) (*Snapshot, error) {
 			r.mu.Unlock()
 			return nil, ErrClosed
 		}
+		if snap := r.snap.Load(); snap != nil && r.incremental &&
+			r.pending == 0 && !r.fitting && (len(r.deltaQ) > 0 || r.applying) {
+			// Only incremental work is in flight: its revision will fold
+			// every pre-call measurement without costing an epoch. Wait
+			// out one apply cycle and re-check; once two cycles have
+			// completed, the published snapshot covers everything
+			// reported before the call and the remaining queue is
+			// post-call churn the contract does not chase.
+			if revWaits == 0 {
+				r.mu.Unlock()
+				return snap, nil
+			}
+			revWaits--
+			done := r.applyDoneC
+			r.mu.Unlock()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			continue
+		}
 		wasFitting := r.fitting
 		ch := make(chan fitResult, 1)
 		r.waiters = append(r.waiters, ch)
-		r.scheduleLocked(true)
+		// Force only when no full fit is executing: the in-flight fit's
+		// completion wakes this waiter, which re-forces if its result
+		// predated the call. A force remembered across that fit would
+		// chain a redundant fit per retry — under a slow solver each
+		// retry would land mid-fit and Refresh would never drain.
+		if !r.fitting {
+			r.forced = true
+			r.startWorkerLocked()
+		}
 		r.mu.Unlock()
 		select {
 		case res := <-ch:
 			if !wasFitting {
-				// This fit started after the call did, so it copied a
-				// matrix containing every measurement reported before the
-				// call — read-your-writes holds, success or failure.
+				// This fit started after the call did, so the solver had
+				// absorbed every measurement reported before the call —
+				// read-your-writes holds, success or failure.
 				return res.snap, res.err
 			}
 			// The completed fit was already in flight on arrival and may
@@ -307,9 +599,9 @@ func (r *Refitter) Refresh(ctx context.Context) (*Snapshot, error) {
 	}
 }
 
-// await registers a completion waiter and forces a fit if none is in
-// flight. It reports whether a fit was already running.
-func (r *Refitter) await(force bool) (wasFitting bool, ch chan fitResult, err error) {
+// await registers a completion waiter and forces a full fit if none is
+// executing. It reports whether one was already executing.
+func (r *Refitter) await() (wasFitting bool, ch chan fitResult, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -318,13 +610,18 @@ func (r *Refitter) await(force bool) (wasFitting bool, ch chan fitResult, err er
 	wasFitting = r.fitting
 	ch = make(chan fitResult, 1)
 	r.waiters = append(r.waiters, ch)
-	r.scheduleLocked(force)
+	// See Refresh: forcing during an executing fit would chain a
+	// redundant fit; the waiter re-forces after looping instead.
+	if !r.fitting {
+		r.forced = true
+		r.startWorkerLocked()
+	}
 	return wasFitting, ch, nil
 }
 
 // Close stops future refits and releases any waiters with ErrClosed. A
-// fit already in flight still completes and publishes its snapshot.
-// Safe to call multiple times.
+// worker cycle already in flight still completes and publishes its
+// snapshot. Safe to call multiple times.
 func (r *Refitter) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -336,6 +633,9 @@ func (r *Refitter) Close() {
 		r.timer.Stop()
 		r.timer = nil
 	}
+	// Wake Refresh callers waiting on an apply cycle; their next loop
+	// iteration observes closed.
+	r.signalApplyDoneLocked()
 	waiters := r.waiters
 	r.waiters = nil
 	for _, ch := range waiters {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,7 +13,30 @@ import (
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/solve"
 )
+
+// seedOnlySolver adapts a plain fit function into a batch-only Solver:
+// Apply records nothing and full fits are the only route to a model —
+// the contract the pre-solver FitFunc refitter had.
+type seedOnlySolver struct {
+	fn    func() (*core.Model, error)
+	model *core.Model
+}
+
+func seedOnly(fn func() (*core.Model, error)) *seedOnlySolver { return &seedOnlySolver{fn: fn} }
+
+func (s *seedOnlySolver) Seed() (*core.Model, error) {
+	m, err := s.fn()
+	if err == nil {
+		s.model = m
+	}
+	return m, err
+}
+func (s *seedOnlySolver) Apply([]solve.Delta) (*core.Model, error) { return nil, nil }
+func (s *seedOnlySolver) Drift() float64                           { return 0 }
+func (s *seedOnlySolver) Model() *core.Model                       { return s.model }
+func (s *seedOnlySolver) Incremental() bool                        { return false }
 
 // testFit is a controllable FitFunc: it counts calls and fails until
 // unlocked.
@@ -52,7 +77,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 
 func TestNoFitBeforeThreshold(t *testing.T) {
 	fit := &testFit{}
-	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 3})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 3})
 	defer r.Close()
 	r.Dirty(1)
 	r.Dirty(1)
@@ -77,7 +102,7 @@ func TestMinIntervalDebounce(t *testing.T) {
 	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
 
 	fit := &testFit{}
-	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 1, Now: clock})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Hour, Threshold: 1, Now: clock})
 	defer r.Close()
 
 	// Within the interval of construction: debounced, not fitted.
@@ -107,7 +132,7 @@ func TestFailedBackgroundFitRetriesAndReports(t *testing.T) {
 	var errs atomic.Int64
 	fit := &testFit{}
 	fit.fail.Store(true)
-	r := New(fit.fn, Config{MinInterval: time.Millisecond, Threshold: 1,
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Millisecond, Threshold: 1,
 		OnError: func(error) { errs.Add(1) }})
 	defer r.Close()
 	r.Dirty(1)
@@ -127,7 +152,7 @@ func TestFailedBackgroundFitRetriesAndReports(t *testing.T) {
 func TestDebounceTimerFiresUnderFrozenClock(t *testing.T) {
 	frozen := time.Unix(1_000_000, 0)
 	fit := &testFit{}
-	r := New(fit.fn, Config{MinInterval: 20 * time.Millisecond, Threshold: 1,
+	r := New(seedOnly(fit.fn), Config{MinInterval: 20 * time.Millisecond, Threshold: 1,
 		Now: func() time.Time { return frozen }})
 	defer r.Close()
 	r.Dirty(1)
@@ -136,7 +161,7 @@ func TestDebounceTimerFiresUnderFrozenClock(t *testing.T) {
 
 func TestRefreshForcesAndIsClean(t *testing.T) {
 	fit := &testFit{}
-	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 100})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Hour, Threshold: 100})
 	defer r.Close()
 	r.Dirty(1) // far below threshold: background never fires
 	snap, err := r.Refresh(context.Background())
@@ -173,7 +198,7 @@ func TestRefreshOutlivesDoomedInflightFit(t *testing.T) {
 	fit := &testFit{}
 	fit.fail.Store(true)
 	fit.slow.Store(int64(50 * time.Millisecond))
-	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 1})
 	defer r.Close()
 	r.Dirty(1) // launches the doomed fit
 	waitFor(t, 5*time.Second, func() bool { return fit.calls.Load() == 1 })
@@ -191,7 +216,7 @@ func TestRefreshOutlivesDoomedInflightFit(t *testing.T) {
 
 func TestBaseEpochOffsetsSequence(t *testing.T) {
 	fit := &testFit{}
-	r := New(fit.fn, Config{BaseEpoch: 1 << 40, MinInterval: time.Hour})
+	r := New(seedOnly(fit.fn), Config{BaseEpoch: 1 << 40, MinInterval: time.Hour})
 	defer r.Close()
 	snap, err := r.Refresh(context.Background())
 	if err != nil {
@@ -205,7 +230,7 @@ func TestBaseEpochOffsetsSequence(t *testing.T) {
 func TestReadyColdStartAndErrors(t *testing.T) {
 	fit := &testFit{}
 	fit.fail.Store(true)
-	r := New(fit.fn, Config{MinInterval: time.Hour, Threshold: 100})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Hour, Threshold: 100})
 	defer r.Close()
 	if _, err := r.Ready(context.Background()); err == nil {
 		t.Fatal("Ready must surface the fit error when no snapshot exists")
@@ -228,7 +253,7 @@ func TestOnSwapOrderAndEpochMonotonic(t *testing.T) {
 	var swaps []uint64
 	fit := &testFit{}
 	var r *Refitter
-	r = New(fit.fn, Config{
+	r = New(seedOnly(fit.fn), Config{
 		MinInterval: time.Nanosecond,
 		Threshold:   1,
 		OnSwap: func(s *Snapshot) {
@@ -260,7 +285,7 @@ func TestOnSwapOrderAndEpochMonotonic(t *testing.T) {
 func TestConcurrentDirtyAndRefresh(t *testing.T) {
 	fit := &testFit{}
 	fit.slow.Store(int64(time.Millisecond))
-	r := New(fit.fn, Config{MinInterval: time.Millisecond, Threshold: 2})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Millisecond, Threshold: 2})
 	defer r.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -296,7 +321,7 @@ func TestConcurrentDirtyAndRefresh(t *testing.T) {
 func TestCloseReleasesWaiters(t *testing.T) {
 	fit := &testFit{}
 	fit.slow.Store(int64(50 * time.Millisecond))
-	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 1})
 	r.Dirty(1)
 	errc := make(chan error, 1)
 	go func() {
@@ -325,7 +350,7 @@ func TestCloseReleasesWaiters(t *testing.T) {
 func TestContextCancelUnblocksWaiters(t *testing.T) {
 	fit := &testFit{}
 	fit.slow.Store(int64(time.Second))
-	r := New(fit.fn, Config{MinInterval: time.Nanosecond, Threshold: 1})
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 1})
 	defer r.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
@@ -342,9 +367,417 @@ func ExampleRefitter() {
 		d.Set(1, 0, 7)
 		return core.FitSVD(d, 2, 1)
 	}
-	r := New(fit, Config{MinInterval: time.Millisecond})
+	r := New(seedOnly(fit), Config{MinInterval: time.Millisecond})
 	defer r.Close()
 	snap, _ := r.Ready(context.Background())
 	fmt.Println("epoch", snap.Epoch)
 	// Output: epoch 1
+}
+
+// fakeIncSolver is a controllable incremental solver: every Apply after
+// seeding publishes a model and accrues driftPer drift per delta.
+type fakeIncSolver struct {
+	mu         sync.Mutex
+	seeds      int
+	applies    int
+	drift      float64
+	driftPer   float64
+	seeded     bool
+	failApply  bool
+	failSeed   bool
+	applyDelay time.Duration
+	seedDelay  time.Duration
+}
+
+func tinyModel() *core.Model {
+	d := mat.NewDense(2, 2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	m, err := core.FitSVD(d, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (f *fakeIncSolver) Seed() (*core.Model, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seedDelay > 0 {
+		time.Sleep(f.seedDelay)
+	}
+	f.seeds++
+	if f.failSeed {
+		return nil, errors.New("seed broke")
+	}
+	f.seeded = true
+	f.drift = 0
+	return tinyModel(), nil
+}
+
+func (f *fakeIncSolver) setFailSeed(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSeed = v
+}
+
+func (f *fakeIncSolver) seedCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seeds
+}
+
+func (f *fakeIncSolver) Apply(ds []solve.Delta) (*core.Model, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.applyDelay > 0 {
+		time.Sleep(f.applyDelay)
+	}
+	if !f.seeded {
+		return nil, nil
+	}
+	if f.failApply {
+		return nil, errors.New("apply broke")
+	}
+	f.applies++
+	f.drift += f.driftPer * float64(len(ds))
+	return tinyModel(), nil
+}
+
+func (f *fakeIncSolver) Drift() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drift
+}
+func (f *fakeIncSolver) Model() *core.Model { return nil }
+func (f *fakeIncSolver) Incremental() bool  { return true }
+
+// TestIncrementalRevisionsKeepEpoch: once an incremental solver is
+// seeded, delta batches publish revisions — fresh models under the SAME
+// epoch with increasing Rev — and never schedule full fits on their own
+// when drift-triggered fits are disabled.
+func TestIncrementalRevisionsKeepEpoch(t *testing.T) {
+	f := &fakeIncSolver{}
+	var swapRevs []uint64
+	var swapMu sync.Mutex
+	r := New(f, Config{MinInterval: time.Hour, Threshold: 1, DriftThreshold: -1,
+		OnSwap: func(s *Snapshot) {
+			swapMu.Lock()
+			swapRevs = append(swapRevs, s.Rev)
+			swapMu.Unlock()
+		}})
+	defer r.Close()
+	snap, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || snap.Rev != 0 {
+		t.Fatalf("seed snapshot %+v, want epoch 1 rev 0", snap)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+		waitFor(t, 5*time.Second, func() bool {
+			s := r.Snapshot()
+			return s != nil && s.Rev == want
+		})
+		s := r.Snapshot()
+		if s.Epoch != 1 {
+			t.Fatalf("revision bumped the epoch: %+v", s)
+		}
+		if s.Model == snap.Model {
+			t.Fatal("revision republished the seed model instead of a fresh one")
+		}
+	}
+	if got := f.seeds; got != 1 {
+		t.Fatalf("full fits = %d, want 1 (revisions must not refit)", got)
+	}
+	st := r.Stats()
+	if st.Fits != 1 || st.Revisions != 3 || st.Deltas != 3 || st.Epoch != 1 || st.Rev != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	swapMu.Lock()
+	defer swapMu.Unlock()
+	if len(swapRevs) != 4 { // the fit plus three revisions
+		t.Fatalf("OnSwap ran %d times, want 4 (revisions must swap consumers too)", len(swapRevs))
+	}
+}
+
+// TestDriftThresholdForcesCorrectiveFit: accumulated drift crossing the
+// threshold must schedule a full corrective fit, which bumps the epoch
+// and resets both Rev and drift.
+func TestDriftThresholdForcesCorrectiveFit(t *testing.T) {
+	f := &fakeIncSolver{driftPer: 0.3}
+	r := New(f, Config{MinInterval: time.Nanosecond, Threshold: 1, DriftThreshold: 0.5})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Two deltas: drift 0.3 (below), then 0.6 (crosses).
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+	r.Deltas([]solve.Delta{{From: 1, To: 0, Millis: 5}})
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 2 })
+	s := r.Snapshot()
+	if s.Rev != 0 {
+		t.Fatalf("corrective fit published rev %d, want 0", s.Rev)
+	}
+	if d := f.Drift(); d != 0 {
+		t.Fatalf("drift = %v after corrective fit, want 0", d)
+	}
+}
+
+// TestDeltasSeedIncrementalSolver: before its first fit an incremental
+// solver has nothing to update, so deltas must count toward the
+// full-fit threshold and produce the seeding fit in the background.
+func TestDeltasSeedIncrementalSolver(t *testing.T) {
+	f := &fakeIncSolver{}
+	r := New(f, Config{MinInterval: time.Nanosecond, Threshold: 2, DriftThreshold: -1})
+	defer r.Close()
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+	time.Sleep(10 * time.Millisecond)
+	if r.Snapshot() != nil {
+		t.Fatal("fit ran below threshold")
+	}
+	r.Deltas([]solve.Delta{{From: 1, To: 0, Millis: 5}})
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 1 })
+	// Seeded now: the next delta is a revision, not a fit.
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 6}})
+	waitFor(t, 5*time.Second, func() bool {
+		s := r.Snapshot()
+		return s != nil && s.Rev == 1
+	})
+	if e := r.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d, want 1", e)
+	}
+}
+
+// TestApplyFailureFallsBackToCorrectiveFit: an incremental update
+// failure must surface through OnError and degrade to a full fit — the
+// measurements are in the solver's matrix, so the model heals.
+func TestApplyFailureFallsBackToCorrectiveFit(t *testing.T) {
+	var errs atomic.Int64
+	f := &fakeIncSolver{failApply: true}
+	r := New(f, Config{MinInterval: time.Nanosecond, Threshold: 1, DriftThreshold: 0.5,
+		OnError: func(error) { errs.Add(1) }})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+	waitFor(t, 5*time.Second, func() bool { return errs.Load() >= 1 && r.Epoch() == 2 })
+}
+
+// TestRevisionsNeverMixFits_Race: concurrent readers evaluate published
+// snapshots pair-by-pair while the worker streams incremental revisions
+// and drift-forced corrective fits. Published models are immutable
+// clones of the solver's working factors, so under -race this proves no
+// published row is ever written again — the property that makes it
+// impossible for a served snapshot to expose half-updated factors or
+// rows from two different fits. It also checks that readers observe the
+// (epoch, rev) sequence in publication order.
+func TestRevisionsNeverMixFits_Race(t *testing.T) {
+	const (
+		m   = 8
+		dim = 4
+	)
+	rng := rand.New(rand.NewSource(3))
+	truth := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				truth.Set(i, j, 5+rng.Float64()*95)
+			}
+		}
+	}
+	rowDeltas := func(from int, scale float64) []solve.Delta {
+		ds := make([]solve.Delta, 0, m-1)
+		for j := 0; j < m; j++ {
+			if j != from {
+				ds = append(ds, solve.Delta{From: from, To: j, Millis: truth.At(from, j) * scale})
+			}
+		}
+		return ds
+	}
+
+	solver, err := solve.NewSGD(m, core.FitOptions{Dim: dim, Seed: 1}, solve.SGDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A low drift threshold makes corrective fits interleave with the
+	// revision stream, exercising both publication paths concurrently.
+	r := New(solver, Config{MinInterval: time.Millisecond, Threshold: 1, DriftThreshold: 0.05})
+	defer r.Close()
+	for i := 0; i < m; i++ {
+		r.Deltas(rowDeltas(i, 1))
+	}
+	if _, err := r.Ready(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch, lastRev uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				if s == nil {
+					continue
+				}
+				if s.Epoch < lastEpoch || (s.Epoch == lastEpoch && s.Rev < lastRev) {
+					t.Errorf("snapshot order went backward: (%d,%d) -> (%d,%d)",
+						lastEpoch, lastRev, s.Epoch, s.Rev)
+					return
+				}
+				lastEpoch, lastRev = s.Epoch, s.Rev
+				// Touch every row of both factors, the reads the race
+				// detector pits against any in-place update.
+				for i := 0; i < m; i++ {
+					for j := 0; j < m; j++ {
+						if v := s.Model.EstimateLandmarks(i, j); math.IsNaN(v) {
+							t.Errorf("NaN estimate in published snapshot (%d,%d)", s.Epoch, s.Rev)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	wrng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 300; iter++ {
+		scale := 1 + 0.05*(wrng.Float64()-0.5)
+		if iter%40 == 20 {
+			scale = 2 // a real shift: drives drift over the threshold
+		}
+		r.Deltas(rowDeltas(iter%m, scale))
+		if iter%5 == 0 {
+			// Pace the writer so the worker publishes between enqueues
+			// instead of coalescing the whole stream into a few cycles.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		st := r.Stats()
+		return st.Fits >= 2 && st.Revisions >= 10
+	})
+	close(done)
+	wg.Wait()
+	t.Logf("stats %+v", r.Stats())
+}
+
+// TestPublicationWindowDeltasDoNotForceRefit: deltas that land between
+// a successful Seed and the snapshot Store (while snap.Load() is still
+// nil) are folded into the first revision; they must not ALSO count
+// toward the full-fit threshold, which would later force a spurious
+// epoch-bumping fit for measurements already served.
+func TestPublicationWindowDeltasDoNotForceRefit(t *testing.T) {
+	f := &fakeIncSolver{}
+	var r *Refitter
+	injected := false
+	r = New(f, Config{MinInterval: time.Millisecond, Threshold: 1, DriftThreshold: -1,
+		OnSwap: func(s *Snapshot) {
+			// Runs on the worker goroutine just before the snapshot
+			// becomes visible: exactly the publication window.
+			if s.Epoch == 1 && s.Rev == 0 && !injected {
+				injected = true
+				r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+			}
+		}})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !injected {
+		t.Fatal("OnSwap injection did not run")
+	}
+	// The injected delta becomes a revision under epoch 1...
+	waitFor(t, 5*time.Second, func() bool {
+		s := r.Snapshot()
+		return s != nil && s.Rev >= 1
+	})
+	// ...and never a second fit, however long the debounce runs.
+	time.Sleep(20 * time.Millisecond)
+	if st := r.Stats(); st.Fits != 1 || st.Epoch != 1 {
+		t.Fatalf("stats %+v: publication-window delta forced a refit", st)
+	}
+}
+
+// TestRefreshWaitsForRevisionInsteadOfFitting: when a seeded
+// incremental solver has only delta work in flight, Refresh must ride
+// the resulting revision — same epoch, no host invalidation — instead
+// of forcing a corrective full fit.
+func TestRefreshWaitsForRevisionInsteadOfFitting(t *testing.T) {
+	f := &fakeIncSolver{applyDelay: 20 * time.Millisecond}
+	r := New(f, Config{MinInterval: time.Hour, Threshold: 1, DriftThreshold: -1})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+	snap, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || snap.Rev < 1 {
+		t.Fatalf("snapshot (%d,%d), want the revision under epoch 1", snap.Epoch, snap.Rev)
+	}
+	if st := r.Stats(); st.Fits != 1 {
+		t.Fatalf("fits = %d: Refresh forced a fit a revision had covered", st.Fits)
+	}
+}
+
+// TestDeltasDuringSeedDoNotForceRefit: deltas landing while the
+// seeding fit itself executes count toward pending (the solver is not
+// seeded yet), but the fit's success must clear that count — those
+// deltas ride the first revision, and a lingering count would fire a
+// spurious epoch-bumping fit one MinInterval later.
+func TestDeltasDuringSeedDoNotForceRefit(t *testing.T) {
+	f := &fakeIncSolver{seedDelay: 30 * time.Millisecond}
+	r := New(f, Config{MinInterval: time.Millisecond, Threshold: 1, DriftThreshold: -1})
+	defer r.Close()
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}}) // schedules the seeding fit
+	time.Sleep(10 * time.Millisecond)                    // mid-Seed
+	r.Deltas([]solve.Delta{{From: 1, To: 0, Millis: 6}}) // counted: epoch still base
+	waitFor(t, 5*time.Second, func() bool {
+		s := r.Snapshot()
+		return s != nil && s.Rev >= 1 // the mid-seed delta became a revision
+	})
+	time.Sleep(20 * time.Millisecond) // well past MinInterval
+	if st := r.Stats(); st.Fits != 1 || st.Epoch != 1 {
+		t.Fatalf("stats %+v: mid-seed delta forced a spurious refit", st)
+	}
+}
+
+// TestFailedDriftFitRetries: a drift-triggered corrective fit that
+// fails must re-arm itself — a seeded incremental solver has no pending
+// count to keep the schedule dirty, and churn may pause, so the
+// still-over-threshold drift itself has to carry the retry.
+func TestFailedDriftFitRetries(t *testing.T) {
+	f := &fakeIncSolver{driftPer: 1}
+	r := New(f, Config{MinInterval: time.Millisecond, Threshold: 1, DriftThreshold: 0.5})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	f.setFailSeed(true)
+	// One delta crosses the drift threshold; the corrective fit fails.
+	// No further measurements arrive — the retries must come from the
+	// retained drift signal alone.
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 5}})
+	waitFor(t, 5*time.Second, func() bool { return f.seedCalls() >= 3 })
+	if e := r.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d while corrective fits fail, want 1", e)
+	}
+	f.setFailSeed(false)
+	waitFor(t, 5*time.Second, func() bool { return r.Epoch() == 2 })
+	if d := f.Drift(); d != 0 {
+		t.Fatalf("drift = %v after the corrective fit landed, want 0", d)
+	}
 }

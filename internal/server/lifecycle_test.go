@@ -9,8 +9,21 @@ import (
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/solve"
 	"github.com/ides-go/ides/internal/wire"
 )
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
 
 // bumpEpoch forces one refit by injecting a fresh measurement and
 // refitting synchronously, returning the new epoch.
@@ -426,4 +439,99 @@ func TestRegisterRefusedDuringPublicationWindow(t *testing.T) {
 	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeStaleEpoch {
 		t.Fatalf("code %d, want CodeStaleEpoch", werr.Code)
 	}
+}
+
+// TestHostsSurviveIncrementalRevisions: with the SGD solver, new
+// measurements publish incremental revisions — the served landmark
+// vectors move, LifecycleStats().Rev climbs — but the epoch holds, so a
+// host registered against the generation keeps resolving and querying
+// without re-solving. A drift-forced corrective fit then bumps the
+// epoch and evicts it, proving revisions (not a dead refitter) were
+// keeping it alive.
+func TestHostsSurviveIncrementalRevisions(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	s, err := New(Config{
+		Landmarks:           lm,
+		Dim:                 3,
+		Seed:                1,
+		Solver:              solve.SGD,
+		RefitMinInterval:    time.Millisecond,
+		DriftEpochThreshold: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d := [][]float64{
+		{0, 10, 12, 21},
+		{10, 0, 20, 11},
+		{12, 20, 0, 13},
+		{21, 11, 13, 0},
+	}
+	report := func(scale float64) {
+		t.Helper()
+		for i, from := range lm {
+			rep := &wire.ReportRTT{From: from}
+			for j, to := range lm {
+				if i == j {
+					continue
+				}
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j] * scale})
+			}
+			if typ, _ := s.dispatch(wire.TypeReportRTT, rep.Encode(nil)); typ != wire.TypeAck {
+				t.Fatalf("report %d rejected", i)
+			}
+		}
+	}
+	report(1)
+	snap, err := s.refit.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := snap.Epoch
+
+	reg := &wire.RegisterHost{Addr: "survivor", Out: []float64{1, 2, 3}, In: []float64{3, 2, 1}, Epoch: epoch}
+	if typ, _ := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("register rejected")
+	}
+
+	// Gentle churn: each round must publish a revision, not a refit.
+	for round := 0; round < 3; round++ {
+		before := s.LifecycleStats()
+		report(1 + 0.02*float64(round+1))
+		waitFor(t, 5*time.Second, func() bool { return s.LifecycleStats().Revisions > before.Revisions })
+		if got := s.Epoch(); got != epoch {
+			t.Fatalf("revision bumped epoch %d -> %d", epoch, got)
+		}
+		typ, payload := s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "survivor"}).Encode(nil))
+		if typ != wire.TypeVectors {
+			t.Fatalf("GetVectors answered %v", typ)
+		}
+		v, err := wire.DecodeVectors(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Found {
+			t.Fatalf("round %d: host evicted by an incremental revision", round)
+		}
+	}
+	if st := s.LifecycleStats(); st.Fits != 1 {
+		t.Fatalf("fits = %d during revision churn, want just the seed", st.Fits)
+	}
+
+	// A real shift drives drift over the threshold: corrective fit,
+	// epoch bump, and the old generation's host dies with it.
+	report(3)
+	waitFor(t, 5*time.Second, func() bool { return s.Epoch() > epoch })
+	waitFor(t, 5*time.Second, func() bool {
+		typ, payload := s.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "survivor"}).Encode(nil))
+		if typ != wire.TypeVectors {
+			t.Fatalf("GetVectors answered %v", typ)
+		}
+		v, err := wire.DecodeVectors(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !v.Found
+	})
 }

@@ -12,11 +12,19 @@
 // entries are tagged with the epoch they were solved against; a refit
 // evicts stale entries and rejects stale registrations (CodeStaleEpoch)
 // instead of silently serving cross-generation estimates.
+//
+// Model updates go through a pluggable solver (internal/solve): the
+// default batch solver refits the full factorization per refresh, while
+// Config.Solver solve.SGD maintains the model by O(d)-per-measurement
+// gradient updates, publishing incremental revisions that refresh the
+// served landmark vectors WITHOUT bumping the epoch — registered hosts
+// keep their vectors — until accumulated drift crosses
+// Config.DriftEpochThreshold and a full corrective fit starts a new
+// generation.
 package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -28,8 +36,8 @@ import (
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/lifecycle"
-	"github.com/ides-go/ides/internal/mat"
 	"github.com/ides-go/ides/internal/query"
+	"github.com/ides-go/ides/internal/solve"
 	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
@@ -93,6 +101,24 @@ type Config struct {
 	// RefitThreshold is how many accepted measurements must accumulate
 	// before a background refit is scheduled (default 1).
 	RefitThreshold int
+	// Solver selects the model-update strategy: solve.Batch (default)
+	// refits the full factorization per model refresh, solve.SGD seeds
+	// from a batch fit and then folds each measurement into the model by
+	// O(d) gradient updates, publishing incremental revisions that keep
+	// the epoch — and every registered host vector — alive until drift
+	// crosses DriftEpochThreshold.
+	Solver solve.Kind
+	// SGDRate and SGDReg tune the SGD solver's normalized step size and
+	// L2 regularization (defaults 0.3 and 1e-4); ignored by the batch
+	// solver.
+	SGDRate float64
+	SGDReg  float64
+	// DriftEpochThreshold is the accumulated solver drift — the relative
+	// displacement of the landmark factors since the epoch's full fit —
+	// at which a corrective full refit bumps the epoch and makes every
+	// host re-solve. Default 0.15; negative disables drift-triggered
+	// refits. Only meaningful with an incremental solver.
+	DriftEpochThreshold float64
 	// Logger receives operational messages. Nil disables logging.
 	Logger *log.Logger
 }
@@ -103,16 +129,12 @@ type Server struct {
 	lmIndex map[string]int
 	now     func() time.Time // injectable clock for TTL tests
 
-	// mu guards dist — the raw landmark measurement matrix — and nothing
-	// else: report handlers hold it just long enough to write accepted
-	// entries, and the refitter holds it (read-side) just long enough to
-	// copy the matrix out. Model state never lives under it.
-	mu   sync.RWMutex
-	dist *mat.Dense // landmark RTTs; NaN = not yet measured
-
 	// refit owns the model lifecycle: epoch-stamped immutable snapshots,
-	// dirty tracking, and the debounced background fit. Handlers read
-	// snapshots lock-free; no request handler ever runs a factorization.
+	// the measurement delta queue, and the background solver work — full
+	// fits and incremental updates alike. The solver behind it owns the
+	// raw landmark measurement matrix; report handlers only validate and
+	// enqueue deltas. Handlers read snapshots lock-free; no request
+	// handler ever runs a factorization or a model update.
 	refit *lifecycle.Refitter
 
 	// dir holds registered host vectors, sharded for concurrent access.
@@ -160,20 +182,19 @@ func New(cfg Config) (*Server, error) {
 		}
 		idx[addr] = i
 	}
-	m := len(cfg.Landmarks)
-	dist := mat.NewDense(m, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if i != j {
-				dist.Set(i, j, math.NaN())
-			}
-		}
+	solver, err := solve.New(cfg.Solver, len(cfg.Landmarks), core.FitOptions{
+		Dim:       cfg.Dim,
+		Algorithm: cfg.Algorithm,
+		Seed:      cfg.Seed,
+		NMFIters:  cfg.NMFIters,
+	}, solve.SGDOptions{Rate: cfg.SGDRate, Reg: cfg.SGDReg})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
 		cfg:     cfg,
 		lmIndex: idx,
 		now:     time.Now,
-		dist:    dist,
 	}
 	// The directory and the refitter read the clock through s.now so
 	// tests that inject a fake clock steer TTL expiry and debounce too.
@@ -183,13 +204,14 @@ func New(cfg Config) (*Server, error) {
 		Now:    func() time.Time { return s.now() },
 	})
 	s.setEngine(nil)
-	s.refit = lifecycle.New(s.fitModel, lifecycle.Config{
-		BaseEpoch:   cfg.BaseEpoch,
-		MinInterval: cfg.RefitMinInterval,
-		Threshold:   cfg.RefitThreshold,
-		Now:         func() time.Time { return s.now() },
-		OnSwap:      s.installSnapshot,
-		OnError:     func(err error) { s.logf("background refit failed (will retry): %v", err) },
+	s.refit = lifecycle.New(solver, lifecycle.Config{
+		BaseEpoch:      cfg.BaseEpoch,
+		MinInterval:    cfg.RefitMinInterval,
+		Threshold:      cfg.RefitThreshold,
+		DriftThreshold: cfg.DriftEpochThreshold,
+		Now:            func() time.Time { return s.now() },
+		OnSwap:         s.installSnapshot,
+		OnError:        func(err error) { s.logf("background model update failed (will retry): %v", err) },
 	})
 	return s, nil
 }
@@ -214,16 +236,21 @@ func (s *Server) setEngine(m *core.Model) {
 }
 
 // installSnapshot swaps every per-generation consumer over to a freshly
-// fitted snapshot. It runs on the refitter's goroutine just before the
-// snapshot becomes visible, and ordering matters: the directory epoch
-// advances first — vectors solved against the old model stop resolving —
-// and only then does the engine start serving the new landmark vectors,
-// so no query ever dots vectors from two different fits.
+// published snapshot. It runs on the refitter's worker goroutine just
+// before the snapshot becomes visible. For a full fit (Rev 0) ordering
+// matters: the directory epoch advances first — vectors solved against
+// the old model stop resolving — and only then does the engine start
+// serving the new landmark vectors, so no query ever dots vectors from
+// two different fits. An incremental revision keeps the epoch, and with
+// it every registered host vector: only the engine's landmark resolver
+// swaps to the refreshed model.
 func (s *Server) installSnapshot(snap *lifecycle.Snapshot) {
-	s.dir.AdvanceEpoch(snap.Epoch)
+	if snap.Rev == 0 {
+		s.dir.AdvanceEpoch(snap.Epoch)
+		s.logf("model refit: epoch %d, %d landmarks, d=%d, algorithm=%v",
+			snap.Epoch, len(s.cfg.Landmarks), snap.Model.Dim(), snap.Model.Algorithm)
+	}
 	s.setEngine(snap.Model)
-	s.logf("model refit: epoch %d, %d landmarks, d=%d, algorithm=%v",
-		snap.Epoch, len(s.cfg.Landmarks), snap.Model.Dim(), snap.Model.Algorithm)
 }
 
 // Serve accepts and handles connections on ln until ctx is cancelled or
@@ -367,17 +394,17 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 	if err != nil {
 		return errFrame(wire.CodeBadRequest, err.Error())
 	}
-	// lmIndex is immutable after New, so source and entry validation run
-	// before the lock; mu is held only for the dist writes themselves.
+	// lmIndex is immutable after New, so validation takes no lock; the
+	// accepted measurements go to the model solver as a delta batch. The
+	// refitter applies them off the request path: the batch solver just
+	// records them ahead of the next full fit, the SGD solver also folds
+	// them into the model at O(d) per measurement — either way this
+	// handler never waits on a factorization.
 	from, ok := s.lmIndex[rep.From]
 	if !ok {
 		return errFrame(wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
 	}
-	type obs struct {
-		to int
-		ms float64
-	}
-	accepted := make([]obs, 0, len(rep.Entries))
+	accepted := make([]solve.Delta, 0, len(rep.Entries))
 	for _, e := range rep.Entries {
 		to, ok := s.lmIndex[e.To]
 		if !ok || to == from {
@@ -386,20 +413,10 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 		if e.RTTMillis < 0 || math.IsNaN(e.RTTMillis) || math.IsInf(e.RTTMillis, 0) {
 			continue
 		}
-		accepted = append(accepted, obs{to: to, ms: e.RTTMillis})
+		accepted = append(accepted, solve.Delta{From: from, To: to, Millis: e.RTTMillis})
 	}
 	if len(accepted) > 0 {
-		s.mu.Lock()
-		for _, o := range accepted {
-			s.dist.Set(from, o.to, o.ms)
-			// RTT is symmetric; mirror unless the reverse direction was
-			// measured independently.
-			if math.IsNaN(s.dist.At(o.to, from)) {
-				s.dist.Set(o.to, from, o.ms)
-			}
-		}
-		s.mu.Unlock()
-		s.refit.Dirty(len(accepted))
+		s.refit.Deltas(accepted)
 	}
 	return wire.TypeAck, nil
 }
@@ -535,61 +552,12 @@ func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
 	return wire.TypeNeighbors, resp.Encode(nil)
 }
 
-// fitModel builds one model generation: it copies the observed landmark
-// matrix under a short read lock, then factors with no locks held. It
-// runs only on the lifecycle refitter's goroutine.
-func (s *Server) fitModel() (*core.Model, error) {
-	m := len(s.cfg.Landmarks)
-	complete := true
-	var observed int
-	mask := mat.NewDense(m, m)
-	d := mat.NewDense(m, m)
-	s.mu.RLock()
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			v := s.dist.At(i, j)
-			if i == j {
-				mask.Set(i, j, 1)
-				continue
-			}
-			if math.IsNaN(v) {
-				complete = false
-				continue
-			}
-			mask.Set(i, j, 1)
-			d.Set(i, j, v)
-			observed++
-		}
-	}
-	s.mu.RUnlock()
-	// Require a usable measurement density: every landmark needs at least
-	// Dim observations for its vectors to be determined.
-	if observed < m*s.cfg.Dim && observed < m*(m-1) {
-		return nil, fmt.Errorf("server: only %d of %d landmark pairs measured", observed, m*(m-1))
-	}
-	opts := core.FitOptions{
-		Dim:       s.cfg.Dim,
-		Algorithm: s.cfg.Algorithm,
-		Seed:      s.cfg.Seed,
-		NMFIters:  s.cfg.NMFIters,
-	}
-	if !complete {
-		if s.cfg.Algorithm != core.NMF {
-			return nil, errors.New("server: landmark matrix incomplete; SVD cannot fit around holes (configure NMF, §4.2)")
-		}
-		opts.Mask = mask
-	}
-	model, err := core.Fit(d, opts)
-	if err != nil {
-		return nil, fmt.Errorf("server: fitting model: %w", err)
-	}
-	return model, nil
-}
-
-// Model returns the current landmark model, synchronously refitting
-// first if new measurements are pending — read-your-writes semantics
-// for in-process callers and tests. Wire handlers never take this path:
-// they serve the published snapshot as-is.
+// Model returns the current landmark model with read-your-writes
+// semantics for in-process callers and tests: it synchronously folds in
+// every measurement reported before the call — by waiting out the
+// incremental revision that covers them under the SGD solver, or by a
+// full refit otherwise. Wire handlers never take this path: they serve
+// the published snapshot as-is.
 func (s *Server) Model() (*core.Model, error) {
 	snap, err := s.refit.Refresh(context.Background())
 	if err != nil {
@@ -602,10 +570,19 @@ func (s *Server) Model() (*core.Model, error) {
 // served, 0 before the first fit.
 func (s *Server) Epoch() uint64 { return s.refit.Epoch() }
 
-// Refit synchronously folds all pending measurements into a new model
-// generation (bumping the epoch if anything was pending) and returns
-// the resulting epoch — an operational hook for tests and tools; the
-// serving path refits in the background on its own schedule.
+// LifecycleStats returns the model lifecycle counters: the published
+// (epoch, rev) pair plus lifetime full fits, incremental revisions, and
+// measurement deltas applied — the observability hook the solver
+// benchmark and operators read.
+func (s *Server) LifecycleStats() lifecycle.Stats { return s.refit.Stats() }
+
+// Refit synchronously folds all pending measurements into the served
+// model and returns the resulting epoch — an operational hook for tests
+// and tools; the serving path refreshes in the background on its own
+// schedule. With the batch solver any pending measurement costs a full
+// fit and bumps the epoch; with the SGD solver measurements already
+// covered by an incremental revision return that revision's (unchanged)
+// epoch instead — callers must not assume the epoch moves.
 func (s *Server) Refit(ctx context.Context) (uint64, error) {
 	snap, err := s.refit.Refresh(ctx)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRelativeErrorExact(t *testing.T) {
@@ -190,5 +191,45 @@ func TestPropQuantileInverse(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	}
+	s := SummarizeDurations(lat, 2*time.Second)
+	if s.Ops != 100 {
+		t.Fatalf("ops = %d", s.Ops)
+	}
+	if s.OpsPerSec != 50 {
+		t.Fatalf("ops/sec = %v, want 50", s.OpsPerSec)
+	}
+	if s.P50Us != 51_000 { // sorted[50] = 51ms
+		t.Fatalf("p50 = %vµs", s.P50Us)
+	}
+	if s.P99Us != 100_000 { // sorted[99]
+		t.Fatalf("p99 = %vµs", s.P99Us)
+	}
+	if s.MaxUs != 100_000 {
+		t.Fatalf("max = %vµs", s.MaxUs)
+	}
+	// The input must not be reordered.
+	if lat[0] != time.Millisecond {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummarizeDurationsSerialElapsed(t *testing.T) {
+	// elapsed <= 0 derives throughput from the latency sum: four 250ms
+	// ops back to back are 4 ops/sec.
+	lat := []time.Duration{250 * time.Millisecond, 250 * time.Millisecond,
+		250 * time.Millisecond, 250 * time.Millisecond}
+	if got := SummarizeDurations(lat, 0).OpsPerSec; got != 4 {
+		t.Fatalf("ops/sec = %v, want 4", got)
+	}
+	if s := SummarizeDurations(nil, time.Second); s != (OpSummary{}) {
+		t.Fatalf("empty sample = %+v, want zero", s)
 	}
 }
