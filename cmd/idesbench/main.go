@@ -8,9 +8,12 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, churn, pool, solver, all. The churn,
-// pool and solver workloads also write BENCH_churn.json /
-// BENCH_pool.json / BENCH_solver.json for the perf trajectory.
+// fig7b, ablations, bulkquery, churn, pool, solver, scenario, all. The
+// churn, pool, solver and scenario workloads also write
+// BENCH_churn.json / BENCH_pool.json / BENCH_solver.json /
+// BENCH_scenarios.json for the perf trajectory; scenario additionally
+// fails (non-zero exit) when the end-to-end accuracy gates are
+// violated, so CI can use it as a regression gate.
 package main
 
 import (
@@ -32,13 +35,14 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, solver, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, solver, scenario, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
+	quick := flag.Bool("quick", false, "force quick scale (overrides -full)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
 	flag.Parse()
 
 	scale := experiments.Quick
-	if *full {
+	if *full && !*quick {
 		scale = experiments.Full
 	}
 
@@ -57,8 +61,9 @@ func main() {
 		"churn":     runChurn,
 		"pool":      runPool,
 		"solver":    runSolver,
+		"scenario":  runScenario,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "solver"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "solver", "scenario"}
 
 	var ids []string
 	if *exp == "all" {

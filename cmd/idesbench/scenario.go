@@ -1,0 +1,328 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ides-go/ides/internal/experiments"
+	"github.com/ides-go/ides/internal/harness"
+	"github.com/ides-go/ides/internal/solve"
+)
+
+// Documented end-to-end accuracy gates (Fig-2-style bounds, shared
+// with the harness scenario tests and the solver conformance suite).
+const (
+	scenarioGateMedian = 0.30
+	scenarioGateP90    = 1.0
+)
+
+// scenarioAccuracy is one accuracy sample of the served system against
+// the fabric's ground truth.
+type scenarioAccuracy struct {
+	MedianRelErr float64 `json:"median_rel_err"`
+	P90RelErr    float64 `json:"p90_rel_err"`
+	Answered     int     `json:"answered"`
+	Queried      int     `json:"queried"`
+}
+
+// scenarioPartition reports the partition/heal sweep.
+type scenarioPartition struct {
+	PartitionedLandmarks int              `json:"partitioned_landmarks"`
+	ReportingDuringCut   int              `json:"reporting_during_cut"`
+	SurvivorsDuringCut   int              `json:"survivors_during_cut"`
+	During               scenarioAccuracy `json:"during"`
+	// RecoveryRounds is how many post-heal measurement rounds it took
+	// to get back under the gates; RecoveryWallMS the wall-clock cost
+	// of those rounds (report + sync + re-join + accuracy sweep).
+	RecoveryRounds int              `json:"recovery_rounds"`
+	RecoveryWallMS float64          `json:"recovery_wall_ms"`
+	EpochBumped    bool             `json:"epoch_bumped"`
+	After          scenarioAccuracy `json:"after"`
+}
+
+// scenarioFlap reports repeated partition/heal cycles.
+type scenarioFlap struct {
+	Cycles    int              `json:"cycles"`
+	Survivors int              `json:"survivors"`
+	Final     scenarioAccuracy `json:"final"`
+}
+
+// scenarioLossPoint is one loss-rate sweep point.
+type scenarioLossPoint struct {
+	LossRate     float64          `json:"loss_rate"`
+	LandmarksOK  int              `json:"landmarks_reporting"`
+	HostsJoined  int              `json:"hosts_joined"`
+	HostsTotal   int              `json:"hosts_total"`
+	Accuracy     scenarioAccuracy `json:"accuracy"`
+	BootWallMS   float64          `json:"boot_wall_ms"`
+	GatesCleared bool             `json:"gates_cleared"`
+}
+
+// scenarioResult is the JSON shape written to BENCH_scenarios.json.
+type scenarioResult struct {
+	Workload  string `json:"workload"`
+	Seed      int64  `json:"seed"`
+	Landmarks int    `json:"landmarks"`
+	Hosts     int    `json:"hosts"`
+	Dim       int    `json:"dim"`
+	Solver    string `json:"solver"`
+
+	Baseline  scenarioAccuracy    `json:"baseline"`
+	Partition scenarioPartition   `json:"partition"`
+	Flap      scenarioFlap        `json:"flap"`
+	Loss      []scenarioLossPoint `json:"loss"`
+
+	Pass bool `json:"pass"`
+}
+
+type scenarioParams struct {
+	numLM, numHosts, dim int
+	lossRates            []float64
+	flapCycles           int
+}
+
+func accuracyOf(a harness.Accuracy) scenarioAccuracy {
+	return scenarioAccuracy{MedianRelErr: a.Median, P90RelErr: a.P90, Answered: a.Answered, Queried: a.Queried}
+}
+
+func (a scenarioAccuracy) inGates() bool {
+	return a.Answered > 0 && a.MedianRelErr <= scenarioGateMedian && a.P90RelErr <= scenarioGateP90
+}
+
+// runScenario is the full-stack scenario workload: it boots real
+// clusters on the simnet fabric and sweeps partition/heal, flapping
+// and loss, gating end-to-end accuracy against the documented bounds.
+// Any gate violation makes the workload fail (non-zero exit), so CI's
+// scenario smoke is a paper-accuracy regression gate.
+func runScenario(scale experiments.Scale, seed int64) error {
+	// Shape note: end-to-end p90 on tiny topologies is dominated by the
+	// luck of a few near-zero-RTT pairs; ~80 sites is where the tail
+	// stabilizes inside the gates, so even the quick scale runs there.
+	p := scenarioParams{numLM: 20, numHosts: 60, dim: 8,
+		lossRates: []float64{0, 0.05, 0.2}, flapCycles: 3}
+	if scale == experiments.Full {
+		p = scenarioParams{numLM: 20, numHosts: 100, dim: 10,
+			lossRates: []float64{0, 0.02, 0.05, 0.1, 0.2}, flapCycles: 6}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	result := scenarioResult{
+		Workload: "scenario", Seed: seed,
+		Landmarks: p.numLM, Hosts: p.numHosts, Dim: p.dim,
+		Solver: solve.SGD.String(),
+	}
+
+	fmt.Printf("\n== Scenario workload: %d landmarks, %d hosts, d=%d, SGD solver ==\n", p.numLM, p.numHosts, p.dim)
+
+	if err := runScenarioPartition(ctx, p, seed, &result); err != nil {
+		return err
+	}
+	if err := runScenarioFlap(ctx, p, seed, &result); err != nil {
+		return err
+	}
+	if err := runScenarioLoss(ctx, p, seed, &result); err != nil {
+		return err
+	}
+
+	result.Pass = result.Baseline.inGates() && result.Partition.After.inGates() &&
+		result.Partition.EpochBumped && result.Flap.Final.inGates()
+	for _, lp := range result.Loss {
+		result.Pass = result.Pass && lp.GatesCleared
+	}
+
+	buf, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_scenarios.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote BENCH_scenarios.json (pass=%v)\n", result.Pass)
+	if !result.Pass {
+		return fmt.Errorf("scenario gates violated: median <= %.2f and p90 <= %.2f required", scenarioGateMedian, scenarioGateP90)
+	}
+	return nil
+}
+
+// newScenarioCluster builds and boots a cluster with the workload's
+// standard shape.
+func newScenarioCluster(ctx context.Context, p scenarioParams, seed int64, loss float64) (*harness.Cluster, error) {
+	samples := 1
+	if loss > 0 {
+		samples = 3 // min-of-3 probes so a lost sample doesn't void a measurement
+	}
+	c, err := harness.New(harness.Config{
+		NumLandmarks:        p.numLM,
+		NumHosts:            p.numHosts,
+		Dim:                 p.dim,
+		Solver:              solve.SGD,
+		DriftEpochThreshold: 0.05,
+		Seed:                seed,
+		LossRate:            loss,
+		RTOMillis:           50,
+		Samples:             samples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func runScenarioPartition(ctx context.Context, p scenarioParams, seed int64, result *scenarioResult) error {
+	c, err := newScenarioCluster(ctx, p, seed, 0)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(ctx); err != nil {
+		return fmt.Errorf("scenario boot: %w", err)
+	}
+	base, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		return err
+	}
+	result.Baseline = accuracyOf(base)
+	bootEpoch := c.ServedEpoch()
+	fmt.Printf("baseline: median err %.4f p90 %.4f (answered %d/%d), epoch %d\n",
+		base.Median, base.P90, base.Answered, base.Queried, bootEpoch)
+
+	// Partition a minority of landmarks and shift every route 60%.
+	minority := p.numLM / 3
+	names, err := c.PartitionLandmarks(minority)
+	if err != nil {
+		return err
+	}
+	if err := c.Net.SetLatencyScale(1.6); err != nil {
+		return err
+	}
+	ok, err := c.ReportRound(ctx)
+	if err != nil {
+		return err
+	}
+	during, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		return err
+	}
+	part := scenarioPartition{
+		PartitionedLandmarks: len(names),
+		ReportingDuringCut:   ok,
+		SurvivorsDuringCut:   c.Survivors(ctx),
+		During:               accuracyOf(during),
+	}
+	fmt.Printf("partition(%d lm)+route shift: %d landmarks reporting, %d/%d hosts served, stale median err %.4f\n",
+		len(names), ok, part.SurvivorsDuringCut, p.numHosts, during.Median)
+
+	// Heal and measure recovery: rounds of report+rejoin until the
+	// served system is back inside the gates.
+	c.Net.Heal()
+	healStart := time.Now()
+	var after harness.Accuracy
+	for part.RecoveryRounds = 1; part.RecoveryRounds <= 8; part.RecoveryRounds++ {
+		if _, err := c.ReportRound(ctx); err != nil {
+			return err
+		}
+		if _, err := c.Refresh(ctx); err != nil {
+			return err
+		}
+		if _, err := c.BootstrapAll(ctx); err != nil {
+			return err
+		}
+		if after, err = c.MeasureAccuracy(ctx, 0, 0); err != nil {
+			return err
+		}
+		if accuracyOf(after).inGates() {
+			break
+		}
+	}
+	part.RecoveryWallMS = float64(time.Since(healStart)) / float64(time.Millisecond)
+	part.EpochBumped = c.ServedEpoch() > bootEpoch
+	part.After = accuracyOf(after)
+	result.Partition = part
+	fmt.Printf("heal: recovered in %d round(s), %.0fms wall; median err %.4f p90 %.4f; drift epoch bump: %v\n",
+		part.RecoveryRounds, part.RecoveryWallMS, after.Median, after.P90, part.EpochBumped)
+	return nil
+}
+
+func runScenarioFlap(ctx context.Context, p scenarioParams, seed int64, result *scenarioResult) error {
+	c, err := newScenarioCluster(ctx, p, seed+1, 0)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(ctx); err != nil {
+		return err
+	}
+	minority := p.numLM / 3
+	for cycle := 0; cycle < p.flapCycles; cycle++ {
+		if _, err := c.PartitionLandmarks(minority); err != nil {
+			return err
+		}
+		if _, err := c.ReportRound(ctx); err != nil {
+			return err
+		}
+		c.Net.Heal()
+		if _, err := c.ReportRound(ctx); err != nil {
+			return err
+		}
+	}
+	if _, err := c.Refresh(ctx); err != nil {
+		return err
+	}
+	final, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		return err
+	}
+	result.Flap = scenarioFlap{
+		Cycles:    p.flapCycles,
+		Survivors: c.Survivors(ctx),
+		Final:     accuracyOf(final),
+	}
+	fmt.Printf("flap x%d: %d/%d hosts served, final median err %.4f p90 %.4f\n",
+		p.flapCycles, result.Flap.Survivors, p.numHosts, final.Median, final.P90)
+	return nil
+}
+
+func runScenarioLoss(ctx context.Context, p scenarioParams, seed int64, result *scenarioResult) error {
+	for _, rate := range p.lossRates {
+		c, err := newScenarioCluster(ctx, p, seed+2, rate)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		ok, err := c.ReportRound(ctx)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if _, err := c.Refresh(ctx); err != nil {
+			c.Close()
+			return fmt.Errorf("loss %.0f%%: seeding fit: %w", rate*100, err)
+		}
+		joined, _ := c.BootstrapAll(ctx)
+		acc, err := c.MeasureAccuracy(ctx, 0, 0)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		point := scenarioLossPoint{
+			LossRate:    rate,
+			LandmarksOK: ok,
+			HostsJoined: joined,
+			HostsTotal:  p.numHosts,
+			Accuracy:    accuracyOf(acc),
+			BootWallMS:  float64(time.Since(start)) / float64(time.Millisecond),
+			// Under loss some hosts may legitimately fail to join; the
+			// gate is over the hosts that did, plus a floor on joins.
+			GatesCleared: accuracyOf(acc).inGates() && joined*10 >= p.numHosts*8,
+		}
+		result.Loss = append(result.Loss, point)
+		fmt.Printf("loss %4.0f%%: %d/%d landmarks reporting, %d/%d hosts joined, median err %.4f p90 %.4f (gates %v)\n",
+			rate*100, ok, p.numLM, joined, p.numHosts, acc.Median, acc.P90, point.GatesCleared)
+		c.Close()
+	}
+	return nil
+}

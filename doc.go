@@ -44,7 +44,16 @@
 //     budgets (Config.IdleTimeout vs Config.RequestTimeout);
 //   - the synthetic datasets and baselines used to reproduce every table
 //     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
-//     FitVivaldi).
+//     FitVivaldi);
+//   - the deterministic simulation stack: internal/simnet is an
+//     in-process network fabric (central event scheduler, per-link
+//     seeded jitter/loss/reset streams, runtime-scriptable faults:
+//     Partition/Heal, CutLink, SetLatency, SetLatencyScale, Kill/Revive)
+//     and internal/harness boots the full service over it — real server,
+//     landmark and client code, virtual wire — with scenario steps and
+//     accuracy/recovery assertions. The same seed reproduces the same
+//     measurements, fits and error percentiles; `idesbench -exp
+//     scenario` runs partition/flap/loss sweeps as a gated workload.
 //
 // See README.md for a tour, DESIGN.md for the architecture and the
 // dataset-substitution rationale, and EXPERIMENTS.md for reproduction

@@ -7,6 +7,7 @@ import (
 	"context"
 	"log"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -445,6 +446,21 @@ func TestBatchQueryReRegistersAfterTTLExpiry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drive TTL expiry with an injected clock instead of sleeping the
+	// wall clock out: SetNow swaps the clock the directory sweeps and
+	// the refit debounce read.
+	var clockMu sync.Mutex
+	now := time.Now()
+	srv.SetNow(func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	})
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
 	srvHost, err := nw.Host(names[8])
 	if err != nil {
 		t.Fatal(err)
@@ -479,9 +495,9 @@ func TestBatchQueryReRegistersAfterTTLExpiry(t *testing.T) {
 	}
 
 	// Let both entries expire, then refresh only the target so the source
-	// side is what's missing. The TTL is a full second so a slow CI
-	// scheduler cannot expire the refreshed entry mid-recovery.
-	time.Sleep(2 * time.Second)
+	// side is what's missing. The clock is frozen between steps, so the
+	// refreshed entry can never expire mid-recovery however slow CI is.
+	advance(2 * time.Second)
 	if err := c2.Bootstrap(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -496,7 +512,7 @@ func TestBatchQueryReRegistersAfterTTLExpiry(t *testing.T) {
 		t.Fatalf("NumHosts = %d, source did not re-register", srv.NumHosts())
 	}
 	// KNearest takes the same recovery path.
-	time.Sleep(2 * time.Second)
+	advance(2 * time.Second)
 	if err := c2.Bootstrap(ctx); err != nil {
 		t.Fatal(err)
 	}

@@ -3,13 +3,13 @@ package client
 import (
 	"context"
 	"net"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/landmark"
 	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/testutil"
 	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
@@ -152,22 +152,6 @@ func TestFullSystemOverTCP(t *testing.T) {
 	}
 }
 
-// connCountingListener counts connections the server accepts, so tests
-// can prove the client reuses pooled connections instead of dialing per
-// call.
-type connCountingListener struct {
-	net.Listener
-	accepts atomic.Int64
-}
-
-func (l *connCountingListener) Accept() (net.Conn, error) {
-	c, err := l.Listener.Accept()
-	if err == nil {
-		l.accepts.Add(1)
-	}
-	return c, err
-}
-
 // TestClientPoolsServerConnections drives a client through register +
 // many queries over real TCP and asserts the server saw a small, bounded
 // number of connections — the pooled-transport contract — rather than
@@ -187,7 +171,7 @@ func TestClientPoolsServerConnections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ln := &connCountingListener{Listener: base}
+	ln := &testutil.CountingListener{Listener: base}
 	go srv.Serve(ctx, ln) //nolint:errcheck
 	srvAddr := base.Addr().String()
 
@@ -211,7 +195,7 @@ func TestClientPoolsServerConnections(t *testing.T) {
 		Self:    "client-pool",
 		Server:  srvAddr,
 		Dialer:  dialer,
-		Pinger:  stubPinger{rtt: 5 * time.Millisecond},
+		Pinger:  testutil.StubPinger{RTT: 5 * time.Millisecond},
 		Samples: 1,
 	})
 	if err != nil {
@@ -232,15 +216,8 @@ func TestClientPoolsServerConnections(t *testing.T) {
 	// cost ~52 dials; pooled they share a handful of connections. The
 	// report calls above used transport.Call directly, so allow those
 	// two dials plus the pool's.
-	if got := ln.accepts.Load(); got > int64(len(lmAddrs))+4 {
+	if got := ln.Accepts(); got > int64(len(lmAddrs))+4 {
 		t.Fatalf("server accepted %d connections for %d exchanges; pooling should bound this near %d",
 			got, queries+2, len(lmAddrs)+2)
 	}
-}
-
-// stubPinger reports a fixed RTT for any address.
-type stubPinger struct{ rtt time.Duration }
-
-func (p stubPinger) Ping(ctx context.Context, addr string, samples int) (time.Duration, error) {
-	return p.rtt, nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; the
+// large-topology accuracy test scales itself down under -race, where
+// every memory access costs an order of magnitude more.
+const raceEnabled = false

@@ -132,6 +132,7 @@ type Refitter struct {
 	timer       *time.Timer   // pending debounce wake-up, nil if none
 	timerGen    uint64        // attemptGen the armed timer belongs to
 	applyDoneC  chan struct{} // closed (and replaced) when a delta batch finishes applying
+	idleC       chan struct{} // closed (and replaced) when the worker goroutine goes idle
 	waiters     []chan fitResult
 	closed      bool
 }
@@ -164,6 +165,7 @@ func New(solver solve.Solver, cfg Config) *Refitter {
 		epoch:       cfg.BaseEpoch,
 		lastAttempt: cfg.Now(),
 		applyDoneC:  make(chan struct{}),
+		idleC:       make(chan struct{}),
 	}
 }
 
@@ -336,6 +338,7 @@ func (r *Refitter) worker() {
 		}
 		if len(deltas) == 0 && !runFull {
 			r.busy = false
+			r.signalIdleLocked()
 			r.mu.Unlock()
 			return
 		}
@@ -409,6 +412,13 @@ func (r *Refitter) applyDeltas(deltas []solve.Delta, fitNext bool) {
 func (r *Refitter) signalApplyDoneLocked() {
 	close(r.applyDoneC)
 	r.applyDoneC = make(chan struct{})
+}
+
+// signalIdleLocked wakes Quiesce callers when the worker goroutine goes
+// idle and rearms the signal for the next drain. Callers hold r.mu.
+func (r *Refitter) signalIdleLocked() {
+	close(r.idleC)
+	r.idleC = make(chan struct{})
 }
 
 // runFit performs one full fit on the worker goroutine and publishes
@@ -593,6 +603,43 @@ func (r *Refitter) Refresh(ctx context.Context) (*Snapshot, error) {
 			// predate this caller's measurements (e.g. it started on a
 			// still-too-sparse matrix that later reports completed) —
 			// loop and force a fresh one.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Quiesce waits until the update pipeline is fully drained: no queued
+// deltas, no apply cycle or fit in flight, and no scheduled follow-up
+// work — in particular no drift-triggered corrective fit armed by the
+// last revision. It returns the then-current snapshot (nil when nothing
+// was ever fit and nothing is scheduled). Unlike Refresh it never forces
+// work the schedule does not already owe: measurements short of the
+// full-fit Threshold are left pending. It is the deterministic sync
+// point scenario harnesses step on — after Quiesce, no background model
+// change can land until new measurements arrive.
+func (r *Refitter) Quiesce(ctx context.Context) (*Snapshot, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrClosed
+		}
+		scheduled := len(r.deltaQ) > 0 || r.driftDue || r.forced || r.debounced ||
+			r.pending >= r.cfg.Threshold || r.timer != nil
+		if !r.busy && !scheduled {
+			snap := r.snap.Load()
+			r.mu.Unlock()
+			return snap, nil
+		}
+		// Something is running or owed: make sure a worker is chasing it,
+		// then wait for the next idle transition and re-check. A worker
+		// blocked behind the debounce timer wakes when the timer fires.
+		r.startWorkerLocked()
+		idle := r.idleC
+		r.mu.Unlock()
+		select {
+		case <-idle:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -781,3 +781,73 @@ func TestFailedDriftFitRetries(t *testing.T) {
 		t.Fatalf("drift = %v after the corrective fit landed, want 0", d)
 	}
 }
+
+// TestQuiesceDrainsScheduledDriftFit: Quiesce must not return between
+// a published revision and the corrective fit its drift scheduled —
+// that window is exactly where a "synced" scenario assertion would
+// race a background epoch bump.
+func TestQuiesceDrainsScheduledDriftFit(t *testing.T) {
+	f := &fakeIncSolver{driftPer: 1} // every applied delta crosses the threshold
+	r := New(f, Config{MinInterval: time.Nanosecond, Threshold: 1, DriftThreshold: 0.5})
+	defer r.Close()
+	if _, err := r.Refresh(context.Background()); err != nil { // seed: epoch 1
+		t.Fatal(err)
+	}
+	r.Deltas([]solve.Delta{{From: 0, To: 1, Millis: 9}}) // revision + drift → corrective fit owed
+	snap, err := r.Quiesce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 2 || snap.Rev != 0 {
+		t.Fatalf("snapshot after Quiesce = %+v, want the corrective fit's epoch 2", snap)
+	}
+	if st := r.Stats(); st.Fits != 2 {
+		t.Fatalf("fits = %d, want seed + drift-triggered corrective", st.Fits)
+	}
+}
+
+// TestQuiesceDoesNotForceUnscheduledWork: measurements short of the
+// full-fit threshold are owed nothing; Quiesce returns without fitting.
+func TestQuiesceDoesNotForceUnscheduledWork(t *testing.T) {
+	fit := &testFit{}
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 10})
+	defer r.Close()
+	r.Dirty(3) // below threshold: nothing scheduled
+	snap, err := r.Quiesce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("snapshot = %+v before any fit", snap)
+	}
+	if got := fit.calls.Load(); got != 0 {
+		t.Fatalf("Quiesce forced %d fit(s); it must never force work", got)
+	}
+}
+
+// TestQuiesceWaitsOutPendingFit: with a threshold's worth of pending
+// measurements, Quiesce waits for the scheduled fit instead of
+// returning a stale answer.
+func TestQuiesceWaitsOutPendingFit(t *testing.T) {
+	fit := &testFit{}
+	r := New(seedOnly(fit.fn), Config{MinInterval: time.Nanosecond, Threshold: 2})
+	defer r.Close()
+	r.Dirty(2)
+	snap, err := r.Quiesce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 1 {
+		t.Fatalf("snapshot after Quiesce = %+v, want epoch 1", snap)
+	}
+}
+
+// TestQuiesceClosed: Quiesce on a closed refitter reports ErrClosed.
+func TestQuiesceClosed(t *testing.T) {
+	fit := &testFit{}
+	r := New(seedOnly(fit.fn), Config{})
+	r.Close()
+	if _, err := r.Quiesce(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -127,7 +127,10 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	lmIndex map[string]int
-	now     func() time.Time // injectable clock for TTL tests
+	// now is the injectable clock (see SetNow); swapped atomically so
+	// tests can advance a fake clock while request handlers, directory
+	// sweeps and the refitter read it concurrently.
+	now atomic.Pointer[func() time.Time]
 
 	// refit owns the model lifecycle: epoch-stamped immutable snapshots,
 	// the measurement delta queue, and the background solver work — full
@@ -194,14 +197,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		lmIndex: idx,
-		now:     time.Now,
 	}
-	// The directory and the refitter read the clock through s.now so
+	s.SetNow(time.Now)
+	// The directory and the refitter read the clock through s.clock so
 	// tests that inject a fake clock steer TTL expiry and debounce too.
 	s.dir = query.New(query.Config{
 		Shards: cfg.DirectoryShards,
 		TTL:    cfg.HostTTL,
-		Now:    func() time.Time { return s.now() },
+		Now:    s.clock,
 	})
 	s.setEngine(nil)
 	s.refit = lifecycle.New(solver, lifecycle.Config{
@@ -209,7 +212,7 @@ func New(cfg Config) (*Server, error) {
 		MinInterval:    cfg.RefitMinInterval,
 		Threshold:      cfg.RefitThreshold,
 		DriftThreshold: cfg.DriftEpochThreshold,
-		Now:            func() time.Time { return s.now() },
+		Now:            s.clock,
 		OnSwap:         s.installSnapshot,
 		OnError:        func(err error) { s.logf("background model update failed (will retry): %v", err) },
 	})
@@ -219,6 +222,15 @@ func New(cfg Config) (*Server, error) {
 // Close stops the background refitter. The server keeps serving the
 // last published snapshot; Serve is unaffected. Safe to call twice.
 func (s *Server) Close() { s.refit.Close() }
+
+// clock reads the (possibly injected) server clock.
+func (s *Server) clock() time.Time { return (*s.now.Load())() }
+
+// SetNow replaces the server's clock — a test hook that lets suites
+// drive HostTTL expiry and refit debounce with a fake clock instead of
+// sleeping the wall clock out. Safe to call while the server is
+// serving; production deployments never call it.
+func (s *Server) SetNow(now func() time.Time) { s.now.Store(&now) }
 
 // setEngine installs the query engine for a (possibly nil) fitted model.
 // The resolver closure pins that model generation: models are immutable
@@ -569,6 +581,16 @@ func (s *Server) Model() (*core.Model, error) {
 // Epoch returns the epoch of the model generation currently being
 // served, 0 before the first fit.
 func (s *Server) Epoch() uint64 { return s.refit.Epoch() }
+
+// Quiesce blocks until the model-update pipeline is fully drained: all
+// reported measurements applied, no fit in flight, and no scheduled
+// follow-up work (including drift-triggered corrective fits). Unlike
+// Refit it never forces work that is not already owed. It is the sync
+// hook deterministic scenario tests step on instead of sleeping.
+func (s *Server) Quiesce(ctx context.Context) error {
+	_, err := s.refit.Quiesce(ctx)
+	return err
+}
 
 // LifecycleStats returns the model lifecycle counters: the published
 // (epoch, rev) pair plus lifetime full fits, incremental revisions, and

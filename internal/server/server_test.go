@@ -11,6 +11,7 @@ import (
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/testutil"
 	"github.com/ides-go/ides/internal/wire"
 )
 
@@ -529,10 +530,7 @@ func TestModelRefitOnNewReports(t *testing.T) {
 // real loopback connection.
 func TestServeOverTCP(t *testing.T) {
 	s := ringLandmarks(t, core.SVD)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ln := testutil.Loopback(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- s.Serve(ctx, ln) }()
@@ -580,7 +578,7 @@ func TestHostTTLExpiry(t *testing.T) {
 	}
 	// Inject a controllable clock.
 	now := time.Unix(1000000, 0)
-	s.now = func() time.Time { return now }
+	s.SetNow(func() time.Time { return now })
 
 	// Load the ring and fit so landmark lookups work.
 	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
@@ -656,7 +654,7 @@ func TestHostTTLZeroNeverExpires(t *testing.T) {
 		t.Fatal(err)
 	}
 	now := time.Unix(1000000, 0)
-	s.now = func() time.Time { return now }
+	s.SetNow(func() time.Time { return now })
 	model, _ := s.Model()
 	d1 := []float64{0.5, 1.5, 1.5, 2.5}
 	h1, _ := model.SolveHost(d1, d1)
@@ -703,10 +701,7 @@ func TestDispatchMalformedPayloads(t *testing.T) {
 
 func TestServeRejectsGarbageStream(t *testing.T) {
 	s := ringLandmarks(t, core.SVD)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ln := testutil.Loopback(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go s.Serve(ctx, ln) //nolint:errcheck
@@ -743,10 +738,7 @@ func TestServeRejectsGarbageStream(t *testing.T) {
 // shutdown func.
 func serveTCP(t *testing.T, s *Server) string {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ln := testutil.Loopback(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() { defer close(done); s.Serve(ctx, ln) }() //nolint:errcheck

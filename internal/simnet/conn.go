@@ -5,41 +5,110 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// packet is a chunk of written data scheduled for delivery.
-type packet struct {
-	data      []byte
-	deliverAt time.Time
+// windowPackets bounds the number of written-but-unread packets per
+// direction — the virtual in-flight window. A peer that stops reading
+// eventually blocks the writer, like a full TCP send buffer.
+const windowPackets = 256
+
+// endpoint is the receive side of one direction of a connection: the
+// inbox the central scheduler delivers into and Read drains.
+type endpoint struct {
+	mu      sync.Mutex
+	queue   [][]byte // delivered, unread packets
+	pending []byte   // partially consumed head packet
+	// inflight counts packets written but not yet fully consumed by
+	// Read; the sender blocks while it is at windowPackets.
+	inflight   int
+	eof        bool  // peer closed cleanly; read after drain returns io.EOF
+	err        error // connection torn down (reset, kill, fabric closed)
+	recvClosed bool  // owning handle closed; arriving data is discarded
+
+	readable chan struct{} // cap 1: signaled on every state change a reader cares about
+	space    chan struct{} // cap 1: signaled on every state change a blocked writer cares about
 }
 
-// pipeHalf carries packets in one direction.
-type pipeHalf struct {
-	ch chan packet
-
-	mu          sync.Mutex
-	lastDeliver time.Time // enforces FIFO even if jitter would reorder
-	closed      bool
-}
-
-func (h *pipeHalf) close() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		close(h.ch)
+func newEndpoint() *endpoint {
+	return &endpoint{
+		readable: make(chan struct{}, 1),
+		space:    make(chan struct{}, 1),
 	}
 }
 
-// conn is one endpoint of a virtual connection.
-type conn struct {
-	local, remote net.Addr
-	send, recv    *pipeHalf
-	latency       func() time.Duration // one-way delay for data we send
+// signal is a non-blocking edge trigger on a capacity-1 channel.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
 
-	readMu  sync.Mutex // serializes Read; protects pending
-	pending []byte
+// fail tears the endpoint down: queued data is discarded (RST
+// semantics), blocked readers and writers wake with err.
+func (e *endpoint) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.queue, e.pending = nil, nil
+	e.inflight = 0
+	e.mu.Unlock()
+	signal(e.readable)
+	signal(e.space)
+}
+
+// consumeLocked accounts a fully read packet and frees a window slot.
+// Callers hold e.mu.
+func (e *endpoint) consumeLocked() {
+	if e.inflight > 0 {
+		e.inflight--
+	}
+	signal(e.space)
+}
+
+// pairConn ties the two endpoints of a virtual connection together for
+// fault injection and registry bookkeeping.
+type pairConn struct {
+	a, b       *conn // a dialed, b was accepted
+	aIdx, bIdx int   // topology host indices of a and b
+
+	resetOnce  sync.Once
+	closedEnds atomic.Int32
+}
+
+// reset tears both directions down with err — the conn-reset fault, and
+// what Partition/Kill do to established connections crossing the cut.
+func (p *pairConn) reset(err error) {
+	p.resetOnce.Do(func() {
+		p.a.in.fail(err)
+		p.b.in.fail(err)
+		p.a.nw.dropPair(p)
+	})
+}
+
+// touches reports whether the connection has an endpoint on host idx.
+func (p *pairConn) touches(idx int) bool { return p.aIdx == idx || p.bIdx == idx }
+
+// conn is one endpoint handle of a virtual connection. It implements
+// net.Conn; data written becomes readable at the peer after the
+// fabric's current one-way latency for the link (plus jitter and
+// loss-retransmission delay when configured).
+type conn struct {
+	nw            *Network
+	pair          *pairConn
+	local, remote addr
+	localIdx      int
+	remoteIdx     int
+	in            *endpoint // my inbox
+	out           *endpoint // the peer's inbox — what Write delivers into
+
+	readMu sync.Mutex // serializes Read
+
+	sendMu      sync.Mutex
+	lastDeliver time.Time // FIFO clamp: later writes never arrive earlier
 
 	dlMu                        sync.Mutex
 	readDeadline, writeDeadline time.Time
@@ -48,129 +117,227 @@ type conn struct {
 	closed    chan struct{}
 }
 
-// newPair creates the two endpoints of a connection between a and b.
-// fwd gives the one-way delay a→b, rev the delay b→a.
-func newPair(a, b net.Addr, fwd, rev func() time.Duration) (*conn, *conn) {
-	ab := &pipeHalf{ch: make(chan packet, 256)}
-	ba := &pipeHalf{ch: make(chan packet, 256)}
-	ca := &conn{local: a, remote: b, send: ab, recv: ba, latency: fwd, closed: make(chan struct{})}
-	cb := &conn{local: b, remote: a, send: ba, recv: ab, latency: rev, closed: make(chan struct{})}
+// newPair creates a registered connection between hosts aIdx and bIdx.
+func (n *Network) newPair(aIdx, bIdx int, aAddr, bAddr addr) (*conn, *conn) {
+	inA, inB := newEndpoint(), newEndpoint()
+	p := &pairConn{aIdx: aIdx, bIdx: bIdx}
+	ca := &conn{nw: n, pair: p, local: aAddr, remote: bAddr, localIdx: aIdx, remoteIdx: bIdx,
+		in: inA, out: inB, closed: make(chan struct{})}
+	cb := &conn{nw: n, pair: p, local: bAddr, remote: aAddr, localIdx: bIdx, remoteIdx: aIdx,
+		in: inB, out: inA, closed: make(chan struct{})}
+	p.a, p.b = ca, cb
+	n.addPair(p)
 	return ca, cb
 }
 
-// Write schedules p for delivery after the one-way latency. It never
-// blocks on the network round trip — only on backpressure when the peer
-// stops reading (the channel models a bounded in-flight window).
-func (c *conn) Write(p []byte) (int, error) {
-	select {
-	case <-c.closed:
-		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
-	default:
-	}
-	c.dlMu.Lock()
-	wd := c.writeDeadline
-	c.dlMu.Unlock()
-	var timeout <-chan time.Time
-	if !wd.IsZero() {
-		if !time.Now().Before(wd) {
-			return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: os.ErrDeadlineExceeded}
-		}
-		t := time.NewTimer(time.Until(wd))
-		defer t.Stop()
-		timeout = t.C
-	}
-
-	buf := make([]byte, len(p))
-	copy(buf, p)
-	deliver := time.Now().Add(c.latency())
-
-	c.send.mu.Lock()
-	if c.send.closed {
-		c.send.mu.Unlock()
-		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
-	}
-	// TCP-like FIFO: never deliver before an earlier packet.
-	if deliver.Before(c.send.lastDeliver) {
-		deliver = c.send.lastDeliver
-	}
-	c.send.lastDeliver = deliver
-	c.send.mu.Unlock()
-
-	select {
-	case c.send.ch <- packet{data: buf, deliverAt: deliver}:
-		return len(p), nil
-	case <-c.closed:
-		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: net.ErrClosed}
-	case <-timeout:
-		return 0, &net.OpError{Op: "write", Net: "simnet", Addr: c.remote, Err: os.ErrDeadlineExceeded}
-	}
+func (c *conn) opError(op string, err error) error {
+	return &net.OpError{Op: op, Net: "simnet", Addr: c.remote, Err: err}
 }
 
-// Read returns buffered data, or waits for the next packet's delivery time.
+// Write schedules p for delivery after the link's current one-way
+// latency. It blocks only on the in-flight window (a peer that stops
+// reading) — never on the propagation delay itself. Probabilistic
+// faults apply here: a lost packet is delivered late by one
+// retransmission timeout, a drawn conn-reset tears the connection down.
+func (c *conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		select {
+		case <-c.closed:
+			return 0, c.opError("write", net.ErrClosed)
+		default:
+			return 0, nil
+		}
+	}
+	// Reserve a window slot, honoring the write deadline.
+	for {
+		select {
+		case <-c.closed:
+			return 0, c.opError("write", net.ErrClosed)
+		default:
+		}
+		c.dlMu.Lock()
+		wd := c.writeDeadline
+		c.dlMu.Unlock()
+		if !wd.IsZero() && !time.Now().Before(wd) {
+			return 0, c.opError("write", os.ErrDeadlineExceeded)
+		}
+		c.out.mu.Lock()
+		if err := c.out.err; err != nil {
+			c.out.mu.Unlock()
+			return 0, c.opError("write", err)
+		}
+		if c.out.inflight < windowPackets {
+			c.out.inflight++
+			c.out.mu.Unlock()
+			break
+		}
+		c.out.mu.Unlock()
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if !wd.IsZero() {
+			timer = time.NewTimer(time.Until(wd))
+			timeout = timer.C
+		}
+		select {
+		case <-c.out.space:
+		case <-timeout:
+		case <-c.closed:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	delay, drop, reset := c.nw.sendVerdict(c.localIdx, c.remoteIdx)
+	if reset {
+		c.pair.reset(errConnReset)
+		return 0, c.opError("write", errConnReset)
+	}
+	if drop {
+		// The link is cut: the data vanishes into the partition. The
+		// write itself succeeds, as a TCP send into a dead path would.
+		c.out.mu.Lock()
+		c.out.consumeLocked()
+		c.out.mu.Unlock()
+		return len(p), nil
+	}
+
+	buf := append([]byte(nil), p...)
+	c.sendMu.Lock()
+	deliver := time.Now().Add(delay)
+	// TCP-like FIFO: never deliver before an earlier packet.
+	if deliver.Before(c.lastDeliver) {
+		deliver = c.lastDeliver
+	}
+	c.lastDeliver = deliver
+	c.sendMu.Unlock()
+	out := c.out
+	localIdx, remoteIdx := c.localIdx, c.remoteIdx
+	nw := c.nw
+	nw.sched.schedule(deliver, func() {
+		// A partition that landed while the packet was in flight eats it.
+		if nw.linkCut(localIdx, remoteIdx) {
+			out.mu.Lock()
+			out.consumeLocked()
+			out.mu.Unlock()
+			return
+		}
+		out.mu.Lock()
+		if out.err != nil || out.recvClosed {
+			out.consumeLocked()
+			out.mu.Unlock()
+			return
+		}
+		out.queue = append(out.queue, buf)
+		out.mu.Unlock()
+		signal(out.readable)
+	})
+	return len(p), nil
+}
+
+// Read returns buffered data, blocking until the scheduler delivers the
+// next packet, the deadline passes, or the connection dies. A read
+// deadline set while a Read is blocked takes effect immediately.
 func (c *conn) Read(p []byte) (int, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
-
-	if len(c.pending) > 0 {
-		n := copy(p, c.pending)
-		c.pending = c.pending[n:]
-		return n, nil
+	if len(p) == 0 {
+		return 0, nil
 	}
-
-	c.dlMu.Lock()
-	rd := c.readDeadline
-	c.dlMu.Unlock()
-	var timeout <-chan time.Time
-	if !rd.IsZero() {
-		if !time.Now().Before(rd) {
-			return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
+	in := c.in
+	for {
+		select {
+		case <-c.closed:
+			return 0, c.opError("read", net.ErrClosed)
+		default:
 		}
-		t := time.NewTimer(time.Until(rd))
-		defer t.Stop()
-		timeout = t.C
-	}
-
-	select {
-	case pkt, ok := <-c.recv.ch:
-		if !ok {
+		in.mu.Lock()
+		if len(in.pending) > 0 {
+			n := copy(p, in.pending)
+			in.pending = in.pending[n:]
+			if len(in.pending) == 0 {
+				in.pending = nil
+				in.consumeLocked()
+			}
+			in.mu.Unlock()
+			return n, nil
+		}
+		if len(in.queue) > 0 {
+			pkt := in.queue[0]
+			in.queue[0] = nil
+			in.queue = in.queue[1:]
+			n := copy(p, pkt)
+			if n < len(pkt) {
+				in.pending = pkt[n:]
+			} else {
+				in.consumeLocked()
+			}
+			in.mu.Unlock()
+			return n, nil
+		}
+		if err := in.err; err != nil {
+			in.mu.Unlock()
+			return 0, c.opError("read", err)
+		}
+		if in.eof {
+			in.mu.Unlock()
 			return 0, io.EOF
 		}
-		// Honor the delivery time (propagation delay).
-		if wait := time.Until(pkt.deliverAt); wait > 0 {
-			t := time.NewTimer(wait)
-			select {
-			case <-t.C:
-			case <-timeout:
-				t.Stop()
-				// The packet is "in flight"; keep it for the next Read.
-				c.pending = pkt.data
-				return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
-			case <-c.closed:
-				t.Stop()
-				c.pending = pkt.data
-				return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: net.ErrClosed}
+		in.mu.Unlock()
+
+		c.dlMu.Lock()
+		rd := c.readDeadline
+		c.dlMu.Unlock()
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if !rd.IsZero() {
+			if !time.Now().Before(rd) {
+				return 0, c.opError("read", os.ErrDeadlineExceeded)
 			}
+			timer = time.NewTimer(time.Until(rd))
+			timeout = timer.C
 		}
-		n := copy(p, pkt.data)
-		if n < len(pkt.data) {
-			c.pending = pkt.data[n:]
+		select {
+		case <-in.readable:
+		case <-timeout:
+		case <-c.closed:
 		}
-		return n, nil
-	case <-timeout:
-		return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: os.ErrDeadlineExceeded}
-	case <-c.closed:
-		// Deliver whatever was already queued? TCP would; keep it simple
-		// and report closure — our protocols are request/response.
-		return 0, &net.OpError{Op: "read", Net: "simnet", Addr: c.local, Err: net.ErrClosed}
+		if timer != nil {
+			timer.Stop()
+		}
 	}
 }
 
-// Close tears down both directions. The peer observes EOF after draining
-// in-flight packets.
+// Close closes this end: local operations fail immediately, and the
+// peer observes EOF once in-flight data has drained (the FIN rides the
+// same FIFO-clamped delivery schedule as data).
 func (c *conn) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
-		c.send.close()
+		c.in.mu.Lock()
+		c.in.recvClosed = true
+		c.in.queue, c.in.pending = nil, nil
+		c.in.inflight = 0
+		c.in.mu.Unlock()
+		signal(c.in.space)
+
+		out := c.out
+		c.sendMu.Lock()
+		deliver := time.Now().Add(c.nw.plainDelay(c.localIdx, c.remoteIdx))
+		if deliver.Before(c.lastDeliver) {
+			deliver = c.lastDeliver
+		}
+		c.lastDeliver = deliver
+		c.sendMu.Unlock()
+		c.nw.sched.schedule(deliver, func() {
+			out.mu.Lock()
+			out.eof = true
+			out.mu.Unlock()
+			signal(out.readable)
+		})
+		if c.pair.closedEnds.Add(1) == 2 {
+			c.nw.dropPair(c.pair)
+		}
 	})
 	return nil
 }
@@ -181,29 +348,33 @@ func (c *conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr returns the peer's address.
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline sets both read and write deadlines.
+// SetDeadline sets both read and write deadlines. Unlike the earlier
+// simnet, deadlines apply to operations already blocked.
 func (c *conn) SetDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.readDeadline, c.writeDeadline = t, t
 	c.dlMu.Unlock()
+	signal(c.in.readable)
+	signal(c.out.space)
 	return nil
 }
 
-// SetReadDeadline sets the read deadline. It applies to Read calls that
-// begin after it is set; a Read already blocked is not interrupted (a
-// documented simplification relative to net.Conn).
+// SetReadDeadline sets the read deadline, waking a blocked Read so it
+// takes effect immediately.
 func (c *conn) SetReadDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.readDeadline = t
 	c.dlMu.Unlock()
+	signal(c.in.readable)
 	return nil
 }
 
-// SetWriteDeadline sets the write deadline, with the same caveat as
-// SetReadDeadline.
+// SetWriteDeadline sets the write deadline, waking a Write blocked on
+// the in-flight window.
 func (c *conn) SetWriteDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.writeDeadline = t
 	c.dlMu.Unlock()
+	signal(c.out.space)
 	return nil
 }

@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// event is one scheduled delivery. Events fire in (at, seq) order, so
+// deliveries due at the same instant keep their scheduling order — the
+// property that makes a run's delivery sequence reproducible.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// scheduler is the network's central delivery engine: every packet,
+// EOF and handshake completion passes through one timer-driven queue
+// instead of per-connection sleeps. There is no standing goroutine —
+// like transport.Pool's idle reaper, a single timer is armed for the
+// earliest due event and dispatch runs in its callback, re-arming for
+// the next. A dedicated dispatching flag keeps at most one dispatcher
+// running so the (at, seq) order is never raced away.
+type scheduler struct {
+	mu          sync.Mutex
+	events      eventHeap
+	seq         uint64
+	timer       *time.Timer
+	dispatching bool
+	closed      bool
+}
+
+// schedule queues fn to run at wall-clock time at (immediately when at
+// is already past). fn must be quick and must not call back into the
+// scheduler.
+func (s *scheduler) schedule(at time.Time, fn func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	s.armLocked()
+	s.mu.Unlock()
+}
+
+// armLocked points the timer at the earliest event. Callers hold s.mu.
+func (s *scheduler) armLocked() {
+	if s.closed || len(s.events) == 0 {
+		return
+	}
+	d := time.Until(s.events[0].at)
+	if d < 0 {
+		d = 0
+	}
+	if s.timer == nil {
+		s.timer = time.AfterFunc(d, s.dispatch)
+	} else {
+		s.timer.Reset(d)
+	}
+}
+
+// dispatch drains all due events in order, then re-arms for the next
+// future one. Only one dispatch loop runs at a time; extra timer
+// firings (possible around Reset races) fold into the running loop.
+func (s *scheduler) dispatch() {
+	s.mu.Lock()
+	if s.dispatching || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.dispatching = true
+	for {
+		now := time.Now()
+		var due []*event
+		for len(s.events) > 0 && !s.events[0].at.After(now) {
+			due = append(due, heap.Pop(&s.events).(*event))
+		}
+		if len(due) == 0 {
+			s.dispatching = false
+			s.armLocked()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		for _, e := range due {
+			e.fn()
+		}
+		s.mu.Lock()
+	}
+}
+
+// close drops all pending events and stops the timer. Scheduled
+// deliveries that have not fired are lost — Network.Close resets every
+// connection anyway, so nothing waits for them.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.events = nil
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}

@@ -1,19 +1,49 @@
-// Package simnet provides an in-process virtual network whose connections
-// and pings experience the one-way delays of a synthetic topology. The
-// full IDES service (information server, landmark agents, ordinary hosts)
-// runs over simnet in tests and examples exactly as it runs over real TCP
-// in the cmd/ binaries: simnet's Host implements the same Dialer and Pinger
-// contracts.
+// Package simnet provides a deterministic in-process network fabric
+// whose connections and pings experience the one-way delays of a
+// synthetic topology. The full IDES service (information server,
+// landmark agents, ordinary hosts) runs over simnet in tests, the
+// scenario harness and examples exactly as it runs over real TCP in the
+// cmd/ binaries: simnet's Host implements the same transport.Dialer and
+// transport.Pinger contracts.
 //
-// Delays are modeled per packet: data written to a connection becomes
-// readable at the peer only after the one-way latency between the two
-// hosts has elapsed (scaled by Config.TimeScale so examples can compress
-// 100 ms RTTs into 1 ms of wall clock). Dial blocks for one round trip,
-// like a TCP handshake.
+// # Delivery model
+//
+// All delivery flows through one central event scheduler: data written
+// to a connection is queued with a due time — the link's current
+// one-way latency plus optional jitter and loss-retransmission delay,
+// scaled by Config.TimeScale — and becomes readable at the peer when
+// the scheduler delivers it. Bandwidth is not modeled; ordering is
+// FIFO per direction. Dial blocks for one round trip, like a TCP
+// handshake.
+//
+// # Faults
+//
+// The fabric is runtime-scriptable: Partition/Heal cut and restore
+// whole host groups (established connections crossing a cut are reset,
+// new dials and pings fail fast with "network is unreachable"),
+// CutLink/RestoreLink do the same per link, SetLatency overrides a
+// link's one-way delay, SetLatencyScale stretches every topology
+// latency (a global route change), SetLoss/SetReset inject per-packet
+// loss (delivered late by one RTO, as TCP retransmission would) and
+// probabilistic connection resets, and Kill/Revive crash and restore a
+// host.
+//
+// # Determinism
+//
+// Every random draw — jitter, loss, reset — comes from a per-directed-
+// link RNG stream seeded from Config.Seed and the link's endpoint
+// indices. Two networks built with the same topology, names and seed
+// produce identical measurement sequences as long as traffic on each
+// link is issued in the same order; with JitterMean, LossRate and
+// ResetRate all zero no draws happen at all and runs are bit-for-bit
+// deterministic regardless of goroutine interleaving. Wall-clock
+// timing (TimeScale) never influences measured values: pings report
+// simulated time.
 package simnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -26,34 +56,65 @@ import (
 
 // Config parameterizes a Network.
 type Config struct {
-	// TimeScale multiplies every simulated delay before sleeping on the
-	// wall clock. 1.0 is real time; 0.01 compresses a 100 ms RTT to 1 ms.
-	// Default 1.0.
+	// TimeScale multiplies every simulated delay before it is mapped to
+	// the wall clock. 1.0 is real time; 1e-5 compresses a 100 ms RTT to
+	// 1 µs. Default 1.0. Measured values are in simulated time and do
+	// not depend on TimeScale.
 	TimeScale float64
-	// JitterMean is the mean of the exponential per-packet queueing jitter
-	// in milliseconds of simulated time. Default 0 (no jitter).
+	// JitterMean is the mean of the exponential per-packet queueing
+	// jitter in milliseconds of simulated time. Default 0 (no jitter,
+	// no RNG draws).
 	JitterMean float64
-	// Seed drives jitter sampling.
+	// Seed drives every per-link RNG stream (jitter, loss, reset).
 	Seed int64
+	// LossRate is the default per-packet loss probability on every
+	// link. A lost packet is not dropped — the connection retransmits,
+	// delivering it one RTOMillis later, as TCP would. Lost ping
+	// samples are discarded (and cost one RTO of wall time in Ping).
+	// Override per link with SetLoss. Default 0.
+	LossRate float64
+	// ResetRate is the default probability that any single write tears
+	// the connection down with a reset — flaky middleboxes, NAT table
+	// evictions. Override per link with SetReset. Default 0.
+	ResetRate float64
+	// RTOMillis is the simulated retransmission timeout added to a lost
+	// packet's delivery, in milliseconds. Default 200.
+	RTOMillis float64
 }
 
 func (c Config) withDefaults() Config {
 	if c.TimeScale <= 0 {
 		c.TimeScale = 1
 	}
+	if c.RTOMillis <= 0 {
+		c.RTOMillis = 200
+	}
 	return c
 }
 
-// Network is a virtual network over a topology. Host names map 1:1 to
-// topology host indices.
-type Network struct {
-	topo *topology.Topology
-	cfg  Config
+// linkKey identifies one directed link by topology host indices.
+type linkKey [2]int
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	names     map[string]int
-	listeners map[string]*listener
+// Network is a virtual network over a topology. Host names map 1:1 to
+// topology host indices. All methods are safe for concurrent use.
+type Network struct {
+	topo  *topology.Topology
+	cfg   Config
+	sched *scheduler
+
+	mu            sync.Mutex
+	names         map[string]int
+	listeners     map[string]*listener
+	rngs          map[linkKey]*rand.Rand
+	dead          map[int]bool
+	cuts          map[linkKey]bool
+	partitions    []map[int]bool
+	latOverride   map[linkKey]float64
+	lossOverride  map[linkKey]float64
+	resetOverride map[linkKey]float64
+	latScale      float64
+	pairs         map[*pairConn]struct{}
+	closed        bool
 }
 
 // New builds a Network over topo. names[i] becomes the address of
@@ -69,13 +130,20 @@ func New(topo *topology.Topology, names []string, cfg Config) (*Network, error) 
 		}
 		idx[n] = i
 	}
-	cfg = cfg.withDefaults()
 	return &Network{
-		topo:      topo,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		names:     idx,
-		listeners: make(map[string]*listener),
+		topo:          topo,
+		cfg:           cfg.withDefaults(),
+		sched:         &scheduler{},
+		names:         idx,
+		listeners:     make(map[string]*listener),
+		rngs:          make(map[linkKey]*rand.Rand),
+		dead:          make(map[int]bool),
+		cuts:          make(map[linkKey]bool),
+		latOverride:   make(map[linkKey]float64),
+		lossOverride:  make(map[linkKey]float64),
+		resetOverride: make(map[linkKey]float64),
+		latScale:      1,
+		pairs:         make(map[*pairConn]struct{}),
 	}, nil
 }
 
@@ -88,8 +156,36 @@ func DefaultNames(n int) []string {
 	return names
 }
 
-// Host returns a handle bound to the named host. All traffic originated
-// through the handle experiences that host's latencies.
+// Close tears the fabric down: every connection resets, scheduled
+// deliveries are dropped, and future dials fail. Idempotent.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	victims := make([]*pairConn, 0, len(n.pairs))
+	for p := range n.pairs {
+		victims = append(victims, p)
+	}
+	lns := make([]*listener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		lns = append(lns, l)
+	}
+	n.listeners = make(map[string]*listener)
+	n.mu.Unlock()
+	n.sched.close()
+	for _, l := range lns {
+		l.shut()
+	}
+	for _, p := range victims {
+		p.reset(net.ErrClosed)
+	}
+}
+
+// Host returns a handle bound to the named host. All traffic
+// originated through the handle experiences that host's latencies.
 func (n *Network) Host(name string) (*Host, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -100,32 +196,423 @@ func (n *Network) Host(name string) (*Host, error) {
 	return &Host{net: n, name: name, idx: idx}, nil
 }
 
-// oneWay returns the simulated one-way delay from host a to host b
-// including jitter, as a wall-clock duration after scaling.
-func (n *Network) oneWay(a, b int) time.Duration {
-	ms := n.topo.OneWay(a, b)
-	if n.cfg.JitterMean > 0 {
-		n.mu.Lock()
-		ms += n.rng.ExpFloat64() * n.cfg.JitterMean
-		n.mu.Unlock()
+// addPair registers a live connection for fault targeting.
+func (n *Network) addPair(p *pairConn) {
+	n.mu.Lock()
+	if !n.closed {
+		n.pairs[p] = struct{}{}
 	}
+	n.mu.Unlock()
+}
+
+// dropPair forgets a closed or reset connection.
+func (n *Network) dropPair(p *pairConn) {
+	n.mu.Lock()
+	delete(n.pairs, p)
+	n.mu.Unlock()
+}
+
+// rngLocked returns the directed link's RNG stream, creating it
+// deterministically from the network seed on first use. Callers hold
+// n.mu.
+func (n *Network) rngLocked(a, b int) *rand.Rand {
+	k := linkKey{a, b}
+	r, ok := n.rngs[k]
+	if !ok {
+		r = rand.New(rand.NewSource(linkSeed(n.cfg.Seed, a, b)))
+		n.rngs[k] = r
+	}
+	return r
+}
+
+// linkSeed mixes the network seed with the directed link identity
+// (splitmix64 finalizer) so each link gets an independent stream.
+func linkSeed(seed int64, a, b int) int64 {
+	z := uint64(seed) ^ (uint64(uint32(a))<<32 | uint64(uint32(b)))
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// oneWayMSLocked is the current effective one-way latency a→b in
+// simulated milliseconds: a per-link override, or the topology latency
+// times the global latency scale. Callers hold n.mu.
+func (n *Network) oneWayMSLocked(a, b int) float64 {
+	if ms, ok := n.latOverride[linkKey{a, b}]; ok {
+		return ms
+	}
+	return n.topo.OneWay(a, b) * n.latScale
+}
+
+// jitterMSLocked draws per-packet jitter for the directed link, in
+// simulated milliseconds. No draw happens when jitter is disabled.
+func (n *Network) jitterMSLocked(a, b int) float64 {
+	if n.cfg.JitterMean <= 0 {
+		return 0
+	}
+	return n.rngLocked(a, b).ExpFloat64() * n.cfg.JitterMean
+}
+
+// linkCutLocked reports whether traffic a→b is currently cut by a
+// pairwise cut or a partition. Callers hold n.mu.
+func (n *Network) linkCutLocked(a, b int) bool {
+	if n.cuts[linkKey{a, b}] {
+		return true
+	}
+	for _, set := range n.partitions {
+		if set[a] != set[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// linkCut is linkCutLocked for callers outside the lock.
+func (n *Network) linkCut(a, b int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linkCutLocked(a, b)
+}
+
+// wall maps simulated milliseconds to a wall-clock duration.
+func (n *Network) wall(ms float64) time.Duration {
 	return time.Duration(ms * n.cfg.TimeScale * float64(time.Millisecond))
 }
 
-// rttSim returns the simulated RTT in *simulated* milliseconds (unscaled),
-// with jitter, for measurement APIs.
-func (n *Network) rttSim(a, b int) float64 {
-	ms := n.topo.OneWay(a, b) + n.topo.OneWay(b, a)
-	if n.cfg.JitterMean > 0 {
-		n.mu.Lock()
-		ms += n.rng.ExpFloat64() * n.cfg.JitterMean
-		n.mu.Unlock()
+// sendVerdict decides one packet's fate on the directed link from→to:
+// its wall-clock propagation delay (including jitter and, for a lost
+// packet, one retransmission timeout), whether it is silently dropped
+// (cut link), or whether the write resets the connection.
+func (n *Network) sendVerdict(from, to int) (delay time.Duration, drop, reset bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.dead[from] || n.dead[to] {
+		return 0, false, true
 	}
-	return ms
+	if n.linkCutLocked(from, to) {
+		return 0, true, false
+	}
+	ms := n.oneWayMSLocked(from, to) + n.jitterMSLocked(from, to)
+	if p := n.lossRateLocked(from, to); p > 0 && n.rngLocked(from, to).Float64() < p {
+		ms += n.cfg.RTOMillis
+	}
+	if p := n.resetRateLocked(from, to); p > 0 && n.rngLocked(from, to).Float64() < p {
+		return 0, false, true
+	}
+	return n.wall(ms), false, false
 }
 
-// Host is a network endpoint. It implements the Dial/Listen/Ping surface
-// the IDES client, landmark and server components are written against.
+// plainDelay is the link's current base propagation delay with no RNG
+// draws — used for control signals (EOF) so faults and jitter streams
+// are not perturbed by connection shutdown.
+func (n *Network) plainDelay(from, to int) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.wall(n.oneWayMSLocked(from, to))
+}
+
+func (n *Network) lossRateLocked(a, b int) float64 {
+	if p, ok := n.lossOverride[linkKey{a, b}]; ok {
+		return p
+	}
+	return n.cfg.LossRate
+}
+
+func (n *Network) resetRateLocked(a, b int) float64 {
+	if p, ok := n.resetOverride[linkKey{a, b}]; ok {
+		return p
+	}
+	return n.cfg.ResetRate
+}
+
+// resolve maps a host name to its index. Callers hold n.mu.
+func (n *Network) resolveLocked(name string) (int, error) {
+	idx, ok := n.names[name]
+	if !ok {
+		return 0, fmt.Errorf("simnet: unknown host %q", name)
+	}
+	return idx, nil
+}
+
+// ---- Runtime-scriptable faults ----
+
+// Partition isolates the named hosts from every host NOT in the set:
+// traffic within the set and within the complement still flows, traffic
+// across is cut. Established connections crossing the cut are reset;
+// new dials and pings across it fail immediately with "network is
+// unreachable". Partitions compose — each call adds an independent cut
+// that Heal removes.
+func (n *Network) Partition(names ...string) error {
+	n.mu.Lock()
+	set := make(map[int]bool, len(names))
+	for _, name := range names {
+		idx, err := n.resolveLocked(name)
+		if err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		set[idx] = true
+	}
+	n.partitions = append(n.partitions, set)
+	victims := n.crossingPairsLocked()
+	n.mu.Unlock()
+	for _, p := range victims {
+		p.reset(errConnReset)
+	}
+	return nil
+}
+
+// Heal removes every partition and pairwise cut. Latency overrides,
+// loss rates and killed hosts are untouched.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partitions = nil
+	n.cuts = make(map[linkKey]bool)
+	n.mu.Unlock()
+}
+
+// CutLink severs the link between two hosts in both directions,
+// resetting established connections between them.
+func (n *Network) CutLink(a, b string) error {
+	n.mu.Lock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	n.cuts[linkKey{ai, bi}] = true
+	n.cuts[linkKey{bi, ai}] = true
+	victims := n.crossingPairsLocked()
+	n.mu.Unlock()
+	for _, p := range victims {
+		p.reset(errConnReset)
+	}
+	return nil
+}
+
+// RestoreLink undoes CutLink for the pair (it does not undo
+// partitions; use Heal for those).
+func (n *Network) RestoreLink(a, b string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	delete(n.cuts, linkKey{ai, bi})
+	delete(n.cuts, linkKey{bi, ai})
+	return nil
+}
+
+func (n *Network) resolvePairLocked(a, b string) (int, int, error) {
+	ai, err := n.resolveLocked(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	bi, err := n.resolveLocked(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ai, bi, nil
+}
+
+// crossingPairsLocked collects live connections whose endpoints are
+// currently separated by a cut. Callers hold n.mu; reset the returned
+// pairs after releasing it (reset re-enters the network lock).
+func (n *Network) crossingPairsLocked() []*pairConn {
+	var victims []*pairConn
+	for p := range n.pairs {
+		if n.linkCutLocked(p.aIdx, p.bIdx) || n.linkCutLocked(p.bIdx, p.aIdx) {
+			victims = append(victims, p)
+		}
+	}
+	return victims
+}
+
+// SetLatency overrides the one-way latency between two hosts in both
+// directions, in simulated milliseconds — a route change on that link.
+// Overrides are absolute: SetLatencyScale does not multiply them.
+func (n *Network) SetLatency(a, b string, oneWayMS float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	n.latOverride[linkKey{ai, bi}] = oneWayMS
+	n.latOverride[linkKey{bi, ai}] = oneWayMS
+	return nil
+}
+
+// SetOneWayLatency overrides the latency of a single direction,
+// modeling asymmetric route changes.
+func (n *Network) SetOneWayLatency(a, b string, oneWayMS float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	n.latOverride[linkKey{ai, bi}] = oneWayMS
+	return nil
+}
+
+// ClearLatency removes latency overrides between two hosts (both
+// directions), restoring the topology latency.
+func (n *Network) ClearLatency(a, b string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	delete(n.latOverride, linkKey{ai, bi})
+	delete(n.latOverride, linkKey{bi, ai})
+	return nil
+}
+
+// SetLatencyScale multiplies every topology-derived latency by f — a
+// fabric-wide route shift (per-link overrides stay absolute). f must
+// be positive.
+func (n *Network) SetLatencyScale(f float64) error {
+	if f <= 0 {
+		return fmt.Errorf("simnet: latency scale must be positive, got %v", f)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latScale = f
+	return nil
+}
+
+// SetLoss overrides the per-packet loss probability between two hosts
+// (both directions).
+func (n *Network) SetLoss(a, b string, p float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	n.lossOverride[linkKey{ai, bi}] = p
+	n.lossOverride[linkKey{bi, ai}] = p
+	return nil
+}
+
+// SetLossAll sets the default loss probability for every link without
+// a per-link override.
+func (n *Network) SetLossAll(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = p
+}
+
+// SetReset overrides the per-write connection-reset probability
+// between two hosts (both directions).
+func (n *Network) SetReset(a, b string, p float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return err
+	}
+	n.resetOverride[linkKey{ai, bi}] = p
+	n.resetOverride[linkKey{bi, ai}] = p
+	return nil
+}
+
+// Kill crashes a host: its listeners close, every connection touching
+// it resets, and dials or pings to it are refused until Revive. The
+// application component must be restarted (and Listen called again)
+// after Revive — simnet models the machine, not the process.
+func (n *Network) Kill(name string) error {
+	n.mu.Lock()
+	idx, err := n.resolveLocked(name)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	n.dead[idx] = true
+	var lns []*listener
+	if l, ok := n.listeners[name]; ok {
+		lns = append(lns, l)
+		delete(n.listeners, name)
+	}
+	var victims []*pairConn
+	for p := range n.pairs {
+		if p.touches(idx) {
+			victims = append(victims, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range lns {
+		l.shut()
+	}
+	for _, p := range victims {
+		p.reset(errConnReset)
+	}
+	return nil
+}
+
+// Revive brings a killed host's network back. Listeners must be
+// re-created by the application.
+func (n *Network) Revive(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx, err := n.resolveLocked(name)
+	if err != nil {
+		return err
+	}
+	delete(n.dead, idx)
+	return nil
+}
+
+// Alive reports whether the named host has not been killed. Unknown
+// names report false.
+func (n *Network) Alive(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx, err := n.resolveLocked(name)
+	return err == nil && !n.dead[idx]
+}
+
+// GroundTruthOneWay returns the current effective one-way latency a→b
+// in simulated milliseconds — topology routing, latency scale and
+// overrides included, jitter excluded. This is the oracle scenario
+// assertions compare model estimates against.
+func (n *Network) GroundTruthOneWay(a, b string) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if ai == bi {
+		return 0, nil
+	}
+	return n.oneWayMSLocked(ai, bi), nil
+}
+
+// GroundTruthRTT returns the current effective round-trip time a→b→a
+// in simulated milliseconds, jitter excluded.
+func (n *Network) GroundTruthRTT(a, b string) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ai, bi, err := n.resolvePairLocked(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if ai == bi {
+		return 0, nil
+	}
+	return n.oneWayMSLocked(ai, bi) + n.oneWayMSLocked(bi, ai), nil
+}
+
+// ---- Host handle ----
+
+// Host is a network endpoint. It implements the Dial/Listen/Ping
+// surface the IDES client, landmark and server components are written
+// against.
 type Host struct {
 	net  *Network
 	name string
@@ -140,11 +627,17 @@ func (h *Host) Name() string { return h.name }
 func (h *Host) Listen() (net.Listener, error) {
 	h.net.mu.Lock()
 	defer h.net.mu.Unlock()
+	if h.net.closed {
+		return nil, fmt.Errorf("simnet: network closed")
+	}
+	if h.net.dead[h.idx] {
+		return nil, fmt.Errorf("simnet: host %q is down", h.name)
+	}
 	if _, exists := h.net.listeners[h.name]; exists {
 		return nil, fmt.Errorf("simnet: host %q is already listening", h.name)
 	}
 	l := &listener{
-		net:     h.net,
+		nw:      h.net,
 		addr:    addr(h.name),
 		backlog: make(chan net.Conn, 16),
 		done:    make(chan struct{}),
@@ -153,88 +646,155 @@ func (h *Host) Listen() (net.Listener, error) {
 	return l, nil
 }
 
-// DialContext opens a virtual connection to the named host, blocking for
-// one simulated round trip (the handshake). The network argument is
-// accepted for signature compatibility with net.Dialer and ignored.
+// DialContext opens a virtual connection to the named host, blocking
+// for one simulated round trip (the handshake; lost handshake packets
+// add retransmission delay). Dials to killed or non-listening hosts
+// are refused; dials across a partition fail with "network is
+// unreachable". The network argument is accepted for signature
+// compatibility with net.Dialer and ignored.
 func (h *Host) DialContext(ctx context.Context, _, address string) (net.Conn, error) {
+	dialErr := func(err error) error {
+		return &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: err}
+	}
+	h.net.mu.Lock()
+	if h.net.closed {
+		h.net.mu.Unlock()
+		return nil, dialErr(net.ErrClosed)
+	}
+	peerIdx, err := h.net.resolveLocked(address)
+	if err != nil {
+		h.net.mu.Unlock()
+		return nil, dialErr(errConnRefused)
+	}
+	if h.net.dead[h.idx] || h.net.dead[peerIdx] {
+		h.net.mu.Unlock()
+		return nil, dialErr(errConnRefused)
+	}
+	if h.net.linkCutLocked(h.idx, peerIdx) || h.net.linkCutLocked(peerIdx, h.idx) {
+		h.net.mu.Unlock()
+		return nil, dialErr(errUnreachable)
+	}
+	if _, ok := h.net.listeners[address]; !ok {
+		h.net.mu.Unlock()
+		return nil, dialErr(errConnRefused)
+	}
+	// Handshake: one full round trip, each direction paying its own
+	// jitter and loss retransmissions.
+	rttMS := h.net.oneWayMSLocked(h.idx, peerIdx) + h.net.jitterMSLocked(h.idx, peerIdx) +
+		h.net.oneWayMSLocked(peerIdx, h.idx) + h.net.jitterMSLocked(peerIdx, h.idx)
+	if p := h.net.lossRateLocked(h.idx, peerIdx); p > 0 && h.net.rngLocked(h.idx, peerIdx).Float64() < p {
+		rttMS += h.net.cfg.RTOMillis
+	}
+	if p := h.net.lossRateLocked(peerIdx, h.idx); p > 0 && h.net.rngLocked(peerIdx, h.idx).Float64() < p {
+		rttMS += h.net.cfg.RTOMillis
+	}
+	wait := h.net.wall(rttMS)
+	h.net.mu.Unlock()
+
+	if err := sleepCtx(ctx, wait); err != nil {
+		return nil, dialErr(err)
+	}
+
+	// Re-check the world after the handshake delay: the listener may
+	// have closed, the host died, or a partition landed mid-handshake.
 	h.net.mu.Lock()
 	l, ok := h.net.listeners[address]
-	var peerIdx int
-	if ok {
-		peerIdx = h.net.names[address]
+	switch {
+	case h.net.closed, !ok, h.net.dead[h.idx], h.net.dead[peerIdx]:
+		h.net.mu.Unlock()
+		return nil, dialErr(errConnRefused)
+	case h.net.linkCutLocked(h.idx, peerIdx) || h.net.linkCutLocked(peerIdx, h.idx):
+		h.net.mu.Unlock()
+		return nil, dialErr(errUnreachable)
 	}
 	h.net.mu.Unlock()
-	if !ok {
-		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: errConnRefused}
-	}
 
-	// Handshake: one full round trip.
-	rtt := h.net.oneWay(h.idx, peerIdx) + h.net.oneWay(peerIdx, h.idx)
-	if err := sleepCtx(ctx, rtt); err != nil {
-		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: err}
-	}
-
-	fwd := func() time.Duration { return h.net.oneWay(h.idx, peerIdx) }
-	rev := func() time.Duration { return h.net.oneWay(peerIdx, h.idx) }
-	cli, srv := newPair(addr(h.name), addr(address), fwd, rev)
+	cli, srv := h.net.newPair(h.idx, peerIdx, addr(h.name), addr(address))
 	select {
 	case l.backlog <- srv:
 		return cli, nil
 	case <-l.done:
 		cli.Close()
 		srv.Close()
-		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: errConnRefused}
+		return nil, dialErr(errConnRefused)
 	case <-ctx.Done():
 		cli.Close()
 		srv.Close()
-		return nil, &net.OpError{Op: "dial", Net: "simnet", Addr: addr(address), Err: ctx.Err()}
+		return nil, dialErr(ctx.Err())
 	}
 }
 
-// Ping measures the RTT to the named host like an ICMP echo: it sleeps one
-// (scaled) round trip of wall-clock time and reports the simulated RTT.
-// samples > 1 returns the minimum across that many echoes, the standard
-// technique for stripping queueing jitter.
+// Ping measures the RTT to the named host like an ICMP echo: it sleeps
+// one (scaled) round trip of wall-clock time per sample and reports
+// the minimum simulated RTT across samples, the standard technique for
+// stripping queueing jitter. Lost samples (LossRate) are discarded and
+// cost one retransmission timeout of simulated time; if every sample
+// is lost, or the target is killed or partitioned away, Ping fails.
 func (h *Host) Ping(ctx context.Context, address string, samples int) (time.Duration, error) {
+	return h.ping(ctx, address, samples, true)
+}
+
+// PingInstant is Ping without the wall-clock sleeps, for measurement
+// campaigns in tests and experiments where real time is irrelevant. It
+// consumes the same RNG draws as Ping, so mixing the two preserves
+// determinism.
+func (h *Host) PingInstant(address string, samples int) (time.Duration, error) {
+	return h.ping(context.Background(), address, samples, false)
+}
+
+func (h *Host) ping(ctx context.Context, address string, samples int, sleep bool) (time.Duration, error) {
 	if samples <= 0 {
 		samples = 1
 	}
-	h.net.mu.Lock()
-	peerIdx, ok := h.net.names[address]
-	h.net.mu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("simnet: ping: unknown host %q", address)
-	}
 	best := -1.0
 	for s := 0; s < samples; s++ {
-		simMS := h.net.rttSim(h.idx, peerIdx)
-		if err := sleepCtx(ctx, time.Duration(simMS*h.net.cfg.TimeScale*float64(time.Millisecond))); err != nil {
-			return 0, err
+		h.net.mu.Lock()
+		peerIdx, err := h.net.resolveLocked(address)
+		if err != nil {
+			h.net.mu.Unlock()
+			return 0, fmt.Errorf("simnet: ping: unknown host %q", address)
+		}
+		if h.net.closed || h.net.dead[h.idx] || h.net.dead[peerIdx] {
+			h.net.mu.Unlock()
+			return 0, fmt.Errorf("simnet: ping %s: %w", address, errConnRefused)
+		}
+		if h.net.linkCutLocked(h.idx, peerIdx) || h.net.linkCutLocked(peerIdx, h.idx) {
+			h.net.mu.Unlock()
+			return 0, fmt.Errorf("simnet: ping %s: %w", address, errUnreachable)
+		}
+		lost := false
+		if p := h.net.lossRateLocked(h.idx, peerIdx); p > 0 && h.net.rngLocked(h.idx, peerIdx).Float64() < p {
+			lost = true
+		}
+		if p := h.net.lossRateLocked(peerIdx, h.idx); p > 0 && h.net.rngLocked(peerIdx, h.idx).Float64() < p {
+			lost = true
+		}
+		// One queueing-jitter draw per echo (from the forward link's
+		// stream): an echo is one packet exchange, not two independent
+		// congestion events, and min-filtering then strips jitter at the
+		// rate real ping campaigns see.
+		simMS := h.net.oneWayMSLocked(h.idx, peerIdx) + h.net.oneWayMSLocked(peerIdx, h.idx) +
+			h.net.jitterMSLocked(h.idx, peerIdx)
+		waitMS := simMS
+		if lost {
+			waitMS += h.net.cfg.RTOMillis
+		}
+		wait := h.net.wall(waitMS)
+		h.net.mu.Unlock()
+		if sleep {
+			if err := sleepCtx(ctx, wait); err != nil {
+				return 0, err
+			}
+		}
+		if lost {
+			continue
 		}
 		if best < 0 || simMS < best {
 			best = simMS
 		}
 	}
-	return time.Duration(best * float64(time.Millisecond)), nil
-}
-
-// PingInstant is Ping without the wall-clock sleeps, for measurement
-// campaigns in tests and experiments where real time is irrelevant.
-func (h *Host) PingInstant(address string, samples int) (time.Duration, error) {
-	if samples <= 0 {
-		samples = 1
-	}
-	h.net.mu.Lock()
-	peerIdx, ok := h.net.names[address]
-	h.net.mu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("simnet: ping: unknown host %q", address)
-	}
-	best := -1.0
-	for s := 0; s < samples; s++ {
-		if simMS := h.net.rttSim(h.idx, peerIdx); best < 0 || simMS < best {
-			best = simMS
-		}
+	if best < 0 {
+		return 0, fmt.Errorf("simnet: ping %s: all %d samples lost", address, samples)
 	}
 	return time.Duration(best * float64(time.Millisecond)), nil
 }
@@ -253,7 +813,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-var errConnRefused = fmt.Errorf("connection refused: %w", os.ErrNotExist)
+var (
+	errConnRefused = fmt.Errorf("connection refused: %w", os.ErrNotExist)
+	errUnreachable = errors.New("network is unreachable")
+	errConnReset   = errors.New("connection reset by peer")
+)
 
 // addr is a simnet network address.
 type addr string
@@ -263,7 +827,7 @@ func (a addr) String() string  { return string(a) }
 
 // listener implements net.Listener for a simnet host.
 type listener struct {
-	net     *Network
+	nw      *Network
 	addr    addr
 	backlog chan net.Conn
 	once    sync.Once
@@ -282,13 +846,20 @@ func (l *listener) Accept() (net.Conn, error) {
 
 // Close stops the listener and releases its address.
 func (l *listener) Close() error {
-	l.once.Do(func() {
-		close(l.done)
-		l.net.mu.Lock()
-		delete(l.net.listeners, string(l.addr))
-		l.net.mu.Unlock()
-	})
+	l.nw.mu.Lock()
+	if l.nw.listeners[string(l.addr)] == l {
+		delete(l.nw.listeners, string(l.addr))
+	}
+	l.nw.mu.Unlock()
+	l.shut()
 	return nil
+}
+
+// shut closes the done channel without touching the network lock, so
+// Kill and Close can call it while coordinating the listener map
+// themselves.
+func (l *listener) shut() {
+	l.once.Do(func() { close(l.done) })
 }
 
 // Addr returns the listener's address.

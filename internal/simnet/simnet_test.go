@@ -337,7 +337,8 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 		_, err := ln.Accept()
 		done <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	// No sleep needed: Close unblocks Accept whether or not it has
+	// parked yet.
 	ln.Close()
 	select {
 	case err := <-done:

@@ -1,0 +1,145 @@
+// Package testutil holds the network test helpers that were once
+// copy-pasted across the transport, client and server test suites:
+// loopback listeners, a minimal wire echo server, accept-counting and
+// connection-tracking listener wrappers, and a stub pinger. It imports
+// only net and wire, so every internal package's tests can use it
+// without import cycles.
+package testutil
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// Loopback returns a TCP listener on an ephemeral 127.0.0.1 port,
+// closed automatically when the test ends.
+func Loopback(t testing.TB) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// EchoServer answers Ping with Pong and GetInfo with a fixed Info on
+// every connection accepted from ln; other types get a wire error. It
+// runs until the listener closes.
+func EchoServer(t testing.TB, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					typ, payload, err := wire.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					switch typ {
+					case wire.TypePing:
+						p, err := wire.DecodePing(payload)
+						if err != nil {
+							return
+						}
+						if err := wire.WriteFrame(c, wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil)); err != nil {
+							return
+						}
+					case wire.TypeGetInfo:
+						info := &wire.Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true}
+						if err := wire.WriteFrame(c, wire.TypeInfo, info.Encode(nil)); err != nil {
+							return
+						}
+					default:
+						e := &wire.Error{Code: wire.CodeUnknownType, Text: "nope"}
+						if err := wire.WriteFrame(c, wire.TypeError, e.Encode(nil)); err != nil {
+							return
+						}
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+// CountingListener wraps a listener and counts accepted connections,
+// so tests can prove pooled transports reuse connections instead of
+// dialing per call.
+type CountingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+// Accept implements net.Listener.
+func (l *CountingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// Accepts returns how many connections have been accepted.
+func (l *CountingListener) Accepts() int64 { return l.accepts.Load() }
+
+// CountingEcho starts an EchoServer behind a CountingListener on a
+// fresh loopback port and returns the listener and its address.
+func CountingEcho(t testing.TB) (*CountingListener, string) {
+	t.Helper()
+	ln := &CountingListener{Listener: Loopback(t)}
+	EchoServer(t, ln)
+	return ln, ln.Addr().String()
+}
+
+// TrackingListener records accepted connections so tests can sever
+// them mid-call.
+type TrackingListener struct {
+	net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// Accept implements net.Listener.
+func (l *TrackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+// CloseConns closes every connection accepted so far and returns how
+// many were severed.
+func (l *TrackingListener) CloseConns() int {
+	l.mu.Lock()
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// StubPinger reports a fixed RTT for any address — for tests whose
+// "landmarks" are names rather than dialable endpoints.
+type StubPinger struct{ RTT time.Duration }
+
+// Ping implements transport.Pinger.
+func (p StubPinger) Ping(context.Context, string, int) (time.Duration, error) {
+	return p.RTT, nil
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// scriptConn is a net.Conn whose Read side replays a byte script in
+// caller-chosen chunk sizes and whose Write side buffers. Deadlines are
+// recorded but not enforced — the fuzz targets exercise parsing, not
+// timing.
+type scriptConn struct {
+	script []byte
+	chunk  int
+	wrote  bytes.Buffer
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) {
+	if len(c.script) == 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if c.chunk > 0 && c.chunk < n {
+		n = c.chunk
+	}
+	if n > len(c.script) {
+		n = len(c.script)
+	}
+	copy(p, c.script[:n])
+	c.script = c.script[n:]
+	return n, nil
+}
+
+func (c *scriptConn) Write(p []byte) (int, error)      { return c.wrote.Write(p) }
+func (c *scriptConn) Close() error                     { return nil }
+func (c *scriptConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *scriptConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *scriptConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(time.Time) error { return nil }
+
+// FuzzRoundtripReply feeds arbitrary bytes to Roundtrip as the peer's
+// reply: the frame reader and the wire-error decoding underneath must
+// be total — no panics, no unbounded allocation — and any successful
+// parse must be a well-formed frame.
+func FuzzRoundtripReply(f *testing.F) {
+	f.Add(wire.AppendFrame(nil, wire.TypePong, (&wire.Pong{Token: 1}).Encode(nil)), 0)
+	f.Add(wire.AppendFrame(nil, wire.TypeError, (&wire.Error{Code: 2, Text: "x"}).Encode(nil)), 3)
+	f.Add([]byte{0x1D, 0xE5, 1, 99, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, reply []byte, chunk int) {
+		conn := &scriptConn{script: reply, chunk: chunk%7 + 1}
+		typ, payload, err := Roundtrip(context.Background(), conn, wire.TypePing, []byte{1})
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize into a frame that parses back
+		// to the same (type, payload).
+		again := wire.AppendFrame(nil, typ, payload)
+		typ2, payload2, err := wire.ReadFrame(bytes.NewReader(again))
+		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("accepted reply does not round-trip: %v %v", typ2, err)
+		}
+		// The request side must always have emitted exactly one valid frame.
+		rt, rp, err := wire.ReadFrame(bytes.NewReader(conn.wrote.Bytes()))
+		if err != nil || rt != wire.TypePing || !bytes.Equal(rp, []byte{1}) {
+			t.Fatalf("request frame corrupted: %v %v", rt, err)
+		}
+	})
+}
+
+// FuzzRequestConnReassembly drives wire.ReadFrame through a
+// RequestConn that delivers the stream in tiny chunks — the server's
+// actual read path, where the deadline re-arm fires on the first byte.
+// Chunked parsing must agree byte-for-byte with whole-buffer parsing.
+func FuzzRequestConnReassembly(f *testing.F) {
+	f.Add(wire.AppendFrame(nil, wire.TypeGetModel, nil), 1)
+	f.Add(wire.AppendFrame(nil, wire.TypeReportRTT, (&wire.ReportRTT{From: "lm", Entries: []wire.RTTEntry{{To: "x", RTTMillis: 1}}}).Encode(nil)), 2)
+	f.Add([]byte{0x1D}, 1)
+	f.Add([]byte{}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		direct, directPayload, directErr := wire.ReadFrame(bytes.NewReader(data))
+
+		rc := &RequestConn{Conn: &scriptConn{script: append([]byte(nil), data...), chunk: chunk%5 + 1}, Budget: time.Second}
+		rc.Rearm()
+		typ, payload, err := wire.ReadFrame(rc)
+
+		if (err == nil) != (directErr == nil) {
+			t.Fatalf("chunked parse err=%v, direct err=%v", err, directErr)
+		}
+		if err == nil && (typ != direct || !bytes.Equal(payload, directPayload)) {
+			t.Fatalf("chunked parse (%v, %x) != direct (%v, %x)", typ, payload, direct, directPayload)
+		}
+	})
+}

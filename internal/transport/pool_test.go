@@ -5,33 +5,12 @@ import (
 	"errors"
 	"net"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/ides-go/ides/internal/testutil"
 	"github.com/ides-go/ides/internal/wire"
 )
-
-// countingListener wraps a listener and counts accepted connections.
-type countingListener struct {
-	net.Listener
-	accepts atomic.Int64
-}
-
-func (l *countingListener) Accept() (net.Conn, error) {
-	c, err := l.Listener.Accept()
-	if err == nil {
-		l.accepts.Add(1)
-	}
-	return c, err
-}
-
-func newCountingEcho(t *testing.T) (*countingListener, string) {
-	t.Helper()
-	ln := &countingListener{Listener: newLoopback(t)}
-	echoServer(t, ln)
-	return ln, ln.Addr().String()
-}
 
 func newTestPool(t *testing.T, cfg PoolConfig) *Pool {
 	t.Helper()
@@ -68,8 +47,8 @@ func poolPing(t *testing.T, p *Pool, addr string, token uint64) {
 // on the connection, so a later call with no deadline on the same
 // connection failed as soon as the stale deadline passed.
 func TestRoundtripClearsStaleDeadline(t *testing.T) {
-	ln := newLoopback(t)
-	echoServer(t, ln)
+	ln := testutil.Loopback(t)
+	testutil.EchoServer(t, ln)
 	d := &net.Dialer{}
 	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
 	if err != nil {
@@ -98,12 +77,12 @@ func TestRoundtripClearsStaleDeadline(t *testing.T) {
 }
 
 func TestPoolReusesConnections(t *testing.T) {
-	ln, addr := newCountingEcho(t)
+	ln, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{})
 	for i := 0; i < 20; i++ {
 		poolPing(t, p, addr, uint64(i+1))
 	}
-	if got := ln.accepts.Load(); got != 1 {
+	if got := ln.Accepts(); got != 1 {
 		t.Fatalf("20 sequential pooled calls used %d connections, want 1", got)
 	}
 	st := p.Stats()
@@ -116,7 +95,7 @@ func TestPoolConcurrentCalls(t *testing.T) {
 	// Hammer one pool from many goroutines (meaningful under -race) and
 	// check the per-host cap was respected.
 	const maxConns = 4
-	ln, addr := newCountingEcho(t)
+	ln, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{MaxPerHost: maxConns, MaxIdlePerHost: maxConns})
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -129,7 +108,7 @@ func TestPoolConcurrentCalls(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if got := ln.accepts.Load(); got > maxConns {
+	if got := ln.Accepts(); got > maxConns {
 		t.Fatalf("pool opened %d connections, MaxPerHost is %d", got, maxConns)
 	}
 	st := p.Stats()
@@ -141,7 +120,7 @@ func TestPoolConcurrentCalls(t *testing.T) {
 func TestPoolWireErrorKeepsConnection(t *testing.T) {
 	// An application-level error frame is a healthy exchange: the
 	// connection must go back to the pool, not be discarded.
-	ln, addr := newCountingEcho(t)
+	ln, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -151,7 +130,7 @@ func TestPoolWireErrorKeepsConnection(t *testing.T) {
 		t.Fatalf("error %v should unwrap to *wire.Error", err)
 	}
 	poolPing(t, p, addr, 7)
-	if got := ln.accepts.Load(); got != 1 {
+	if got := ln.Accepts(); got != 1 {
 		t.Fatalf("wire error discarded the connection: %d accepts, want 1", got)
 	}
 }
@@ -160,7 +139,7 @@ func TestPoolRetriesDeadIdleConnection(t *testing.T) {
 	// A server that serves one request per connection and then closes it:
 	// every pooled reuse finds a dead connection and must transparently
 	// replay on a fresh one.
-	ln := newLoopback(t)
+	ln := testutil.Loopback(t)
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -193,7 +172,7 @@ func TestPoolRetriesDeadIdleConnection(t *testing.T) {
 }
 
 func TestPoolReapsIdleConnections(t *testing.T) {
-	_, addr := newCountingEcho(t)
+	_, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{IdleTimeout: 50 * time.Millisecond})
 	poolPing(t, p, addr, 1)
 	if n := p.idleCount(); n != 1 {
@@ -212,32 +191,26 @@ func TestPoolReapsIdleConnections(t *testing.T) {
 }
 
 func TestPoolSurvivesServerRestart(t *testing.T) {
-	// track accepted connections so the "restart" can sever them: closing
+	// Track accepted connections so the "restart" can sever them: closing
 	// a listener alone does not close conns already handed to handlers.
-	var connMu sync.Mutex
-	var serverConns []net.Conn
-	ln := newLoopback(t)
+	ln := testutil.Loopback(t)
 	addr := ln.Addr().String()
-	tracking := &trackingListener{Listener: ln, mu: &connMu, conns: &serverConns}
-	echoServer(t, tracking)
+	tracking := &testutil.TrackingListener{Listener: ln}
+	testutil.EchoServer(t, tracking)
 	p := newTestPool(t, PoolConfig{})
 	poolPing(t, p, addr, 1)
 
 	// Restart: close the listener and every accepted connection (killing
 	// the pooled connection's peer), then re-listen on the same address.
 	ln.Close()
-	connMu.Lock()
-	for _, c := range serverConns {
-		c.Close()
-	}
-	connMu.Unlock()
+	tracking.CloseConns()
 	time.Sleep(50 * time.Millisecond)
 	ln2, err := net.Listen("tcp", addr)
 	if err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}
 	t.Cleanup(func() { ln2.Close() })
-	echoServer(t, ln2)
+	testutil.EchoServer(t, ln2)
 
 	// The pooled connection is dead; the call must recover via the
 	// single transparent retry against the restarted server.
@@ -247,27 +220,10 @@ func TestPoolSurvivesServerRestart(t *testing.T) {
 	}
 }
 
-// trackingListener records accepted connections so tests can sever them.
-type trackingListener struct {
-	net.Listener
-	mu    *sync.Mutex
-	conns *[]net.Conn
-}
-
-func (l *trackingListener) Accept() (net.Conn, error) {
-	c, err := l.Listener.Accept()
-	if err == nil {
-		l.mu.Lock()
-		*l.conns = append(*l.conns, c)
-		l.mu.Unlock()
-	}
-	return c, err
-}
-
 func TestPoolAppliesDefaultCallTimeout(t *testing.T) {
 	// A server that accepts and never answers: a Call with a deadline-free
 	// context must still return once the pool's CallTimeout expires.
-	ln := newLoopback(t)
+	ln := testutil.Loopback(t)
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -299,7 +255,7 @@ func TestPoolAppliesDefaultCallTimeout(t *testing.T) {
 func TestPoolMaxIdleCapDiscardsSurplus(t *testing.T) {
 	// Finish several calls concurrently so more connections come back
 	// than the idle list may hold; the surplus must be closed.
-	ln, addr := newCountingEcho(t)
+	ln, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{MaxIdlePerHost: 1, MaxPerHost: 8})
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
@@ -313,13 +269,13 @@ func TestPoolMaxIdleCapDiscardsSurplus(t *testing.T) {
 	if n := p.idleCount(); n > 1 {
 		t.Fatalf("%d idle connections, MaxIdlePerHost is 1", n)
 	}
-	if got := ln.accepts.Load(); got > 8 {
+	if got := ln.Accepts(); got > 8 {
 		t.Fatalf("%d connections opened, MaxPerHost is 8", got)
 	}
 }
 
 func TestPoolClosedRefusesCalls(t *testing.T) {
-	_, addr := newCountingEcho(t)
+	_, addr := testutil.CountingEcho(t)
 	p := newTestPool(t, PoolConfig{})
 	poolPing(t, p, addr, 1)
 	if err := p.Close(); err != nil {

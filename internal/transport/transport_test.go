@@ -7,65 +7,16 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ides-go/ides/internal/testutil"
 	"github.com/ides-go/ides/internal/wire"
 )
 
-// echoServer answers Ping with Pong and GetInfo with a fixed Info; other
-// types get a wire error. It runs until the listener closes.
-func echoServer(t *testing.T, ln net.Listener) {
-	t.Helper()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go func(c net.Conn) {
-				defer c.Close()
-				for {
-					typ, payload, err := wire.ReadFrame(c)
-					if err != nil {
-						return
-					}
-					switch typ {
-					case wire.TypePing:
-						p, err := wire.DecodePing(payload)
-						if err != nil {
-							return
-						}
-						if err := wire.WriteFrame(c, wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil)); err != nil {
-							return
-						}
-					case wire.TypeGetInfo:
-						info := &wire.Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true}
-						if err := wire.WriteFrame(c, wire.TypeInfo, info.Encode(nil)); err != nil {
-							return
-						}
-					default:
-						e := &wire.Error{Code: wire.CodeUnknownType, Text: "nope"}
-						if err := wire.WriteFrame(c, wire.TypeError, e.Encode(nil)); err != nil {
-							return
-						}
-					}
-				}
-			}(conn)
-		}
-	}()
-}
-
-func newLoopback(t *testing.T) net.Listener {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { ln.Close() })
-	return ln
-}
+// The loopback/echo helpers these tests once defined locally live in
+// internal/testutil now, shared with the client and server suites.
 
 func TestCallRoundTrip(t *testing.T) {
-	ln := newLoopback(t)
-	echoServer(t, ln)
+	ln := testutil.Loopback(t)
+	testutil.EchoServer(t, ln)
 	d := &net.Dialer{}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -83,8 +34,8 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestCallDecodesRemoteError(t *testing.T) {
-	ln := newLoopback(t)
-	echoServer(t, ln)
+	ln := testutil.Loopback(t)
+	testutil.EchoServer(t, ln)
 	d := &net.Dialer{}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -115,7 +66,7 @@ func TestCallDialFailure(t *testing.T) {
 func TestRoundtripHonorsContextDeadline(t *testing.T) {
 	// A server that accepts but never answers: Roundtrip must time out via
 	// the context deadline propagated to the conn.
-	ln := newLoopback(t)
+	ln := testutil.Loopback(t)
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -152,8 +103,8 @@ func TestRoundtripHonorsContextDeadline(t *testing.T) {
 }
 
 func TestTCPPingerMeasures(t *testing.T) {
-	ln := newLoopback(t)
-	echoServer(t, ln)
+	ln := testutil.Loopback(t)
+	testutil.EchoServer(t, ln)
 	p := &TCPPinger{Dialer: &net.Dialer{}}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -167,8 +118,8 @@ func TestTCPPingerMeasures(t *testing.T) {
 }
 
 func TestTCPPingerZeroSamplesDefaultsToOne(t *testing.T) {
-	ln := newLoopback(t)
-	echoServer(t, ln)
+	ln := testutil.Loopback(t)
+	testutil.EchoServer(t, ln)
 	p := &TCPPinger{Dialer: &net.Dialer{}}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -179,7 +130,7 @@ func TestTCPPingerZeroSamplesDefaultsToOne(t *testing.T) {
 
 func TestTCPPingerRejectsWrongReply(t *testing.T) {
 	// A server that answers Ping with Info: the pinger must reject it.
-	ln := newLoopback(t)
+	ln := testutil.Loopback(t)
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {

@@ -163,6 +163,128 @@ func FuzzDecodeNeighbors(f *testing.F) {
 	})
 }
 
+func FuzzDecodeError(f *testing.F) {
+	f.Add((&Error{Code: CodeStaleEpoch, Text: "stale"}).Encode(nil))
+	f.Add([]byte{0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeError(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeError(m.Encode(nil))
+		if err != nil || out.Code != m.Code || out.Text != m.Text {
+			t.Fatalf("Error round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodePingPong(f *testing.F) {
+	f.Add((&Ping{Token: 7}).Encode(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodePing(data); err == nil {
+			if out, err := DecodePing(m.Encode(nil)); err != nil || out.Token != m.Token {
+				t.Fatalf("Ping round-trip mismatch: %+v %v", out, err)
+			}
+		}
+		if m, err := DecodePong(data); err == nil {
+			if out, err := DecodePong(m.Encode(nil)); err != nil || out.Token != m.Token {
+				t.Fatalf("Pong round-trip mismatch: %+v %v", out, err)
+			}
+		}
+	})
+}
+
+func FuzzDecodeInfo(f *testing.F) {
+	f.Add((&Info{Dim: 8, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true, Epoch: 3}).Encode(nil))
+	// Epoch is a version-tolerant trailing field: an epochless payload
+	// must decode as epoch 0.
+	full := (&Info{Dim: 8, NumLandmarks: 20, Algorithm: "NMF", Epoch: 9}).Encode(nil)
+	f.Add(full[:len(full)-8])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeInfo(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeInfo(m.Encode(nil))
+		if err != nil || out.Dim != m.Dim || out.NumLandmarks != m.NumLandmarks ||
+			out.Algorithm != m.Algorithm || out.ModelReady != m.ModelReady || out.Epoch != m.Epoch {
+			t.Fatalf("Info round-trip mismatch: %+v vs %+v (%v)", out, m, err)
+		}
+	})
+}
+
+func FuzzDecodeGetVectors(f *testing.F) {
+	f.Add((&GetVectors{Addr: "host-1"}).Encode(nil))
+	f.Add([]byte{0, 5, 'a'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeGetVectors(data)
+		if err != nil {
+			return
+		}
+		if out, err := DecodeGetVectors(m.Encode(nil)); err != nil || out.Addr != m.Addr {
+			t.Fatalf("GetVectors round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodeVectors(f *testing.F) {
+	f.Add((&Vectors{Found: true, Out: []float64{1, 2}, In: []float64{3, 4}, Epoch: 2}).Encode(nil))
+	// Count claims more floats than the payload carries.
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeVectors(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeVectors(m.Encode(nil))
+		if err != nil || out.Found != m.Found || len(out.Out) != len(m.Out) ||
+			len(out.In) != len(m.In) || out.Epoch != m.Epoch {
+			t.Fatalf("Vectors round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodeQueryDist(f *testing.F) {
+	f.Add((&QueryDist{From: "a", To: "b"}).Encode(nil))
+	f.Add([]byte{0, 1, 'a', 0, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeQueryDist(data)
+		if err != nil {
+			return
+		}
+		if out, err := DecodeQueryDist(m.Encode(nil)); err != nil || out.From != m.From || out.To != m.To {
+			t.Fatalf("QueryDist round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodeDistance(f *testing.F) {
+	f.Add((&Distance{Found: true, Millis: 12.5}).Encode(nil))
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeDistance(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeDistance(m.Encode(nil))
+		if err != nil || out.Found != m.Found {
+			t.Fatalf("Distance round-trip mismatch: %+v %v", out, err)
+		}
+		// NaN-tolerant value comparison: the wire carries raw IEEE bits.
+		if out.Found && out.Millis != m.Millis && !(out.Millis != out.Millis && m.Millis != m.Millis) {
+			t.Fatalf("Distance value mismatch: %v vs %v", out.Millis, m.Millis)
+		}
+	})
+}
+
 func FuzzFrameStream(f *testing.F) {
 	var stream []byte
 	stream = AppendFrame(stream, TypePing, []byte{9})
