@@ -24,6 +24,7 @@ import (
 
 	"github.com/ides-go/ides/internal/client"
 	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	poolMaxIdle := flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
 	poolMaxPerHost := flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
 	poolIdleTimeout := flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this (keep below the server's -idle-timeout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics (connection-pool counters) on this address at /metrics (empty = disabled; useful with -listen)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -61,6 +63,16 @@ func main() {
 		logger.Fatalf("ides-client: %v", err)
 	}
 	defer pool.Close()
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		pool.RegisterMetrics(reg)
+		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
+		if err != nil {
+			logger.Fatalf("ides-client: metrics: %v", err)
+		}
+		defer mln.Close()
+		logger.Printf("ides-client: metrics on http://%s/metrics", mln.Addr())
+	}
 	c, err := client.New(client.Config{
 		Self:    *self,
 		Server:  *serverAddr,

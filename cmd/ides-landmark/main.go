@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/ides-go/ides/internal/landmark"
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	poolMaxIdle := flag.Int("pool-max-idle", 2, "idle pooled report connections kept to the server")
 	poolMaxPerHost := flag.Int("pool-max-per-host", 4, "total pooled connections to the server (negative = unlimited)")
 	poolIdleTimeout := flag.Duration("pool-idle-timeout", 2*time.Minute, "close pooled connections idle longer than this (keep below the server's -idle-timeout; reports arrive every -interval, so a pool idle budget above it keeps one warm connection across rounds)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics (connection-pool counters) on this address at /metrics (empty = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -58,6 +60,16 @@ func main() {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 	defer pool.Close()
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		pool.RegisterMetrics(reg)
+		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
+		if err != nil {
+			logger.Fatalf("ides-landmark: metrics: %v", err)
+		}
+		defer mln.Close()
+		logger.Printf("ides-landmark: metrics on http://%s/metrics", mln.Addr())
+	}
 	agent, err := landmark.New(landmark.Config{
 		Self:     *self,
 		Peers:    peerList,

@@ -37,6 +37,7 @@ import (
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/server"
 	"github.com/ides-go/ides/internal/solve"
+	"github.com/ides-go/ides/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +57,10 @@ func main() {
 	sgdReg := flag.Float64("sgd-reg", 0, "SGD solver L2 regularization per update (0 = default 1e-4)")
 	driftThreshold := flag.Float64("drift-epoch-threshold", 0, "solver drift at which a corrective refit bumps the epoch (0 = default 0.15, negative disables)")
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = disabled)")
+	historyDir := flag.String("history-dir", "", "record accepted measurements and model lifecycle events to this directory for later replay (empty = disabled)")
+	historySegBytes := flag.Int64("history-segment-bytes", 0, "history segment size before rotation (0 = default 8 MiB)")
+	historyMaxSegs := flag.Int("history-max-segments", 0, "history segments kept before the oldest is pruned (0 = keep all)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -89,6 +94,24 @@ func main() {
 		// with ~1M refits of headroom per second between incarnations.
 		base = uint64(time.Now().UnixNano()) >> 10
 	}
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var hist *telemetry.Store
+	if *historyDir != "" {
+		hist, err = telemetry.OpenStore(telemetry.StoreConfig{
+			Dir:          *historyDir,
+			SegmentBytes: *historySegBytes,
+			MaxSegments:  *historyMaxSegs,
+		})
+		if err != nil {
+			logger.Fatalf("ides-server: %v", err)
+		}
+		defer hist.Close()
+		logger.Printf("ides-server: recording history to %s", *historyDir)
+	}
+
 	srv, err := server.New(server.Config{
 		Landmarks:           lms,
 		Dim:                 *dim,
@@ -105,12 +128,23 @@ func main() {
 		SGDRate:             *sgdRate,
 		SGDReg:              *sgdReg,
 		DriftEpochThreshold: *driftThreshold,
+		Metrics:             reg,
+		History:             hist,
 		Logger:              logger,
 	})
 	if err != nil {
 		logger.Fatalf("ides-server: %v", err)
 	}
 	defer srv.Close()
+
+	if reg != nil {
+		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
+		if err != nil {
+			logger.Fatalf("ides-server: metrics: %v", err)
+		}
+		defer mln.Close()
+		logger.Printf("ides-server: metrics on http://%s/metrics", mln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -37,6 +37,10 @@ type churnResult struct {
 	Recoveries     int     `json:"recoveries"`
 	RecoveryP50Ms  float64 `json:"recovery_p50_ms"`
 	RecoveryMaxMs  float64 `json:"recovery_max_ms"`
+
+	// ServerMetrics is the final scrape of the run's telemetry registry,
+	// keyed by exposition name.
+	ServerMetrics map[string]float64 `json:"server_metrics"`
 }
 
 // churnHost is one synthetic ordinary host: a point in the same latency
@@ -96,12 +100,14 @@ func runChurn(scale experiments.Scale, seed int64) error {
 		hosts[i] = &churnHost{addr: fmt.Sprintf("host-%06d", i), dist: d}
 	}
 
+	mreg := newBenchRegistry()
 	srv, err := server.New(server.Config{
 		Landmarks:        lmNames,
 		Dim:              dim,
 		Seed:             seed,
 		RefitMinInterval: refitInterval,
 		RefitThreshold:   1,
+		Metrics:          mreg,
 	})
 	if err != nil {
 		return err
@@ -131,6 +137,7 @@ func runChurn(scale experiments.Scale, seed int64) error {
 		return err
 	}
 	defer pool.Close()
+	pool.RegisterMetrics(mreg)
 
 	report := func(from int, jitter float64) error {
 		rep := &wire.ReportRTT{From: lmNames[from]}
@@ -314,6 +321,7 @@ func runChurn(scale experiments.Scale, seed int64) error {
 		result.RecoveryP50Ms = float64(recoveryLat[len(recoveryLat)/2]) / float64(time.Millisecond)
 		result.RecoveryMaxMs = float64(recoveryLat[len(recoveryLat)-1]) / float64(time.Millisecond)
 	}
+	result.ServerMetrics = mreg.Export()
 
 	fmt.Printf("\n== Churn workload: %d hosts, %d landmarks, refit every >=%v under load ==\n",
 		numHosts, numLM, refitInterval)

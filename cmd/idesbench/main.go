@@ -19,12 +19,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/stats"
+	"github.com/ides-go/ides/internal/telemetry"
 )
 
 // Pool tuning shared by the network workloads (churn, pool).
@@ -32,7 +36,50 @@ var (
 	poolMaxIdle     = flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
 	poolMaxPerHost  = flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
 	poolIdleTimeout = flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this")
+	metricsAddr     = flag.String("metrics-addr", "", "serve the running workload's metrics on this address at /metrics (empty = disabled)")
 )
+
+// benchReg holds the registry of the workload currently running;
+// workloads run sequentially, so each installs a fresh registry and the
+// -metrics-addr endpoint always scrapes the live one.
+var benchReg atomic.Pointer[telemetry.Registry]
+
+// newBenchRegistry returns a fresh registry for one workload run and
+// publishes it at the -metrics-addr endpoint. The final Export() of the
+// same registry lands in the workload's BENCH json payload, so a scrape
+// and the payload agree on names.
+func newBenchRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	benchReg.Store(reg)
+	return reg
+}
+
+// serveBenchMetrics starts the shared /metrics endpoint when
+// -metrics-addr is set. It serves whatever registry the current
+// workload installed.
+func serveBenchMetrics() error {
+	if *metricsAddr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := benchReg.Load()
+		if reg == nil {
+			http.Error(w, "no workload running yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck
+	})
+	ln, err := net.Listen("tcp", *metricsAddr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck
+	fmt.Printf("# metrics on http://%s/metrics\n", ln.Addr())
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, solver, scenario, all)")
@@ -76,6 +123,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := serveBenchMetrics(); err != nil {
+		fmt.Fprintf(os.Stderr, "idesbench: metrics: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("# idesbench scale=%s seed=%d\n", scale, *seed)
 	for _, id := range ids {
 		if err := runners[id](scale, *seed); err != nil {

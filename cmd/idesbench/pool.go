@@ -36,6 +36,11 @@ type poolResult struct {
 	PoolDials   int64 `json:"pool_dials"`
 	PoolReuses  int64 `json:"pool_reuses"`
 	PoolRetries int64 `json:"pool_retries"`
+
+	// ServerMetrics is the final scrape of the run's telemetry registry
+	// (server request/report counters, latency histogram sums/counts,
+	// pool counters), keyed by exposition name.
+	ServerMetrics map[string]float64 `json:"server_metrics"`
 }
 
 // runPool is the transport workload: a real loopback TCP server loaded
@@ -59,7 +64,8 @@ func runPool(scale experiments.Scale, seed int64) error {
 	// The transport is the subject here, not the model: hosts register
 	// synthetic epoch-0 vectors directly, which the directory serves
 	// without any landmark fit.
-	srv, err := server.New(server.Config{Landmarks: []string{"lm-0", "lm-1"}, Dim: dim, Seed: seed})
+	reg := newBenchRegistry()
+	srv, err := server.New(server.Config{Landmarks: []string{"lm-0", "lm-1"}, Dim: dim, Seed: seed, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -86,6 +92,7 @@ func runPool(scale experiments.Scale, seed int64) error {
 		return err
 	}
 	defer pool.Close()
+	pool.RegisterMetrics(reg)
 
 	addrs := make([]string, numHosts)
 	var buf []byte
@@ -183,6 +190,7 @@ func runPool(scale experiments.Scale, seed int64) error {
 	}
 	st := pool.Stats()
 	result.PoolDials, result.PoolReuses, result.PoolRetries = st.Dials, st.Reuses, st.Retries
+	result.ServerMetrics = reg.Export()
 
 	fmt.Printf("\n== Pool workload: %d hosts, pooled vs dial-per-call over loopback TCP ==\n", numHosts)
 	fmt.Printf("point query  dial-per-call: %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)\n",

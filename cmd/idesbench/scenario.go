@@ -75,6 +75,10 @@ type scenarioResult struct {
 	Flap      scenarioFlap        `json:"flap"`
 	Loss      []scenarioLossPoint `json:"loss"`
 
+	// ServerMetrics is the final scrape of the last scenario cluster's
+	// telemetry registry, keyed by exposition name.
+	ServerMetrics map[string]float64 `json:"server_metrics"`
+
 	Pass bool `json:"pass"`
 }
 
@@ -133,6 +137,9 @@ func runScenario(scale experiments.Scale, seed int64) error {
 	for _, lp := range result.Loss {
 		result.Pass = result.Pass && lp.GatesCleared
 	}
+	if reg := benchReg.Load(); reg != nil {
+		result.ServerMetrics = reg.Export()
+	}
 
 	buf, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
@@ -165,6 +172,7 @@ func newScenarioCluster(ctx context.Context, p scenarioParams, seed int64, loss 
 		LossRate:            loss,
 		RTOMillis:           50,
 		Samples:             samples,
+		Metrics:             newBenchRegistry(),
 	})
 	if err != nil {
 		return nil, err

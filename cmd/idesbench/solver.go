@@ -45,6 +45,10 @@ type solverSideResult struct {
 	// of the churn window: epoch bumps evict them, incremental revisions
 	// must not.
 	HostsSurviving int `json:"hosts_surviving"`
+
+	// ServerMetrics is the final scrape of this side's telemetry
+	// registry, keyed by exposition name.
+	ServerMetrics map[string]float64 `json:"server_metrics"`
 }
 
 // solverResult is the JSON shape written to BENCH_solver.json.
@@ -179,6 +183,7 @@ func runSolverSide(kind solve.Kind, p solverParams, seed int64) (solverSideResul
 		}
 	}
 
+	mreg := newBenchRegistry()
 	srv, err := server.New(server.Config{
 		Landmarks:        lmNames,
 		Dim:              solverDim,
@@ -186,6 +191,7 @@ func runSolverSide(kind solve.Kind, p solverParams, seed int64) (solverSideResul
 		RefitMinInterval: solverRefitInterval,
 		RefitThreshold:   1,
 		Solver:           kind,
+		Metrics:          mreg,
 	})
 	if err != nil {
 		return res, err
@@ -212,6 +218,7 @@ func runSolverSide(kind solve.Kind, p solverParams, seed int64) (solverSideResul
 		return res, err
 	}
 	defer pool.Close()
+	pool.RegisterMetrics(mreg)
 
 	// reportRow reports landmark from's full measurement row, each entry
 	// scaled by rowScale and jittered by ±jitter/2.
@@ -415,5 +422,6 @@ func runSolverSide(kind solve.Kind, p solverParams, seed int64) (solverSideResul
 		}
 	}
 	res.RefreshLatency = stats.SummarizeDurations(lat, 0)
+	res.ServerMetrics = mreg.Export()
 	return res, nil
 }

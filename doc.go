@@ -53,7 +53,17 @@
 //     landmark and client code, virtual wire — with scenario steps and
 //     accuracy/recovery assertions. The same seed reproduces the same
 //     measurements, fits and error percentiles; `idesbench -exp
-//     scenario` runs partition/flap/loss sweeps as a gated workload.
+//     scenario` runs partition/flap/loss sweeps as a gated workload;
+//   - observability (internal/telemetry): a dependency-free metrics
+//     registry — atomic counters, gauges, fixed-bucket histograms —
+//     served in Prometheus text format behind the opt-in -metrics-addr
+//     flag on every binary, instrumenting the server, refitter,
+//     transport pool and query engine; plus an append-only history store
+//     (server flag -history-dir) journaling accepted measurements,
+//     fit/revision events and per-epoch error summaries into a
+//     CRC-framed segmented log that `ides-inspect -replay` re-runs
+//     deterministically through the simnet harness for what-if analysis
+//     (swap solver, dim or drift threshold against recorded traffic).
 //
 // See README.md for a tour, DESIGN.md for the architecture and the
 // dataset-substitution rationale, and EXPERIMENTS.md for reproduction

@@ -41,6 +41,7 @@ import (
 	"github.com/ides-go/ides/internal/simnet"
 	"github.com/ides-go/ides/internal/solve"
 	"github.com/ides-go/ides/internal/stats"
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/topology"
 )
 
@@ -87,6 +88,11 @@ type Config struct {
 	// Topology, when set, overrides the generated topology's shape;
 	// NumHosts/Seed inside it are filled from this Config.
 	Topology *topology.Config
+	// Metrics and History pass through to the server's observability
+	// sinks: a metrics registry to scrape and an append-only history
+	// store that records the run for later replay. Both optional.
+	Metrics *telemetry.Registry
+	History *telemetry.Store
 	// Logger receives component logs. Nil disables logging.
 	Logger *log.Logger
 }
@@ -211,6 +217,8 @@ func New(cfg Config) (*Cluster, error) {
 		RefitThreshold:      cfg.NumLandmarks * (cfg.NumLandmarks - 1),
 		DriftEpochThreshold: cfg.DriftEpochThreshold,
 		RequestTimeout:      cfg.Timeout,
+		Metrics:             cfg.Metrics,
+		History:             cfg.History,
 		Logger:              cfg.Logger,
 	})
 	if err != nil {

@@ -91,6 +91,50 @@ type Config struct {
 	// also restores the consumed measurement count, so the retry
 	// schedule is not silenced either way.
 	OnError func(error)
+	// OnEvent, if set, observes every model lifecycle transition — full
+	// fits, incremental revisions, failed fit attempts — with the
+	// latency, drift and queue depth measured at the transition. It runs
+	// on the worker goroutine after the transition's snapshot (if any)
+	// is published, so it must be fast and must not call back into the
+	// Refitter's blocking methods. The server feeds it into the
+	// telemetry registry and history store.
+	OnEvent func(Event)
+}
+
+// EventKind names a model lifecycle transition reported through
+// Config.OnEvent.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventFit is a completed full fit: a new epoch.
+	EventFit EventKind = iota + 1
+	// EventRevision is an incremental model publication within the
+	// current epoch.
+	EventRevision
+	// EventFitError is a failed full-fit attempt; the published model is
+	// unchanged.
+	EventFitError
+)
+
+// Event is one model lifecycle transition, as observed by Config.OnEvent.
+type Event struct {
+	Kind EventKind
+	// Epoch and Rev identify the published state: the new snapshot for
+	// fits and revisions, the surviving one for failed fits.
+	Epoch, Rev uint64
+	// Duration is how long the solver call (Seed or Apply) ran.
+	Duration time.Duration
+	// Drift is the solver drift after the transition.
+	Drift float64
+	// QueueDepth is how many deltas were still queued when the event
+	// fired.
+	QueueDepth int
+	// Errors holds the solver's per-pair modified relative errors
+	// (Eq. 10) against its own measurements, attached at successful full
+	// fits when the solver implements solve.ErrorSampler; nil otherwise.
+	// The slice is owned by the receiver.
+	Errors []float64
 }
 
 // DefaultDriftThreshold is the Config.DriftThreshold applied when the
@@ -200,6 +244,15 @@ func (r *Refitter) Stats() Stats {
 		st.Epoch, st.Rev = s.Epoch, s.Rev
 	}
 	return st
+}
+
+// QueueDepth reports how many measurement deltas are queued for the
+// solver right now — the telemetry gauge for update-pipeline backlog.
+// Safe for concurrent use.
+func (r *Refitter) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.deltaQ)
 }
 
 // Deltas hands a batch of accepted measurements to the solver. The
@@ -368,7 +421,9 @@ func (r *Refitter) applyDeltas(deltas []solve.Delta, fitNext bool) {
 		r.signalApplyDoneLocked()
 		r.mu.Unlock()
 	}()
+	start := r.cfg.Now()
 	model, err := r.solver.Apply(deltas)
+	dur := r.cfg.Now().Sub(start)
 	r.applied.Add(uint64(len(deltas)))
 	if err != nil {
 		// The measurements are recorded in the solver's matrix even when
@@ -400,10 +455,21 @@ func (r *Refitter) applyDeltas(deltas []solve.Delta, fitNext bool) {
 	}
 	r.snap.Store(snap)
 	r.revisions.Add(1)
-	if th := r.cfg.DriftThreshold; th > 0 && r.solver.Drift() >= th {
+	drift := r.solver.Drift()
+	if th := r.cfg.DriftThreshold; th > 0 && drift >= th {
 		r.mu.Lock()
 		r.driftDue = true
 		r.mu.Unlock()
+	}
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(Event{
+			Kind:       EventRevision,
+			Epoch:      snap.Epoch,
+			Rev:        snap.Rev,
+			Duration:   dur,
+			Drift:      drift,
+			QueueDepth: r.QueueDepth(),
+		})
 	}
 }
 
@@ -424,7 +490,9 @@ func (r *Refitter) signalIdleLocked() {
 // runFit performs one full fit on the worker goroutine and publishes
 // the result as a new epoch.
 func (r *Refitter) runFit() {
+	start := r.cfg.Now()
 	model, err := r.solver.Seed()
+	dur := r.cfg.Now().Sub(start)
 
 	r.mu.Lock()
 	r.lastAttempt = r.cfg.Now()
@@ -447,6 +515,19 @@ func (r *Refitter) runFit() {
 		}
 		r.snap.Store(snap)
 		r.fits.Add(1)
+		if r.cfg.OnEvent != nil {
+			ev := Event{
+				Kind:       EventFit,
+				Epoch:      snap.Epoch,
+				Duration:   dur,
+				Drift:      r.solver.Drift(),
+				QueueDepth: r.QueueDepth(),
+			}
+			if es, ok := r.solver.(solve.ErrorSampler); ok {
+				ev.Errors = es.ModelErrors()
+			}
+			r.cfg.OnEvent(ev)
+		}
 	}
 
 	// A failed fit's motivation must survive the failure. The drift is
@@ -455,7 +536,18 @@ func (r *Refitter) runFit() {
 	// this, a seeded incremental solver — whose pending count is 0 — would
 	// retain its over-threshold drift forever once churn pauses, since the
 	// drift check otherwise runs only after successful revisions.
-	driftStillDue := err != nil && r.cfg.DriftThreshold > 0 && r.solver.Drift() >= r.cfg.DriftThreshold
+	var failDrift float64
+	if err != nil {
+		failDrift = r.solver.Drift()
+	}
+	driftStillDue := err != nil && r.cfg.DriftThreshold > 0 && failDrift >= r.cfg.DriftThreshold
+	if err != nil && r.cfg.OnEvent != nil {
+		ev := Event{Kind: EventFitError, Duration: dur, Drift: failDrift, QueueDepth: r.QueueDepth()}
+		if s := r.snap.Load(); s != nil {
+			ev.Epoch, ev.Rev = s.Epoch, s.Rev
+		}
+		r.cfg.OnEvent(ev)
+	}
 
 	r.mu.Lock()
 	r.fitting = false

@@ -37,6 +37,11 @@ type Config struct {
 	SweepInterval time.Duration
 	// Now is the clock, injectable for tests. Default time.Now.
 	Now func() time.Time
+	// Metrics, if set, receives query-layer observations (batch sizes,
+	// estimation and KNN latency). It lives on the Directory — which
+	// survives engine swaps — so counters accumulate across model
+	// generations.
+	Metrics *Metrics
 }
 
 // entry is one directory record. The registration time is kept as
@@ -67,13 +72,14 @@ type shard struct {
 // the one per-shard sweep each epoch bump schedules. Epoch-0 entries are
 // unversioned (registered by pre-epoch peers) and only expire by TTL.
 type Directory struct {
-	shards []shard
-	mask   uint64
-	seed   maphash.Seed
-	ttl    time.Duration
-	sweep  time.Duration
-	now    func() time.Time
-	epoch  atomic.Uint64 // current model epoch; older entries are dead
+	shards  []shard
+	mask    uint64
+	seed    maphash.Seed
+	ttl     time.Duration
+	sweep   time.Duration
+	now     func() time.Time
+	metrics *Metrics
+	epoch   atomic.Uint64 // current model epoch; older entries are dead
 }
 
 // New builds a Directory from cfg.
@@ -96,12 +102,13 @@ func New(cfg Config) *Directory {
 		now = time.Now
 	}
 	d := &Directory{
-		shards: make([]shard, pow),
-		mask:   uint64(pow - 1),
-		seed:   maphash.MakeSeed(),
-		ttl:    cfg.TTL,
-		sweep:  sweep,
-		now:    now,
+		shards:  make([]shard, pow),
+		mask:    uint64(pow - 1),
+		seed:    maphash.MakeSeed(),
+		ttl:     cfg.TTL,
+		sweep:   sweep,
+		now:     now,
+		metrics: cfg.Metrics,
 	}
 	for i := range d.shards {
 		d.shards[i].hosts = make(map[string]entry)

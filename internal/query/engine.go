@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/mat"
@@ -69,6 +70,11 @@ type Estimate struct {
 // product T · src.Out (Eq. 4 batched). Unresolvable targets and targets
 // whose vector dimension disagrees with the source are marked not found.
 func (e *Engine) EstimateBatch(src core.Vectors, targets []string) []Estimate {
+	if m := e.dir.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.BatchSeconds.ObserveDuration(time.Since(start)) }()
+		m.BatchSize.Observe(float64(len(targets)))
+	}
 	out := make([]Estimate, len(targets))
 	if len(targets) == 0 {
 		return out
@@ -110,6 +116,9 @@ func (e *Engine) EstimateBatch(src core.Vectors, targets []string) []Estimate {
 // and incoming vectors. found[i] reports whether addrs[i] resolved; rows
 // and columns of unresolved addresses are NaN.
 func (e *Engine) EstimateMatrix(addrs []string) (*mat.Dense, []bool) {
+	if m := e.dir.metrics; m != nil {
+		m.MatrixSize.Observe(float64(len(addrs)))
+	}
 	n := len(addrs)
 	found := make([]bool, n)
 	if n == 0 {
@@ -187,6 +196,10 @@ type KNNOptions struct {
 func (e *Engine) KNearest(src core.Vectors, k int, opts KNNOptions) []Neighbor {
 	if k <= 0 {
 		return nil
+	}
+	if m := e.dir.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.KNNSeconds.ObserveDuration(time.Since(start)) }()
 	}
 	if opts.PrefilterDims > 0 && opts.PrefilterDims < len(src.Out) {
 		return e.knnPrefiltered(src, k, opts)

@@ -1,0 +1,33 @@
+package query
+
+import (
+	"github.com/ides-go/ides/internal/telemetry"
+)
+
+// Metrics holds the query layer's telemetry instruments. Build one with
+// NewMetrics and hand it to Config.Metrics; a nil *Metrics disables
+// instrumentation entirely (the hot paths skip even the clock reads).
+type Metrics struct {
+	// BatchSize observes how many targets each EstimateBatch call asked
+	// for; MatrixSize the side length of each EstimateMatrix call.
+	BatchSize  *telemetry.Histogram
+	MatrixSize *telemetry.Histogram
+	// BatchSeconds and KNNSeconds observe per-call latency.
+	BatchSeconds *telemetry.Histogram
+	KNNSeconds   *telemetry.Histogram
+}
+
+// NewMetrics registers the ides_query_* instrument families on reg.
+// A nil registry yields a usable Metrics whose instruments are no-ops.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		BatchSize: reg.Histogram("ides_query_batch_size",
+			"Targets per EstimateBatch call.", telemetry.SizeBuckets),
+		MatrixSize: reg.Histogram("ides_query_matrix_size",
+			"Addresses per EstimateMatrix call.", telemetry.SizeBuckets),
+		BatchSeconds: reg.Histogram("ides_query_batch_seconds",
+			"EstimateBatch latency.", nil),
+		KNNSeconds: reg.Histogram("ides_query_knn_seconds",
+			"KNearest latency.", nil),
+	}
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"time"
+
+	"github.com/ides-go/ides/internal/lifecycle"
+	"github.com/ides-go/ides/internal/solve"
+	"github.com/ides-go/ides/internal/stats"
+	"github.com/ides-go/ides/internal/telemetry"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// serverMetrics bundles the server's telemetry instruments. All methods
+// are no-ops on a nil receiver, so the request path stays branch-light
+// when Config.Metrics is unset (newServerMetrics returns nil then).
+type serverMetrics struct {
+	requests        *telemetry.CounterVec
+	reqSeconds      *telemetry.HistogramVec
+	reportsAccepted *telemetry.Counter
+	reportsRejected *telemetry.Counter
+	activeConns     *telemetry.Gauge
+	fitSeconds      *telemetry.Histogram
+	revSeconds      *telemetry.Histogram
+	fitErrors       *telemetry.Counter
+	drift           *telemetry.Gauge
+}
+
+// newServerMetrics registers the server's metric families on reg and
+// bridges the components that already keep their own counters — the
+// lifecycle refitter and the host directory — as scrape-time functions.
+// Called after s.refit and s.dir exist; returns nil when reg is nil.
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		requests: reg.CounterVec("ides_server_requests_total",
+			"Requests dispatched, by wire message type.", "type"),
+		reqSeconds: reg.HistogramVec("ides_server_request_seconds",
+			"Request handling latency, by wire message type.", "type", nil),
+		reportsAccepted: reg.Counter("ides_server_reports_accepted_total",
+			"Landmark measurements accepted into the solver."),
+		reportsRejected: reg.Counter("ides_server_reports_rejected_total",
+			"Report entries dropped: unknown landmark, self-pair, or non-finite RTT."),
+		activeConns: reg.Gauge("ides_server_active_conns",
+			"Connections currently being served."),
+		fitSeconds: reg.Histogram("ides_model_fit_seconds",
+			"Full batch fit latency.", nil),
+		revSeconds: reg.Histogram("ides_model_revision_seconds",
+			"Incremental revision (SGD apply) latency.", nil),
+		fitErrors: reg.Counter("ides_model_fit_errors_total",
+			"Failed full-fit attempts."),
+		drift: reg.Gauge("ides_model_drift",
+			"Solver drift since the epoch's full fit, as a fraction of the seeded factors' norm."),
+	}
+	reg.GaugeFunc("ides_server_hosts",
+		"Live registered hosts in the directory.",
+		func() float64 { return float64(s.dir.Len()) })
+	reg.GaugeFunc("ides_model_epoch",
+		"Epoch of the published model (0 before the first fit).",
+		func() float64 { return float64(s.refit.Stats().Epoch) })
+	reg.GaugeFunc("ides_model_rev",
+		"Revision of the published model within its epoch.",
+		func() float64 { return float64(s.refit.Stats().Rev) })
+	reg.CounterFunc("ides_model_fits_total",
+		"Successful full fits.",
+		func() float64 { return float64(s.refit.Stats().Fits) })
+	reg.CounterFunc("ides_model_revisions_total",
+		"Incremental revisions published.",
+		func() float64 { return float64(s.refit.Stats().Revisions) })
+	reg.CounterFunc("ides_model_deltas_total",
+		"Measurement deltas handed to the solver.",
+		func() float64 { return float64(s.refit.Stats().Deltas) })
+	reg.GaugeFunc("ides_model_delta_queue_depth",
+		"Measurement deltas queued for the solver.",
+		func() float64 { return float64(s.refit.QueueDepth()) })
+	return m
+}
+
+func (m *serverMetrics) connOpened() {
+	if m == nil {
+		return
+	}
+	m.activeConns.Add(1)
+}
+
+func (m *serverMetrics) connClosed() {
+	if m == nil {
+		return
+	}
+	m.activeConns.Add(-1)
+}
+
+func (m *serverMetrics) observeRequest(t wire.MsgType, d time.Duration) {
+	if m == nil {
+		return
+	}
+	name := t.String()
+	m.requests.With(name).Inc()
+	m.reqSeconds.With(name).ObserveDuration(d)
+}
+
+func (m *serverMetrics) observeReport(accepted, rejected int) {
+	if m == nil {
+		return
+	}
+	m.reportsAccepted.Add(uint64(accepted))
+	m.reportsRejected.Add(uint64(rejected))
+}
+
+// observeEvent feeds one lifecycle transition into the instruments.
+func (m *serverMetrics) observeEvent(ev lifecycle.Event) {
+	if m == nil {
+		return
+	}
+	switch ev.Kind {
+	case lifecycle.EventFit:
+		m.fitSeconds.ObserveDuration(ev.Duration)
+	case lifecycle.EventRevision:
+		m.revSeconds.ObserveDuration(ev.Duration)
+	case lifecycle.EventFitError:
+		m.fitErrors.Inc()
+	}
+	m.drift.Set(ev.Drift)
+}
+
+// historyEventKind maps a lifecycle transition onto its on-disk record
+// kind.
+func historyEventKind(k lifecycle.EventKind) telemetry.EventKind {
+	switch k {
+	case lifecycle.EventFit:
+		return telemetry.EventFit
+	case lifecycle.EventRevision:
+		return telemetry.EventRevision
+	default:
+		return telemetry.EventFitError
+	}
+}
+
+// onModelEvent is the refitter's OnEvent sink: it updates the model
+// instruments and appends the transition — plus, at full fits, the
+// per-epoch error summary — to the history log. Runs on the refitter
+// worker goroutine.
+func (s *Server) onModelEvent(ev lifecycle.Event) {
+	s.metrics.observeEvent(ev)
+	h := s.history
+	if h == nil {
+		return
+	}
+	now := h.Now()
+	if err := h.Append(&telemetry.EventRecord{
+		TimeUnixNanos: now,
+		Kind:          historyEventKind(ev.Kind),
+		Epoch:         ev.Epoch,
+		Rev:           ev.Rev,
+		DurationNanos: int64(ev.Duration),
+		Drift:         ev.Drift,
+		QueueDepth:    ev.QueueDepth,
+	}); err != nil {
+		s.logf("history: recording %v event: %v", ev.Kind, err)
+	}
+	if ev.Kind == lifecycle.EventFit && len(ev.Errors) > 0 {
+		sum := stats.Summarize(ev.Errors)
+		if err := h.Append(&telemetry.EpochSummaryRecord{
+			TimeUnixNanos: now,
+			Epoch:         ev.Epoch,
+			Rev:           ev.Rev,
+			Samples:       sum.N,
+			MeanAbsRel:    sum.Mean,
+			MedianAbsRel:  sum.Median,
+			P90AbsRel:     sum.P90,
+			MaxAbsRel:     sum.Max,
+		}); err != nil {
+			s.logf("history: recording epoch summary: %v", err)
+		}
+	}
+}
+
+// recordReports appends the accepted measurement deltas to the history
+// log, stamped with one arrival time per report frame.
+func (s *Server) recordReports(accepted []solve.Delta) {
+	h := s.history
+	if h == nil || len(accepted) == 0 {
+		return
+	}
+	now := h.Now()
+	for _, d := range accepted {
+		if err := h.Append(&telemetry.ReportRecord{
+			TimeUnixNanos: now,
+			From:          d.From,
+			To:            d.To,
+			Millis:        d.Millis,
+		}); err != nil {
+			s.logf("history: recording report: %v", err)
+			return
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/ides-go/ides/internal/lifecycle"
 	"github.com/ides-go/ides/internal/query"
 	"github.com/ides-go/ides/internal/solve"
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
 	"github.com/ides-go/ides/internal/wire"
 )
@@ -119,6 +120,15 @@ type Config struct {
 	// host re-solve. Default 0.15; negative disables drift-triggered
 	// refits. Only meaningful with an incremental solver.
 	DriftEpochThreshold float64
+	// Metrics, when non-nil, receives the server's instrument families
+	// (requests, reports, model lifecycle, query latency) for scraping.
+	// Nil disables instrumentation entirely.
+	Metrics *telemetry.Registry
+	// History, when non-nil, receives the append-only operational log:
+	// the server's configuration at startup, every accepted measurement,
+	// every model fit/revision, and per-epoch error summaries. The store
+	// stays owned by the caller, who closes it after the server stops.
+	History *telemetry.Store
 	// Logger receives operational messages. Nil disables logging.
 	Logger *log.Logger
 }
@@ -148,6 +158,11 @@ type Server struct {
 	// hot path takes no lock and allocates nothing to resolve.
 	dir    *query.Directory
 	engine atomic.Pointer[query.Engine]
+
+	// metrics and history are the optional observability sinks; both are
+	// nil-safe throughout (disabled telemetry costs one nil check).
+	metrics *serverMetrics
+	history *telemetry.Store
 
 	connWG sync.WaitGroup
 }
@@ -201,11 +216,15 @@ func New(cfg Config) (*Server, error) {
 	s.SetNow(time.Now)
 	// The directory and the refitter read the clock through s.clock so
 	// tests that inject a fake clock steer TTL expiry and debounce too.
-	s.dir = query.New(query.Config{
+	qc := query.Config{
 		Shards: cfg.DirectoryShards,
 		TTL:    cfg.HostTTL,
 		Now:    s.clock,
-	})
+	}
+	if cfg.Metrics != nil {
+		qc.Metrics = query.NewMetrics(cfg.Metrics)
+	}
+	s.dir = query.New(qc)
 	s.setEngine(nil)
 	s.refit = lifecycle.New(solver, lifecycle.Config{
 		BaseEpoch:      cfg.BaseEpoch,
@@ -214,8 +233,25 @@ func New(cfg Config) (*Server, error) {
 		DriftThreshold: cfg.DriftEpochThreshold,
 		Now:            s.clock,
 		OnSwap:         s.installSnapshot,
+		OnEvent:        s.onModelEvent,
 		OnError:        func(err error) { s.logf("background model update failed (will retry): %v", err) },
 	})
+	s.metrics = newServerMetrics(cfg.Metrics, s)
+	s.history = cfg.History
+	if s.history != nil {
+		if err := s.history.Append(&telemetry.ConfigRecord{
+			TimeUnixNanos:  s.history.Now(),
+			Dim:            cfg.Dim,
+			Algorithm:      cfg.Algorithm.String(),
+			Solver:         cfg.Solver.String(),
+			Seed:           uint64(cfg.Seed),
+			BaseEpoch:      cfg.BaseEpoch,
+			DriftThreshold: cfg.DriftEpochThreshold,
+			Landmarks:      cfg.Landmarks,
+		}); err != nil {
+			return nil, fmt.Errorf("server: recording config: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -292,6 +328,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
+	s.metrics.connOpened()
+	defer s.metrics.connClosed()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 	// Two distinct budgets per iteration: IdleTimeout covers only the
@@ -319,7 +357,14 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
 			return
 		}
+		var start time.Time
+		if s.metrics != nil {
+			start = time.Now()
+		}
 		respT, respPayload := s.dispatch(t, payload)
+		if s.metrics != nil {
+			s.metrics.observeRequest(t, time.Since(start))
+		}
 		if err := wire.WriteFrame(conn, respT, respPayload); err != nil {
 			s.logf("write to %v: %v", conn.RemoteAddr(), err)
 			return
@@ -427,7 +472,9 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 		}
 		accepted = append(accepted, solve.Delta{From: from, To: to, Millis: e.RTTMillis})
 	}
+	s.metrics.observeReport(len(accepted), len(rep.Entries)-len(accepted))
 	if len(accepted) > 0 {
+		s.recordReports(accepted)
 		s.refit.Deltas(accepted)
 	}
 	return wire.TypeAck, nil

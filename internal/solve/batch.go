@@ -57,3 +57,6 @@ func (b *BatchSolver) Model() *core.Model { return b.model }
 
 // Incremental reports false: Apply never produces a model.
 func (b *BatchSolver) Incremental() bool { return false }
+
+// ModelErrors implements ErrorSampler against the last seeded model.
+func (b *BatchSolver) ModelErrors() []float64 { return b.ms.modelErrors(b.model) }

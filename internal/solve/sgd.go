@@ -187,3 +187,7 @@ func displacement(a, b *mat.Dense) float64 {
 	}
 	return math.Sqrt(sum)
 }
+
+// ModelErrors implements ErrorSampler against the latest published
+// model (seeded or revised).
+func (s *SGDSolver) ModelErrors() []float64 { return s.ms.modelErrors(s.model) }

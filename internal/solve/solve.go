@@ -33,6 +33,7 @@ import (
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/mat"
+	"github.com/ides-go/ides/internal/stats"
 )
 
 // Delta is one accepted landmark measurement: the RTT from landmark
@@ -67,6 +68,18 @@ type Solver interface {
 	Model() *core.Model
 	// Incremental reports whether Apply can produce models.
 	Incremental() bool
+}
+
+// ErrorSampler is an optional Solver capability: solvers that can score
+// their current model against the measurements they own implement it,
+// and the lifecycle refitter attaches the samples to the telemetry
+// events it emits at each full fit.
+type ErrorSampler interface {
+	// ModelErrors returns the modified relative error (paper Eq. 10) of
+	// every measured off-diagonal landmark pair under the current model,
+	// or nil before the first model exists. Like every other solver
+	// method it must only be called from the lifecycle worker goroutine.
+	ModelErrors() []float64
 }
 
 // Kind names a Solver implementation, for flags and configs.
@@ -165,6 +178,29 @@ func (ms *measurements) record(dl Delta) (accepted, mirrored bool) {
 		return true, true
 	}
 	return true, false
+}
+
+// modelErrors scores model against every measured off-diagonal pair,
+// returning the modified relative error (Eq. 10) per pair. nil when no
+// model exists yet.
+func (ms *measurements) modelErrors(model *core.Model) []float64 {
+	if model == nil {
+		return nil
+	}
+	out := make([]float64, 0, ms.observed)
+	for i := 0; i < ms.m; i++ {
+		for j := 0; j < ms.m; j++ {
+			if i == j {
+				continue
+			}
+			d := ms.d.At(i, j)
+			if math.IsNaN(d) {
+				continue
+			}
+			out = append(out, stats.RelativeError(d, model.EstimateLandmarks(i, j)))
+		}
+	}
+	return out
 }
 
 // materialize validates measurement density and produces the (dense,

@@ -99,13 +99,20 @@ func (c *CDF) Points() (xs, ps []float64) {
 	return xs, ps
 }
 
-// Median returns the median of the sample.
+// Median returns the median of the sample, or 0 for an empty sample.
 func Median(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
 	return NewCDF(sample).Quantile(0.5)
 }
 
-// Percentile returns the p-th percentile (p in [0,100]).
+// Percentile returns the p-th percentile (p in [0,100]), or 0 for an
+// empty sample.
 func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
 	return NewCDF(sample).Quantile(p / 100)
 }
 

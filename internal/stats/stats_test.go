@@ -233,3 +233,45 @@ func TestSummarizeDurationsSerialElapsed(t *testing.T) {
 		t.Fatalf("empty sample = %+v, want zero", s)
 	}
 }
+
+func TestEmptySampleSummariesAreZero(t *testing.T) {
+	// Empty inputs must yield zeroed results, not NaN percentiles: these
+	// feed JSON payloads and metric gauges where NaN does not round-trip.
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median(nil) = %v, want 0", got)
+	}
+	if got := Percentile(nil, 90); got != 0 {
+		t.Fatalf("Percentile(nil, 90) = %v, want 0", got)
+	}
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+	if s := SummarizeDurations(nil, 0); s != (OpSummary{}) {
+		t.Fatalf("SummarizeDurations(nil, 0) = %+v, want zero", s)
+	}
+	// Mean keeps its documented NaN-on-empty contract: callers that want
+	// the distinction between "no data" and "mean of zero" rely on it.
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Fatalf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestSingleSampleSummaries(t *testing.T) {
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("Median = %v, want 7", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("Percentile = %v, want 7", got)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.P90 != 7 || s.Max != 7 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	d := SummarizeDurations([]time.Duration{500 * time.Millisecond}, 0)
+	if d.Ops != 1 || d.P50Us != 500_000 || d.P99Us != 500_000 || d.MaxUs != 500_000 {
+		t.Fatalf("SummarizeDurations = %+v", d)
+	}
+	if d.OpsPerSec != 2 {
+		t.Fatalf("ops/sec = %v, want 2", d.OpsPerSec)
+	}
+}

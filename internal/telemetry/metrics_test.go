@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ides_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("ides_test_total", "a counter").Value() != 5 {
+		t.Fatal("re-fetching the counter lost its value")
+	}
+
+	g := r.Gauge("ides_test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "h")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("x", "h")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("x", "h", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	r.CounterFunc("x", "h", func() float64 { return 1 })
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	cv := r.CounterVec("x", "h", "l")
+	cv.With("a").Inc()
+	hv := r.HistogramVec("x", "h", "l", nil)
+	hv.With("a").Observe(1)
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if r.Export() != nil {
+		t.Fatal("nil Export should return nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ides_test_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.05} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.605", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ides_test_seconds_bucket{le="0.01"} 1`,
+		`ides_test_seconds_bucket{le="0.1"} 3`,
+		`ides_test_seconds_bucket{le="1"} 4`,
+		`ides_test_seconds_bucket{le="+Inf"} 5`,
+		`ides_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ides_reqs_total", "requests by type", "type")
+	cv.With("Ping").Add(2)
+	cv.With("GetModel").Inc()
+	r.GaugeFunc("ides_pool_idle", "idle conns", func() float64 { return 3 })
+	r.CounterFunc("ides_pool_dials_total", "dials", func() float64 { return 7 })
+	hv := r.HistogramVec("ides_req_seconds", "latency by type", "type", []float64{1})
+	hv.With("Ping").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ides_reqs_total counter",
+		`ides_reqs_total{type="GetModel"} 1`,
+		`ides_reqs_total{type="Ping"} 2`,
+		"# TYPE ides_pool_idle gauge",
+		"ides_pool_idle 3",
+		"ides_pool_dials_total 7",
+		`ides_req_seconds_bucket{type="Ping",le="1"} 1`,
+		`ides_req_seconds_count{type="Ping"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children render sorted by label value within their family.
+	fam := out[strings.Index(out, "# TYPE ides_reqs_total"):]
+	if strings.Index(fam, `type="GetModel"`) > strings.Index(fam, `type="Ping"`) {
+		t.Error("label values not sorted in exposition")
+	}
+
+	exp := r.Export()
+	if exp[`ides_reqs_total{type="Ping"}`] != 2 {
+		t.Errorf("Export missing labelled counter: %v", exp)
+	}
+	if exp["ides_pool_idle"] != 3 {
+		t.Errorf("Export missing gauge func: %v", exp)
+	}
+	if exp[`ides_req_seconds_count{type="Ping"}`] != 1 {
+		t.Errorf("Export missing histogram count: %v", exp)
+	}
+}
+
+func TestFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("ides_g", "g", func() float64 { return 1 })
+	r.GaugeFunc("ides_g", "g", func() float64 { return 2 })
+	if got := r.Export()["ides_g"]; got != 2 {
+		t.Fatalf("replaced gauge func reads %v, want 2", got)
+	}
+}
+
+func TestShapeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ides_x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("ides_x", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ides_conc_total", "c")
+	h := r.Histogram("ides_conc_seconds", "h", nil)
+	cv := r.CounterVec("ides_conc_vec_total", "v", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				cv.With(fmt.Sprintf("k%d", i%2)).Inc()
+			}
+		}(i)
+	}
+	// Scrape concurrently with writes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.WritePrometheus(io.Discard) //nolint:errcheck
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ides_http_total", "h").Add(42)
+	ln, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ides_http_total 42") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+}

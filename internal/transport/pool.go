@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/wire"
 )
 
@@ -59,6 +60,9 @@ type PoolStats struct {
 	// Discards counts connections dropped for any reason: broken during a
 	// call, reaped after idling out, or surplus over MaxIdlePerHost.
 	Discards int64
+	// Idle is the number of connections currently parked in the pool
+	// across all hosts — a point-in-time gauge, not a lifetime counter.
+	Idle int
 }
 
 // Pool is a client-side connection pool for the IDES request/response
@@ -163,7 +167,30 @@ func (p *Pool) Stats() PoolStats {
 		Reuses:   p.reuses.Load(),
 		Retries:  p.retries.Load(),
 		Discards: p.discards.Load(),
+		Idle:     p.idleCount(),
 	}
+}
+
+// RegisterMetrics exposes the pool's counters through reg under the
+// ides_pool_* families, read live at scrape time — the scrapeable
+// replacement for logging a one-shot Stats() line at exit. Safe on a
+// nil registry.
+func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("ides_pool_dials_total",
+		"Connections dialed by the client pool.",
+		func() float64 { return float64(p.dials.Load()) })
+	reg.CounterFunc("ides_pool_reuses_total",
+		"Calls served over a pooled connection.",
+		func() float64 { return float64(p.reuses.Load()) })
+	reg.CounterFunc("ides_pool_retries_total",
+		"Calls replayed on a fresh connection after a pooled one died.",
+		func() float64 { return float64(p.retries.Load()) })
+	reg.CounterFunc("ides_pool_discards_total",
+		"Connections dropped: broken, idled out, or surplus.",
+		func() float64 { return float64(p.discards.Load()) })
+	reg.GaugeFunc("ides_pool_idle_conns",
+		"Connections currently idle in the pool.",
+		func() float64 { return float64(p.idleCount()) })
 }
 
 // Close closes every idle connection and marks the pool closed: future

@@ -184,6 +184,45 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 }
 
 // ---- primitive append/consume helpers ----
+//
+// The exported variants exist for sibling packages that persist binary
+// records in the same big-endian fixed-layout style (internal/telemetry's
+// history store); the protocol encoders below use the unexported
+// spellings.
+
+// AppendString appends a u16 length-prefixed string.
+func AppendString(dst []byte, s string) []byte { return appendString(dst, s) }
+
+// ConsumeString parses a u16 length-prefixed string.
+func ConsumeString(b []byte) (string, []byte, error) { return consumeString(b) }
+
+// AppendFloat64 appends one big-endian IEEE-754 float64.
+func AppendFloat64(dst []byte, f float64) []byte { return appendFloat(dst, f) }
+
+// ConsumeFloat64 parses one big-endian IEEE-754 float64.
+func ConsumeFloat64(b []byte) (float64, []byte, error) { return consumeFloat(b) }
+
+// AppendUint32 appends one big-endian uint32.
+func AppendUint32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+// ConsumeUint32 parses one big-endian uint32.
+func ConsumeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrShortPayload
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+// AppendUint64 appends one big-endian uint64.
+func AppendUint64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+// ConsumeUint64 parses one big-endian uint64.
+func ConsumeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrShortPayload
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
 
 func appendString(dst []byte, s string) []byte {
 	if len(s) > math.MaxUint16 {
