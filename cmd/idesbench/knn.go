@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/experiments"
+	"github.com/ides-go/ides/internal/query"
+	"github.com/ides-go/ides/internal/stats"
+)
+
+// knnSizeResult is one row of the k-NN scaling sweep: the same query
+// stream answered by the exhaustive scan and by the epoch-built spatial
+// index, at one directory size.
+type knnSizeResult struct {
+	Hosts int `json:"hosts"`
+	// BuildMillis is the one-time cost of building the index for this
+	// directory snapshot; it is paid per model epoch, off the query path.
+	BuildMillis float64 `json:"index_build_ms"`
+	IndexNodes  int     `json:"index_nodes"`
+
+	Scan    stats.OpSummary `json:"knn_scan"`
+	Indexed stats.OpSummary `json:"knn_indexed"`
+	// P50Speedup is scan p50 / indexed p50.
+	P50Speedup float64 `json:"p50_speedup"`
+	// Recall is the fraction of the exact top-k the indexed search
+	// returned (the branch-and-bound is exact, so this should be 1.0).
+	Recall float64 `json:"recall"`
+}
+
+// knnResult is the JSON shape written to BENCH_knn.json.
+type knnResult struct {
+	Workload string          `json:"workload"`
+	Dim      int             `json:"dim"`
+	K        int             `json:"k"`
+	Queries  int             `json:"queries"`
+	Sizes    []knnSizeResult `json:"sizes"`
+}
+
+// runKNN is the k-NN scaling sweep: directories of increasing size
+// answer the same k-nearest query stream twice — by the exact parallel
+// scan and through the KD-tree index built per epoch — all in-process,
+// so the numbers isolate selection cost from transport. Writes
+// BENCH_knn.json.
+func runKNN(scale experiments.Scale, seed int64) error {
+	sizes := []int{10_000, 50_000, 200_000}
+	if scale == experiments.Full {
+		sizes = []int{10_000, 100_000, 1_000_000}
+	}
+	const (
+		dim     = 8
+		k       = 16
+		queries = 200
+	)
+
+	result := knnResult{Workload: "knn", Dim: dim, K: k, Queries: queries}
+	fmt.Printf("\n== k-NN workload: exact scan vs spatial index, d=%d k=%d ==\n", dim, k)
+	for _, n := range sizes {
+		row, err := runKNNSize(n, dim, k, queries, seed)
+		if err != nil {
+			return err
+		}
+		result.Sizes = append(result.Sizes, row)
+		fmt.Printf("%9d hosts: build=%.1fms  scan p50=%.0fµs p99=%.0fµs  index p50=%.0fµs p99=%.0fµs  [p50 %.1fx, recall %.3f]\n",
+			n, row.BuildMillis, row.Scan.P50Us, row.Scan.P99Us,
+			row.Indexed.P50Us, row.Indexed.P99Us, row.P50Speedup, row.Recall)
+		// Accuracy gate: the index is exact by construction (strict
+		// lower-bound pruning), so anything under 0.95 recall means a
+		// pruning or staleness bug, and CI must fail.
+		if row.Recall < 0.95 {
+			return fmt.Errorf("knn: recall %.3f at %d hosts below 0.95 gate", row.Recall, n)
+		}
+	}
+
+	f, err := os.Create("BENCH_knn.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_knn.json)")
+	return nil
+}
+
+func runKNNSize(n, dim, k, queries int, seed int64) (knnSizeResult, error) {
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	dir := query.New(query.Config{})
+	// Clustered coordinates, like real latency spaces: the index's
+	// bounding boxes only pay off when nearby hosts share subtrees.
+	centers := make([][]float64, 32)
+	for i := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = rng.Float64() * 40
+		}
+		centers[i] = c
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("host-%07d", i)
+		c := centers[rng.Intn(len(centers))]
+		out := make([]float64, dim)
+		in := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			out[d] = c[d] + rng.NormFloat64()
+			in[d] = c[d] + rng.NormFloat64()
+		}
+		dir.Put(addrs[i], core.Vectors{Out: out, In: in})
+	}
+	eng := query.NewEngine(dir, nil)
+
+	buildStart := time.Now()
+	if !eng.BuildKNNIndex() {
+		return knnSizeResult{}, fmt.Errorf("knn: index build failed at %d hosts", n)
+	}
+	build := time.Since(buildStart)
+	info, _ := dir.KNNIndex()
+
+	row := knnSizeResult{
+		Hosts:       n,
+		BuildMillis: float64(build.Microseconds()) / 1e3,
+		IndexNodes:  info.Nodes,
+	}
+
+	// The same sources drive both passes; sources are drawn up front so
+	// neither pass pays the rng inside its timed section.
+	srcs := make([]core.Vectors, queries)
+	excl := make([]string, queries)
+	for i := range srcs {
+		j := rng.Intn(n)
+		v, ok := eng.Lookup(addrs[j])
+		if !ok {
+			return knnSizeResult{}, fmt.Errorf("knn: lost host %s", addrs[j])
+		}
+		srcs[i], excl[i] = v, addrs[j]
+	}
+
+	scanLat := make([]time.Duration, queries)
+	exact := make([][]query.Neighbor, queries)
+	start := time.Now()
+	for i := range srcs {
+		t0 := time.Now()
+		exact[i] = eng.KNearestExact(srcs[i], k, query.KNNOptions{Exclude: excl[i]})
+		scanLat[i] = time.Since(t0)
+	}
+	row.Scan = stats.SummarizeDurations(scanLat, time.Since(start))
+
+	idxLat := make([]time.Duration, queries)
+	indexed := make([][]query.Neighbor, queries)
+	start = time.Now()
+	for i := range srcs {
+		t0 := time.Now()
+		indexed[i] = eng.KNearest(srcs[i], k, query.KNNOptions{Exclude: excl[i]})
+		idxLat[i] = time.Since(t0)
+	}
+	row.Indexed = stats.SummarizeDurations(idxLat, time.Since(start))
+
+	hits, total := 0, 0
+	for i := range srcs {
+		want := make(map[string]bool, len(exact[i]))
+		for _, nb := range exact[i] {
+			want[nb.Addr] = true
+		}
+		for _, nb := range indexed[i] {
+			if want[nb.Addr] {
+				hits++
+			}
+		}
+		total += len(exact[i])
+	}
+	if total > 0 {
+		row.Recall = float64(hits) / float64(total)
+	}
+	if row.Indexed.P50Us > 0 {
+		row.P50Speedup = row.Scan.P50Us / row.Indexed.P50Us
+	}
+	return row, nil
+}

@@ -8,10 +8,10 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, churn, pool, solver, scenario, all. The
-// churn, pool, solver and scenario workloads also write
-// BENCH_churn.json / BENCH_pool.json / BENCH_solver.json /
-// BENCH_scenarios.json for the perf trajectory; scenario additionally
+// fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, all.
+// The churn, pool, knn, solver and scenario workloads also write
+// BENCH_churn.json / BENCH_pool.json / BENCH_knn.json /
+// BENCH_solver.json / BENCH_scenarios.json for the perf trajectory; scenario additionally
 // fails (non-zero exit) when the end-to-end accuracy gates are
 // violated, so CI can use it as a regression gate.
 package main
@@ -82,7 +82,7 @@ func serveBenchMetrics() error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, solver, scenario, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	quick := flag.Bool("quick", false, "force quick scale (overrides -full)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
@@ -107,10 +107,11 @@ func main() {
 		"bulkquery": runBulkQuery,
 		"churn":     runChurn,
 		"pool":      runPool,
+		"knn":       runKNN,
 		"solver":    runSolver,
 		"scenario":  runScenario,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "solver", "scenario"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "knn", "solver", "scenario"}
 
 	var ids []string
 	if *exp == "all" {

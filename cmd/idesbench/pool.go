@@ -122,8 +122,14 @@ func runPool(scale experiments.Scale, seed int64) error {
 	dialCall := func(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
 		return transport.Call(ctx, dialer, addr, t, payload)
 	}
+	// The pooled pass threads one reply scratch through CallInto, the
+	// way a steady production caller would: after the first exchange the
+	// client side of a point query performs no heap allocations.
+	var callScratch []byte
 	pooledCall := func(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
-		return pool.Call(ctx, addr, t, payload)
+		rt, rp, scratch, err := pool.CallInto(ctx, addr, t, payload, callScratch)
+		callScratch = scratch
+		return rt, rp, err
 	}
 
 	runPoint := func(call caller, seed int64) (stats.OpSummary, error) {
@@ -139,7 +145,7 @@ func runPool(scale experiments.Scale, seed int64) error {
 			if err != nil || typ != wire.TypeDistance {
 				return stats.OpSummary{}, fmt.Errorf("QueryDist: %v %v", typ, err)
 			}
-			if _, err := wire.DecodeDistance(payload); err != nil {
+			if _, err := wire.ParseDistance(payload); err != nil {
 				return stats.OpSummary{}, err
 			}
 		}

@@ -36,6 +36,17 @@
 //     (Client.EstimateBatch), all-pairs (QueryEngine.EstimateMatrix), and
 //     k-nearest (Client.KNearest) queries, each answered in one wire round
 //     trip via the QueryBatch/Distances and QueryKNN/Neighbors messages;
+//     on large directories KNearest is served by an epoch-pinned KD-tree
+//     built asynchronously on every snapshot swap — exact branch-and-bound
+//     inner-product search, bitwise identical to the scan it replaces,
+//     with automatic exact-scan fallback for small, stale or
+//     dimension-mismatched directories (internal/query/knnindex);
+//   - the zero-allocation serving hot path: framed reads land in reusable
+//     per-connection scratch (wire.ReadFrameInto), handlers encode into
+//     caller-owned buffers, and the pooled client threads its own scratch
+//     through Pool.CallInto, so a steady-state point query performs zero
+//     heap allocations end to end — enforced in CI by
+//     TestPointQueryZeroAlloc and itemized per layer by BenchmarkAllocs;
 //   - the pooled transport (NewPool): clients and landmark agents carry
 //     every exchange over keep-alive connections reused per address — with
 //     idle reaping, per-host caps, per-call deadline reset, and one

@@ -53,12 +53,7 @@ func MulABT(a, b *Dense) *Dense {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		drow := out.data[i*b.rows : (i+1)*b.rows]
 		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			drow[j] = s
+			drow[j] = dot4(arow, b.data[j*b.cols:(j+1)*b.cols])
 		}
 	}
 	return out
@@ -127,14 +122,7 @@ func MulVec(a *Dense, x []float64) []float64 {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d * %d", a.rows, a.cols, len(x)))
 	}
 	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	MulVecInto(out, a, x)
 	return out
 }
 
@@ -161,11 +149,7 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return dot4(x, y)
 }
 
 // Norm2 returns the Euclidean norm of x, guarding against overflow.

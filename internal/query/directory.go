@@ -42,6 +42,12 @@ type Config struct {
 	// survives engine swaps — so counters accumulate across model
 	// generations.
 	Metrics *Metrics
+	// KNNIndexMinSize is the directory size below which KNearest skips
+	// the spatial index and scans exactly — tiny directories are faster
+	// to scan than to search, and the scan is exhaustively deterministic
+	// for tests. Zero means the default (4096); negative disables the
+	// index outright.
+	KNNIndexMinSize int
 }
 
 // entry is one directory record. The registration time is kept as
@@ -80,6 +86,15 @@ type Directory struct {
 	now     func() time.Time
 	metrics *Metrics
 	epoch   atomic.Uint64 // current model epoch; older entries are dead
+
+	// k-NN index state. The index lives on the Directory rather than the
+	// Engine because engines are recreated on every snapshot swap
+	// (including incremental revisions that keep the epoch) while the
+	// entries — and so the index over them — survive within an epoch.
+	idxMin      int                      // KNNIndexMinSize, resolved
+	knn         atomic.Pointer[knnState] // current epoch's index, if built
+	knnBuilding atomic.Bool              // single-flight guard for builds
+	mutations   atomic.Uint64            // Put/Remove count, for index staleness
 }
 
 // New builds a Directory from cfg.
@@ -101,6 +116,10 @@ func New(cfg Config) *Directory {
 	if now == nil {
 		now = time.Now
 	}
+	idxMin := cfg.KNNIndexMinSize
+	if idxMin == 0 {
+		idxMin = defaultKNNIndexMinSize
+	}
 	d := &Directory{
 		shards:  make([]shard, pow),
 		mask:    uint64(pow - 1),
@@ -109,6 +128,7 @@ func New(cfg Config) *Directory {
 		sweep:   sweep,
 		now:     now,
 		metrics: cfg.Metrics,
+		idxMin:  idxMin,
 	}
 	for i := range d.shards {
 		d.shards[i].hosts = make(map[string]entry)
@@ -140,6 +160,7 @@ func (d *Directory) PutEpoch(addr string, vec core.Vectors, epoch uint64) {
 	sh.hosts[addr] = entry{vec: vec, at: now, epoch: epoch}
 	sh.count.Store(int64(len(sh.hosts)))
 	sh.mu.Unlock()
+	d.mutations.Add(1)
 }
 
 // AdvanceEpoch moves the directory to a new model epoch: every entry
@@ -202,6 +223,42 @@ func (d *Directory) GetAt(addr string, epoch uint64) (core.Vectors, bool) {
 	return e.vec, true
 }
 
+// GetAtBytes is GetAt keyed by raw address bytes, for the server's
+// zero-allocation point-query path: maphash.Bytes hashes the same as
+// maphash.String over equal bytes, and the map index converts in place
+// without allocating, so a directory hit costs no heap allocation. The
+// rare reclamation of a dead entry does convert (delete needs a real
+// string key); that path was already write-locked and O(1).
+func (d *Directory) GetAtBytes(addr []byte, epoch uint64) (core.Vectors, bool) {
+	sh := &d.shards[maphash.Bytes(d.seed, addr)&d.mask]
+	var now int64
+	if d.ttl > 0 {
+		now = d.now().UnixNano()
+	}
+	cur := d.epoch.Load()
+	sh.mu.RLock()
+	e, ok := sh.hosts[string(addr)]
+	sh.mu.RUnlock()
+	if !ok {
+		return core.Vectors{}, false
+	}
+	if d.expired(e, now) || d.stale(e, cur) {
+		key := string(addr)
+		sh.mu.Lock()
+		// Re-check: a concurrent Put may have refreshed the entry.
+		if e, ok = sh.hosts[key]; ok && (d.expired(e, now) || d.stale(e, cur)) {
+			delete(sh.hosts, key)
+			sh.count.Store(int64(len(sh.hosts)))
+		}
+		sh.mu.Unlock()
+		return core.Vectors{}, false
+	}
+	if e.epoch != 0 && e.epoch != epoch {
+		return core.Vectors{}, false
+	}
+	return e.vec, true
+}
+
 // Remove deletes addr from the directory.
 func (d *Directory) Remove(addr string) {
 	sh := d.shardFor(addr)
@@ -209,6 +266,7 @@ func (d *Directory) Remove(addr string) {
 	delete(sh.hosts, addr)
 	sh.count.Store(int64(len(sh.hosts)))
 	sh.mu.Unlock()
+	d.mutations.Add(1)
 }
 
 // Len returns the number of live entries. It reads per-shard counters —

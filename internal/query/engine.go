@@ -55,6 +55,36 @@ func (e *Engine) Lookup(addr string) (core.Vectors, bool) {
 	return core.Vectors{}, false
 }
 
+// LookupBytes is Lookup keyed by raw address bytes. A directory hit —
+// the steady-state case — does not allocate; only a miss that consults
+// the fallback resolver (landmarks) pays for the string conversion.
+func (e *Engine) LookupBytes(addr []byte) (core.Vectors, bool) {
+	if v, ok := e.dir.GetAtBytes(addr, e.epoch); ok {
+		return v, true
+	}
+	if e.fallback != nil {
+		return e.fallback(string(addr))
+	}
+	return core.Vectors{}, false
+}
+
+// EstimatePair estimates the distance from→to for hosts named by raw
+// address bytes: the zero-allocation point-query path behind the
+// server's QueryDist handler. Unresolvable addresses — and pairs whose
+// vector dimensions disagree (possible when unversioned entries survive
+// a model change) — report not found.
+func (e *Engine) EstimatePair(from, to []byte) (float64, bool) {
+	a, okA := e.LookupBytes(from)
+	if !okA {
+		return 0, false
+	}
+	b, okB := e.LookupBytes(to)
+	if !okB || len(a.Out) != len(b.In) {
+		return 0, false
+	}
+	return mat.Dot(a.Out, b.In), true
+}
+
 // Estimate is one answered distance in a batch.
 type Estimate struct {
 	// Millis is the estimated distance in milliseconds; meaningless when
@@ -65,10 +95,11 @@ type Estimate struct {
 }
 
 // EstimateBatch estimates the distance from a single source to every
-// target in one pass: the targets' incoming vectors are gathered into a
-// k x d matrix T and all k estimates fall out of one matrix-vector
-// product T · src.Out (Eq. 4 batched). Unresolvable targets and targets
-// whose vector dimension disagrees with the source are marked not found.
+// target in one pass through the fused estimate-row kernel: the targets'
+// incoming vectors are gathered by reference (no k x d copy) and each
+// estimate is one unrolled row·src.Out product (Eq. 4 batched).
+// Unresolvable targets and targets whose vector dimension disagrees with
+// the source are marked not found.
 func (e *Engine) EstimateBatch(src core.Vectors, targets []string) []Estimate {
 	if m := e.dir.metrics; m != nil {
 		start := time.Now()
@@ -80,31 +111,24 @@ func (e *Engine) EstimateBatch(src core.Vectors, targets []string) []Estimate {
 		return out
 	}
 	d := len(src.Out)
-	tm := mat.NewDense(len(targets), d)
-	rows := 0
-	// rowOf[i] is the row of tm holding target i's incoming vector, or -1.
-	rowOf := make([]int, len(targets))
+	rows := make([][]float64, len(targets))
+	found := 0
 	for i, addr := range targets {
-		rowOf[i] = -1
 		v, ok := e.Lookup(addr)
 		if !ok || len(v.In) != d {
 			continue
 		}
-		tm.SetRow(rows, v.In)
-		rowOf[i] = rows
-		rows++
+		rows[i] = v.In
+		found++
 	}
-	if rows == 0 {
+	if found == 0 {
 		return out
 	}
-	// SubMatrix copies; skip it in the common all-targets-found case.
-	if rows < len(targets) {
-		tm = tm.SubMatrix(0, rows, 0, d)
-	}
-	dist := mat.MulVec(tm, src.Out)
+	dist := make([]float64, len(targets))
+	mat.DotRowsInto(dist, rows, src.Out)
 	for i := range targets {
-		if r := rowOf[i]; r >= 0 {
-			out[i] = Estimate{Millis: dist[r], Found: true}
+		if rows[i] != nil {
+			out[i] = Estimate{Millis: dist[i], Found: true}
 		}
 	}
 	return out
@@ -204,6 +228,28 @@ func (e *Engine) KNearest(src core.Vectors, k int, opts KNNOptions) []Neighbor {
 	if opts.PrefilterDims > 0 && opts.PrefilterDims < len(src.Out) {
 		return e.knnPrefiltered(src, k, opts)
 	}
+	// Large directories answer from the epoch's spatial index when one is
+	// current; the branch-and-bound search is exact, so either path
+	// returns the identical slice. Tiny directories — and queries that
+	// catch the index missing or stale — take the scan.
+	if res, ok := e.knnIndexed(src.Out, k, opts.Exclude); ok {
+		return res
+	}
+	return e.knnScan(src.Out, len(src.Out), k, opts.Exclude)
+}
+
+// KNearestExact answers KNearest by exhaustive scan, never consulting
+// the spatial index — the reference the index is validated against and
+// the baseline the k-NN scaling benchmark compares to. Both paths are
+// exact, so on a quiescent directory the results are identical; this
+// entry point only pins WHICH algorithm runs.
+func (e *Engine) KNearestExact(src core.Vectors, k int, opts KNNOptions) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	if opts.PrefilterDims > 0 && opts.PrefilterDims < len(src.Out) {
+		return e.knnPrefiltered(src, k, opts)
+	}
 	return e.knnScan(src.Out, len(src.Out), k, opts.Exclude)
 }
 
@@ -223,7 +269,7 @@ func (e *Engine) knnScan(out []float64, p, k int, exclude string) []Neighbor {
 	// A serial scan avoids goroutine overhead for small directories.
 	// approxSize never locks or sweeps, so this sizing decision cannot
 	// stall concurrent registration.
-	if workers <= 1 || e.dir.approxSize() < 4096 {
+	if workers <= 1 || e.dir.approxSize() < defaultKNNIndexMinSize {
 		workers = 1
 	}
 	var now int64
@@ -291,12 +337,10 @@ func (e *Engine) knnPrefiltered(src core.Vectors, k int, opts KNNOptions) []Neig
 	return exact
 }
 
+// dotPrefix scores through the same unrolled kernel as every other
+// estimate site, so scan, index, and point paths agree bitwise.
 func dotPrefix(x, y []float64, p int) float64 {
-	s := 0.0
-	for i := 0; i < p; i++ {
-		s += x[i] * y[i]
-	}
-	return s
+	return mat.DotPrefix(x, y, p)
 }
 
 // neighborLess is the total order used everywhere: distance ascending,

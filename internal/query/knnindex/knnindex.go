@@ -1,0 +1,412 @@
+// Package knnindex is a spatial index over host coordinate vectors for
+// sublinear k-nearest-neighbor queries.
+//
+// The IDES estimate for the distance src→host is the inner product
+// src.Out · host.In (Eq. 4), so "k nearest to src" means the k hosts
+// whose In-vectors minimize that product. Inner product is not a metric —
+// there is no triangle inequality to lean on — but an exact
+// branch-and-bound over a KD-tree still works: for an axis-aligned box
+// [lo, hi] enclosing a subtree's points, the product q·x for any x in the
+// box is at least
+//
+//	LB(box) = Σ_d min(q_d·lo_d, q_d·hi_d)
+//
+// (each coordinate independently picks whichever box corner minimizes its
+// term). Any subtree whose lower bound already exceeds the current k-th
+// best score cannot improve the result and is skipped. Pruning never
+// rejects a point that could tie-break its way into the result — subtrees
+// are only skipped when strictly worse — so the search is exact: it
+// returns precisely what a full scan scoring through the same dot-product
+// kernel would, in the same order (score ascending, then address). Recall
+// against an exact scan is therefore 1.0 by construction; the tree only
+// changes how much of the directory is touched per query.
+//
+// The tree is built per model epoch, immutable once built, and safe for
+// concurrent searches. Hosts that registered after the build are not in
+// the tree; the query engine bounds that staleness and falls back to the
+// exact scan when the snapshot has drifted too far.
+package knnindex
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ides-go/ides/internal/mat"
+)
+
+// leafSize is the subtree size below which splitting stops. Leaves are
+// scored linearly with the unrolled dot kernel; past ~32 points the
+// bookkeeping of deeper recursion costs more than the multiplies saved.
+const leafSize = 32
+
+// Point is one indexed host: its address and the In-vector queries are
+// scored against. The vector is aliased, not copied — directory entries
+// are immutable once registered.
+type Point struct {
+	Addr string
+	Vec  []float64
+}
+
+// Neighbor is one search result.
+type Neighbor struct {
+	Addr string
+	// Score is the estimated distance q·Vec in the model's units.
+	Score float64
+}
+
+// node is one KD-tree node. Every node keeps the bounding box of its
+// points as offsets into the index's shared box arena; internal nodes
+// split on one dimension, leaves hold a contiguous range of pts.
+type node struct {
+	box         int32 // boxes[box : box+2*dim]: lo then hi
+	left, right int32 // children, -1 for leaves
+	start, end  int32 // leaf point range in pts
+}
+
+// Index is an immutable KD-tree over a set of points.
+type Index struct {
+	dim   int
+	pts   []Point
+	nodes []node
+	boxes []float64
+}
+
+// Build constructs an index over pts for the given dimension. Points
+// whose vectors have a different length or non-finite coordinates are
+// dropped (a non-finite coordinate would poison every bounding box above
+// it; such entries are unrankable by the scan too). Build reorders pts in
+// place and keeps the slice. Returns nil when nothing is indexable.
+func Build(pts []Point, dim int) *Index {
+	if dim <= 0 {
+		return nil
+	}
+	kept := pts[:0]
+	for _, p := range pts {
+		if len(p.Vec) == dim && finite(p.Vec) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	ix := &Index{
+		dim:   dim,
+		pts:   kept,
+		nodes: make([]node, 0, 2*(len(kept)/leafSize+1)),
+		boxes: make([]float64, 0, 4*dim*(len(kept)/leafSize+1)),
+	}
+	ix.build(0, int32(len(kept)))
+	return ix
+}
+
+// Dim returns the vector dimension the index was built for.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int {
+	if ix == nil {
+		return 0
+	}
+	return len(ix.pts)
+}
+
+// Nodes returns the tree's node count (telemetry).
+func (ix *Index) Nodes() int {
+	if ix == nil {
+		return 0
+	}
+	return len(ix.nodes)
+}
+
+// build adds the subtree over pts[start:end) and returns its node id.
+func (ix *Index) build(start, end int32) int32 {
+	id := int32(len(ix.nodes))
+	bi := int32(len(ix.boxes))
+	ix.boxes = append(ix.boxes, make([]float64, 2*ix.dim)...)
+	lo := ix.boxes[bi : bi+int32(ix.dim)]
+	hi := ix.boxes[bi+int32(ix.dim) : bi+2*int32(ix.dim)]
+	for d := range lo {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for _, p := range ix.pts[start:end] {
+		for d, v := range p.Vec {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	ix.nodes = append(ix.nodes, node{box: bi, left: -1, right: -1, start: start, end: end})
+	if end-start <= leafSize {
+		return id
+	}
+	// Split on the widest box dimension at the median. A degenerate box
+	// (all points identical) stays a leaf regardless of size.
+	split, width := 0, 0.0
+	for d := 0; d < ix.dim; d++ {
+		if w := hi[d] - lo[d]; w > width {
+			split, width = d, w
+		}
+	}
+	if width == 0 {
+		return id
+	}
+	mid := start + (end-start)/2
+	ix.selectNth(start, end, mid, split)
+	// Children are appended after this node, so re-index via the local id.
+	l := ix.build(start, mid)
+	r := ix.build(mid, end)
+	ix.nodes[id].left, ix.nodes[id].right = l, r
+	return id
+}
+
+// selectNth partitions pts[start:end) so the element at position nth is
+// in its sorted-by-dimension place (quickselect with median-of-three
+// pivoting; ties broken by address so the partition is deterministic for
+// a given input ordering).
+func (ix *Index) selectNth(start, end, nth int32, d int) {
+	for end-start > 1 {
+		p := ix.medianOfThree(start, end, int32(d))
+		lt, gt := ix.partition(start, end, p, int32(d))
+		switch {
+		case nth < lt:
+			end = lt
+		case nth >= gt:
+			start = gt
+		default:
+			return // nth falls inside the pivot-equal run
+		}
+	}
+}
+
+// medianOfThree picks a pivot index for pts[start:end) on dimension d.
+func (ix *Index) medianOfThree(start, end, d int32) int32 {
+	mid := start + (end-start)/2
+	a, b, c := start, mid, end-1
+	if ix.less(b, a, int(d)) {
+		a, b = b, a
+	}
+	if ix.less(c, b, int(d)) {
+		b = c
+		if ix.less(b, a, int(d)) {
+			b = a
+		}
+	}
+	return b
+}
+
+// less orders points i, j by coordinate d, then address.
+func (ix *Index) less(i, j int32, d int) bool {
+	vi, vj := ix.pts[i].Vec[d], ix.pts[j].Vec[d]
+	if vi != vj {
+		return vi < vj
+	}
+	return ix.pts[i].Addr < ix.pts[j].Addr
+}
+
+// partition three-way partitions pts[start:end) around the value at
+// pivot on dimension d, returning the bounds [lt, gt) of the
+// pivot-equal run.
+func (ix *Index) partition(start, end, pivot, dd int32) (int32, int32) {
+	d := int(dd)
+	ix.pts[pivot], ix.pts[start] = ix.pts[start], ix.pts[pivot]
+	pv, pa := ix.pts[start].Vec[d], ix.pts[start].Addr
+	lt, i, gt := start, start+1, end
+	for i < gt {
+		v, a := ix.pts[i].Vec[d], ix.pts[i].Addr
+		switch {
+		case v < pv || (v == pv && a < pa):
+			ix.pts[lt], ix.pts[i] = ix.pts[i], ix.pts[lt]
+			lt++
+			i++
+		case v > pv || a > pa:
+			gt--
+			ix.pts[gt], ix.pts[i] = ix.pts[i], ix.pts[gt]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// SearchOptions filter a search.
+type SearchOptions struct {
+	// Exclude names one address to leave out (typically the querier).
+	Exclude string
+	// Accept, if set, is consulted before a candidate may enter the
+	// result set — the engine's liveness check against the directory. It
+	// is only called for candidates that would otherwise make the top k,
+	// so the cost is O(result churn), not O(points visited).
+	Accept func(addr string) bool
+	// Stats, if set, receives search effort counters.
+	Stats *SearchStats
+}
+
+// SearchStats reports how much of the tree one search touched.
+type SearchStats struct {
+	// Scored counts points actually dotted against the query; Pruned
+	// counts subtrees skipped by the bound. Scored/Len is the visited
+	// fraction — the sublinearity evidence.
+	Scored, Pruned int
+}
+
+// Search returns the k points minimizing q·Vec, ascending by score with
+// ties broken by address — exactly the order the engine's exact scan
+// produces. Returns nil when q's length does not match the index
+// dimension.
+func (ix *Index) Search(q []float64, k int, opts SearchOptions) []Neighbor {
+	if ix == nil || k <= 0 || len(q) != ix.dim {
+		return nil
+	}
+	if k > len(ix.pts) {
+		k = len(ix.pts)
+	}
+	s := searcher{ix: ix, q: q, k: k, opts: opts, heap: make([]Neighbor, 0, k)}
+	s.visit(0)
+	sort.Slice(s.heap, func(i, j int) bool { return neighborLess(s.heap[i], s.heap[j]) })
+	return s.heap
+}
+
+type searcher struct {
+	ix   *Index
+	q    []float64
+	k    int
+	opts SearchOptions
+	// heap is a max-heap on (score, addr): the root is the current k-th
+	// best, the bound the tree is pruned against.
+	heap []Neighbor
+}
+
+func (s *searcher) visit(id int32) {
+	n := &s.ix.nodes[id]
+	if n.left < 0 {
+		for _, p := range s.ix.pts[n.start:n.end] {
+			s.offer(p)
+		}
+		return
+	}
+	// Descend into the more promising child first so the bound tightens
+	// before the other side is considered.
+	lb := s.lowerBound(s.ix.nodes[n.left].box)
+	rb := s.lowerBound(s.ix.nodes[n.right].box)
+	if lb <= rb {
+		s.visitChild(n.left, lb)
+		s.visitChild(n.right, rb)
+	} else {
+		s.visitChild(n.right, rb)
+		s.visitChild(n.left, lb)
+	}
+}
+
+// visitChild prunes a subtree only when its bound is strictly worse than
+// the current k-th best: an equal bound could still hold an equal-score
+// point that wins its tie-break on address, and skipping it would
+// diverge from the exact scan.
+func (s *searcher) visitChild(id int32, lb float64) {
+	if len(s.heap) == s.k && lb > s.heap[0].Score {
+		if s.opts.Stats != nil {
+			s.opts.Stats.Pruned++
+		}
+		return
+	}
+	s.visit(id)
+}
+
+// lowerBound computes LB(box) = Σ_d min(q_d·lo_d, q_d·hi_d).
+func (s *searcher) lowerBound(bi int32) float64 {
+	d := int32(s.ix.dim)
+	lo := s.ix.boxes[bi : bi+d]
+	hi := s.ix.boxes[bi+d : bi+2*d]
+	var sum float64
+	for i, qv := range s.q {
+		a, b := qv*lo[i], qv*hi[i]
+		if b < a {
+			a = b
+		}
+		sum += a
+	}
+	return sum
+}
+
+func (s *searcher) offer(p Point) {
+	if p.Addr == s.opts.Exclude {
+		return
+	}
+	if s.opts.Stats != nil {
+		s.opts.Stats.Scored++
+	}
+	// The same kernel the exact scan scores through, so both paths agree
+	// bitwise on every estimate.
+	cand := Neighbor{Addr: p.Addr, Score: mat.Dot(s.q, p.Vec)}
+	if math.IsNaN(cand.Score) {
+		return
+	}
+	if len(s.heap) < s.k {
+		if s.opts.Accept != nil && !s.opts.Accept(p.Addr) {
+			return
+		}
+		s.heap = append(s.heap, cand)
+		s.up(len(s.heap) - 1)
+		return
+	}
+	if !neighborLess(cand, s.heap[0]) {
+		return
+	}
+	if s.opts.Accept != nil && !s.opts.Accept(p.Addr) {
+		return
+	}
+	s.heap[0] = cand
+	s.down(0)
+}
+
+// neighborLess is the result order: score ascending, then address — the
+// same total order the engine's exact scan uses, so index and scan
+// return identical slices.
+func neighborLess(a, b Neighbor) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Addr < b.Addr
+}
+
+func (s *searcher) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !neighborLess(s.heap[parent], s.heap[i]) {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *searcher) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && neighborLess(s.heap[largest], s.heap[l]) {
+			largest = l
+		}
+		if r < n && neighborLess(s.heap[largest], s.heap[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+func finite(v []float64) bool {
+	for _, x := range v {
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,18 @@ type Metrics struct {
 	// BatchSeconds and KNNSeconds observe per-call latency.
 	BatchSeconds *telemetry.Histogram
 	KNNSeconds   *telemetry.Histogram
+	// KNNIndexBuildSeconds observes each spatial-index build;
+	// KNNIndexNodes and KNNIndexPoints gauge the live index's shape.
+	KNNIndexBuildSeconds *telemetry.Histogram
+	KNNIndexNodes        *telemetry.Gauge
+	KNNIndexPoints       *telemetry.Gauge
+	// KNNIndexHits counts KNearest calls answered from the index;
+	// KNNIndexFallbacks calls that fell back to the exact scan while a
+	// usable index was expected (missing, stale, or under-filled);
+	// KNNIndexBuilds completed builds.
+	KNNIndexHits      *telemetry.Counter
+	KNNIndexFallbacks *telemetry.Counter
+	KNNIndexBuilds    *telemetry.Counter
 }
 
 // NewMetrics registers the ides_query_* instrument families on reg.
@@ -29,5 +41,17 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"EstimateBatch latency.", nil),
 		KNNSeconds: reg.Histogram("ides_query_knn_seconds",
 			"KNearest latency.", nil),
+		KNNIndexBuildSeconds: reg.Histogram("ides_query_knn_index_build_seconds",
+			"Spatial k-NN index build latency.", nil),
+		KNNIndexNodes: reg.Gauge("ides_query_knn_index_nodes",
+			"Tree nodes in the live k-NN index."),
+		KNNIndexPoints: reg.Gauge("ides_query_knn_index_points",
+			"Hosts covered by the live k-NN index."),
+		KNNIndexHits: reg.Counter("ides_query_knn_index_hits_total",
+			"KNearest calls answered from the spatial index."),
+		KNNIndexFallbacks: reg.Counter("ides_query_knn_index_fallbacks_total",
+			"KNearest calls that expected an index but scanned exactly."),
+		KNNIndexBuilds: reg.Counter("ides_query_knn_index_builds_total",
+			"Completed spatial index builds."),
 	}
 }

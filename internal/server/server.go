@@ -24,6 +24,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
@@ -299,6 +300,14 @@ func (s *Server) installSnapshot(snap *lifecycle.Snapshot) {
 			snap.Epoch, len(s.cfg.Landmarks), snap.Model.Dim(), snap.Model.Algorithm)
 	}
 	s.setEngine(snap.Model)
+	if snap.Rev == 0 {
+		// A full fit started a new generation: every directory entry the
+		// spatial k-NN index covered just went stale with the epoch. Kick
+		// off the rebuild for the new generation in the background (no-op
+		// under the index size threshold); KNearest serves exact scans
+		// until it lands.
+		s.engine.Load().RebuildKNNIndexAsync()
+	}
 }
 
 // Serve accepts and handles connections on ln until ctx is cancelled or
@@ -342,12 +351,21 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	// connections after one request budget or let a stalled reader or
 	// writer hold the connection for the whole idle budget.
 	rc := &transport.RequestConn{Conn: conn, Budget: s.cfg.RequestTimeout}
+	// Conn-local buffers make the steady-state request loop allocation-
+	// free: the read scratch, the response payload and the outgoing frame
+	// all persist across requests and are only ever re-sliced. The
+	// buffered reader coalesces the header and payload of small frames
+	// into one kernel read, and AppendFrame + a single Write sends the
+	// response in one syscall instead of WriteFrame's two.
+	br := bufio.NewReaderSize(rc, 4096)
+	var readBuf, respBuf, frameBuf []byte
 	for {
 		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 			return
 		}
 		rc.Rearm()
-		t, payload, err := wire.ReadFrame(rc)
+		t, payload, scratch, err := wire.ReadFrameInto(br, readBuf)
+		readBuf = scratch
 		if err != nil {
 			if err != io.EOF && ctx.Err() == nil {
 				s.logf("read from %v: %v", conn.RemoteAddr(), err)
@@ -361,48 +379,63 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if s.metrics != nil {
 			start = time.Now()
 		}
-		respT, respPayload := s.dispatch(t, payload)
+		respT, respPayload := s.dispatchTo(t, payload, respBuf[:0])
+		respBuf = respPayload
 		if s.metrics != nil {
 			s.metrics.observeRequest(t, time.Since(start))
 		}
-		if err := wire.WriteFrame(conn, respT, respPayload); err != nil {
+		frameBuf = wire.AppendFrame(frameBuf[:0], respT, respPayload)
+		if _, err := conn.Write(frameBuf); err != nil {
 			s.logf("write to %v: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
 }
 
-// dispatch handles one request and returns the response frame.
+// dispatch handles one request and returns the response frame. It is the
+// allocate-per-call convenience form of dispatchTo, for in-process
+// callers and tests.
 func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	return s.dispatchTo(t, payload, nil)
+}
+
+// dispatchTo handles one request, appending the response payload to dst.
+// Handlers own dst for the duration of the call and must return a slice
+// based on it (possibly grown), so the connection loop can recycle one
+// buffer across requests. The returned payload must not alias the
+// request payload: the read scratch is reused before the response is
+// framed on some paths.
+func (s *Server) dispatchTo(t wire.MsgType, payload, dst []byte) (wire.MsgType, []byte) {
 	switch t {
 	case wire.TypePing:
-		p, err := wire.DecodePing(payload)
+		tok, err := wire.PingToken(payload)
 		if err != nil {
-			return errFrame(wire.CodeBadRequest, err.Error())
+			return errFrame(dst, wire.CodeBadRequest, err.Error())
 		}
-		return wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil)
+		pong := wire.Pong{Token: tok}
+		return wire.TypePong, pong.Encode(dst)
 	case wire.TypeGetInfo:
-		return s.handleGetInfo()
+		return s.handleGetInfo(dst)
 	case wire.TypeGetModel:
-		return s.handleGetModel()
+		return s.handleGetModel(dst)
 	case wire.TypeReportRTT:
-		return s.handleReport(payload)
+		return s.handleReport(payload, dst)
 	case wire.TypeRegisterHost:
-		return s.handleRegister(payload)
+		return s.handleRegister(payload, dst)
 	case wire.TypeGetVectors:
-		return s.handleGetVectors(payload)
+		return s.handleGetVectors(payload, dst)
 	case wire.TypeQueryDist:
-		return s.handleQueryDist(payload)
+		return s.handleQueryDist(payload, dst)
 	case wire.TypeQueryBatch:
-		return s.handleQueryBatch(payload)
+		return s.handleQueryBatch(payload, dst)
 	case wire.TypeQueryKNN:
-		return s.handleQueryKNN(payload)
+		return s.handleQueryKNN(payload, dst)
 	default:
-		return errFrame(wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
+		return errFrame(dst, wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
 	}
 }
 
-func (s *Server) handleGetInfo() (wire.MsgType, []byte) {
+func (s *Server) handleGetInfo(dst []byte) (wire.MsgType, []byte) {
 	info := &wire.Info{
 		Dim:          uint32(s.cfg.Dim),
 		NumLandmarks: uint32(len(s.cfg.Landmarks)),
@@ -413,10 +446,10 @@ func (s *Server) handleGetInfo() (wire.MsgType, []byte) {
 		info.Epoch = snap.Epoch
 		info.Dim = uint32(snap.Model.Dim())
 	}
-	return wire.TypeInfo, info.Encode(nil)
+	return wire.TypeInfo, info.Encode(dst)
 }
 
-func (s *Server) handleGetModel() (wire.MsgType, []byte) {
+func (s *Server) handleGetModel(dst []byte) (wire.MsgType, []byte) {
 	// Ready serves the live snapshot without blocking. Only when no model
 	// has ever been fit does it wait — for a fit run by the refitter
 	// goroutine, not this handler — because there is nothing to serve
@@ -425,7 +458,7 @@ func (s *Server) handleGetModel() (wire.MsgType, []byte) {
 	defer cancel()
 	snap, err := s.refit.Ready(ctx)
 	if err != nil {
-		return errFrame(wire.CodeModelNotFit, err.Error())
+		return errFrame(dst, wire.CodeModelNotFit, err.Error())
 	}
 	model := snap.Model
 	msg := &wire.Model{
@@ -443,13 +476,13 @@ func (s *Server) handleGetModel() (wire.MsgType, []byte) {
 			In:   model.Incoming(i),
 		}
 	}
-	return wire.TypeModel, msg.Encode(nil)
+	return wire.TypeModel, msg.Encode(dst)
 }
 
-func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) handleReport(payload, dst []byte) (wire.MsgType, []byte) {
 	rep, err := wire.DecodeReportRTT(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
 	// lmIndex is immutable after New, so validation takes no lock; the
 	// accepted measurements go to the model solver as a delta batch. The
@@ -459,7 +492,7 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 	// handler never waits on a factorization.
 	from, ok := s.lmIndex[rep.From]
 	if !ok {
-		return errFrame(wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
+		return errFrame(dst, wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
 	}
 	accepted := make([]solve.Delta, 0, len(rep.Entries))
 	for _, e := range rep.Entries {
@@ -477,16 +510,16 @@ func (s *Server) handleReport(payload []byte) (wire.MsgType, []byte) {
 		s.recordReports(accepted)
 		s.refit.Deltas(accepted)
 	}
-	return wire.TypeAck, nil
+	return wire.TypeAck, dst
 }
 
-func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) handleRegister(payload, dst []byte) (wire.MsgType, []byte) {
 	reg, err := wire.DecodeRegisterHost(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
 	if reg.Addr == "" {
-		return errFrame(wire.CodeBadRequest, "empty host address")
+		return errFrame(dst, wire.CodeBadRequest, "empty host address")
 	}
 	var cur uint64
 	want := s.cfg.Dim
@@ -505,26 +538,26 @@ func (s *Server) handleRegister(payload []byte) (wire.MsgType, []byte) {
 	// the directory: estimates would mix two fits. Epoch 0 marks a
 	// pre-epoch client and is accepted as unversioned.
 	if reg.Epoch != 0 && reg.Epoch != cur {
-		return errFrame(wire.CodeStaleEpoch,
+		return errFrame(dst, wire.CodeStaleEpoch,
 			fmt.Sprintf("vectors solved against epoch %d, server at epoch %d: re-fetch the model and re-solve", reg.Epoch, cur))
 	}
 	if len(reg.Out) != want || len(reg.In) != want {
-		return errFrame(wire.CodeBadRequest,
+		return errFrame(dst, wire.CodeBadRequest,
 			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
 	}
 	// The directory shard-locks internally; expiry of stale entries is
 	// amortized into its per-shard sweeps, so registration is O(1).
 	s.dir.PutEpoch(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In}, reg.Epoch)
-	return wire.TypeAck, nil
+	return wire.TypeAck, dst
 }
 
-func (s *Server) handleGetVectors(payload []byte) (wire.MsgType, []byte) {
-	req, err := wire.DecodeGetVectors(payload)
+func (s *Server) handleGetVectors(payload, dst []byte) (wire.MsgType, []byte) {
+	addr, err := wire.GetVectorsView(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
-	resp := &wire.Vectors{}
-	if v, ok := s.engine.Load().Lookup(req.Addr); ok {
+	var resp wire.Vectors
+	if v, ok := s.engine.Load().LookupBytes(addr); ok {
 		resp.Found = true
 		resp.Out = v.Out
 		resp.In = v.In
@@ -534,32 +567,32 @@ func (s *Server) handleGetVectors(payload []byte) (wire.MsgType, []byte) {
 	// which errs toward client recovery. The reverse order could stamp
 	// new-generation data with the old epoch and suppress it.
 	resp.Epoch = s.refit.Epoch()
-	return wire.TypeVectors, resp.Encode(nil)
+	return wire.TypeVectors, resp.Encode(dst)
 }
 
-func (s *Server) handleQueryDist(payload []byte) (wire.MsgType, []byte) {
-	req, err := wire.DecodeQueryDist(payload)
+// handleQueryDist is the point-query hot path: address views straight
+// off the request payload, a byte-keyed directory lookup, one fused dot
+// product, and a response encoded into the connection's scratch — no
+// heap allocation anywhere on the found path.
+func (s *Server) handleQueryDist(payload, dst []byte) (wire.MsgType, []byte) {
+	from, to, err := wire.QueryDistView(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
-	eng := s.engine.Load()
-	a, okA := eng.Lookup(req.From)
-	b, okB := eng.Lookup(req.To)
-	if !okA || !okB {
-		return wire.TypeDistance, (&wire.Distance{Found: false}).Encode(nil)
-	}
-	return wire.TypeDistance, (&wire.Distance{Found: true, Millis: core.Estimate(a, b)}).Encode(nil)
+	var resp wire.Distance
+	resp.Millis, resp.Found = s.engine.Load().EstimatePair(from, to)
+	return wire.TypeDistance, resp.Encode(dst)
 }
 
 // handleQueryBatch answers one-source → many-targets in a single round
 // trip: all estimates fall out of one matrix-vector product.
-func (s *Server) handleQueryBatch(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) handleQueryBatch(payload, dst []byte) (wire.MsgType, []byte) {
 	req, err := wire.DecodeQueryBatch(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
 	if len(req.Targets) > s.cfg.MaxBatch {
-		return errFrame(wire.CodeBadRequest,
+		return errFrame(dst, wire.CodeBadRequest,
 			fmt.Sprintf("batch names %d targets, limit %d", len(req.Targets), s.cfg.MaxBatch))
 	}
 	eng := s.engine.Load()
@@ -569,25 +602,25 @@ func (s *Server) handleQueryBatch(payload []byte) (wire.MsgType, []byte) {
 	src, ok := eng.Lookup(req.From)
 	if !ok {
 		resp.Epoch = s.refit.Epoch()
-		return wire.TypeDistances, resp.Encode(nil)
+		return wire.TypeDistances, resp.Encode(dst)
 	}
 	resp.SrcFound = true
 	for i, est := range eng.EstimateBatch(src, req.Targets) {
 		resp.Results[i] = wire.DistResult{Found: est.Found, Millis: est.Millis}
 	}
 	resp.Epoch = s.refit.Epoch()
-	return wire.TypeDistances, resp.Encode(nil)
+	return wire.TypeDistances, resp.Encode(dst)
 }
 
 // handleQueryKNN answers "the K registered hosts closest to From" with a
 // partial-heap selection over the sharded directory.
-func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) handleQueryKNN(payload, dst []byte) (wire.MsgType, []byte) {
 	req, err := wire.DecodeQueryKNN(payload)
 	if err != nil {
-		return errFrame(wire.CodeBadRequest, err.Error())
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
 	}
 	if req.K == 0 {
-		return errFrame(wire.CodeBadRequest, "k must be positive")
+		return errFrame(dst, wire.CodeBadRequest, "k must be positive")
 	}
 	k := int(req.K)
 	if k > s.cfg.MaxKNN {
@@ -598,7 +631,7 @@ func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
 	src, ok := eng.Lookup(req.From)
 	if !ok {
 		resp.Epoch = s.refit.Epoch()
-		return wire.TypeNeighbors, resp.Encode(nil)
+		return wire.TypeNeighbors, resp.Encode(dst)
 	}
 	resp.SrcFound = true
 	neighbors := eng.KNearest(src, k, query.KNNOptions{Exclude: req.From})
@@ -608,7 +641,7 @@ func (s *Server) handleQueryKNN(payload []byte) (wire.MsgType, []byte) {
 	}
 	// Post-work stamp: see handleGetVectors for the ordering rationale.
 	resp.Epoch = s.refit.Epoch()
-	return wire.TypeNeighbors, resp.Encode(nil)
+	return wire.TypeNeighbors, resp.Encode(dst)
 }
 
 // Model returns the current landmark model with read-your-writes
@@ -671,8 +704,9 @@ func (s *Server) NumHosts() int { return s.dir.Len() }
 // QueryBatch/QueryKNN wire messages.
 func (s *Server) Engine() *query.Engine { return s.engine.Load() }
 
-func errFrame(code uint16, text string) (wire.MsgType, []byte) {
-	return wire.TypeError, (&wire.Error{Code: code, Text: text}).Encode(nil)
+func errFrame(dst []byte, code uint16, text string) (wire.MsgType, []byte) {
+	e := wire.Error{Code: code, Text: text}
+	return wire.TypeError, e.Encode(dst)
 }
 
 func (s *Server) logf(format string, args ...interface{}) {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -89,10 +90,27 @@ type Pool struct {
 	hosts  map[string]*hostPool
 	closed bool
 
+	// arena recycles the frame/decode scratch buffers Call hands to each
+	// checked-out connection. Buffers live here — not on parked idle
+	// connections — so an idle pool never pins payload-sized memory.
+	arena wire.Arena
+
 	dials    atomic.Int64
 	reuses   atomic.Int64
 	retries  atomic.Int64
 	discards atomic.Int64
+}
+
+// pooledConn is one pool-owned connection: the raw conn, a small
+// fixed-size buffered reader that lives with it (so header+payload
+// replies cost one read syscall), and a decode/frame scratch buffer
+// attached only while the connection is checked out by Call. put and
+// discard release the scratch back to the pool arena, so a burst of
+// large replies cannot stay pinned by connections parked idle.
+type pooledConn struct {
+	net.Conn
+	br      *bufio.Reader
+	scratch []byte
 }
 
 // hostPool tracks one address's connections under the pool mutex: the
@@ -109,7 +127,7 @@ type hostPool struct {
 }
 
 type idleConn struct {
-	c     net.Conn
+	c     *pooledConn
 	since time.Time
 }
 
@@ -127,6 +145,32 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 // and goes back to the pool). If the context carries no deadline the
 // pool's CallTimeout applies.
 func (p *Pool) Call(ctx context.Context, addr string, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	rt, rp, _, err := p.call(ctx, addr, t, payload, nil, true)
+	return rt, rp, err
+}
+
+// CallInto is Call with caller-managed memory, mirroring RoundtripInto:
+// the exchange runs through buf and the reply payload aliases the
+// returned scratch, valid only until the scratch is reused. The request
+// payload must not alias buf. A steady caller that threads the scratch
+// from one call to the next performs zero heap allocations per exchange.
+func (p *Pool) CallInto(ctx context.Context, addr string, t wire.MsgType, payload, buf []byte) (wire.MsgType, []byte, []byte, error) {
+	return p.call(ctx, addr, t, payload, buf, false)
+}
+
+// call is the shared exchange loop. With copyOut set (Call) the scratch
+// buffer is the checked-out connection's arena-backed one and the reply
+// is copied into a fresh caller-owned slice before the connection — and
+// its scratch — go back to the pool; otherwise (CallInto) buf is the
+// caller's and the reply aliases it.
+// isWireError reports whether err is (or wraps) a wire.Error — an
+// application-level error frame from a healthy connection.
+func isWireError(err error) bool {
+	var werr *wire.Error
+	return errors.As(err, &werr)
+}
+
+func (p *Pool) call(ctx context.Context, addr string, t wire.MsgType, payload, buf []byte, copyOut bool) (wire.MsgType, []byte, []byte, error) {
 	if _, ok := ctx.Deadline(); !ok && p.cfg.CallTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
@@ -137,26 +181,46 @@ func (p *Pool) Call(ctx context.Context, addr string, t wire.MsgType, payload []
 		// one idle connection turns out dead its cohort (same server
 		// restart or idle eviction) almost certainly is too, so the
 		// replay flushes the idle list and dials fresh.
-		conn, reused, err := p.get(ctx, addr, attempt > 0)
+		pc, reused, err := p.get(ctx, addr, attempt > 0)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, buf, err
 		}
-		rt, rp, err := Roundtrip(ctx, conn, t, payload)
-		var werr *wire.Error
-		if err == nil || errors.As(err, &werr) {
+		scratch := buf
+		if copyOut {
+			if pc.scratch == nil {
+				pc.scratch = p.arena.Get(wire.HeaderSize + len(payload))
+			}
+			scratch = pc.scratch
+		}
+		var rt wire.MsgType
+		var rp []byte
+		rt, rp, scratch, err = roundtripInto(ctx, pc, pc.br, t, payload, scratch)
+		if copyOut {
+			pc.scratch = scratch
+		} else {
+			buf = scratch
+		}
+		// The wire-error test lives in a helper so its errors.As target
+		// only materializes on the error path: taking the target's
+		// address here would heap-allocate it on every successful call.
+		if err == nil || isWireError(err) {
 			// The exchange completed (possibly with an application-level
-			// error frame); the connection stays good.
-			p.put(addr, conn)
-			return rt, rp, err
+			// error frame); the connection stays good. The copy-out must
+			// happen before put releases the scratch for reuse.
+			if copyOut && len(rp) > 0 {
+				rp = append([]byte(nil), rp...)
+			}
+			p.put(addr, pc)
+			return rt, rp, buf, err
 		}
-		p.discard(addr, conn)
+		p.discard(addr, pc)
 		if reused && attempt == 0 && ctx.Err() == nil {
 			// The pooled connection most likely died while idle; one
 			// replay on a fresh connection.
 			p.retries.Add(1)
 			continue
 		}
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 }
 
@@ -191,7 +255,19 @@ func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("ides_pool_idle_conns",
 		"Connections currently idle in the pool.",
 		func() float64 { return float64(p.idleCount()) })
+	reg.CounterFunc("ides_pool_arena_hits_total",
+		"Scratch-buffer checkouts served from the recycling arena.",
+		func() float64 { return float64(p.arena.Stats().Hits) })
+	reg.CounterFunc("ides_pool_arena_misses_total",
+		"Scratch-buffer checkouts that had to allocate.",
+		func() float64 { return float64(p.arena.Stats().Misses) })
+	reg.CounterFunc("ides_pool_arena_drops_total",
+		"Scratch buffers dropped at return for exceeding the retention cap.",
+		func() float64 { return float64(p.arena.Stats().Drops) })
 }
+
+// ArenaStats reports the pool's scratch-buffer arena traffic.
+func (p *Pool) ArenaStats() wire.ArenaStats { return p.arena.Stats() }
 
 // Close closes every idle connection and marks the pool closed: future
 // Calls fail, waiters at the per-host cap give up, and checked-out
@@ -219,23 +295,13 @@ func (p *Pool) Close() error {
 // connection to go idle or close first. mustDial skips — and flushes —
 // the idle list: a retry after a dead pooled connection must not gamble
 // on the rest of the same cohort.
-func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn net.Conn, reused bool, err error) {
+func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *pooledConn, reused bool, err error) {
 	p.mu.Lock()
 	hp := p.hosts[addr]
 	if hp == nil {
 		hp = &hostPool{cond: sync.NewCond(&p.mu)}
 		p.hosts[addr] = hp
 	}
-	// Waiters at the cap park on the cond; a context cancellation must
-	// wake them so they can observe ctx.Err() and give up. Registered
-	// lazily before the first Wait — the common uncontended call never
-	// pays for it.
-	var stopWake func() bool
-	defer func() {
-		if stopWake != nil {
-			stopWake()
-		}
-	}()
 	for {
 		if p.closed {
 			p.mu.Unlock()
@@ -268,14 +334,7 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn net.Co
 			p.mu.Unlock()
 			return nil, false, fmt.Errorf("transport: waiting for a connection to %s: %w", addr, ctx.Err())
 		}
-		if stopWake == nil {
-			stopWake = context.AfterFunc(ctx, func() {
-				p.mu.Lock()
-				hp.cond.Broadcast()
-				p.mu.Unlock()
-			})
-		}
-		hp.cond.Wait()
+		p.waitSlot(ctx, hp)
 	}
 	p.mu.Unlock()
 
@@ -285,12 +344,33 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn net.Co
 		return nil, false, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}
 	p.dials.Add(1)
-	return c, false, nil
+	return &pooledConn{Conn: c, br: bufio.NewReaderSize(c, 4096)}, false, nil
+}
+
+// waitSlot parks a caller at the MaxPerHost cap until a connection goes
+// idle or closes. A context waker broadcasts the cond on cancellation so
+// the caller can wake and observe ctx.Err(). Runs — and returns — with
+// p.mu held; the Wait releases it while parked. Kept out of get so the
+// uncontended path never materializes the waker closure: taking a
+// variable's address for context.AfterFunc forces a heap allocation,
+// and get is on the zero-alloc query path.
+func (p *Pool) waitSlot(ctx context.Context, hp *hostPool) {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		hp.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	hp.cond.Wait()
 }
 
 // put returns a healthy connection to addr's idle list, or closes it when
-// the pool is closed or the idle list is full.
-func (p *Pool) put(addr string, conn net.Conn) {
+// the pool is closed or the idle list is full. Either way the
+// connection's scratch buffer goes back to the arena first: parked idle
+// connections hold only the conn and its fixed 4 KiB read buffer, never
+// payload-sized decode scratch.
+func (p *Pool) put(addr string, conn *pooledConn) {
+	p.releaseScratch(conn)
 	p.mu.Lock()
 	hp := p.hosts[addr]
 	if hp == nil {
@@ -313,8 +393,17 @@ func (p *Pool) put(addr string, conn net.Conn) {
 	p.mu.Unlock()
 }
 
+// releaseScratch detaches conn's scratch buffer, if any, and recycles it.
+func (p *Pool) releaseScratch(conn *pooledConn) {
+	if conn.scratch != nil {
+		p.arena.Put(conn.scratch)
+		conn.scratch = nil
+	}
+}
+
 // discard closes a broken connection and releases its slot.
-func (p *Pool) discard(addr string, conn net.Conn) {
+func (p *Pool) discard(addr string, conn *pooledConn) {
+	p.releaseScratch(conn)
 	conn.Close()
 	p.mu.Lock()
 	hp := p.hosts[addr]
@@ -393,6 +482,21 @@ func (p *Pool) idleCount() int {
 	n := 0
 	for _, hp := range p.hosts {
 		n += len(hp.idle)
+	}
+	return n
+}
+
+// idleScratchBytes sums the scratch capacity pinned by parked idle
+// connections (test hook). put releases scratch before parking, so this
+// must stay zero — the regression guard for idle-list buffer retention.
+func (p *Pool) idleScratchBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, hp := range p.hosts {
+		for _, ic := range hp.idle {
+			n += cap(ic.c.scratch)
+		}
 	}
 	return n
 }

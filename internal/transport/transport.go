@@ -6,6 +6,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -44,25 +45,50 @@ func Call(ctx context.Context, d Dialer, addr string, t wire.MsgType, payload []
 // has one, cleared otherwise — so a reused connection never inherits a
 // stale deadline from an earlier exchange.
 func Roundtrip(ctx context.Context, conn net.Conn, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	rt, rp, _, err := RoundtripInto(ctx, conn, t, payload, nil)
+	return rt, rp, err
+}
+
+// RoundtripInto is Roundtrip with caller-managed memory: the request
+// frame is assembled into buf and sent with a single Write (header and
+// payload in one syscall — half the packets of the old two-write path on
+// a loopback link), then the reply is read back into the same buffer.
+// It returns the reply type, the reply payload, and the scratch buffer
+// for the next call. Ownership hand-off is explicit: the payload aliases
+// the returned scratch and is valid only until the scratch is passed to
+// another call, and the request payload must not alias buf. A caller
+// that reuses the scratch performs the whole exchange with zero heap
+// allocations.
+func RoundtripInto(ctx context.Context, conn net.Conn, t wire.MsgType, payload, buf []byte) (wire.MsgType, []byte, []byte, error) {
+	return roundtripInto(ctx, conn, conn, t, payload, buf)
+}
+
+// roundtripInto lets the pool substitute a buffered reader for the raw
+// connection on the receive side while deadlines stay on conn.
+func roundtripInto(ctx context.Context, conn net.Conn, r io.Reader, t wire.MsgType, payload, buf []byte) (wire.MsgType, []byte, []byte, error) {
+	if len(payload) > wire.MaxPayload {
+		return 0, nil, buf, fmt.Errorf("transport: sending %v: %w", t, wire.ErrFrameTooBig)
+	}
 	dl, _ := ctx.Deadline() // zero time clears any previous deadline
 	if err := conn.SetDeadline(dl); err != nil {
-		return 0, nil, fmt.Errorf("transport: setting deadline: %w", err)
+		return 0, nil, buf, fmt.Errorf("transport: setting deadline: %w", err)
 	}
-	if err := wire.WriteFrame(conn, t, payload); err != nil {
-		return 0, nil, fmt.Errorf("transport: sending %v: %w", t, err)
+	buf = wire.AppendFrame(buf[:0], t, payload)
+	if _, err := conn.Write(buf); err != nil {
+		return 0, nil, buf[:0], fmt.Errorf("transport: sending %v: %w", t, err)
 	}
-	rt, rp, err := wire.ReadFrame(conn)
+	rt, rp, buf, err := wire.ReadFrameInto(r, buf[:0])
 	if err != nil {
-		return 0, nil, fmt.Errorf("transport: reading reply to %v: %w", t, err)
+		return 0, nil, buf, fmt.Errorf("transport: reading reply to %v: %w", t, err)
 	}
 	if rt == wire.TypeError {
 		werr, derr := wire.DecodeError(rp)
 		if derr != nil {
-			return 0, nil, fmt.Errorf("transport: undecodable remote error: %w", derr)
+			return 0, nil, buf, fmt.Errorf("transport: undecodable remote error: %w", derr)
 		}
-		return rt, nil, werr
+		return rt, nil, buf, werr
 	}
-	return rt, rp, nil
+	return rt, rp, buf, nil
 }
 
 // RequestConn is the server-side companion to the keep-alive split of

@@ -1,0 +1,9 @@
+//go:build !race
+
+package ides_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation gate skips under -race: the detector instruments
+// allocation accounting and sync.Pool drops puts at random, so
+// AllocsPerRun is not meaningful there.
+const raceEnabled = false
