@@ -10,6 +10,11 @@
 //	# mirror selection among candidates:
 //	ides-client -self me.example.net -server ides.example.net:4100 \
 //	    -nearest mirror1:80,mirror2:80,mirror3:80
+//
+//	# replicated serving tier: spread reads over every endpoint and
+//	# survive a leader kill without an error:
+//	ides-client -self me.example.net \
+//	    -servers ides0.example.net:4100,ides1.example.net:4100 -knn 5
 package main
 
 import (
@@ -19,18 +24,17 @@ import (
 	"log"
 	"net"
 	"os"
-	"strings"
 	"time"
 
+	"github.com/ides-go/ides/internal/cli"
 	"github.com/ides-go/ides/internal/client"
 	"github.com/ides-go/ides/internal/landmark"
-	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
 )
 
 func main() {
 	self := flag.String("self", "", "this host's address for the directory (required)")
-	serverAddr := flag.String("server", "", "information server address (required)")
+	serverFlags := cli.RegisterServersFlag(flag.CommandLine)
 	k := flag.Int("k", 0, "number of landmarks to measure (0 = all)")
 	samples := flag.Int("samples", 4, "echo probes per landmark")
 	nnls := flag.Bool("nnls", false, "solve vectors with nonnegativity constraints")
@@ -41,41 +45,29 @@ func main() {
 	knn := flag.Int("knn", 0, "print the k registered hosts estimated closest to this one (one round trip)")
 	listen := flag.String("listen", "", "also answer echo probes on this address, so other hosts can use this one as a §5.2 reference point (keeps running)")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
-	poolMaxIdle := flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
-	poolMaxPerHost := flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
-	poolIdleTimeout := flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this (keep below the server's -idle-timeout)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics (connection-pool counters) on this address at /metrics (empty = disabled; useful with -listen)")
+	poolFlags := cli.RegisterPoolFlags(flag.CommandLine, 4, 16, 60*time.Second, "keep below the server's -idle-timeout")
+	metricsFlags := cli.RegisterMetricsFlags(flag.CommandLine, "connection-pool and failover counters; useful with -listen")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	if *self == "" || *serverAddr == "" {
-		logger.Fatal("ides-client: -self and -server are required")
+	if *self == "" {
+		logger.Fatal("ides-client: -self is required")
+	}
+	serverAddr, servers, err := serverFlags.Resolve()
+	if err != nil {
+		logger.Fatalf("ides-client: %v", err)
 	}
 
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
-	pool, err := transport.NewPool(transport.PoolConfig{
-		Dialer:         dialer,
-		MaxIdlePerHost: *poolMaxIdle,
-		MaxPerHost:     *poolMaxPerHost,
-		IdleTimeout:    *poolIdleTimeout,
-	})
+	pool, err := poolFlags.Build(dialer)
 	if err != nil {
 		logger.Fatalf("ides-client: %v", err)
 	}
 	defer pool.Close()
-	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
-		pool.RegisterMetrics(reg)
-		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
-		if err != nil {
-			logger.Fatalf("ides-client: metrics: %v", err)
-		}
-		defer mln.Close()
-		logger.Printf("ides-client: metrics on http://%s/metrics", mln.Addr())
-	}
 	c, err := client.New(client.Config{
 		Self:    *self,
-		Server:  *serverAddr,
+		Server:  serverAddr,
+		Servers: servers,
 		Dialer:  dialer,
 		Pinger:  &transport.TCPPinger{Dialer: dialer},
 		Samples: *samples,
@@ -87,6 +79,17 @@ func main() {
 	if err != nil {
 		logger.Fatalf("ides-client: %v", err)
 	}
+	if reg := metricsFlags.Registry(); reg != nil {
+		pool.RegisterMetrics(reg)
+		if cp := c.Cluster(); cp != nil {
+			cp.RegisterMetrics(reg)
+		}
+	}
+	stopMetrics, err := metricsFlags.Serve(logger, "ides-client")
+	if err != nil {
+		logger.Fatalf("ides-client: %v", err)
+	}
+	defer stopMetrics() //nolint:errcheck
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -115,13 +118,7 @@ func main() {
 		fmt.Printf("%s -> %s: %.2f ms (estimated)\n", *from, *self, d)
 	}
 	if *nearest != "" {
-		var candidates []string
-		for _, part := range strings.Split(*nearest, ",") {
-			if p := strings.TrimSpace(part); p != "" {
-				candidates = append(candidates, p)
-			}
-		}
-		best, dist, err := c.Nearest(ctx, candidates)
+		best, dist, err := c.Nearest(ctx, cli.List(*nearest))
 		if err != nil {
 			logger.Fatalf("ides-client: %v", err)
 		}
@@ -142,8 +139,8 @@ func main() {
 		// distance to this one and use it as a reference point (§5.2).
 		echo, err := landmark.New(landmark.Config{
 			Self:   *self,
-			Peers:  []string{*serverAddr}, // unused by ServeEcho
-			Server: *serverAddr,
+			Peers:  []string{serverFlags.Primary()}, // unused by ServeEcho
+			Server: serverFlags.Primary(),
 			Dialer: dialer,
 			Pinger: &transport.TCPPinger{Dialer: dialer},
 			Pool:   pool,
@@ -152,7 +149,7 @@ func main() {
 		if err != nil {
 			logger.Fatalf("ides-client: %v", err)
 		}
-		ln, err := net.Listen("tcp", *listen)
+		ln, err := cli.Listen(*listen)
 		if err != nil {
 			logger.Fatalf("ides-client: %v", err)
 		}

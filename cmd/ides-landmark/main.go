@@ -16,13 +16,10 @@ import (
 	"log"
 	"net"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 	"time"
 
+	"github.com/ides-go/ides/internal/cli"
 	"github.com/ides-go/ides/internal/landmark"
-	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
 )
 
@@ -30,46 +27,37 @@ func main() {
 	self := flag.String("self", "", "this landmark's address as the server knows it (required)")
 	listen := flag.String("listen", ":4101", "echo service listen address")
 	peers := flag.String("peers", "", "comma-separated peer landmark addresses (required)")
-	serverAddr := flag.String("server", "", "information server address (required)")
+	serverAddr := flag.String("server", "", "information server address (required; with a replicated tier, any endpoint — followers forward reports to the leader)")
 	interval := flag.Duration("interval", time.Minute, "measurement round interval")
 	samples := flag.Int("samples", 4, "echo probes per peer per round (minimum is reported)")
 	once := flag.Bool("once", false, "measure and report a single round, then exit; no echo service is started, so peers must be running persistent landmarks for the probes to succeed (e.g. a cron-driven extra report cadence on top of a persistent fleet)")
-	poolMaxIdle := flag.Int("pool-max-idle", 2, "idle pooled report connections kept to the server")
-	poolMaxPerHost := flag.Int("pool-max-per-host", 4, "total pooled connections to the server (negative = unlimited)")
-	poolIdleTimeout := flag.Duration("pool-idle-timeout", 2*time.Minute, "close pooled connections idle longer than this (keep below the server's -idle-timeout; reports arrive every -interval, so a pool idle budget above it keeps one warm connection across rounds)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics (connection-pool counters) on this address at /metrics (empty = disabled)")
+	poolFlags := cli.RegisterPoolFlags(flag.CommandLine, 2, 4, 2*time.Minute, "keep below the server's -idle-timeout; reports arrive every -interval, so a pool idle budget above it keeps one warm connection across rounds")
+	metricsFlags := cli.RegisterMetricsFlags(flag.CommandLine, "connection-pool counters")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	if *self == "" || *serverAddr == "" {
 		logger.Fatal("ides-landmark: -self and -server are required")
 	}
-	peerList := splitNonEmpty(*peers)
+	peerList := cli.List(*peers)
 	if len(peerList) == 0 {
 		logger.Fatal("ides-landmark: -peers must list at least one peer")
 	}
 
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
-	pool, err := transport.NewPool(transport.PoolConfig{
-		Dialer:         dialer,
-		MaxIdlePerHost: *poolMaxIdle,
-		MaxPerHost:     *poolMaxPerHost,
-		IdleTimeout:    *poolIdleTimeout,
-	})
+	pool, err := poolFlags.Build(dialer)
 	if err != nil {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 	defer pool.Close()
-	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+	if reg := metricsFlags.Registry(); reg != nil {
 		pool.RegisterMetrics(reg)
-		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
-		if err != nil {
-			logger.Fatalf("ides-landmark: metrics: %v", err)
-		}
-		defer mln.Close()
-		logger.Printf("ides-landmark: metrics on http://%s/metrics", mln.Addr())
 	}
+	stopMetrics, err := metricsFlags.Serve(logger, "ides-landmark")
+	if err != nil {
+		logger.Fatalf("ides-landmark: %v", err)
+	}
+	defer stopMetrics() //nolint:errcheck
 	agent, err := landmark.New(landmark.Config{
 		Self:     *self,
 		Peers:    peerList,
@@ -85,7 +73,7 @@ func main() {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	if *once {
@@ -96,7 +84,7 @@ func main() {
 		return
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := cli.Listen(*listen)
 	if err != nil {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
@@ -110,14 +98,4 @@ func main() {
 		logger.Fatalf("ides-landmark: %v", err)
 	}
 	logger.Print("ides-landmark: shut down")
-}
-
-func splitNonEmpty(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

@@ -8,6 +8,9 @@
 //	    -landmarks lm0.example.net:4101,lm1.example.net:4101,... \
 //	    -dim 10 -alg svd -refit-interval 30s -refit-threshold 8
 //
+//	# read-only replica of a running leader:
+//	ides-server -listen :4200 -role follower -leader ides.example.net:4100
+//
 // The landmark model is refit in the background as measurement reports
 // churn: -refit-interval bounds how often the factorization runs and
 // -refit-threshold how many accepted measurements must accumulate first.
@@ -20,6 +23,14 @@
 // while full corrective refits (and the epoch bumps they carry) happen
 // only when accumulated drift crosses -drift-epoch-threshold. Tune the
 // updates with -sgd-rate and -sgd-reg.
+//
+// With -role follower the process runs no model pipeline at all: it
+// subscribes to the leader's replication stream, mirrors every model
+// snapshot and directory change, answers the full read API locally, and
+// forwards writes (reports, registrations) to the leader. Followers
+// keep serving their last model through a leader outage and resync
+// automatically when the leader returns; point clients at the whole
+// tier with ides-client -servers.
 package main
 
 import (
@@ -27,22 +38,17 @@ import (
 	"errors"
 	"flag"
 	"log"
-	"net"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 	"time"
 
-	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/cli"
 	"github.com/ides-go/ides/internal/server"
 	"github.com/ides-go/ides/internal/solve"
-	"github.com/ides-go/ides/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":4100", "address to listen on")
-	landmarks := flag.String("landmarks", "", "comma-separated landmark addresses (required)")
+	landmarks := flag.String("landmarks", "", "comma-separated landmark addresses (required for the leader; ignored by followers, which learn them from the replication stream)")
 	dim := flag.Int("dim", 10, "model dimensionality d")
 	alg := flag.String("alg", "svd", "factorization algorithm: svd or nmf")
 	nmfIters := flag.Int("nmf-iters", 200, "NMF iteration budget")
@@ -57,62 +63,54 @@ func main() {
 	sgdReg := flag.Float64("sgd-reg", 0, "SGD solver L2 regularization per update (0 = default 1e-4)")
 	driftThreshold := flag.Float64("drift-epoch-threshold", 0, "solver drift at which a corrective refit bumps the epoch (0 = default 0.15, negative disables)")
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = disabled)")
-	historyDir := flag.String("history-dir", "", "record accepted measurements and model lifecycle events to this directory for later replay (empty = disabled)")
-	historySegBytes := flag.Int64("history-segment-bytes", 0, "history segment size before rotation (0 = default 8 MiB)")
-	historyMaxSegs := flag.Int("history-max-segments", 0, "history segments kept before the oldest is pruned (0 = keep all)")
+	roleFlags := cli.RegisterRoleFlags(flag.CommandLine)
+	metricsFlags := cli.RegisterMetricsFlags(flag.CommandLine, "")
+	historyFlags := cli.RegisterHistoryFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	lms := splitNonEmpty(*landmarks)
-	if len(lms) < 2 {
+	role, leaderAddr, followerID, err := roleFlags.Resolve(*listen)
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
+	}
+	lms := cli.List(*landmarks)
+	if role == server.RoleLeader && len(lms) < 2 {
 		logger.Fatal("ides-server: -landmarks must list at least two addresses")
 	}
 
-	var algorithm core.Algorithm
-	switch strings.ToLower(*alg) {
-	case "svd":
-		algorithm = core.SVD
-	case "nmf":
-		algorithm = core.NMF
-	default:
-		logger.Fatalf("ides-server: unknown algorithm %q (want svd or nmf)", *alg)
+	algorithm, err := cli.ParseAlgorithm(*alg)
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
 	}
-
 	solver, err := solve.ParseKind(*solverName)
 	if err != nil {
 		logger.Fatalf("ides-server: %v", err)
 	}
 
 	base := *epochBase
-	if base == 0 {
+	if base == 0 && role == server.RoleLeader {
 		// Epochs are in-memory state: restarting from 0 would reissue
 		// epochs the previous incarnation already published, and clients
 		// that solved against the old model would not notice the swap.
 		// A clock-derived base keeps every incarnation's epochs distinct
 		// down to microsecond-scale restart gaps (crash loops included),
 		// with ~1M refits of headroom per second between incarnations.
+		// Followers take their epochs from the leader's stream instead.
 		base = uint64(time.Now().UnixNano()) >> 10
 	}
-	var reg *telemetry.Registry
-	if *metricsAddr != "" {
-		reg = telemetry.NewRegistry()
+	hist, err := historyFlags.Open()
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
 	}
-	var hist *telemetry.Store
-	if *historyDir != "" {
-		hist, err = telemetry.OpenStore(telemetry.StoreConfig{
-			Dir:          *historyDir,
-			SegmentBytes: *historySegBytes,
-			MaxSegments:  *historyMaxSegs,
-		})
-		if err != nil {
-			logger.Fatalf("ides-server: %v", err)
-		}
+	if hist != nil {
 		defer hist.Close()
-		logger.Printf("ides-server: recording history to %s", *historyDir)
+		logger.Printf("ides-server: recording history to %s", *historyFlags.Dir)
 	}
 
 	srv, err := server.New(server.Config{
+		Role:                role,
+		LeaderAddr:          leaderAddr,
+		FollowerID:          followerID,
 		Landmarks:           lms,
 		Dim:                 *dim,
 		Algorithm:           algorithm,
@@ -128,7 +126,7 @@ func main() {
 		SGDRate:             *sgdRate,
 		SGDReg:              *sgdReg,
 		DriftEpochThreshold: *driftThreshold,
-		Metrics:             reg,
+		Metrics:             metricsFlags.Registry(),
 		History:             hist,
 		Logger:              logger,
 	})
@@ -137,36 +135,29 @@ func main() {
 	}
 	defer srv.Close()
 
-	if reg != nil {
-		mln, err := telemetry.StartServer(*metricsAddr, reg, logger)
-		if err != nil {
-			logger.Fatalf("ides-server: metrics: %v", err)
-		}
-		defer mln.Close()
-		logger.Printf("ides-server: metrics on http://%s/metrics", mln.Addr())
-	}
-
-	ln, err := net.Listen("tcp", *listen)
+	stopMetrics, err := metricsFlags.Serve(logger, "ides-server")
 	if err != nil {
 		logger.Fatalf("ides-server: %v", err)
 	}
-	logger.Printf("ides-server: listening on %s with %d landmarks, d=%d, %s",
-		ln.Addr(), len(lms), *dim, algorithm)
+	defer stopMetrics() //nolint:errcheck
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ln, err := cli.Listen(*listen)
+	if err != nil {
+		logger.Fatalf("ides-server: %v", err)
+	}
+	switch role {
+	case server.RoleFollower:
+		logger.Printf("ides-server: follower %s listening on %s, replicating from %s",
+			followerID, ln.Addr(), leaderAddr)
+	default:
+		logger.Printf("ides-server: leader listening on %s with %d landmarks, d=%d, %s",
+			ln.Addr(), len(lms), *dim, algorithm)
+	}
+
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Fatalf("ides-server: %v", err)
 	}
 	logger.Print("ides-server: shut down")
-}
-
-func splitNonEmpty(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

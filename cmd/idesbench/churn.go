@@ -129,9 +129,9 @@ func runChurn(scale experiments.Scale, seed int64) error {
 	// message cadence the pool exists for.
 	pool, err := transport.NewPool(transport.PoolConfig{
 		Dialer:         dialer,
-		MaxIdlePerHost: *poolMaxIdle,
-		MaxPerHost:     *poolMaxPerHost,
-		IdleTimeout:    *poolIdleTimeout,
+		MaxIdlePerHost: *poolFlags.MaxIdle,
+		MaxPerHost:     *poolFlags.MaxPerHost,
+		IdleTimeout:    *poolFlags.IdleTimeout,
 	})
 	if err != nil {
 		return err

@@ -8,12 +8,15 @@
 //	idesbench -exp table1 -seed 7
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
-// fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, all.
-// The churn, pool, knn, solver and scenario workloads also write
-// BENCH_churn.json / BENCH_pool.json / BENCH_knn.json /
-// BENCH_solver.json / BENCH_scenarios.json for the perf trajectory; scenario additionally
-// fails (non-zero exit) when the end-to-end accuracy gates are
-// violated, so CI can use it as a regression gate.
+// fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario,
+// cluster, all. The churn, pool, knn, solver, scenario and cluster
+// workloads also write BENCH_churn.json / BENCH_pool.json /
+// BENCH_knn.json / BENCH_solver.json / BENCH_scenarios.json /
+// BENCH_cluster.json for the perf trajectory; scenario and cluster
+// additionally fail (non-zero exit) when their gates are violated —
+// end-to-end accuracy for scenario, zero read errors across a leader
+// kill plus follower staleness and p50 bounds for cluster — so CI can
+// use them as regression gates.
 package main
 
 import (
@@ -26,17 +29,16 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"github.com/ides-go/ides/internal/cli"
 	"github.com/ides-go/ides/internal/experiments"
 	"github.com/ides-go/ides/internal/stats"
 	"github.com/ides-go/ides/internal/telemetry"
 )
 
-// Pool tuning shared by the network workloads (churn, pool).
+// Pool tuning shared by the network workloads (churn, pool, cluster).
 var (
-	poolMaxIdle     = flag.Int("pool-max-idle", 4, "idle pooled connections kept per address")
-	poolMaxPerHost  = flag.Int("pool-max-per-host", 16, "total pooled connections per address (negative = unlimited)")
-	poolIdleTimeout = flag.Duration("pool-idle-timeout", 60*time.Second, "close pooled connections idle longer than this")
-	metricsAddr     = flag.String("metrics-addr", "", "serve the running workload's metrics on this address at /metrics (empty = disabled)")
+	poolFlags   = cli.RegisterPoolFlags(flag.CommandLine, 4, 16, 60*time.Second, "")
+	metricsAddr = flag.String("metrics-addr", "", "serve the running workload's metrics on this address at /metrics (empty = disabled)")
 )
 
 // benchReg holds the registry of the workload currently running;
@@ -82,7 +84,7 @@ func serveBenchMetrics() error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, cluster, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	quick := flag.Bool("quick", false, "force quick scale (overrides -full)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
@@ -110,8 +112,9 @@ func main() {
 		"knn":       runKNN,
 		"solver":    runSolver,
 		"scenario":  runScenario,
+		"cluster":   runCluster,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "knn", "solver", "scenario"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "knn", "solver", "scenario", "cluster"}
 
 	var ids []string
 	if *exp == "all" {

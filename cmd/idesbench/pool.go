@@ -84,9 +84,9 @@ func runPool(scale experiments.Scale, seed int64) error {
 	dialer := &net.Dialer{Timeout: 5 * time.Second}
 	pool, err := transport.NewPool(transport.PoolConfig{
 		Dialer:         dialer,
-		MaxIdlePerHost: *poolMaxIdle,
-		MaxPerHost:     *poolMaxPerHost,
-		IdleTimeout:    *poolIdleTimeout,
+		MaxIdlePerHost: *poolFlags.MaxIdle,
+		MaxPerHost:     *poolFlags.MaxPerHost,
+		IdleTimeout:    *poolFlags.IdleTimeout,
 	})
 	if err != nil {
 		return err

@@ -210,9 +210,9 @@ func runSolverSide(kind solve.Kind, p solverParams, seed int64) (solverSideResul
 
 	pool, err := transport.NewPool(transport.PoolConfig{
 		Dialer:         &net.Dialer{Timeout: 5 * time.Second},
-		MaxIdlePerHost: *poolMaxIdle,
-		MaxPerHost:     *poolMaxPerHost,
-		IdleTimeout:    *poolIdleTimeout,
+		MaxIdlePerHost: *poolFlags.MaxIdle,
+		MaxPerHost:     *poolFlags.MaxPerHost,
+		IdleTimeout:    *poolFlags.IdleTimeout,
 	})
 	if err != nil {
 		return res, err

@@ -53,6 +53,18 @@
 //     transparent retry when a pooled connection died idle — while the
 //     server runs idle waits and in-flight requests on separate timeout
 //     budgets (Config.IdleTimeout vs Config.RequestTimeout);
+//   - the horizontal serving tier (Config.Role): a leader owns the model
+//     pipeline while followers (RoleFollower, server flags -role follower
+//     -leader addr) mirror its published snapshots and host directory
+//     over a streaming replication protocol (Subscribe/SnapshotFrame/
+//     DirDelta), serve every read locally and forward writes to the
+//     leader; clients given the whole tier (Config.Servers, client flag
+//     -servers) route through a failover pool (NewClusterPool) that
+//     picks healthy endpoints least-inflight-first, replays idempotent
+//     calls on the next endpoint when one dies, and re-probes downed
+//     endpoints until they rejoin — `idesbench -exp cluster` gates the
+//     tier end to end (leader killed under query load, zero read
+//     errors, bounded follower staleness, BENCH_cluster.json);
 //   - the synthetic datasets and baselines used to reproduce every table
 //     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
 //     FitVivaldi);

@@ -164,6 +164,29 @@ type ServerConfig = server.Config
 // NewServer builds an information server.
 var NewServer = server.New
 
+// Role selects how a Server participates in a replicated serving tier
+// (ServerConfig.Role): the leader fits the model and streams it out,
+// followers mirror it and serve reads.
+type Role = server.Role
+
+const (
+	// RoleLeader runs the full write path: model pipeline, directory
+	// authority, and the replication stream followers subscribe to. The
+	// zero value — a single-server deployment is a leader with no
+	// followers.
+	RoleLeader = server.RoleLeader
+	// RoleFollower runs the read path only, mirroring the leader's
+	// snapshots and directory over a replication subscription and
+	// forwarding writes to it. Followers keep serving their last model
+	// through a leader outage.
+	RoleFollower = server.RoleFollower
+)
+
+// ReplicationStats reports a server's replication-tier state (leader:
+// subscribers and frames streamed; follower: applied position and
+// connection health).
+type ReplicationStats = server.ReplicationStats
+
 // Snapshot is one immutable model state served by the information
 // server: the fitted landmark model plus the epoch that identifies its
 // generation and the incremental revision count within it. The server
@@ -262,6 +285,20 @@ type PoolConfig = transport.PoolConfig
 
 // NewPool validates cfg and builds a connection Pool.
 var NewPool = transport.NewPool
+
+// ClusterPool routes calls across a replicated serving tier: each call
+// goes to the healthy endpoint with the fewest calls in flight, a dead
+// endpoint is failed over transparently, and downed endpoints return to
+// rotation via background health probes. Use ClientConfig.Servers to
+// get one built into a Client, or NewClusterPool for direct use.
+type ClusterPool = transport.ClusterPool
+
+// ClusterConfig parameterizes a ClusterPool.
+type ClusterConfig = transport.ClusterConfig
+
+// NewClusterPool validates cfg and builds a failover router over a
+// connection pool.
+var NewClusterPool = transport.NewClusterPool
 
 // ---- simulated network ----
 

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/ides-go/ides/internal/server"
+)
+
+func TestList(t *testing.T) {
+	got := List(" a, ,b,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	if List("") != nil {
+		t.Fatalf("List(\"\") = %v, want nil", List(""))
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for s, want := range map[string]server.Role{
+		"": server.RoleLeader, "leader": server.RoleLeader,
+		"Follower": server.RoleFollower,
+	} {
+		got, err := ParseRole(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseRole(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseRole("replica"); err == nil {
+		t.Fatal("ParseRole must reject unknown roles")
+	}
+}
+
+func TestRoleFlagsResolve(t *testing.T) {
+	parse := func(args ...string) *RoleFlags {
+		fs := flag.NewFlagSet("t", flag.PanicOnError)
+		rf := RegisterRoleFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	if _, _, _, err := parse("-role", "follower").Resolve(":4200"); err == nil {
+		t.Fatal("follower without -leader must be rejected")
+	}
+	if _, _, _, err := parse("-leader", "x:1").Resolve(":4100"); err == nil {
+		t.Fatal("-leader on a leader must be rejected")
+	}
+	role, leader, id, err := parse("-role", "follower", "-leader", "x:1").Resolve(":4200")
+	if err != nil || role != server.RoleFollower || leader != "x:1" || id != ":4200" {
+		t.Fatalf("Resolve = %v %q %q %v, want follower x:1 :4200", role, leader, id, err)
+	}
+}
+
+func TestServersFlagResolve(t *testing.T) {
+	parse := func(args ...string) *ServersFlag {
+		fs := flag.NewFlagSet("t", flag.PanicOnError)
+		sf := RegisterServersFlag(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return sf
+	}
+	if _, _, err := parse().Resolve(); err == nil {
+		t.Fatal("neither -server nor -servers must be rejected")
+	}
+	if _, _, err := parse("-server", "a", "-servers", "b,c").Resolve(); err == nil {
+		t.Fatal("both -server and -servers must be rejected")
+	}
+	single, list, err := parse("-server", "a:1").Resolve()
+	if err != nil || single != "a:1" || list != nil {
+		t.Fatalf("Resolve = %q %v %v, want a:1", single, list, err)
+	}
+	single, list, err = parse("-servers", "a:1, b:2").Resolve()
+	if err != nil || single != "" || len(list) != 2 {
+		t.Fatalf("Resolve = %q %v %v, want [a:1 b:2]", single, list, err)
+	}
+	if p := parse("-servers", "a:1,b:2").Primary(); p != "a:1" {
+		t.Fatalf("Primary = %q, want a:1", p)
+	}
+}

@@ -42,6 +42,18 @@ type Config struct {
 	Self string
 	// Server is the information server's address.
 	Server string
+	// Servers, when set, names every endpoint of a replicated serving
+	// tier (leader and followers). Calls are routed through a
+	// transport.ClusterPool: each goes to the healthy endpoint with the
+	// fewest calls in flight, a dead endpoint is failed over
+	// transparently, and a restarted one returns to rotation via
+	// background probes — the client survives a leader kill without
+	// surfacing a single error on the read path. Mutually exclusive with
+	// Server.
+	Servers []string
+	// ProbeInterval is how often a downed endpoint is re-probed when
+	// Servers is set. Default 500ms.
+	ProbeInterval time.Duration
 	// Dialer opens connections; Pinger measures RTTs.
 	Dialer transport.Dialer
 	Pinger transport.Pinger
@@ -69,8 +81,11 @@ type Client struct {
 	cfg Config
 
 	// pool carries all exchanges with the information server; ownPool
-	// records whether Close should release it.
+	// records whether Close should release it. With Config.Servers set,
+	// cluster wraps the pool with health-tracked failover routing and
+	// owns the private pool's lifetime instead.
 	pool    *transport.Pool
+	cluster *transport.ClusterPool
 	ownPool bool
 
 	mu      sync.RWMutex
@@ -98,8 +113,11 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("client: Self must be set")
 	}
-	if cfg.Server == "" {
-		return nil, fmt.Errorf("client: Server must be set")
+	if cfg.Server == "" && len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("client: Server or Servers must be set")
+	}
+	if cfg.Server != "" && len(cfg.Servers) > 0 {
+		return nil, fmt.Errorf("client: Server and Servers are mutually exclusive")
 	}
 	if cfg.Dialer == nil || cfg.Pinger == nil {
 		return nil, fmt.Errorf("client: Dialer and Pinger must be set")
@@ -111,6 +129,23 @@ func New(cfg Config) (*Client, error) {
 		cfg.Timeout = 15 * time.Second
 	}
 	c := &Client{cfg: cfg, pool: cfg.Pool, peerCache: make(map[string]core.Vectors)}
+	if len(cfg.Servers) > 0 {
+		cluster, err := transport.NewClusterPool(transport.ClusterConfig{
+			Servers: cfg.Servers,
+			Pool:    cfg.Pool,
+			PoolConfig: transport.PoolConfig{
+				Dialer:      cfg.Dialer,
+				CallTimeout: cfg.Timeout,
+			},
+			ProbeInterval: cfg.ProbeInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		c.cluster = cluster
+		c.pool = cluster.Pool()
+		return c, nil
+	}
 	if c.pool == nil {
 		pool, err := transport.NewPool(transport.PoolConfig{
 			Dialer:      cfg.Dialer,
@@ -127,17 +162,31 @@ func New(cfg Config) (*Client, error) {
 // Close releases the client's private connection pool (a no-op when the
 // pool was supplied through Config.Pool). The client is unusable after.
 func (c *Client) Close() error {
+	if c.cluster != nil {
+		return c.cluster.Close()
+	}
 	if c.ownPool {
 		return c.pool.Close()
 	}
 	return nil
 }
 
+// Cluster exposes the failover router when the client was configured
+// with Config.Servers (nil otherwise) — for health inspection and
+// metric registration.
+func (c *Client) Cluster() *transport.ClusterPool { return c.cluster }
+
 // call performs one pooled request/response exchange with the information
-// server under the configured per-exchange timeout.
+// server under the configured per-exchange timeout. With Config.Servers
+// set, the exchange is routed through the cluster with automatic
+// failover; otherwise it goes straight to Config.Server.
 func (c *Client) call(ctx context.Context, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
+	if c.cluster != nil {
+		rt, rp, _, err := c.cluster.Call(rctx, t, payload)
+		return rt, rp, err
+	}
 	return c.pool.Call(rctx, c.cfg.Server, t, payload)
 }
 

@@ -56,6 +56,12 @@ type Config struct {
 	// hosts, each on its own topology site. Defaults 10 and 16.
 	NumLandmarks int
 	NumHosts     int
+	// NumFollowers adds read-only replica servers (default 0). Each
+	// follower subscribes to the leader's replication stream on its own
+	// site, and every client is pointed at the whole serving tier
+	// (leader plus followers) through a failover ClusterPool — queries
+	// spread across replicas and survive a KillLeader.
+	NumFollowers int
 	// Dim is the model dimensionality (default 8).
 	Dim int
 	// Algorithm is core.SVD (default) or core.NMF.
@@ -135,6 +141,14 @@ type Cluster struct {
 	agents        []*landmark.Agent
 	clients       []*client.Client
 
+	// Replication tier: follower servers mirroring Srv, plus the state
+	// KillLeader/ReviveLeader need to restart the leader process on its
+	// simnet host.
+	followerNames []string
+	followers     []*server.Server
+	leaderCfg     server.Config
+	leaderEpoch   uint64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	lns    []net.Listener
@@ -146,7 +160,7 @@ type Cluster struct {
 // drive the steps yourself).
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
-	total := cfg.NumLandmarks + 1 + cfg.NumHosts
+	total := cfg.NumLandmarks + 1 + cfg.NumFollowers + cfg.NumHosts
 
 	tcfg := topology.Config{Seed: cfg.Seed, NumHosts: total, HostsPerStub: 1}
 	if cfg.Topology != nil {
@@ -159,19 +173,25 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 
-	// Landmarks first, then the server, then ordinary hosts — distinct
-	// sites each (one host per stub), as IDES deploys.
+	// Landmarks first, then the serving tier (leader, followers), then
+	// ordinary hosts — distinct sites each (one host per stub), as IDES
+	// deploys.
 	names := make([]string, total)
 	lmNames := make([]string, cfg.NumLandmarks)
+	fwNames := make([]string, cfg.NumFollowers)
 	hostNames := make([]string, cfg.NumHosts)
 	for i := 0; i < cfg.NumLandmarks; i++ {
 		lmNames[i] = fmt.Sprintf("lm-%d", i)
 		names[i] = lmNames[i]
 	}
 	names[cfg.NumLandmarks] = ServerName
+	for i := 0; i < cfg.NumFollowers; i++ {
+		fwNames[i] = fmt.Sprintf("ides-follower-%d", i)
+		names[cfg.NumLandmarks+1+i] = fwNames[i]
+	}
 	for i := 0; i < cfg.NumHosts; i++ {
 		hostNames[i] = fmt.Sprintf("host-%d", i)
-		names[cfg.NumLandmarks+1+i] = hostNames[i]
+		names[cfg.NumLandmarks+1+cfg.NumFollowers+i] = hostNames[i]
 	}
 
 	nw, err := simnet.New(topo, names, simnet.Config{
@@ -190,6 +210,7 @@ func New(cfg Config) (*Cluster, error) {
 		Net:           nw,
 		Topo:          topo,
 		landmarkNames: lmNames,
+		followerNames: fwNames,
 		hostNames:     hostNames,
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
@@ -206,7 +227,7 @@ func New(cfg Config) (*Cluster, error) {
 	// schedule from attempting (and hot-retrying) fits on a matrix that
 	// cannot be complete yet; Refresh bypasses it when a scenario wants
 	// a fit from partial data.
-	srv, err := server.New(server.Config{
+	c.leaderCfg = server.Config{
 		Landmarks:           lmNames,
 		Dim:                 cfg.Dim,
 		Algorithm:           cfg.Algorithm,
@@ -220,7 +241,8 @@ func New(cfg Config) (*Cluster, error) {
 		Metrics:             cfg.Metrics,
 		History:             cfg.History,
 		Logger:              cfg.Logger,
-	})
+	}
+	srv, err := server.New(c.leaderCfg)
 	if err != nil {
 		return fail(fmt.Errorf("harness: %w", err))
 	}
@@ -235,6 +257,36 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.lns = append(c.lns, srvLn)
 	go srv.Serve(c.ctx, srvLn) //nolint:errcheck
+
+	// Follower replicas: read-only servers subscribed to the leader's
+	// replication stream, each on its own site. They learn the landmark
+	// set and model from the stream, so only the read-path knobs apply.
+	for _, fname := range fwNames {
+		fh, err := nw.Host(fname)
+		if err != nil {
+			return fail(fmt.Errorf("harness: %w", err))
+		}
+		fsrv, err := server.New(server.Config{
+			Role:           server.RoleFollower,
+			LeaderAddr:     ServerName,
+			FollowerID:     fname,
+			LeaderDialer:   fh,
+			Dim:            cfg.Dim,
+			HostTTL:        cfg.HostTTL,
+			RequestTimeout: cfg.Timeout,
+			Logger:         cfg.Logger,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("harness: follower %s: %w", fname, err))
+		}
+		c.followers = append(c.followers, fsrv)
+		fln, err := fh.Listen()
+		if err != nil {
+			return fail(fmt.Errorf("harness: follower %s: %w", fname, err))
+		}
+		c.lns = append(c.lns, fln)
+		go fsrv.Serve(c.ctx, fln) //nolint:errcheck
+	}
 
 	// Landmark agents with echo services.
 	for _, lm := range lmNames {
@@ -280,7 +332,7 @@ func (c *Cluster) newClient(name string, seed int64) (*client.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
-	cl, err := client.New(client.Config{
+	ccfg := client.Config{
 		Self:    name,
 		Server:  ServerName,
 		Dialer:  h,
@@ -290,7 +342,17 @@ func (c *Cluster) newClient(name string, seed int64) (*client.Client, error) {
 		Seed:    seed,
 		NNLS:    c.cfg.Algorithm == core.NMF,
 		Timeout: c.cfg.Timeout,
-	})
+	}
+	if len(c.followerNames) > 0 {
+		// Point the client at the whole serving tier: reads spread over
+		// the replicas and fail over when one (the leader included) dies.
+		// Leader first, so single-endpoint and tiered runs route
+		// identically until a fault makes the difference.
+		ccfg.Server = ""
+		ccfg.Servers = append([]string{ServerName}, c.followerNames...)
+		ccfg.ProbeInterval = 50 * time.Millisecond
+	}
+	cl, err := client.New(ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: client %s: %w", name, err)
 	}
@@ -311,6 +373,9 @@ func (c *Cluster) Close() {
 	}
 	for _, ln := range c.lns {
 		ln.Close() //nolint:errcheck
+	}
+	for _, f := range c.followers {
+		f.Close()
 	}
 	if c.Srv != nil {
 		c.Srv.Close()

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// leaderKillOutcome is everything the leader-kill scenario asserts on;
+// runs with the same seed must produce identical values.
+type leaderKillOutcome struct {
+	bootEpoch       uint64
+	bootMedian      float64
+	bootP90         float64
+	killedAtEpoch   uint64
+	duringSurvivors int
+	duringAnswered  int
+	duringQueried   int
+	duringMedian    float64
+	duringP90       float64
+	duringEpochs    [2]uint64 // each follower's served epoch during the outage
+	revivedEpoch    uint64
+	finalSurvivors  int
+	finalMedian     float64
+	finalP90        float64
+}
+
+// runLeaderKillScenario drives the replicated-tier acceptance scenario:
+//
+//  1. boot a leader + 2 followers, sync the replicas, check baseline
+//     accuracy through the failover client path;
+//  2. crash the leader's machine — every host must keep getting
+//     answers from the followers, at the pre-kill epoch, with accuracy
+//     still inside the paper gates (reads never notice the outage);
+//  3. revive the leader as a fresh process (empty model, higher epoch
+//     base), feed it a measurement round, and refit — followers must
+//     resubscribe and converge on the new epoch;
+//  4. hosts re-join against the new model and accuracy must return
+//     under the gates tier-wide.
+func runLeaderKillScenario(t *testing.T, seed int64) leaderKillOutcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	c, err := New(Config{
+		NumLandmarks: 8,
+		NumHosts:     10,
+		NumFollowers: 2,
+		Dim:          5,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReplicaSync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var out leaderKillOutcome
+	out.bootEpoch = c.ServedEpoch()
+	boot, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.bootMedian, out.bootP90 = boot.Median, boot.P90
+
+	// Crash the leader. Followers keep serving the replicated snapshot.
+	killed, err := c.KillLeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.killedAtEpoch = killed
+	out.duringSurvivors = c.Survivors(ctx)
+	during, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.duringAnswered, out.duringQueried = during.Answered, during.Queried
+	out.duringMedian, out.duringP90 = during.Median, during.P90
+	for i := range out.duringEpochs {
+		out.duringEpochs[i] = c.Follower(i).Epoch()
+	}
+
+	// Restart the leader from empty and rebuild the model: one fresh
+	// measurement round, one fit. Followers resubscribe on their own.
+	if err := c.ReviveLeader(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.ReportRound(ctx); err != nil || ok < len(c.agents) {
+		t.Fatalf("post-revive report round: %d/%d landmarks (err %v)", ok, len(c.agents), err)
+	}
+	epoch, err := c.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.revivedEpoch = epoch
+	if err := c.WaitReplicaSync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The epoch moved under every host: re-join, let the directory
+	// replicate out, and measure tier-wide accuracy.
+	if _, err := c.BootstrapAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReplicaSync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.finalMedian, out.finalP90 = final.Median, final.P90
+	out.finalSurvivors = c.Survivors(ctx)
+	return out
+}
+
+// TestScenarioLeaderKillFailover is the replicated-tier acceptance
+// scenario: kill the leader → followers keep answering every read at
+// the pre-kill epoch within the paper's accuracy gates; revive → the
+// tier converges on the new model.
+func TestScenarioLeaderKillFailover(t *testing.T) {
+	out := runLeaderKillScenario(t, 42)
+
+	if out.bootEpoch == 0 {
+		t.Fatal("no model after boot")
+	}
+	if out.bootMedian > gateMedian || out.bootP90 > gateP90 {
+		t.Fatalf("boot accuracy median=%v p90=%v exceeds gates", out.bootMedian, out.bootP90)
+	}
+	if out.killedAtEpoch != out.bootEpoch {
+		t.Fatalf("killed at epoch %d, expected the boot epoch %d", out.killedAtEpoch, out.bootEpoch)
+	}
+	if out.duringSurvivors != 10 {
+		t.Fatalf("only %d/10 hosts answered with the leader dead; followers must carry every read", out.duringSurvivors)
+	}
+	if out.duringAnswered != out.duringQueried || out.duringAnswered == 0 {
+		t.Fatalf("answered %d of %d reads during the outage, want all: zero read errors is the gate",
+			out.duringAnswered, out.duringQueried)
+	}
+	for i, e := range out.duringEpochs {
+		if e != out.killedAtEpoch {
+			t.Fatalf("follower %d serving epoch %d during the outage, want the pre-kill epoch %d", i, e, out.killedAtEpoch)
+		}
+	}
+	if out.duringMedian > gateMedian || out.duringP90 > gateP90 {
+		t.Fatalf("outage accuracy median=%v p90=%v exceeds gates (median %v, p90 %v): the replicated snapshot must stay paper-accurate",
+			out.duringMedian, out.duringP90, gateMedian, gateP90)
+	}
+	if out.revivedEpoch <= out.killedAtEpoch {
+		t.Fatalf("revived leader fit epoch %d, want above the dead incarnation's %d", out.revivedEpoch, out.killedAtEpoch)
+	}
+	if out.finalSurvivors != 10 {
+		t.Fatalf("only %d/10 hosts healthy after the revive", out.finalSurvivors)
+	}
+	if out.finalMedian > gateMedian || out.finalP90 > gateP90 {
+		t.Fatalf("post-revive accuracy median=%v p90=%v exceeds gates", out.finalMedian, out.finalP90)
+	}
+}
+
+// TestScenarioLeaderKillDeterministic runs the leader-kill scenario
+// twice with the same seed and requires identical assertion values —
+// failover routing, replication sync points and revive timing included.
+func TestScenarioLeaderKillDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double scenario run in -short mode")
+	}
+	a := runLeaderKillScenario(t, 42)
+	b := runLeaderKillScenario(t, 42)
+	if a != b {
+		t.Fatalf("same seed, different outcomes:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+}

@@ -341,6 +341,15 @@ func (d *Directory) maybeSweepLocked(sh *shard, now int64) {
 // callback runs outside the shard lock (entries are copied out one shard
 // at a time), so fn may call back into the Directory.
 func (d *Directory) Range(fn func(addr string, vec core.Vectors) bool) {
+	d.RangeEpoch(func(addr string, vec core.Vectors, _ uint64) bool {
+		return fn(addr, vec)
+	})
+}
+
+// RangeEpoch is Range with each entry's registered model epoch (0 for
+// unversioned entries) — what a replicating leader needs to stream its
+// directory to a follower without flattening the epoch tags.
+func (d *Directory) RangeEpoch(fn func(addr string, vec core.Vectors, epoch uint64) bool) {
 	var now int64
 	if d.ttl > 0 {
 		now = d.now().UnixNano()
@@ -353,12 +362,12 @@ func (d *Directory) Range(fn func(addr string, vec core.Vectors) bool) {
 		sh.mu.RLock()
 		for addr, e := range sh.hosts {
 			if !d.expired(e, now) && !d.stale(e, cur) {
-				buf = append(buf, addrVec{addr, e.vec})
+				buf = append(buf, addrVec{addr, e.vec, e.epoch})
 			}
 		}
 		sh.mu.RUnlock()
 		for _, av := range buf {
-			if !fn(av.addr, av.vec) {
+			if !fn(av.addr, av.vec, av.epoch) {
 				return
 			}
 		}
@@ -366,8 +375,9 @@ func (d *Directory) Range(fn func(addr string, vec core.Vectors) bool) {
 }
 
 type addrVec struct {
-	addr string
-	vec  core.Vectors
+	addr  string
+	vec   core.Vectors
+	epoch uint64
 }
 
 // snapshotShard copies shard i's live entries — as seen from the given
@@ -385,7 +395,7 @@ func (d *Directory) snapshotShard(i int, now int64, epoch uint64, buf []addrVec)
 		if e.epoch != 0 && e.epoch != epoch {
 			continue
 		}
-		buf = append(buf, addrVec{addr, e.vec})
+		buf = append(buf, addrVec{addr, e.vec, e.epoch})
 	}
 	sh.mu.RUnlock()
 	return buf

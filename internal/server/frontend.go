@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// This file is the network front-end: accept loop, per-connection
+// framing and deadline management, and the dispatch table that routes
+// each request to the read side (QueryService), the write side
+// (ModelPipeline, or the leader-forwarding path on followers), or the
+// replication tier (Subscribe upgrades the connection to a stream).
+
+// Serve accepts and handles connections on ln until ctx is cancelled or
+// the listener fails. It closes ln on return and waits for in-flight
+// connections to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.connWG.Wait()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	s.metrics.connOpened()
+	defer s.metrics.connClosed()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	// Two distinct budgets per iteration: IdleTimeout covers only the
+	// wait for a request's first bytes (pooled clients keep connections
+	// open between calls), and RequestTimeout covers everything after —
+	// the rest of the frame (armed by the wrapper as soon as data
+	// arrives, so a slow-loris trickler cannot stretch one request over
+	// the idle budget), then dispatch and the response write (re-armed
+	// after the read). Conflating them would either kill pooled idle
+	// connections after one request budget or let a stalled reader or
+	// writer hold the connection for the whole idle budget.
+	rc := &transport.RequestConn{Conn: conn, Budget: s.cfg.RequestTimeout}
+	// Conn-local buffers make the steady-state request loop allocation-
+	// free: the read scratch, the response payload and the outgoing frame
+	// all persist across requests and are only ever re-sliced. The
+	// buffered reader coalesces the header and payload of small frames
+	// into one kernel read, and AppendFrame + a single Write sends the
+	// response in one syscall instead of WriteFrame's two.
+	br := bufio.NewReaderSize(rc, 4096)
+	var readBuf, respBuf, frameBuf []byte
+	for {
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		rc.Rearm()
+		t, payload, scratch, err := wire.ReadFrameInto(br, readBuf)
+		readBuf = scratch
+		if err != nil {
+			if err != io.EOF && ctx.Err() == nil {
+				s.logf("read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
+			return
+		}
+		if t == wire.TypeSubscribe {
+			// The connection leaves the request/response loop for good:
+			// from here the server pushes replication frames until either
+			// side goes away.
+			s.serveSubscriber(ctx, conn, payload)
+			return
+		}
+		var start time.Time
+		if s.metrics != nil {
+			start = time.Now()
+		}
+		respT, respPayload := s.dispatchTo(t, payload, respBuf[:0])
+		respBuf = respPayload
+		if s.metrics != nil {
+			s.metrics.observeRequest(t, time.Since(start))
+		}
+		frameBuf = wire.AppendFrame(frameBuf[:0], respT, respPayload)
+		if _, err := conn.Write(frameBuf); err != nil {
+			s.logf("write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request and returns the response frame. It is the
+// allocate-per-call convenience form of dispatchTo, for in-process
+// callers and tests.
+func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	return s.dispatchTo(t, payload, nil)
+}
+
+// dispatchTo handles one request, appending the response payload to dst.
+// Handlers own dst for the duration of the call and must return a slice
+// based on it (possibly grown), so the connection loop can recycle one
+// buffer across requests. The returned payload must not alias the
+// request payload: the read scratch is reused before the response is
+// framed on some paths.
+func (s *Server) dispatchTo(t wire.MsgType, payload, dst []byte) (wire.MsgType, []byte) {
+	switch t {
+	case wire.TypePing:
+		tok, err := wire.PingToken(payload)
+		if err != nil {
+			return errFrame(dst, wire.CodeBadRequest, err.Error())
+		}
+		pong := wire.Pong{Token: tok}
+		return wire.TypePong, pong.Encode(dst)
+	case wire.TypeGetInfo:
+		return s.qs.handleGetInfo(dst)
+	case wire.TypeGetModel:
+		return s.handleGetModel(dst)
+	case wire.TypeReportRTT:
+		return s.handleReport(payload, dst)
+	case wire.TypeRegisterHost:
+		if s.follower != nil {
+			return s.follower.forwardRegister(payload, dst)
+		}
+		return s.qs.handleRegister(payload, dst)
+	case wire.TypeGetVectors:
+		return s.qs.handleGetVectors(payload, dst)
+	case wire.TypeQueryDist:
+		return s.qs.handleQueryDist(payload, dst)
+	case wire.TypeQueryBatch:
+		return s.qs.handleQueryBatch(payload, dst)
+	case wire.TypeQueryKNN:
+		return s.qs.handleQueryKNN(payload, dst)
+	case wire.TypeSubscribe:
+		// Reached only through in-process dispatch: over the wire,
+		// handleConn upgrades the connection before dispatching.
+		return errFrame(dst, wire.CodeBadRequest, "Subscribe requires a streaming connection")
+	default:
+		return errFrame(dst, wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
+	}
+}
+
+// handleGetModel serves the current model, waiting for a first one when
+// none exists yet — for a fit run by the refitter goroutine on a leader,
+// or for the replication stream to deliver one on a follower. Never
+// blocks once any generation has been installed.
+func (s *Server) handleGetModel(dst []byte) (wire.MsgType, []byte) {
+	st := s.qs.served()
+	if st == nil || st.snap.Model == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		if s.pipeline != nil {
+			if _, err := s.pipeline.Ready(ctx); err != nil {
+				return errFrame(dst, wire.CodeModelNotFit, err.Error())
+			}
+		} else if err := s.qs.waitReady(ctx); err != nil {
+			return errFrame(dst, wire.CodeModelNotFit, err.Error())
+		}
+		if st = s.qs.served(); st == nil || st.snap.Model == nil {
+			return errFrame(dst, wire.CodeModelNotFit, "no model published")
+		}
+	}
+	model := st.snap.Model
+	msg := &wire.Model{
+		Dim:       uint32(model.Dim()),
+		Algorithm: model.Algorithm.String(),
+		Epoch:     st.snap.Epoch,
+		Landmarks: make([]wire.LandmarkVec, len(st.addrs)),
+	}
+	for i, addr := range st.addrs {
+		// Vector storage is shared with the model, which is immutable;
+		// Encode only reads it.
+		msg.Landmarks[i] = wire.LandmarkVec{
+			Addr: addr,
+			Out:  model.Outgoing(i),
+			In:   model.Incoming(i),
+		}
+	}
+	return wire.TypeModel, msg.Encode(dst)
+}
+
+// handleReport routes a measurement report: into the pipeline on a
+// leader, relayed to the leader on a follower.
+func (s *Server) handleReport(payload, dst []byte) (wire.MsgType, []byte) {
+	if s.follower != nil {
+		return s.follower.forward(wire.TypeReportRTT, payload, dst)
+	}
+	rep, err := wire.DecodeReportRTT(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	accepted, rejected, err := s.pipeline.Ingest(rep)
+	if err != nil {
+		return errFrame(dst, wire.CodeNotLandmark, err.Error())
+	}
+	s.metrics.observeReport(len(accepted), rejected)
+	if len(accepted) > 0 {
+		s.recordReports(accepted)
+	}
+	return wire.TypeAck, dst
+}
+
+func errFrame(dst []byte, code uint16, text string) (wire.MsgType, []byte) {
+	e := wire.Error{Code: code, Text: text}
+	return wire.TypeError, e.Encode(dst)
+}

@@ -430,7 +430,7 @@ func TestRegisterRefusedDuringPublicationWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate mid-publication: directory already at 2, snapshot still 1.
-	s.dir.AdvanceEpoch(2)
+	s.qs.dir.AdvanceEpoch(2)
 	reg := &wire.RegisterHost{Addr: "H", Out: h.Out, In: h.In, Epoch: 1}
 	typ, payload := s.dispatch(wire.TypeRegisterHost, reg.Encode(nil))
 	if typ != wire.TypeError {
@@ -484,7 +484,7 @@ func TestHostsSurviveIncrementalRevisions(t *testing.T) {
 		}
 	}
 	report(1)
-	snap, err := s.refit.Ready(context.Background())
+	snap, err := s.pipeline.Ready(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,8 +27,11 @@ type serverMetrics struct {
 
 // newServerMetrics registers the server's metric families on reg and
 // bridges the components that already keep their own counters — the
-// lifecycle refitter and the host directory — as scrape-time functions.
-// Called after s.refit and s.dir exist; returns nil when reg is nil.
+// model pipeline, the host directory, and the replication tier — as
+// scrape-time functions. Registration is role-aware: model-lifecycle
+// families exist only where the pipeline does (leaders), and each side
+// of the replication tier exports its own counters. Called after the
+// role components exist; returns nil when reg is nil.
 func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 	if reg == nil {
 		return nil
@@ -44,36 +47,77 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 			"Report entries dropped: unknown landmark, self-pair, or non-finite RTT."),
 		activeConns: reg.Gauge("ides_server_active_conns",
 			"Connections currently being served."),
-		fitSeconds: reg.Histogram("ides_model_fit_seconds",
-			"Full batch fit latency.", nil),
-		revSeconds: reg.Histogram("ides_model_revision_seconds",
-			"Incremental revision (SGD apply) latency.", nil),
-		fitErrors: reg.Counter("ides_model_fit_errors_total",
-			"Failed full-fit attempts."),
-		drift: reg.Gauge("ides_model_drift",
-			"Solver drift since the epoch's full fit, as a fraction of the seeded factors' norm."),
 	}
 	reg.GaugeFunc("ides_server_hosts",
 		"Live registered hosts in the directory.",
-		func() float64 { return float64(s.dir.Len()) })
+		func() float64 { return float64(s.qs.dir.Len()) })
 	reg.GaugeFunc("ides_model_epoch",
-		"Epoch of the published model (0 before the first fit).",
-		func() float64 { return float64(s.refit.Stats().Epoch) })
+		"Epoch of the served model (0 before the first fit or replicated snapshot).",
+		func() float64 { return float64(s.qs.Epoch()) })
 	reg.GaugeFunc("ides_model_rev",
-		"Revision of the published model within its epoch.",
-		func() float64 { return float64(s.refit.Stats().Rev) })
-	reg.CounterFunc("ides_model_fits_total",
-		"Successful full fits.",
-		func() float64 { return float64(s.refit.Stats().Fits) })
-	reg.CounterFunc("ides_model_revisions_total",
-		"Incremental revisions published.",
-		func() float64 { return float64(s.refit.Stats().Revisions) })
-	reg.CounterFunc("ides_model_deltas_total",
-		"Measurement deltas handed to the solver.",
-		func() float64 { return float64(s.refit.Stats().Deltas) })
-	reg.GaugeFunc("ides_model_delta_queue_depth",
-		"Measurement deltas queued for the solver.",
-		func() float64 { return float64(s.refit.QueueDepth()) })
+		"Revision of the served model within its epoch.",
+		func() float64 { return float64(s.qs.Rev()) })
+	if p := s.pipeline; p != nil {
+		m.fitSeconds = reg.Histogram("ides_model_fit_seconds",
+			"Full batch fit latency.", nil)
+		m.revSeconds = reg.Histogram("ides_model_revision_seconds",
+			"Incremental revision (SGD apply) latency.", nil)
+		m.fitErrors = reg.Counter("ides_model_fit_errors_total",
+			"Failed full-fit attempts.")
+		m.drift = reg.Gauge("ides_model_drift",
+			"Solver drift since the epoch's full fit, as a fraction of the seeded factors' norm.")
+		reg.CounterFunc("ides_model_fits_total",
+			"Successful full fits.",
+			func() float64 { return float64(p.Stats().Fits) })
+		reg.CounterFunc("ides_model_revisions_total",
+			"Incremental revisions published.",
+			func() float64 { return float64(p.Stats().Revisions) })
+		reg.CounterFunc("ides_model_deltas_total",
+			"Measurement deltas handed to the solver.",
+			func() float64 { return float64(p.Stats().Deltas) })
+		reg.GaugeFunc("ides_model_delta_queue_depth",
+			"Measurement deltas queued for the solver.",
+			func() float64 { return float64(p.QueueDepth()) })
+	}
+	if r := s.repl; r != nil {
+		reg.GaugeFunc("ides_repl_subscribers",
+			"Followers currently subscribed to the replication stream.",
+			func() float64 { return float64(r.subscribers()) })
+		reg.CounterFunc("ides_repl_frames_sent_total",
+			"Replication frames streamed to followers.",
+			func() float64 { return float64(r.framesSent.Load()) })
+		reg.CounterFunc("ides_repl_bytes_sent_total",
+			"Replication stream bytes written to followers.",
+			func() float64 { return float64(r.bytesSent.Load()) })
+		r.lag = reg.GaugeVec("ides_repl_follower_lag_revs",
+			"Estimated revisions between the published model and each follower's stream position.",
+			"follower")
+	}
+	if f := s.follower; f != nil {
+		reg.GaugeFunc("ides_repl_connected",
+			"Whether the replication stream to the leader is live (1) or down (0).",
+			func() float64 {
+				if f.connected.Load() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("ides_repl_applied_epoch",
+			"Epoch of the last replicated snapshot applied locally.",
+			func() float64 { return float64(f.appliedEpoch.Load()) })
+		reg.GaugeFunc("ides_repl_applied_rev",
+			"Revision of the last replicated snapshot applied locally.",
+			func() float64 { return float64(f.appliedRev.Load()) })
+		reg.CounterFunc("ides_repl_frames_applied_total",
+			"Replication stream frames consumed from the leader.",
+			func() float64 { return float64(f.framesApplied.Load()) })
+		reg.CounterFunc("ides_repl_bytes_applied_total",
+			"Replication stream bytes consumed from the leader.",
+			func() float64 { return float64(f.bytesApplied.Load()) })
+		reg.CounterFunc("ides_repl_reconnects_total",
+			"Replication stream re-establishments after the initial subscription.",
+			func() float64 { return float64(f.reconnects.Load()) })
+	}
 	return m
 }
 

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/lifecycle"
+	"github.com/ides-go/ides/internal/query"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// servedState is one immutable generation of served model state: the
+// published snapshot plus the landmark addresses its rows belong to. A
+// leader's addresses come from Config.Landmarks; a follower's arrive in
+// each SnapshotFrame. Handlers that grab one state (or the engine built
+// over it) work against a single generation for their whole request.
+type servedState struct {
+	snap  *lifecycle.Snapshot
+	addrs []string
+	index map[string]int
+}
+
+// QueryService is the read side of the server: the host directory, the
+// query engine pinned to the current model generation, and every handler
+// that only reads model state. It has no idea where snapshots come from —
+// a leader installs them from its ModelPipeline, a follower from the
+// replication stream — which is exactly what lets the same code answer
+// queries in both roles at the same zero-alloc/KD-tree speed.
+type QueryService struct {
+	dir    *query.Directory
+	engine atomic.Pointer[query.Engine]
+	state  atomic.Pointer[servedState]
+
+	// ready is closed when the first model generation is installed, so
+	// GetModel on a follower can wait for replication to deliver one the
+	// same way a leader waits for the first fit.
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	// onRegister, when set, observes every registration accepted through
+	// handleRegister — the leader's hook for streaming directory deltas
+	// to followers. Runs on the request goroutine after the Put.
+	onRegister func(reg *wire.RegisterHost)
+
+	maxKNN, maxBatch int
+	// Pre-model GetInfo defaults (a fitted model overrides all three).
+	defDim       int
+	defLandmarks int
+	defAlgo      core.Algorithm
+}
+
+// newQueryService builds the read side over an existing directory.
+func newQueryService(dir *query.Directory, cfg Config) *QueryService {
+	q := &QueryService{
+		dir:          dir,
+		ready:        make(chan struct{}),
+		maxKNN:       cfg.MaxKNN,
+		maxBatch:     cfg.MaxBatch,
+		defDim:       cfg.Dim,
+		defLandmarks: len(cfg.Landmarks),
+		defAlgo:      cfg.Algorithm,
+	}
+	q.setEngine(nil)
+	return q
+}
+
+// setEngine installs the query engine for a (possibly nil) served state.
+// The resolver closure pins that model generation: models are immutable
+// once fitted, so handlers that Load the engine once per request can
+// resolve any number of landmark addresses without locks and without
+// ever mixing vectors from two fits.
+func (q *QueryService) setEngine(st *servedState) {
+	q.engine.Store(query.NewEngine(q.dir, func(addr string) (core.Vectors, bool) {
+		if st == nil || st.snap.Model == nil {
+			return core.Vectors{}, false
+		}
+		i, ok := st.index[addr]
+		if !ok {
+			return core.Vectors{}, false
+		}
+		return st.snap.Model.Vectors(i), true
+	}))
+}
+
+// Install swaps every per-generation consumer over to a freshly published
+// snapshot. On a leader it runs on the refitter's worker goroutine just
+// before the snapshot becomes visible; on a follower, on the replication
+// stream goroutine as each SnapshotFrame arrives. For a full fit (Rev 0)
+// ordering matters: the directory epoch advances first — vectors solved
+// against the old model stop resolving — and only then does the engine
+// start serving the new landmark vectors, so no query ever dots vectors
+// from two different fits. An incremental revision keeps the epoch, and
+// with it every registered host vector: only the engine's landmark
+// resolver swaps to the refreshed model.
+func (q *QueryService) Install(snap *lifecycle.Snapshot, addrs []string, index map[string]int) {
+	st := &servedState{snap: snap, addrs: addrs, index: index}
+	if snap.Rev == 0 {
+		q.dir.AdvanceEpoch(snap.Epoch)
+	}
+	q.setEngine(st)
+	q.state.Store(st)
+	q.readyOnce.Do(func() { close(q.ready) })
+	if snap.Rev == 0 {
+		// A full fit started a new generation: every directory entry the
+		// spatial k-NN index covered just went stale with the epoch. Kick
+		// off the rebuild for the new generation in the background (no-op
+		// under the index size threshold); KNearest serves exact scans
+		// until it lands.
+		q.engine.Load().RebuildKNNIndexAsync()
+	}
+}
+
+// served returns the current generation, nil before the first install.
+func (q *QueryService) served() *servedState { return q.state.Load() }
+
+// Epoch returns the epoch of the served model generation, 0 before the
+// first install.
+func (q *QueryService) Epoch() uint64 {
+	if st := q.state.Load(); st != nil {
+		return st.snap.Epoch
+	}
+	return 0
+}
+
+// Rev returns the revision of the served generation within its epoch.
+func (q *QueryService) Rev() uint64 {
+	if st := q.state.Load(); st != nil {
+		return st.snap.Rev
+	}
+	return 0
+}
+
+// waitReady blocks until a first model generation is installed or ctx
+// expires — the follower-side analogue of lifecycle.Refitter.Ready.
+func (q *QueryService) waitReady(ctx context.Context) error {
+	select {
+	case <-q.ready:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: no model published yet: %w", ctx.Err())
+	}
+}
+
+func (q *QueryService) handleGetInfo(dst []byte) (wire.MsgType, []byte) {
+	info := &wire.Info{
+		Dim:          uint32(q.defDim),
+		NumLandmarks: uint32(q.defLandmarks),
+		Algorithm:    q.defAlgo.String(),
+	}
+	if st := q.served(); st != nil && st.snap.Model != nil {
+		info.ModelReady = true
+		info.Epoch = st.snap.Epoch
+		info.Dim = uint32(st.snap.Model.Dim())
+		info.NumLandmarks = uint32(len(st.addrs))
+		info.Algorithm = st.snap.Model.Algorithm.String()
+	}
+	return wire.TypeInfo, info.Encode(dst)
+}
+
+func (q *QueryService) handleRegister(payload, dst []byte) (wire.MsgType, []byte) {
+	reg, err := wire.DecodeRegisterHost(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	if reg.Addr == "" {
+		return errFrame(dst, wire.CodeBadRequest, "empty host address")
+	}
+	var cur uint64
+	want := q.defDim
+	if st := q.served(); st != nil && st.snap.Model != nil {
+		cur = st.snap.Epoch
+		want = st.snap.Model.Dim()
+	}
+	// During snapshot publication the directory epoch advances before
+	// the snapshot becomes visible; in that window the directory is the
+	// authority — accepting a registration at the snapshot's older epoch
+	// would Ack an entry that is dead on arrival.
+	if de := q.dir.Epoch(); de > cur {
+		cur = de
+	}
+	// Vectors solved against a replaced model generation must not enter
+	// the directory: estimates would mix two fits. Epoch 0 marks a
+	// pre-epoch client and is accepted as unversioned.
+	if reg.Epoch != 0 && reg.Epoch != cur {
+		return errFrame(dst, wire.CodeStaleEpoch,
+			fmt.Sprintf("vectors solved against epoch %d, server at epoch %d: re-fetch the model and re-solve", reg.Epoch, cur))
+	}
+	if len(reg.Out) != want || len(reg.In) != want {
+		return errFrame(dst, wire.CodeBadRequest,
+			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
+	}
+	// The directory shard-locks internally; expiry of stale entries is
+	// amortized into its per-shard sweeps, so registration is O(1).
+	q.dir.PutEpoch(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In}, reg.Epoch)
+	if q.onRegister != nil {
+		q.onRegister(reg)
+	}
+	return wire.TypeAck, dst
+}
+
+// applyReplicated installs one directory upsert streamed from the
+// leader. No epoch-staleness validation: the leader already validated
+// the registration, and the directory's own epoch filtering makes an
+// entry from a generation this follower has left behind read as absent.
+func (q *QueryService) applyReplicated(addr string, out, in []float64, epoch uint64) {
+	if addr == "" || len(out) != len(in) {
+		return
+	}
+	q.dir.PutEpoch(addr, core.Vectors{Out: out, In: in}, epoch)
+}
+
+func (q *QueryService) handleGetVectors(payload, dst []byte) (wire.MsgType, []byte) {
+	addr, err := wire.GetVectorsView(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	var resp wire.Vectors
+	if v, ok := q.engine.Load().LookupBytes(addr); ok {
+		resp.Found = true
+		resp.Out = v.Out
+		resp.In = v.In
+	}
+	// Stamp the epoch after the lookup: a refit landing in between then
+	// yields data from the old generation stamped with the new epoch,
+	// which errs toward client recovery. The reverse order could stamp
+	// new-generation data with the old epoch and suppress it.
+	resp.Epoch = q.Epoch()
+	return wire.TypeVectors, resp.Encode(dst)
+}
+
+// handleQueryDist is the point-query hot path: address views straight
+// off the request payload, a byte-keyed directory lookup, one fused dot
+// product, and a response encoded into the connection's scratch — no
+// heap allocation anywhere on the found path.
+func (q *QueryService) handleQueryDist(payload, dst []byte) (wire.MsgType, []byte) {
+	from, to, err := wire.QueryDistView(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	var resp wire.Distance
+	resp.Millis, resp.Found = q.engine.Load().EstimatePair(from, to)
+	return wire.TypeDistance, resp.Encode(dst)
+}
+
+// handleQueryBatch answers one-source → many-targets in a single round
+// trip: all estimates fall out of one matrix-vector product.
+func (q *QueryService) handleQueryBatch(payload, dst []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeQueryBatch(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	if len(req.Targets) > q.maxBatch {
+		return errFrame(dst, wire.CodeBadRequest,
+			fmt.Sprintf("batch names %d targets, limit %d", len(req.Targets), q.maxBatch))
+	}
+	eng := q.engine.Load()
+	resp := &wire.Distances{Results: make([]wire.DistResult, len(req.Targets))}
+	// Epoch stamped after the engine work, for the same recovery-biased
+	// ordering as handleGetVectors.
+	src, ok := eng.Lookup(req.From)
+	if !ok {
+		resp.Epoch = q.Epoch()
+		return wire.TypeDistances, resp.Encode(dst)
+	}
+	resp.SrcFound = true
+	for i, est := range eng.EstimateBatch(src, req.Targets) {
+		resp.Results[i] = wire.DistResult{Found: est.Found, Millis: est.Millis}
+	}
+	resp.Epoch = q.Epoch()
+	return wire.TypeDistances, resp.Encode(dst)
+}
+
+// handleQueryKNN answers "the K registered hosts closest to From" with a
+// partial-heap selection over the sharded directory.
+func (q *QueryService) handleQueryKNN(payload, dst []byte) (wire.MsgType, []byte) {
+	req, err := wire.DecodeQueryKNN(payload)
+	if err != nil {
+		return errFrame(dst, wire.CodeBadRequest, err.Error())
+	}
+	if req.K == 0 {
+		return errFrame(dst, wire.CodeBadRequest, "k must be positive")
+	}
+	k := int(req.K)
+	if k > q.maxKNN {
+		k = q.maxKNN
+	}
+	eng := q.engine.Load()
+	resp := &wire.Neighbors{}
+	src, ok := eng.Lookup(req.From)
+	if !ok {
+		resp.Epoch = q.Epoch()
+		return wire.TypeNeighbors, resp.Encode(dst)
+	}
+	resp.SrcFound = true
+	neighbors := eng.KNearest(src, k, query.KNNOptions{Exclude: req.From})
+	resp.Entries = make([]wire.NeighborEntry, len(neighbors))
+	for i, n := range neighbors {
+		resp.Entries[i] = wire.NeighborEntry{Addr: n.Addr, Millis: n.Millis}
+	}
+	// Post-work stamp: see handleGetVectors for the ordering rationale.
+	resp.Epoch = q.Epoch()
+	return wire.TypeNeighbors, resp.Encode(dst)
+}

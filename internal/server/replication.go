@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/lifecycle"
+	"github.com/ides-go/ides/internal/telemetry"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// replicator is the leader side of the replication tier: a hub of
+// subscribed followers, each fed every published snapshot and every
+// accepted registration as pre-encoded wire frames. Publication never
+// blocks on a slow follower — a subscriber whose send queue fills is
+// dropped and resyncs from scratch on reconnect, which is always safe
+// because snapshots are self-contained and directory upserts are
+// idempotent.
+type replicator struct {
+	srv *Server
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+
+	framesSent atomic.Uint64
+	bytesSent  atomic.Uint64
+	// curEpoch/curRev track the latest published snapshot for the
+	// per-follower lag gauge.
+	curEpoch atomic.Uint64
+	curRev   atomic.Uint64
+
+	// lag, when metrics are enabled, exports each subscriber's publish
+	// lag in revisions, labelled by the follower's self-reported ID.
+	lag *telemetry.GaugeVec
+}
+
+// subscriber is one follower's stream state. The serving goroutine owns
+// the conn; publishers only touch ch and quit.
+type subscriber struct {
+	id   string
+	ch   chan []byte
+	quit chan struct{}
+	once sync.Once
+	// sentEpoch/sentRev record the last snapshot position written to the
+	// conn, feeding the leader-side lag gauge.
+	sentEpoch atomic.Uint64
+	sentRev   atomic.Uint64
+}
+
+// drop marks the subscriber dead; its serving goroutine tears the
+// connection down and the follower resubscribes.
+func (sb *subscriber) drop() { sb.once.Do(func() { close(sb.quit) }) }
+
+func newReplicator(s *Server) *replicator {
+	return &replicator{srv: s, subs: make(map[*subscriber]struct{})}
+}
+
+func (r *replicator) add(sb *subscriber) {
+	r.mu.Lock()
+	r.subs[sb] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *replicator) remove(sb *subscriber) {
+	r.mu.Lock()
+	delete(r.subs, sb)
+	r.mu.Unlock()
+	if r.lag != nil {
+		r.lag.With(sb.id).Set(0)
+	}
+}
+
+func (r *replicator) subscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// broadcast enqueues one pre-encoded frame to every subscriber. The
+// frame is shared read-only. A subscriber too slow to drain its queue is
+// dropped rather than letting it stall publication for everyone else.
+func (r *replicator) broadcast(frame []byte) {
+	r.mu.Lock()
+	for sb := range r.subs {
+		select {
+		case sb.ch <- frame:
+		default:
+			sb.drop()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// publishSnapshot streams a freshly installed snapshot to every
+// follower. Runs on the refitter worker goroutine right after the local
+// install, so followers observe publications in install order.
+func (r *replicator) publishSnapshot(snap *lifecycle.Snapshot, addrs []string) {
+	r.curEpoch.Store(snap.Epoch)
+	r.curRev.Store(snap.Rev)
+	if r.subscribers() == 0 {
+		return
+	}
+	r.broadcast(wire.AppendFrame(nil, wire.TypeSnapshotFrame, encodeSnapshot(nil, snap, addrs)))
+}
+
+// publishRegister streams one accepted registration. Runs on the request
+// goroutine that handled the RegisterHost, after the directory Put.
+func (r *replicator) publishRegister(reg *wire.RegisterHost) {
+	if r.subscribers() == 0 {
+		return
+	}
+	delta := wire.DirDelta{
+		Epoch: r.srv.qs.dir.Epoch(),
+		Upserts: []wire.DirUpsert{
+			{Addr: reg.Addr, Out: reg.Out, In: reg.In, Epoch: reg.Epoch},
+		},
+	}
+	r.broadcast(wire.AppendFrame(nil, wire.TypeDirDelta, delta.Encode(nil)))
+}
+
+// encodeSnapshot encodes a snapshot and its landmark addresses as a
+// SnapshotFrame payload. Vector storage is shared with the model, which
+// is immutable; Encode only reads it.
+func encodeSnapshot(dst []byte, snap *lifecycle.Snapshot, addrs []string) []byte {
+	sf := wire.SnapshotFrame{
+		Epoch:     snap.Epoch,
+		Rev:       snap.Rev,
+		Dim:       uint32(snap.Model.Dim()),
+		Algorithm: snap.Model.Algorithm.String(),
+		Landmarks: make([]wire.LandmarkVec, len(addrs)),
+	}
+	for i, addr := range addrs {
+		sf.Landmarks[i] = wire.LandmarkVec{
+			Addr: addr,
+			Out:  snap.Model.Outgoing(i),
+			In:   snap.Model.Incoming(i),
+		}
+	}
+	return sf.Encode(dst)
+}
+
+// lagRevs estimates how many revisions behind sb's stream is: 0 when its
+// last written frame matches the published position, the same-epoch
+// revision distance otherwise, and the full distance-plus-one when the
+// follower is still on an older epoch (a whole generation behind).
+func (r *replicator) lagRevs(sb *subscriber) float64 {
+	epoch, rev := r.curEpoch.Load(), r.curRev.Load()
+	if sb.sentEpoch.Load() == epoch {
+		sent := sb.sentRev.Load()
+		if sent >= rev {
+			return 0
+		}
+		return float64(rev - sent)
+	}
+	return float64(rev + 1)
+}
+
+// serveSubscriber owns a follower connection after its Subscribe frame:
+// initial sync (current snapshot, then the full directory in batches),
+// then the live feed. Called from the frontend's connection goroutine.
+func (s *Server) serveSubscriber(ctx context.Context, conn net.Conn, payload []byte) {
+	sub, err := wire.DecodeSubscribe(payload)
+	if err != nil {
+		s.writeErrorFrame(conn, wire.CodeBadRequest, err.Error())
+		return
+	}
+	if s.repl == nil {
+		s.writeErrorFrame(conn, wire.CodeBadRequest, "followers do not accept replication subscribers")
+		return
+	}
+	s.logf("follower %q subscribed from %v (at epoch %d rev %d)", sub.ID, conn.RemoteAddr(), sub.Epoch, sub.Rev)
+	sb := &subscriber{
+		id:   sub.ID,
+		ch:   make(chan []byte, 256),
+		quit: make(chan struct{}),
+	}
+	s.repl.add(sb)
+	defer s.repl.remove(sb)
+
+	// Streaming mode: no more requests arrive, so the request/idle
+	// deadlines give way to per-frame write deadlines.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return
+	}
+	// The follower never writes after Subscribe; a blocked Read is the
+	// cheapest dead-connection detector a one-way stream gets.
+	connClosed := make(chan struct{})
+	go func() {
+		defer close(connClosed)
+		var b [8]byte
+		for {
+			if _, err := conn.Read(b[:]); err != nil {
+				return
+			}
+		}
+	}()
+
+	write := func(frame []byte, epoch, rev uint64, isSnap bool) bool {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
+			return false
+		}
+		if _, err := conn.Write(frame); err != nil {
+			s.logf("replication write to follower %q: %v", sub.ID, err)
+			return false
+		}
+		s.repl.framesSent.Add(1)
+		s.repl.bytesSent.Add(uint64(len(frame)))
+		if isSnap {
+			sb.sentEpoch.Store(epoch)
+			sb.sentRev.Store(rev)
+		}
+		if s.repl.lag != nil {
+			s.repl.lag.With(sb.id).Set(s.repl.lagRevs(sb))
+		}
+		return true
+	}
+
+	// Initial sync: the current snapshot (or a bare ack when nothing has
+	// been fit), then every live directory entry. Publications racing the
+	// sync land in sb.ch and apply after it — possibly duplicating an
+	// upsert, never losing one; upserts are idempotent.
+	var first []byte
+	if st := s.qs.served(); st != nil && st.snap.Model != nil {
+		first = wire.AppendFrame(nil, wire.TypeSnapshotFrame, encodeSnapshot(nil, st.snap, st.addrs))
+		if !write(first, st.snap.Epoch, st.snap.Rev, true) {
+			return
+		}
+	} else {
+		first = wire.AppendFrame(nil, wire.TypeSnapshotFrame, (&wire.SnapshotFrame{}).Encode(nil))
+		if !write(first, 0, 0, false) {
+			return
+		}
+	}
+	if !s.syncDirectory(write) {
+		return
+	}
+
+	for {
+		select {
+		case frame := <-sb.ch:
+			// Snapshot positions for the lag gauge ride in the frame
+			// header's type byte: decode lazily only for snapshot frames.
+			epoch, rev, isSnap := snapshotFramePos(frame)
+			if !write(frame, epoch, rev, isSnap) {
+				return
+			}
+		case <-sb.quit:
+			s.logf("follower %q dropped: send queue overflow", sub.ID)
+			return
+		case <-connClosed:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// snapshotFramePos extracts the (epoch, rev) stamp from an encoded
+// SnapshotFrame wire frame; ok is false for any other frame type.
+func snapshotFramePos(frame []byte) (epoch, rev uint64, ok bool) {
+	if len(frame) < wire.HeaderSize+16 || wire.MsgType(frame[3]) != wire.TypeSnapshotFrame {
+		return 0, 0, false
+	}
+	sf, err := wire.DecodeSnapshotFrame(frame[wire.HeaderSize:])
+	if err != nil {
+		return 0, 0, false
+	}
+	return sf.Epoch, sf.Rev, true
+}
+
+// syncDirectory streams the whole live directory as DirDelta batches.
+func (s *Server) syncDirectory(write func(frame []byte, epoch, rev uint64, isSnap bool) bool) bool {
+	const batch = 256
+	delta := wire.DirDelta{
+		Epoch:   s.qs.dir.Epoch(),
+		Upserts: make([]wire.DirUpsert, 0, batch),
+	}
+	ok := true
+	flush := func() bool {
+		if len(delta.Upserts) == 0 {
+			return true
+		}
+		frame := wire.AppendFrame(nil, wire.TypeDirDelta, delta.Encode(nil))
+		delta.Upserts = delta.Upserts[:0]
+		return write(frame, 0, 0, false)
+	}
+	s.qs.dir.RangeEpoch(func(addr string, vec core.Vectors, epoch uint64) bool {
+		delta.Upserts = append(delta.Upserts, wire.DirUpsert{
+			Addr: addr, Out: vec.Out, In: vec.In, Epoch: epoch,
+		})
+		if len(delta.Upserts) == batch {
+			ok = flush()
+		}
+		return ok
+	})
+	return ok && flush()
+}
+
+// writeErrorFrame sends one error frame outside the request/response
+// loop (the subscribe handshake path).
+func (s *Server) writeErrorFrame(conn net.Conn, code uint16, text string) {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
+	e := wire.Error{Code: code, Text: text}
+	frame := wire.AppendFrame(nil, wire.TypeError, e.Encode(nil))
+	_, _ = conn.Write(frame)
+}

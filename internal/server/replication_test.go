@@ -1,0 +1,453 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// serveReplTCP runs s on a loopback listener and returns its address
+// plus an explicit shutdown func — unlike serveTCP's t.Cleanup form, the
+// leader-loss tests need to stop serving mid-test.
+func serveReplTCP(t *testing.T, s *Server) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ctx, ln) //nolint:errcheck
+	}()
+	return ln.Addr().String(), func() {
+		cancel()
+		<-done
+	}
+}
+
+// newTestFollower builds a follower of the leader at addr with fast
+// timeouts for tests.
+func newTestFollower(t *testing.T, addr, id string) *Server {
+	t.Helper()
+	f, err := New(Config{
+		Role:           RoleFollower,
+		LeaderAddr:     addr,
+		FollowerID:     id,
+		Dim:            3,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFollowerValidation(t *testing.T) {
+	if _, err := New(Config{Role: RoleFollower}); err == nil {
+		t.Fatal("follower without a leader address must be rejected")
+	}
+	// A follower needs no landmarks: the stream supplies them.
+	f, err := New(Config{Role: RoleFollower, LeaderAddr: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if f.Role() != RoleFollower {
+		t.Fatalf("Role() = %v", f.Role())
+	}
+}
+
+// TestFollowerReplication is the happy path end to end: initial sync of
+// model and directory, live directory deltas, write forwarding with
+// read-your-writes, and convergence onto a new epoch.
+func TestFollowerReplication(t *testing.T) {
+	leader := ringLandmarks(t, core.SVD)
+	defer leader.Close()
+	if _, err := leader.Model(); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+	preSync := registerRingHosts(t, leader, 2) // in the directory before any follower
+	addr, stopLeader := serveReplTCP(t, leader)
+	defer stopLeader()
+
+	f := newTestFollower(t, addr, "f1")
+	defer f.Close()
+
+	// Initial sync: model epoch and the pre-existing directory arrive.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.WaitForEpoch(ctx, leader.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, "directory sync", func() bool { return f.NumHosts() >= len(preSync) })
+
+	// Replicated reads: the paper's H0→L4 estimate must come out of the
+	// follower's local engine exactly as it does from the leader.
+	typ, payload := f.dispatch(wire.TypeQueryDist, (&wire.QueryDist{From: preSync[0], To: "L4"}).Encode(nil))
+	if typ != wire.TypeDistance {
+		t.Fatalf("follower QueryDist answered %v", typ)
+	}
+	dd, err := wire.DecodeDistance(payload)
+	if err != nil || !dd.Found {
+		t.Fatalf("follower distance %+v %v", dd, err)
+	}
+	if math.Abs(dd.Millis-2.5) > 1e-6 {
+		t.Fatalf("follower H0→L4 = %v want 2.5", dd.Millis)
+	}
+
+	// GetModel serves the replicated generation.
+	typ, payload = f.dispatch(wire.TypeGetModel, nil)
+	if typ != wire.TypeModel {
+		t.Fatalf("follower GetModel answered %v", typ)
+	}
+	m, err := wire.DecodeModel(payload)
+	if err != nil || m.Epoch != leader.Epoch() || len(m.Landmarks) != 4 {
+		t.Fatalf("follower model %+v %v", m, err)
+	}
+
+	// Live delta: a host registered on the leader after subscription
+	// shows up on the follower without a resync.
+	model, err := leader.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := []float64{1, 2, 2, 3}
+	hv, err := model.SolveHost(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &wire.RegisterHost{Addr: "live-host", Out: hv.Out, In: hv.In}
+	if typ, _ := leader.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("leader register failed")
+	}
+	waitCond(t, 5*time.Second, "live DirDelta", func() bool {
+		typ, payload := f.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "live-host"}).Encode(nil))
+		if typ != wire.TypeVectors {
+			return false
+		}
+		v, err := wire.DecodeVectors(payload)
+		return err == nil && v.Found
+	})
+
+	// Write forwarding with read-your-writes: registering through the
+	// follower lands on the leader AND resolves on the follower at once.
+	reg = &wire.RegisterHost{Addr: "fwd-host", Out: hv.Out, In: hv.In}
+	if typ, _ := f.dispatch(wire.TypeRegisterHost, reg.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("forwarded register failed")
+	}
+	typ, payload = f.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "fwd-host"}).Encode(nil))
+	v, err := wire.DecodeVectors(payload)
+	if typ != wire.TypeVectors || err != nil || !v.Found {
+		t.Fatalf("read-your-writes on follower: %v %+v %v", typ, v, err)
+	}
+	typ, _ = leader.dispatch(wire.TypeGetVectors, (&wire.GetVectors{Addr: "fwd-host"}).Encode(nil))
+	if typ != wire.TypeVectors {
+		t.Fatalf("leader missing forwarded registration: %v", typ)
+	}
+
+	// Forwarded reports drive a leader refit; the follower converges.
+	rep := &wire.ReportRTT{From: "L1", Entries: []wire.RTTEntry{{To: "L2", RTTMillis: 1.2}}}
+	if typ, _ := f.dispatch(wire.TypeReportRTT, rep.Encode(nil)); typ != wire.TypeAck {
+		t.Fatal("forwarded report failed")
+	}
+	epoch, err := leader.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitForEpoch(ctx, epoch); err != nil {
+		t.Fatal(err)
+	}
+
+	ls := leader.ReplicationStats()
+	if ls.Role != RoleLeader || ls.Subscribers != 1 || ls.FramesSent == 0 || ls.BytesSent == 0 {
+		t.Fatalf("leader replication stats %+v", ls)
+	}
+	fs := f.ReplicationStats()
+	if fs.Role != RoleFollower || !fs.Connected || fs.AppliedEpoch != epoch || fs.FramesApplied == 0 {
+		t.Fatalf("follower replication stats %+v", fs)
+	}
+}
+
+// TestFollowerServesDuringLeaderLoss: killing the leader must not cost a
+// single read on the follower — it keeps serving the last replicated
+// generation — while writes degrade to CodeUnavailable. A restarted
+// leader is picked up by the reconnect loop and the follower converges
+// on its new fit.
+func TestFollowerServesDuringLeaderLoss(t *testing.T) {
+	leader := ringLandmarks(t, core.SVD)
+	if _, err := leader.Model(); err != nil {
+		t.Fatal(err)
+	}
+	hosts := registerRingHosts(t, leader, 1)
+	addr, stopLeader := serveReplTCP(t, leader)
+
+	f := newTestFollower(t, addr, "f1")
+	defer f.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	preKill := leader.Epoch()
+	if err := f.WaitForEpoch(ctx, preKill); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, "directory sync", func() bool { return f.NumHosts() >= 1 })
+
+	// Kill the leader: stop its listener and its pipeline.
+	stopLeader()
+	leader.Close()
+	waitCond(t, 5*time.Second, "stream loss detection", func() bool { return !f.ReplicationStats().Connected })
+
+	// Reads still come from the pre-kill generation, locally.
+	for i := 0; i < 50; i++ {
+		typ, payload := f.dispatch(wire.TypeQueryDist, (&wire.QueryDist{From: hosts[0], To: "L4"}).Encode(nil))
+		if typ != wire.TypeDistance {
+			t.Fatalf("read %d during leader loss answered %v", i, typ)
+		}
+		if dd, err := wire.DecodeDistance(payload); err != nil || !dd.Found {
+			t.Fatalf("read %d during leader loss: %+v %v", i, dd, err)
+		}
+	}
+	if got := f.Epoch(); got != preKill {
+		t.Fatalf("follower epoch moved during leader loss: %d -> %d", preKill, got)
+	}
+
+	// Writes degrade loudly instead of hanging: CodeUnavailable.
+	rep := &wire.ReportRTT{From: "L1", Entries: []wire.RTTEntry{{To: "L2", RTTMillis: 1.5}}}
+	typ, payload := f.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("forwarded report with dead leader answered %v", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeUnavailable {
+		t.Fatalf("code %d, want CodeUnavailable", werr.Code)
+	}
+
+	// Promote a replacement leader on the same address: the follower's
+	// reconnect loop finds it and converges on its (later) generation.
+	lm := []string{"L1", "L2", "L3", "L4"}
+	leader2, err := New(Config{Landmarks: lm, Dim: 3, Algorithm: core.SVD, Seed: 1, BaseEpoch: preKill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader2.Close()
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	for i, from := range lm {
+		rep := &wire.ReportRTT{From: from}
+		for j, to := range lm {
+			if i != j {
+				rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j]})
+			}
+		}
+		leader2.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+	}
+	if _, err := leader2.Model(); err != nil { // epoch preKill+1
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go leader2.Serve(ctx2, ln) //nolint:errcheck
+
+	if err := f.WaitForEpoch(ctx, leader2.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ReplicationStats().Connected || f.ReplicationStats().Reconnects == 0 {
+		t.Fatalf("follower stats after promotion: %+v", f.ReplicationStats())
+	}
+}
+
+func TestSubscribeRejectedOutsideStream(t *testing.T) {
+	s := testServer(t, []string{"a", "b"}, core.SVD)
+	defer s.Close()
+	// In-process dispatch has no connection to upgrade.
+	typ, payload := s.dispatch(wire.TypeSubscribe, (&wire.Subscribe{ID: "x"}).Encode(nil))
+	if typ != wire.TypeError {
+		t.Fatalf("in-process Subscribe answered %v", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeBadRequest {
+		t.Fatalf("code %d, want CodeBadRequest", werr.Code)
+	}
+}
+
+// TestFollowerRejectsSubscribers: chaining a follower onto a follower is
+// not supported; the handshake must fail fast with an error frame, not
+// hang the would-be subscriber.
+func TestFollowerRejectsSubscribers(t *testing.T) {
+	f, err := New(Config{Role: RoleFollower, LeaderAddr: "127.0.0.1:1", RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	addr, stop := serveReplTCP(t, f)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sub := wire.Subscribe{ID: "f2"}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.TypeSubscribe, sub.Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		t.Fatalf("follower answered Subscribe with %v", typ)
+	}
+	if werr, _ := wire.DecodeError(payload); werr.Code != wire.CodeBadRequest {
+		t.Fatalf("code %d, want CodeBadRequest", werr.Code)
+	}
+}
+
+// TestFollowerNeverServesMixedEpochRows_Race is the replication-tier
+// mirror of lifecycle's TestRevisionsNeverMixFits_Race: while the leader
+// churns out fresh fits and the follower's stream goroutine applies
+// them, concurrent follower readers hammer the served model and the
+// query path. Replicated models are freshly decoded per frame and
+// installed behind the same ordering as a local fit, so under -race
+// this proves a follower never serves a row from a half-applied frame
+// — and that its served (epoch, rev) sequence never goes backward.
+func TestFollowerNeverServesMixedEpochRows_Race(t *testing.T) {
+	lm := []string{"L1", "L2", "L3", "L4"}
+	leader, err := New(Config{
+		Landmarks:        lm,
+		Dim:              2,
+		Algorithm:        core.SVD,
+		Seed:             1,
+		RefitMinInterval: time.Microsecond,
+		RefitThreshold:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	d := [][]float64{{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}}
+	feed := func(scale float64) {
+		for i, from := range lm {
+			rep := &wire.ReportRTT{From: from}
+			for j, to := range lm {
+				if i != j {
+					rep.Entries = append(rep.Entries, wire.RTTEntry{To: to, RTTMillis: d[i][j] * scale})
+				}
+			}
+			leader.dispatch(wire.TypeReportRTT, rep.Encode(nil))
+		}
+	}
+	feed(1)
+	if _, err := leader.Model(); err != nil {
+		t.Fatal(err)
+	}
+	addr, stopLeader := serveReplTCP(t, leader)
+	defer stopLeader()
+
+	f := newTestFollower(t, addr, "f1")
+	defer f.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.WaitForEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch, lastRev uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := f.qs.served()
+				if st == nil {
+					continue
+				}
+				if st.snap.Epoch < lastEpoch || (st.snap.Epoch == lastEpoch && st.snap.Rev < lastRev) {
+					t.Errorf("follower served order went backward: (%d,%d) -> (%d,%d)",
+						lastEpoch, lastRev, st.snap.Epoch, st.snap.Rev)
+					return
+				}
+				lastEpoch, lastRev = st.snap.Epoch, st.snap.Rev
+				// Touch every row of the served model — the reads the race
+				// detector pits against any write into an installed frame.
+				for i := range st.addrs {
+					for j := range st.addrs {
+						if v := st.snap.Model.EstimateLandmarks(i, j); math.IsNaN(v) {
+							t.Errorf("NaN estimate in replicated snapshot (%d,%d)", st.snap.Epoch, st.snap.Rev)
+							return
+						}
+					}
+				}
+				// And the wire path on top of it.
+				typ, payload := f.dispatch(wire.TypeQueryBatch,
+					(&wire.QueryBatch{From: "L1", Targets: []string{"L2", "L4"}}).Encode(nil))
+				if typ != wire.TypeDistances {
+					t.Errorf("follower QueryBatch answered %v", typ)
+					return
+				}
+				resp, err := wire.DecodeDistances(payload)
+				if err != nil {
+					t.Errorf("torn distances: %v", err)
+					return
+				}
+				for _, r := range resp.Results {
+					if r.Found && (math.IsNaN(r.Millis) || math.IsInf(r.Millis, 0)) {
+						t.Errorf("torn estimate: %v", r.Millis)
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Drive epoch churn from the leader while the readers run.
+	base := leader.Epoch()
+	for round := 0; round < 8; round++ {
+		feed(1 + float64(round)/10)
+		if _, err := leader.Refit(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitForEpoch(ctx, leader.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if leader.Epoch() <= base {
+		t.Fatalf("expected epoch churn, epoch still %d", leader.Epoch())
+	}
+	if served.Load() == 0 {
+		t.Fatal("readers never observed a served generation")
+	}
+	t.Logf("follower served %d reads across epochs %d..%d", served.Load(), base, leader.Epoch())
+}

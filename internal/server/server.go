@@ -21,19 +21,31 @@
 // keep their vectors — until accumulated drift crosses
 // Config.DriftEpochThreshold and a full corrective fit starts a new
 // generation.
+//
+// The server is composed from three layers with distinct roles: a
+// network front-end (frontend.go) that owns connections and dispatch, a
+// read-only QueryService (queryservice.go) over the directory and query
+// engine, and a write-side ModelPipeline (pipeline.go) wrapping the
+// lifecycle refitter. The replication tier builds on that seam: a
+// leader (any server with a pipeline — the default role) streams
+// published snapshots and directory changes to subscribed followers
+// (replication.go), and a follower (Config.Role RoleFollower) runs only
+// the QueryService, applying the stream atomically and forwarding write
+// requests to the leader (follower.go). Followers answer all read
+// traffic locally — including during total leader loss, when they keep
+// serving the last replicated generation — at the same zero-alloc,
+// KD-tree-indexed speed as a standalone server.
 package server
 
 import (
-	"bufio"
-	"context"
 	"fmt"
-	"io"
 	"log"
-	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"context"
 
 	"github.com/ides-go/ides/internal/core"
 	"github.com/ides-go/ides/internal/lifecycle"
@@ -41,13 +53,42 @@ import (
 	"github.com/ides-go/ides/internal/solve"
 	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/transport"
-	"github.com/ides-go/ides/internal/wire"
 )
+
+// Role selects which layers a server runs.
+type Role int
+
+const (
+	// RoleLeader (the default) runs the full stack: the model pipeline,
+	// the query service, and the replication hub that streams state to
+	// subscribed followers. A standalone single-server deployment is
+	// simply a leader with no followers.
+	RoleLeader Role = iota
+	// RoleFollower runs only the query service: the model and directory
+	// arrive over a replication stream from LeaderAddr, reads are served
+	// locally, and write requests (reports, registrations) are forwarded
+	// to the leader. A follower keeps serving its last replicated
+	// generation while the leader is unreachable.
+	RoleFollower
+)
+
+// String names the role for logs and flags.
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
 
 // Config parameterizes a Server.
 type Config struct {
 	// Landmarks lists the landmark addresses. Reports from other sources
-	// are rejected.
+	// are rejected. Required for leaders; a follower learns the landmark
+	// set from the replication stream and may leave it empty.
 	Landmarks []string
 	// Dim is the model dimensionality (default 10, the paper's tradeoff).
 	Dim int
@@ -121,9 +162,21 @@ type Config struct {
 	// host re-solve. Default 0.15; negative disables drift-triggered
 	// refits. Only meaningful with an incremental solver.
 	DriftEpochThreshold float64
+	// Role selects leader (default) or follower. See the Role constants.
+	Role Role
+	// LeaderAddr is the leader this follower subscribes to and forwards
+	// writes to. Required when Role is RoleFollower; ignored otherwise.
+	LeaderAddr string
+	// FollowerID names this follower in the leader's logs and lag
+	// metrics. Defaults to "follower".
+	FollowerID string
+	// LeaderDialer dials the leader for both the replication stream and
+	// forwarded writes. Defaults to a plain net.Dialer; the simnet
+	// harness injects fabric hosts here.
+	LeaderDialer transport.Dialer
 	// Metrics, when non-nil, receives the server's instrument families
-	// (requests, reports, model lifecycle, query latency) for scraping.
-	// Nil disables instrumentation entirely.
+	// (requests, reports, model lifecycle, query latency, replication)
+	// for scraping. Nil disables instrumentation entirely.
 	Metrics *telemetry.Registry
 	// History, when non-nil, receives the append-only operational log:
 	// the server's configuration at startup, every accepted measurement,
@@ -134,7 +187,10 @@ type Config struct {
 	Logger *log.Logger
 }
 
-// Server is the IDES information server. Create with New, run with Serve.
+// Server is the IDES information server. Create with New, run with
+// Serve. It composes a network front-end, a read-side QueryService, and
+// — except on followers — a write-side ModelPipeline plus the
+// replication hub; see the package comment for the role split.
 type Server struct {
 	cfg     Config
 	lmIndex map[string]int
@@ -143,22 +199,18 @@ type Server struct {
 	// sweeps and the refitter read it concurrently.
 	now atomic.Pointer[func() time.Time]
 
-	// refit owns the model lifecycle: epoch-stamped immutable snapshots,
-	// the measurement delta queue, and the background solver work — full
-	// fits and incremental updates alike. The solver behind it owns the
-	// raw landmark measurement matrix; report handlers only validate and
-	// enqueue deltas. Handlers read snapshots lock-free; no request
-	// handler ever runs a factorization or a model update.
-	refit *lifecycle.Refitter
-
-	// dir holds registered host vectors, sharded for concurrent access.
-	// engine answers point, batch and k-NN queries over it, falling back
-	// to landmark model vectors for landmark addresses; its resolver is
-	// pinned to one model generation and the pointer is swapped on refit,
-	// so queries touching several landmarks never mix two fits and the
-	// hot path takes no lock and allocates nothing to resolve.
-	dir    *query.Directory
-	engine atomic.Pointer[query.Engine]
+	// qs is the read side: directory, per-generation query engine, and
+	// every read-only handler. Present in all roles.
+	qs *QueryService
+	// pipeline is the write side: solver, delta queue, refitter. Nil on
+	// followers.
+	pipeline *ModelPipeline
+	// repl streams snapshots and directory deltas to subscribed
+	// followers. Nil on followers.
+	repl *replicator
+	// follower replicates from LeaderAddr and forwards writes. Nil
+	// except in RoleFollower.
+	follower *follower
 
 	// metrics and history are the optional observability sinks; both are
 	// nil-safe throughout (disabled telemetry costs one nil check).
@@ -168,9 +220,20 @@ type Server struct {
 	connWG sync.WaitGroup
 }
 
-// New validates cfg and builds a Server.
+// New validates cfg and builds a Server. A follower starts replicating
+// immediately; Close stops it.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Landmarks) < 2 {
+	if cfg.Role == RoleFollower {
+		if cfg.LeaderAddr == "" {
+			return nil, fmt.Errorf("server: follower requires a leader address")
+		}
+		if cfg.FollowerID == "" {
+			cfg.FollowerID = "follower"
+		}
+		if cfg.LeaderDialer == nil {
+			cfg.LeaderDialer = &net.Dialer{}
+		}
+	} else if len(cfg.Landmarks) < 2 {
 		return nil, fmt.Errorf("server: need at least 2 landmarks, got %d", len(cfg.Landmarks))
 	}
 	if cfg.Dim <= 0 {
@@ -201,15 +264,6 @@ func New(cfg Config) (*Server, error) {
 		}
 		idx[addr] = i
 	}
-	solver, err := solve.New(cfg.Solver, len(cfg.Landmarks), core.FitOptions{
-		Dim:       cfg.Dim,
-		Algorithm: cfg.Algorithm,
-		Seed:      cfg.Seed,
-		NMFIters:  cfg.NMFIters,
-	}, solve.SGDOptions{Rate: cfg.SGDRate, Reg: cfg.SGDReg})
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
-	}
 	s := &Server{
 		cfg:     cfg,
 		lmIndex: idx,
@@ -225,21 +279,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics != nil {
 		qc.Metrics = query.NewMetrics(cfg.Metrics)
 	}
-	s.dir = query.New(qc)
-	s.setEngine(nil)
-	s.refit = lifecycle.New(solver, lifecycle.Config{
-		BaseEpoch:      cfg.BaseEpoch,
-		MinInterval:    cfg.RefitMinInterval,
-		Threshold:      cfg.RefitThreshold,
-		DriftThreshold: cfg.DriftEpochThreshold,
-		Now:            s.clock,
-		OnSwap:         s.installSnapshot,
-		OnEvent:        s.onModelEvent,
-		OnError:        func(err error) { s.logf("background model update failed (will retry): %v", err) },
-	})
-	s.metrics = newServerMetrics(cfg.Metrics, s)
+	s.qs = newQueryService(query.New(qc), cfg)
 	s.history = cfg.History
-	if s.history != nil {
+	if cfg.Role == RoleFollower {
+		f, err := newFollower(cfg, s.qs, s.logf)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.follower = f
+	} else {
+		p, err := newModelPipeline(cfg, s.clock, idx,
+			s.installSnapshot,
+			s.onModelEvent,
+			func(err error) { s.logf("background model update failed (will retry): %v", err) })
+		if err != nil {
+			return nil, err
+		}
+		s.pipeline = p
+		s.repl = newReplicator(s)
+		s.qs.onRegister = s.repl.publishRegister
+	}
+	s.metrics = newServerMetrics(cfg.Metrics, s)
+	if s.history != nil && s.pipeline != nil {
 		if err := s.history.Append(&telemetry.ConfigRecord{
 			TimeUnixNanos:  s.history.Now(),
 			Dim:            cfg.Dim,
@@ -250,15 +311,28 @@ func New(cfg Config) (*Server, error) {
 			DriftThreshold: cfg.DriftEpochThreshold,
 			Landmarks:      cfg.Landmarks,
 		}); err != nil {
+			s.Close()
 			return nil, fmt.Errorf("server: recording config: %w", err)
 		}
 	}
 	return s, nil
 }
 
-// Close stops the background refitter. The server keeps serving the
-// last published snapshot; Serve is unaffected. Safe to call twice.
-func (s *Server) Close() { s.refit.Close() }
+// Close stops the background machinery: the refitter on a leader, the
+// replication stream and forwarding pool on a follower. The server
+// keeps serving the last published snapshot; Serve is unaffected. Safe
+// to call twice.
+func (s *Server) Close() {
+	if s.pipeline != nil {
+		s.pipeline.Close()
+	}
+	if s.follower != nil {
+		s.follower.Close()
+	}
+}
+
+// Role returns the role the server was configured with.
+func (s *Server) Role() Role { return s.cfg.Role }
 
 // clock reads the (possibly injected) server clock.
 func (s *Server) clock() time.Time { return (*s.now.Load())() }
@@ -269,379 +343,19 @@ func (s *Server) clock() time.Time { return (*s.now.Load())() }
 // serving; production deployments never call it.
 func (s *Server) SetNow(now func() time.Time) { s.now.Store(&now) }
 
-// setEngine installs the query engine for a (possibly nil) fitted model.
-// The resolver closure pins that model generation: models are immutable
-// once fitted, so handlers that Load the engine once per request can
-// resolve any number of landmark addresses without locks and without
-// ever mixing vectors from two fits.
-func (s *Server) setEngine(m *core.Model) {
-	s.engine.Store(query.NewEngine(s.dir, func(addr string) (core.Vectors, bool) {
-		i, ok := s.lmIndex[addr]
-		if !ok || m == nil {
-			return core.Vectors{}, false
-		}
-		return m.Vectors(i), true
-	}))
-}
-
-// installSnapshot swaps every per-generation consumer over to a freshly
-// published snapshot. It runs on the refitter's worker goroutine just
-// before the snapshot becomes visible. For a full fit (Rev 0) ordering
-// matters: the directory epoch advances first — vectors solved against
-// the old model stop resolving — and only then does the engine start
-// serving the new landmark vectors, so no query ever dots vectors from
-// two different fits. An incremental revision keeps the epoch, and with
-// it every registered host vector: only the engine's landmark resolver
-// swaps to the refreshed model.
+// installSnapshot is the leader's OnSwap hook: it installs a freshly
+// published snapshot into the QueryService (directory epoch → engine →
+// served snapshot → k-NN rebuild; see QueryService.Install for why the
+// order matters) and then streams it to subscribed followers, who apply
+// it with the same ordering. Runs on the refitter's worker goroutine
+// just before the snapshot becomes visible through the pipeline.
 func (s *Server) installSnapshot(snap *lifecycle.Snapshot) {
 	if snap.Rev == 0 {
-		s.dir.AdvanceEpoch(snap.Epoch)
 		s.logf("model refit: epoch %d, %d landmarks, d=%d, algorithm=%v",
 			snap.Epoch, len(s.cfg.Landmarks), snap.Model.Dim(), snap.Model.Algorithm)
 	}
-	s.setEngine(snap.Model)
-	if snap.Rev == 0 {
-		// A full fit started a new generation: every directory entry the
-		// spatial k-NN index covered just went stale with the epoch. Kick
-		// off the rebuild for the new generation in the background (no-op
-		// under the index size threshold); KNearest serves exact scans
-		// until it lands.
-		s.engine.Load().RebuildKNNIndexAsync()
-	}
-}
-
-// Serve accepts and handles connections on ln until ctx is cancelled or
-// the listener fails. It closes ln on return and waits for in-flight
-// connections to finish.
-func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	defer s.connWG.Wait()
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("server: accept: %w", err)
-		}
-		s.connWG.Add(1)
-		go func() {
-			defer s.connWG.Done()
-			s.handleConn(ctx, conn)
-		}()
-	}
-}
-
-func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
-	s.metrics.connOpened()
-	defer s.metrics.connClosed()
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
-	// Two distinct budgets per iteration: IdleTimeout covers only the
-	// wait for a request's first bytes (pooled clients keep connections
-	// open between calls), and RequestTimeout covers everything after —
-	// the rest of the frame (armed by the wrapper as soon as data
-	// arrives, so a slow-loris trickler cannot stretch one request over
-	// the idle budget), then dispatch and the response write (re-armed
-	// after the read). Conflating them would either kill pooled idle
-	// connections after one request budget or let a stalled reader or
-	// writer hold the connection for the whole idle budget.
-	rc := &transport.RequestConn{Conn: conn, Budget: s.cfg.RequestTimeout}
-	// Conn-local buffers make the steady-state request loop allocation-
-	// free: the read scratch, the response payload and the outgoing frame
-	// all persist across requests and are only ever re-sliced. The
-	// buffered reader coalesces the header and payload of small frames
-	// into one kernel read, and AppendFrame + a single Write sends the
-	// response in one syscall instead of WriteFrame's two.
-	br := bufio.NewReaderSize(rc, 4096)
-	var readBuf, respBuf, frameBuf []byte
-	for {
-		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
-			return
-		}
-		rc.Rearm()
-		t, payload, scratch, err := wire.ReadFrameInto(br, readBuf)
-		readBuf = scratch
-		if err != nil {
-			if err != io.EOF && ctx.Err() == nil {
-				s.logf("read from %v: %v", conn.RemoteAddr(), err)
-			}
-			return
-		}
-		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
-			return
-		}
-		var start time.Time
-		if s.metrics != nil {
-			start = time.Now()
-		}
-		respT, respPayload := s.dispatchTo(t, payload, respBuf[:0])
-		respBuf = respPayload
-		if s.metrics != nil {
-			s.metrics.observeRequest(t, time.Since(start))
-		}
-		frameBuf = wire.AppendFrame(frameBuf[:0], respT, respPayload)
-		if _, err := conn.Write(frameBuf); err != nil {
-			s.logf("write to %v: %v", conn.RemoteAddr(), err)
-			return
-		}
-	}
-}
-
-// dispatch handles one request and returns the response frame. It is the
-// allocate-per-call convenience form of dispatchTo, for in-process
-// callers and tests.
-func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte) {
-	return s.dispatchTo(t, payload, nil)
-}
-
-// dispatchTo handles one request, appending the response payload to dst.
-// Handlers own dst for the duration of the call and must return a slice
-// based on it (possibly grown), so the connection loop can recycle one
-// buffer across requests. The returned payload must not alias the
-// request payload: the read scratch is reused before the response is
-// framed on some paths.
-func (s *Server) dispatchTo(t wire.MsgType, payload, dst []byte) (wire.MsgType, []byte) {
-	switch t {
-	case wire.TypePing:
-		tok, err := wire.PingToken(payload)
-		if err != nil {
-			return errFrame(dst, wire.CodeBadRequest, err.Error())
-		}
-		pong := wire.Pong{Token: tok}
-		return wire.TypePong, pong.Encode(dst)
-	case wire.TypeGetInfo:
-		return s.handleGetInfo(dst)
-	case wire.TypeGetModel:
-		return s.handleGetModel(dst)
-	case wire.TypeReportRTT:
-		return s.handleReport(payload, dst)
-	case wire.TypeRegisterHost:
-		return s.handleRegister(payload, dst)
-	case wire.TypeGetVectors:
-		return s.handleGetVectors(payload, dst)
-	case wire.TypeQueryDist:
-		return s.handleQueryDist(payload, dst)
-	case wire.TypeQueryBatch:
-		return s.handleQueryBatch(payload, dst)
-	case wire.TypeQueryKNN:
-		return s.handleQueryKNN(payload, dst)
-	default:
-		return errFrame(dst, wire.CodeUnknownType, fmt.Sprintf("unhandled message type %v", t))
-	}
-}
-
-func (s *Server) handleGetInfo(dst []byte) (wire.MsgType, []byte) {
-	info := &wire.Info{
-		Dim:          uint32(s.cfg.Dim),
-		NumLandmarks: uint32(len(s.cfg.Landmarks)),
-		Algorithm:    s.cfg.Algorithm.String(),
-	}
-	if snap := s.refit.Snapshot(); snap != nil {
-		info.ModelReady = true
-		info.Epoch = snap.Epoch
-		info.Dim = uint32(snap.Model.Dim())
-	}
-	return wire.TypeInfo, info.Encode(dst)
-}
-
-func (s *Server) handleGetModel(dst []byte) (wire.MsgType, []byte) {
-	// Ready serves the live snapshot without blocking. Only when no model
-	// has ever been fit does it wait — for a fit run by the refitter
-	// goroutine, not this handler — because there is nothing to serve
-	// stale in the meantime.
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
-	defer cancel()
-	snap, err := s.refit.Ready(ctx)
-	if err != nil {
-		return errFrame(dst, wire.CodeModelNotFit, err.Error())
-	}
-	model := snap.Model
-	msg := &wire.Model{
-		Dim:       uint32(model.Dim()),
-		Algorithm: model.Algorithm.String(),
-		Epoch:     snap.Epoch,
-		Landmarks: make([]wire.LandmarkVec, len(s.cfg.Landmarks)),
-	}
-	for i, addr := range s.cfg.Landmarks {
-		// Vector storage is shared with the model, which is immutable;
-		// Encode only reads it.
-		msg.Landmarks[i] = wire.LandmarkVec{
-			Addr: addr,
-			Out:  model.Outgoing(i),
-			In:   model.Incoming(i),
-		}
-	}
-	return wire.TypeModel, msg.Encode(dst)
-}
-
-func (s *Server) handleReport(payload, dst []byte) (wire.MsgType, []byte) {
-	rep, err := wire.DecodeReportRTT(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	// lmIndex is immutable after New, so validation takes no lock; the
-	// accepted measurements go to the model solver as a delta batch. The
-	// refitter applies them off the request path: the batch solver just
-	// records them ahead of the next full fit, the SGD solver also folds
-	// them into the model at O(d) per measurement — either way this
-	// handler never waits on a factorization.
-	from, ok := s.lmIndex[rep.From]
-	if !ok {
-		return errFrame(dst, wire.CodeNotLandmark, fmt.Sprintf("unknown landmark %q", rep.From))
-	}
-	accepted := make([]solve.Delta, 0, len(rep.Entries))
-	for _, e := range rep.Entries {
-		to, ok := s.lmIndex[e.To]
-		if !ok || to == from {
-			continue
-		}
-		if e.RTTMillis < 0 || math.IsNaN(e.RTTMillis) || math.IsInf(e.RTTMillis, 0) {
-			continue
-		}
-		accepted = append(accepted, solve.Delta{From: from, To: to, Millis: e.RTTMillis})
-	}
-	s.metrics.observeReport(len(accepted), len(rep.Entries)-len(accepted))
-	if len(accepted) > 0 {
-		s.recordReports(accepted)
-		s.refit.Deltas(accepted)
-	}
-	return wire.TypeAck, dst
-}
-
-func (s *Server) handleRegister(payload, dst []byte) (wire.MsgType, []byte) {
-	reg, err := wire.DecodeRegisterHost(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	if reg.Addr == "" {
-		return errFrame(dst, wire.CodeBadRequest, "empty host address")
-	}
-	var cur uint64
-	want := s.cfg.Dim
-	if snap := s.refit.Snapshot(); snap != nil {
-		cur = snap.Epoch
-		want = snap.Model.Dim()
-	}
-	// During snapshot publication the directory epoch advances before
-	// the snapshot becomes visible; in that window the directory is the
-	// authority — accepting a registration at the snapshot's older epoch
-	// would Ack an entry that is dead on arrival.
-	if de := s.dir.Epoch(); de > cur {
-		cur = de
-	}
-	// Vectors solved against a replaced model generation must not enter
-	// the directory: estimates would mix two fits. Epoch 0 marks a
-	// pre-epoch client and is accepted as unversioned.
-	if reg.Epoch != 0 && reg.Epoch != cur {
-		return errFrame(dst, wire.CodeStaleEpoch,
-			fmt.Sprintf("vectors solved against epoch %d, server at epoch %d: re-fetch the model and re-solve", reg.Epoch, cur))
-	}
-	if len(reg.Out) != want || len(reg.In) != want {
-		return errFrame(dst, wire.CodeBadRequest,
-			fmt.Sprintf("vector dimension %d/%d, want %d", len(reg.Out), len(reg.In), want))
-	}
-	// The directory shard-locks internally; expiry of stale entries is
-	// amortized into its per-shard sweeps, so registration is O(1).
-	s.dir.PutEpoch(reg.Addr, core.Vectors{Out: reg.Out, In: reg.In}, reg.Epoch)
-	return wire.TypeAck, dst
-}
-
-func (s *Server) handleGetVectors(payload, dst []byte) (wire.MsgType, []byte) {
-	addr, err := wire.GetVectorsView(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	var resp wire.Vectors
-	if v, ok := s.engine.Load().LookupBytes(addr); ok {
-		resp.Found = true
-		resp.Out = v.Out
-		resp.In = v.In
-	}
-	// Stamp the epoch after the lookup: a refit landing in between then
-	// yields data from the old generation stamped with the new epoch,
-	// which errs toward client recovery. The reverse order could stamp
-	// new-generation data with the old epoch and suppress it.
-	resp.Epoch = s.refit.Epoch()
-	return wire.TypeVectors, resp.Encode(dst)
-}
-
-// handleQueryDist is the point-query hot path: address views straight
-// off the request payload, a byte-keyed directory lookup, one fused dot
-// product, and a response encoded into the connection's scratch — no
-// heap allocation anywhere on the found path.
-func (s *Server) handleQueryDist(payload, dst []byte) (wire.MsgType, []byte) {
-	from, to, err := wire.QueryDistView(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	var resp wire.Distance
-	resp.Millis, resp.Found = s.engine.Load().EstimatePair(from, to)
-	return wire.TypeDistance, resp.Encode(dst)
-}
-
-// handleQueryBatch answers one-source → many-targets in a single round
-// trip: all estimates fall out of one matrix-vector product.
-func (s *Server) handleQueryBatch(payload, dst []byte) (wire.MsgType, []byte) {
-	req, err := wire.DecodeQueryBatch(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	if len(req.Targets) > s.cfg.MaxBatch {
-		return errFrame(dst, wire.CodeBadRequest,
-			fmt.Sprintf("batch names %d targets, limit %d", len(req.Targets), s.cfg.MaxBatch))
-	}
-	eng := s.engine.Load()
-	resp := &wire.Distances{Results: make([]wire.DistResult, len(req.Targets))}
-	// Epoch stamped after the engine work, for the same recovery-biased
-	// ordering as handleGetVectors.
-	src, ok := eng.Lookup(req.From)
-	if !ok {
-		resp.Epoch = s.refit.Epoch()
-		return wire.TypeDistances, resp.Encode(dst)
-	}
-	resp.SrcFound = true
-	for i, est := range eng.EstimateBatch(src, req.Targets) {
-		resp.Results[i] = wire.DistResult{Found: est.Found, Millis: est.Millis}
-	}
-	resp.Epoch = s.refit.Epoch()
-	return wire.TypeDistances, resp.Encode(dst)
-}
-
-// handleQueryKNN answers "the K registered hosts closest to From" with a
-// partial-heap selection over the sharded directory.
-func (s *Server) handleQueryKNN(payload, dst []byte) (wire.MsgType, []byte) {
-	req, err := wire.DecodeQueryKNN(payload)
-	if err != nil {
-		return errFrame(dst, wire.CodeBadRequest, err.Error())
-	}
-	if req.K == 0 {
-		return errFrame(dst, wire.CodeBadRequest, "k must be positive")
-	}
-	k := int(req.K)
-	if k > s.cfg.MaxKNN {
-		k = s.cfg.MaxKNN
-	}
-	eng := s.engine.Load()
-	resp := &wire.Neighbors{}
-	src, ok := eng.Lookup(req.From)
-	if !ok {
-		resp.Epoch = s.refit.Epoch()
-		return wire.TypeNeighbors, resp.Encode(dst)
-	}
-	resp.SrcFound = true
-	neighbors := eng.KNearest(src, k, query.KNNOptions{Exclude: req.From})
-	resp.Entries = make([]wire.NeighborEntry, len(neighbors))
-	for i, n := range neighbors {
-		resp.Entries[i] = wire.NeighborEntry{Addr: n.Addr, Millis: n.Millis}
-	}
-	// Post-work stamp: see handleGetVectors for the ordering rationale.
-	resp.Epoch = s.refit.Epoch()
-	return wire.TypeNeighbors, resp.Encode(dst)
+	s.qs.Install(snap, s.cfg.Landmarks, s.lmIndex)
+	s.repl.publishSnapshot(snap, s.cfg.Landmarks)
 }
 
 // Model returns the current landmark model with read-your-writes
@@ -649,9 +363,13 @@ func (s *Server) handleQueryKNN(payload, dst []byte) (wire.MsgType, []byte) {
 // every measurement reported before the call — by waiting out the
 // incremental revision that covers them under the SGD solver, or by a
 // full refit otherwise. Wire handlers never take this path: they serve
-// the published snapshot as-is.
+// the published snapshot as-is. Errors on a follower, which has no
+// pipeline to flush — read its replicated model via Engine or GetModel.
 func (s *Server) Model() (*core.Model, error) {
-	snap, err := s.refit.Refresh(context.Background())
+	if s.pipeline == nil {
+		return nil, fmt.Errorf("server: follower has no model pipeline")
+	}
+	snap, err := s.pipeline.Refresh(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -659,24 +377,35 @@ func (s *Server) Model() (*core.Model, error) {
 }
 
 // Epoch returns the epoch of the model generation currently being
-// served, 0 before the first fit.
-func (s *Server) Epoch() uint64 { return s.refit.Epoch() }
+// served, 0 before the first fit (or, on a follower, before the first
+// replicated snapshot).
+func (s *Server) Epoch() uint64 { return s.qs.Epoch() }
 
 // Quiesce blocks until the model-update pipeline is fully drained: all
 // reported measurements applied, no fit in flight, and no scheduled
 // follow-up work (including drift-triggered corrective fits). Unlike
 // Refit it never forces work that is not already owed. It is the sync
-// hook deterministic scenario tests step on instead of sleeping.
+// hook deterministic scenario tests step on instead of sleeping. On a
+// follower it returns immediately: there is no pipeline to drain.
 func (s *Server) Quiesce(ctx context.Context) error {
-	_, err := s.refit.Quiesce(ctx)
+	if s.pipeline == nil {
+		return nil
+	}
+	_, err := s.pipeline.Quiesce(ctx)
 	return err
 }
 
 // LifecycleStats returns the model lifecycle counters: the published
 // (epoch, rev) pair plus lifetime full fits, incremental revisions, and
 // measurement deltas applied — the observability hook the solver
-// benchmark and operators read.
-func (s *Server) LifecycleStats() lifecycle.Stats { return s.refit.Stats() }
+// benchmark and operators read. On a follower the counters are zero
+// except Epoch/Rev, which report the applied replicated position.
+func (s *Server) LifecycleStats() lifecycle.Stats {
+	if s.pipeline == nil {
+		return lifecycle.Stats{Epoch: s.qs.Epoch(), Rev: s.qs.Rev()}
+	}
+	return s.pipeline.Stats()
+}
 
 // Refit synchronously folds all pending measurements into the served
 // model and returns the resulting epoch — an operational hook for tests
@@ -684,9 +413,13 @@ func (s *Server) LifecycleStats() lifecycle.Stats { return s.refit.Stats() }
 // schedule. With the batch solver any pending measurement costs a full
 // fit and bumps the epoch; with the SGD solver measurements already
 // covered by an incremental revision return that revision's (unchanged)
-// epoch instead — callers must not assume the epoch moves.
+// epoch instead — callers must not assume the epoch moves. Errors on a
+// follower.
 func (s *Server) Refit(ctx context.Context) (uint64, error) {
-	snap, err := s.refit.Refresh(ctx)
+	if s.pipeline == nil {
+		return 0, fmt.Errorf("server: follower cannot refit")
+	}
+	snap, err := s.pipeline.Refresh(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -697,16 +430,79 @@ func (s *Server) Refit(ctx context.Context) (uint64, error) {
 // registered hosts. It reads the directory's per-shard counters instead
 // of scanning every entry; the count is exact within one sweep interval
 // of any expiry.
-func (s *Server) NumHosts() int { return s.dir.Len() }
+func (s *Server) NumHosts() int { return s.qs.dir.Len() }
 
 // Engine exposes the server's query engine for in-process callers (the
 // idesbench bulk-query workload, tests); remote callers use the
 // QueryBatch/QueryKNN wire messages.
-func (s *Server) Engine() *query.Engine { return s.engine.Load() }
+func (s *Server) Engine() *query.Engine { return s.qs.engine.Load() }
 
-func errFrame(dst []byte, code uint16, text string) (wire.MsgType, []byte) {
-	e := wire.Error{Code: code, Text: text}
-	return wire.TypeError, e.Encode(dst)
+// WaitForEpoch blocks until the served model generation reaches epoch —
+// the deterministic sync hook cluster tests use to wait for a follower
+// to converge on a leader's fit instead of sleeping.
+func (s *Server) WaitForEpoch(ctx context.Context, epoch uint64) error {
+	if s.qs.Epoch() >= epoch {
+		return nil
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if s.qs.Epoch() >= epoch {
+				return nil
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("server: waiting for epoch %d (at %d): %w", epoch, s.qs.Epoch(), ctx.Err())
+		}
+	}
+}
+
+// ReplicationStats reports the replication tier's counters for whichever
+// side of it this server is on.
+type ReplicationStats struct {
+	// Role is the server's configured role.
+	Role Role
+	// Subscribers is the number of currently connected followers
+	// (leader side).
+	Subscribers int
+	// FramesSent/BytesSent count replication frames streamed to
+	// followers (leader side).
+	FramesSent uint64
+	BytesSent  uint64
+	// Connected reports whether the replication stream to the leader is
+	// live (follower side).
+	Connected bool
+	// AppliedEpoch/AppliedRev are the last replicated snapshot position
+	// applied locally (follower side).
+	AppliedEpoch uint64
+	AppliedRev   uint64
+	// FramesApplied/BytesApplied count stream frames consumed (follower
+	// side).
+	FramesApplied uint64
+	BytesApplied  uint64
+	// Reconnects counts stream re-establishment attempts after the
+	// initial subscription (follower side).
+	Reconnects uint64
+}
+
+// ReplicationStats returns the replication counters for this server.
+func (s *Server) ReplicationStats() ReplicationStats {
+	st := ReplicationStats{Role: s.cfg.Role}
+	if s.repl != nil {
+		st.Subscribers = s.repl.subscribers()
+		st.FramesSent = s.repl.framesSent.Load()
+		st.BytesSent = s.repl.bytesSent.Load()
+	}
+	if s.follower != nil {
+		st.Connected = s.follower.connected.Load()
+		st.AppliedEpoch = s.follower.appliedEpoch.Load()
+		st.AppliedRev = s.follower.appliedRev.Load()
+		st.FramesApplied = s.follower.framesApplied.Load()
+		st.BytesApplied = s.follower.bytesApplied.Load()
+		st.Reconnects = s.follower.reconnects.Load()
+	}
+	return st
 }
 
 func (s *Server) logf(format string, args ...interface{}) {

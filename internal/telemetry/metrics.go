@@ -334,6 +334,27 @@ func (v *CounterVec) With(value string) *Counter {
 	return v.fam.child(value, func() any { return new(Counter) }).(*Counter)
 }
 
+// GaugeVec is a family of gauges partitioned by one label.
+type GaugeVec struct {
+	fam *family
+}
+
+// GaugeVec returns the labelled gauge family named name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, gaugeType, label, nil)}
+}
+
+// With returns the child gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(value, func() any { return new(Gauge) }).(*Gauge)
+}
+
 // HistogramVec is a family of histograms partitioned by one label.
 type HistogramVec struct {
 	fam *family

@@ -89,6 +89,9 @@ type Pool struct {
 	mu     sync.Mutex
 	hosts  map[string]*hostPool
 	closed bool
+	// vecs, once RegisterMetrics runs, are the per-endpoint labelled
+	// families new hostPools resolve their cached children from.
+	vecs *poolVecs
 
 	// arena recycles the frame/decode scratch buffers Call hands to each
 	// checked-out connection. Buffers live here — not on parked idle
@@ -124,6 +127,68 @@ type hostPool struct {
 	// reapScheduled dedups the idle-reap timer: at most one is armed per
 	// host at a time.
 	reapScheduled bool
+
+	// stats are this endpoint's own counters, feeding EndpointStats and
+	// the labelled metric children. The pool-global atomics stay the
+	// aggregate answer for Stats().
+	stats hostStats
+	// mets caches this endpoint's labelled instrument children so the
+	// hot path increments an atomic instead of taking the vec's child
+	// lookup lock per call. Swapped atomically because counting happens
+	// outside p.mu on some paths; nil until RegisterMetrics.
+	mets atomic.Pointer[endpointMetrics]
+}
+
+// noMetrics is the shared children bundle before RegisterMetrics: all
+// instruments nil, every method a no-op.
+var noMetrics endpointMetrics
+
+// m returns the endpoint's cached children, never nil.
+func (hp *hostPool) m() *endpointMetrics {
+	if m := hp.mets.Load(); m != nil {
+		return m
+	}
+	return &noMetrics
+}
+
+// syncIdleGauge publishes the idle-list length to the endpoint's gauge.
+// Callers hold p.mu (the idle list is only mutated under it).
+func (hp *hostPool) syncIdleGauge() { hp.m().idle.Set(float64(len(hp.idle))) }
+
+// countDiscard records one dropped connection against the endpoint.
+func (hp *hostPool) countDiscard() {
+	hp.stats.discards.Add(1)
+	hp.m().discards.Inc()
+}
+
+// hostStats are one endpoint's lifetime counters.
+type hostStats struct {
+	dials, reuses, retries, discards atomic.Int64
+}
+
+// endpointMetrics holds one endpoint's labelled children of the
+// ides_pool_* families.
+type endpointMetrics struct {
+	dials, reuses, retries, discards *telemetry.Counter
+	idle                             *telemetry.Gauge
+}
+
+// poolVecs are the per-endpoint metric families, labelled by server
+// address.
+type poolVecs struct {
+	dials, reuses, retries, discards *telemetry.CounterVec
+	idle                             *telemetry.GaugeVec
+}
+
+// resolve materializes hp's cached children for addr.
+func (v *poolVecs) resolve(addr string, hp *hostPool) {
+	hp.mets.Store(&endpointMetrics{
+		dials:    v.dials.With(addr),
+		reuses:   v.reuses.With(addr),
+		retries:  v.retries.With(addr),
+		discards: v.discards.With(addr),
+		idle:     v.idle.With(addr),
+	})
 }
 
 type idleConn struct {
@@ -217,14 +282,16 @@ func (p *Pool) call(ctx context.Context, addr string, t wire.MsgType, payload, b
 		if reused && attempt == 0 && ctx.Err() == nil {
 			// The pooled connection most likely died while idle; one
 			// replay on a fresh connection.
-			p.retries.Add(1)
+			p.countRetry(addr)
 			continue
 		}
 		return 0, nil, buf, err
 	}
 }
 
-// Stats returns a snapshot of the pool's activity counters.
+// Stats returns a snapshot of the pool's activity counters, aggregated
+// across all endpoints. EndpointStats breaks the same counters down per
+// server address.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
 		Dials:    p.dials.Load(),
@@ -235,26 +302,57 @@ func (p *Pool) Stats() PoolStats {
 	}
 }
 
+// EndpointStats returns each endpoint's own counters, keyed by server
+// address. A multi-server client pools connections to several endpoints
+// at once; the aggregate Stats hides which endpoint is churning
+// (redialing, discarding) while the others hum, which is exactly what
+// failover debugging needs to see.
+func (p *Pool) EndpointStats() map[string]PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PoolStats, len(p.hosts))
+	for addr, hp := range p.hosts {
+		out[addr] = PoolStats{
+			Dials:    hp.stats.dials.Load(),
+			Reuses:   hp.stats.reuses.Load(),
+			Retries:  hp.stats.retries.Load(),
+			Discards: hp.stats.discards.Load(),
+			Idle:     len(hp.idle),
+		}
+	}
+	return out
+}
+
 // RegisterMetrics exposes the pool's counters through reg under the
-// ides_pool_* families, read live at scrape time — the scrapeable
-// replacement for logging a one-shot Stats() line at exit. Safe on a
-// nil registry.
+// ides_pool_* families, labelled by server endpoint — the scrapeable
+// replacement for logging a one-shot Stats() line at exit. Endpoints
+// appear in the exposition as they are first dialed. Safe on a nil
+// registry.
 func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
-	reg.CounterFunc("ides_pool_dials_total",
-		"Connections dialed by the client pool.",
-		func() float64 { return float64(p.dials.Load()) })
-	reg.CounterFunc("ides_pool_reuses_total",
-		"Calls served over a pooled connection.",
-		func() float64 { return float64(p.reuses.Load()) })
-	reg.CounterFunc("ides_pool_retries_total",
-		"Calls replayed on a fresh connection after a pooled one died.",
-		func() float64 { return float64(p.retries.Load()) })
-	reg.CounterFunc("ides_pool_discards_total",
-		"Connections dropped: broken, idled out, or surplus.",
-		func() float64 { return float64(p.discards.Load()) })
-	reg.GaugeFunc("ides_pool_idle_conns",
-		"Connections currently idle in the pool.",
-		func() float64 { return float64(p.idleCount()) })
+	vecs := &poolVecs{
+		dials: reg.CounterVec("ides_pool_dials_total",
+			"Connections dialed by the client pool, by server endpoint.", "endpoint"),
+		reuses: reg.CounterVec("ides_pool_reuses_total",
+			"Calls served over a pooled connection, by server endpoint.", "endpoint"),
+		retries: reg.CounterVec("ides_pool_retries_total",
+			"Calls replayed on a fresh connection after a pooled one died, by server endpoint.", "endpoint"),
+		discards: reg.CounterVec("ides_pool_discards_total",
+			"Connections dropped (broken, idled out, or surplus), by server endpoint.", "endpoint"),
+		idle: reg.GaugeVec("ides_pool_idle_conns",
+			"Connections currently idle in the pool, by server endpoint.", "endpoint"),
+	}
+	p.mu.Lock()
+	p.vecs = vecs
+	for addr, hp := range p.hosts {
+		vecs.resolve(addr, hp)
+		m := hp.m()
+		m.dials.Add(uint64(hp.stats.dials.Load()))
+		m.reuses.Add(uint64(hp.stats.reuses.Load()))
+		m.retries.Add(uint64(hp.stats.retries.Load()))
+		m.discards.Add(uint64(hp.stats.discards.Load()))
+		m.idle.Set(float64(len(hp.idle)))
+	}
+	p.mu.Unlock()
 	reg.CounterFunc("ides_pool_arena_hits_total",
 		"Scratch-buffer checkouts served from the recycling arena.",
 		func() float64 { return float64(p.arena.Stats().Hits) })
@@ -285,6 +383,7 @@ func (p *Pool) Close() error {
 			hp.active--
 		}
 		hp.idle = nil
+		hp.syncIdleGauge()
 		hp.cond.Broadcast()
 	}
 	return nil
@@ -300,6 +399,9 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 	hp := p.hosts[addr]
 	if hp == nil {
 		hp = &hostPool{cond: sync.NewCond(&p.mu)}
+		if p.vecs != nil {
+			p.vecs.resolve(addr, hp)
+		}
 		p.hosts[addr] = hp
 	}
 	for {
@@ -314,8 +416,10 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 		for n := len(hp.idle); n > 0; n = len(hp.idle) {
 			ic := hp.idle[n-1]
 			hp.idle = hp.idle[:n-1]
+			hp.syncIdleGauge()
 			if mustDial || ic.since.Before(cutoff) {
 				hp.active--
+				hp.countDiscard()
 				p.mu.Unlock()
 				ic.c.Close()
 				p.discards.Add(1)
@@ -324,6 +428,8 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 			}
 			p.mu.Unlock()
 			p.reuses.Add(1)
+			hp.stats.reuses.Add(1)
+			hp.m().reuses.Inc()
 			return ic.c, true, nil
 		}
 		if p.cfg.MaxPerHost < 0 || hp.active < p.cfg.MaxPerHost {
@@ -344,6 +450,8 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 		return nil, false, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}
 	p.dials.Add(1)
+	hp.stats.dials.Add(1)
+	hp.m().dials.Inc()
 	return &pooledConn{Conn: c, br: bufio.NewReaderSize(c, 4096)}, false, nil
 }
 
@@ -381,6 +489,7 @@ func (p *Pool) put(addr string, conn *pooledConn) {
 	}
 	if p.closed || len(hp.idle) >= p.cfg.MaxIdlePerHost {
 		hp.active--
+		hp.countDiscard()
 		hp.cond.Signal()
 		p.mu.Unlock()
 		conn.Close()
@@ -388,9 +497,22 @@ func (p *Pool) put(addr string, conn *pooledConn) {
 		return
 	}
 	hp.idle = append(hp.idle, idleConn{c: conn, since: time.Now()})
+	hp.syncIdleGauge()
 	p.scheduleReapLocked(addr, hp)
 	hp.cond.Signal()
 	p.mu.Unlock()
+}
+
+// countRetry records one replayed call, globally and against addr.
+func (p *Pool) countRetry(addr string) {
+	p.retries.Add(1)
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	p.mu.Unlock()
+	if hp != nil {
+		hp.stats.retries.Add(1)
+		hp.m().retries.Inc()
+	}
 }
 
 // releaseScratch detaches conn's scratch buffer, if any, and recycles it.
@@ -410,6 +532,7 @@ func (p *Pool) discard(addr string, conn *pooledConn) {
 	p.mu.Unlock()
 	if hp != nil {
 		p.connClosed(hp)
+		hp.countDiscard()
 	}
 	p.discards.Add(1)
 }
@@ -458,11 +581,13 @@ func (p *Pool) reap(addr string) {
 		if ic.since.Before(cutoff) {
 			expired = append(expired, ic.c)
 			hp.active--
+			hp.countDiscard()
 		} else {
 			kept = append(kept, ic)
 		}
 	}
 	hp.idle = kept
+	hp.syncIdleGauge()
 	if len(expired) > 0 {
 		hp.cond.Broadcast()
 	}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	in := &Subscribe{ID: "follower-1", Epoch: 7, Rev: 3}
+	out, err := DecodeSubscribe(in.Encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestSnapshotFrameRoundTrip(t *testing.T) {
+	in := &SnapshotFrame{
+		Epoch:     4,
+		Rev:       2,
+		Dim:       3,
+		Algorithm: "SVD",
+		Landmarks: []LandmarkVec{
+			{Addr: "lm0", Out: []float64{1, 2, 3}, In: []float64{4, 5, 6}},
+			{Addr: "lm1", Out: []float64{7, 8, 9}, In: []float64{10, 11, 12}},
+		},
+	}
+	out, err := DecodeSnapshotFrame(in.Encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Epoch != in.Epoch || out.Rev != in.Rev || out.Dim != in.Dim || out.Algorithm != in.Algorithm {
+		t.Fatalf("header mismatch: got %+v", out)
+	}
+	if len(out.Landmarks) != len(in.Landmarks) {
+		t.Fatalf("got %d landmarks, want %d", len(out.Landmarks), len(in.Landmarks))
+	}
+	for i := range in.Landmarks {
+		if out.Landmarks[i].Addr != in.Landmarks[i].Addr {
+			t.Fatalf("landmark %d addr mismatch", i)
+		}
+		for j := range in.Landmarks[i].Out {
+			if out.Landmarks[i].Out[j] != in.Landmarks[i].Out[j] ||
+				out.Landmarks[i].In[j] != in.Landmarks[i].In[j] {
+				t.Fatalf("landmark %d vector mismatch", i)
+			}
+		}
+	}
+}
+
+func TestSnapshotFrameAckHasNoModel(t *testing.T) {
+	// The subscription ack a leader sends before its first fit: epoch 0,
+	// zero landmarks.
+	out, err := DecodeSnapshotFrame((&SnapshotFrame{}).Encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Epoch != 0 || len(out.Landmarks) != 0 {
+		t.Fatalf("ack frame decoded to %+v", out)
+	}
+}
+
+func TestDirDeltaRoundTrip(t *testing.T) {
+	in := &DirDelta{
+		Epoch: 9,
+		Upserts: []DirUpsert{
+			{Addr: "h0", Out: []float64{1, 2}, In: []float64{3, 4}, Epoch: 9},
+			{Addr: "h1", Out: []float64{5, 6}, In: []float64{7, 8}, Epoch: 0},
+		},
+	}
+	out, err := DecodeDirDelta(in.Encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Epoch != in.Epoch || len(out.Upserts) != len(in.Upserts) {
+		t.Fatalf("got %+v", out)
+	}
+	for i := range in.Upserts {
+		if out.Upserts[i].Addr != in.Upserts[i].Addr || out.Upserts[i].Epoch != in.Upserts[i].Epoch {
+			t.Fatalf("upsert %d mismatch: %+v", i, out.Upserts[i])
+		}
+		for j := range in.Upserts[i].Out {
+			if out.Upserts[i].Out[j] != in.Upserts[i].Out[j] ||
+				out.Upserts[i].In[j] != in.Upserts[i].In[j] {
+				t.Fatalf("upsert %d vector mismatch", i)
+			}
+		}
+	}
+}
+
+func TestReplicationDecodersRejectTruncation(t *testing.T) {
+	sub := (&Subscribe{ID: "f", Epoch: 1, Rev: 2}).Encode(nil)
+	snap := (&SnapshotFrame{Epoch: 1, Dim: 2, Algorithm: "SVD", Landmarks: []LandmarkVec{
+		{Addr: "lm0", Out: []float64{1, 2}, In: []float64{3, 4}},
+	}}).Encode(nil)
+	delta := (&DirDelta{Epoch: 1, Upserts: []DirUpsert{
+		{Addr: "h0", Out: []float64{1}, In: []float64{2}, Epoch: 1},
+	}}).Encode(nil)
+	for name, tc := range map[string]struct {
+		buf    []byte
+		decode func([]byte) error
+	}{
+		"subscribe": {sub, func(b []byte) error { _, err := DecodeSubscribe(b); return err }},
+		"snapshot":  {snap, func(b []byte) error { _, err := DecodeSnapshotFrame(b); return err }},
+		"dirdelta":  {delta, func(b []byte) error { _, err := DecodeDirDelta(b); return err }},
+	} {
+		for cut := 1; cut <= len(tc.buf); cut++ {
+			if err := tc.decode(tc.buf[:len(tc.buf)-cut]); err == nil {
+				t.Fatalf("%s: truncating %d bytes decoded without error", name, cut)
+			}
+		}
+	}
+}
+
+func FuzzDecodeSubscribe(f *testing.F) {
+	f.Add((&Subscribe{ID: "follower-1", Epoch: 7, Rev: 3}).Encode(nil))
+	f.Add([]byte{0, 1, 'a'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeSubscribe(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeSubscribe(m.Encode(nil))
+		if err != nil || *out != *m {
+			t.Fatalf("Subscribe round-trip mismatch: %+v %v", out, err)
+		}
+	})
+}
+
+func FuzzDecodeSnapshotFrame(f *testing.F) {
+	f.Add((&SnapshotFrame{Epoch: 2, Rev: 1, Dim: 2, Algorithm: "NMF", Landmarks: []LandmarkVec{
+		{Addr: "lm0", Out: []float64{1, 2}, In: []float64{3, 4}},
+	}}).Encode(nil))
+	// Landmark count claims more entries than the payload carries.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeSnapshotFrame(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeSnapshotFrame(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.Epoch != m.Epoch || out.Rev != m.Rev || out.Dim != m.Dim ||
+			out.Algorithm != m.Algorithm || len(out.Landmarks) != len(m.Landmarks) {
+			t.Fatal("SnapshotFrame round-trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeDirDelta(f *testing.F) {
+	f.Add((&DirDelta{Epoch: 3, Upserts: []DirUpsert{
+		{Addr: "h0", Out: []float64{1, 2}, In: []float64{3, 4}, Epoch: 3},
+	}}).Encode(nil))
+	// Upsert count with no payload behind it.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeDirDelta(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeDirDelta(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out.Epoch != m.Epoch || len(out.Upserts) != len(m.Upserts) {
+			t.Fatal("DirDelta round-trip mismatch")
+		}
+	})
+}

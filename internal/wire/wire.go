@@ -111,6 +111,12 @@ func (t MsgType) String() string {
 		return "QueryKNN"
 	case TypeNeighbors:
 		return "Neighbors"
+	case TypeSubscribe:
+		return "Subscribe"
+	case TypeSnapshotFrame:
+		return "SnapshotFrame"
+	case TypeDirDelta:
+		return "DirDelta"
 	default:
 		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 	}
