@@ -63,6 +63,8 @@ func main() {
 	sgdReg := flag.Float64("sgd-reg", 0, "SGD solver L2 regularization per update (0 = default 1e-4)")
 	driftThreshold := flag.Float64("drift-epoch-threshold", 0, "solver drift at which a corrective refit bumps the epoch (0 = default 0.15, negative disables)")
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
+	muxMaxInflight := flag.Int("mux-max-inflight", 0, "in-flight streams allowed per multiplexed connection; excess streams are rejected with an Overloaded error, not a teardown (0 = default 256)")
+	muxWorkers := flag.Int("mux-workers", 0, "dispatch workers per multiplexed connection (0 = default 2x GOMAXPROCS, min 4)")
 	roleFlags := cli.RegisterRoleFlags(flag.CommandLine)
 	metricsFlags := cli.RegisterMetricsFlags(flag.CommandLine, "")
 	historyFlags := cli.RegisterHistoryFlags(flag.CommandLine)
@@ -126,6 +128,8 @@ func main() {
 		SGDRate:             *sgdRate,
 		SGDReg:              *sgdReg,
 		DriftEpochThreshold: *driftThreshold,
+		MuxMaxInflight:      *muxMaxInflight,
+		MuxWorkers:          *muxWorkers,
 		Metrics:             metricsFlags.Registry(),
 		History:             hist,
 		Logger:              logger,

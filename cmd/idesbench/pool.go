@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/ides-go/ides/internal/experiments"
@@ -37,10 +38,30 @@ type poolResult struct {
 	PoolReuses  int64 `json:"pool_reuses"`
 	PoolRetries int64 `json:"pool_retries"`
 
+	// Sweep is the point-query concurrency sweep: 1/8/64 clients, each
+	// run twice — lockstep framing (one pooled connection per client)
+	// and multiplexed framing (the clients share a small fixed set of
+	// mux connections).
+	Sweep []sweepPoint `json:"concurrency_sweep"`
+	// MuxSpeedup8/64 are mux-over-lockstep throughput ratios at those
+	// client counts — the pipelining win the v2 transport exists for.
+	MuxSpeedup8  float64 `json:"mux_speedup_8"`
+	MuxSpeedup64 float64 `json:"mux_speedup_64"`
+
 	// ServerMetrics is the final scrape of the run's telemetry registry
 	// (server request/report counters, latency histogram sums/counts,
 	// pool counters), keyed by exposition name.
 	ServerMetrics map[string]float64 `json:"server_metrics"`
+}
+
+// sweepPoint is one cell of the concurrency sweep.
+type sweepPoint struct {
+	Clients int  `json:"clients"`
+	Mux     bool `json:"mux"`
+	stats.OpSummary
+	MuxFlushes   int64 `json:"mux_flushes,omitempty"`
+	MuxFrames    int64 `json:"mux_frames,omitempty"`
+	MuxCoalesced int64 `json:"mux_coalesced,omitempty"`
 }
 
 // runPool is the transport workload: a real loopback TCP server loaded
@@ -87,6 +108,8 @@ func runPool(scale experiments.Scale, seed int64) error {
 		MaxIdlePerHost: *poolFlags.MaxIdle,
 		MaxPerHost:     *poolFlags.MaxPerHost,
 		IdleTimeout:    *poolFlags.IdleTimeout,
+		MuxConns:       *poolFlags.MuxConns,
+		MuxMaxInflight: *poolFlags.MuxMaxInflight,
 	})
 	if err != nil {
 		return err
@@ -175,6 +198,77 @@ func runPool(scale experiments.Scale, seed int64) error {
 		return stats.SummarizeDurations(lat, time.Since(start)), nil
 	}
 
+	// runSweep drives `clients` concurrent goroutines through a fresh
+	// pool and summarizes the merged latencies over the wall-clock span.
+	// The lockstep leg is the literal one-inflight-per-conn baseline — a
+	// dedicated v1 connection per client, one request in flight on each —
+	// and the mux leg routes the same clients onto the flag-configured
+	// set of multiplexed connections.
+	// Each sweep cell runs far more ops than the latency passes: the
+	// cells are throughput ratios, and at ~100k ops/s a 2k-op cell is
+	// tens of milliseconds — pure scheduler noise. ~1s per cell makes
+	// the speedup gates stable.
+	sweepOps := 8 * pointOps
+	runSweep := func(clients int, mux bool, seed int64) (sweepPoint, error) {
+		cfg := transport.PoolConfig{
+			Dialer:         dialer,
+			MaxIdlePerHost: clients,
+			MaxPerHost:     clients,
+			IdleTimeout:    *poolFlags.IdleTimeout,
+			MuxConns:       -1,
+		}
+		if mux {
+			cfg.MuxConns = *poolFlags.MuxConns
+			cfg.MuxMaxInflight = *poolFlags.MuxMaxInflight
+		}
+		sp, err := transport.NewPool(cfg)
+		if err != nil {
+			return sweepPoint{}, err
+		}
+		defer sp.Close()
+		perClient := sweepOps / clients
+		lat := make([]time.Duration, clients*perClient)
+		errs := make(chan error, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(c)))
+				var qbuf, scratch []byte
+				for i := 0; i < perClient; i++ {
+					q := &wire.QueryDist{From: addrs[rng.Intn(numHosts)], To: addrs[rng.Intn(numHosts)]}
+					qbuf = q.Encode(qbuf[:0])
+					t0 := time.Now()
+					typ, payload, sc, err := sp.CallInto(ctx, addr, wire.TypeQueryDist, qbuf, scratch)
+					lat[c*perClient+i] = time.Since(t0)
+					scratch = sc
+					if err != nil || typ != wire.TypeDistance {
+						errs <- fmt.Errorf("sweep %d-client QueryDist: %v %v", clients, typ, err)
+						return
+					}
+					if _, err := wire.ParseDistance(payload); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return sweepPoint{}, err
+		}
+		pt := sweepPoint{Clients: clients, Mux: mux, OpSummary: stats.SummarizeDurations(lat, elapsed)}
+		if mux {
+			ms := sp.MuxStats()
+			pt.MuxFlushes, pt.MuxFrames, pt.MuxCoalesced = ms.Flushes, ms.Frames, ms.Coalesced
+		}
+		return pt, nil
+	}
+
 	result := poolResult{Workload: "pool", Hosts: numHosts, Dim: dim}
 	if result.PointDial, err = runPoint(dialCall, seed+1); err != nil {
 		return err
@@ -194,6 +288,29 @@ func runPool(scale experiments.Scale, seed int64) error {
 	if result.BatchPooled.P50Us > 0 {
 		result.BatchP50Speedup = result.BatchDial.P50Us / result.BatchPooled.P50Us
 	}
+	for _, clients := range []int{1, 8, 64} {
+		for _, mux := range []bool{false, true} {
+			pt, err := runSweep(clients, mux, seed+3)
+			if err != nil {
+				return err
+			}
+			result.Sweep = append(result.Sweep, pt)
+		}
+	}
+	sweepAt := func(clients int, mux bool) sweepPoint {
+		for _, pt := range result.Sweep {
+			if pt.Clients == clients && pt.Mux == mux {
+				return pt
+			}
+		}
+		return sweepPoint{}
+	}
+	if base := sweepAt(8, false); base.OpsPerSec > 0 {
+		result.MuxSpeedup8 = sweepAt(8, true).OpsPerSec / base.OpsPerSec
+	}
+	if base := sweepAt(64, false); base.OpsPerSec > 0 {
+		result.MuxSpeedup64 = sweepAt(64, true).OpsPerSec / base.OpsPerSec
+	}
 	st := pool.Stats()
 	result.PoolDials, result.PoolReuses, result.PoolRetries = st.Dials, st.Reuses, st.Retries
 	result.ServerMetrics = reg.Export()
@@ -209,6 +326,21 @@ func runPool(scale experiments.Scale, seed int64) error {
 		batchSize, result.BatchPooled.Ops, result.BatchPooled.P50Us, result.BatchPooled.P99Us, result.BatchPooled.OpsPerSec, result.BatchP50Speedup)
 	fmt.Printf("pool: %d dials, %d reuses, %d retries\n", st.Dials, st.Reuses, st.Retries)
 
+	fmt.Println("\nconcurrency sweep (point queries):")
+	for _, pt := range result.Sweep {
+		framing := "lockstep"
+		if pt.Mux {
+			framing = "mux"
+		}
+		fmt.Printf("  %3d clients  %-8s %d ops, p50=%.0fµs p99=%.0fµs (%.0f ops/s)",
+			pt.Clients, framing, pt.Ops, pt.P50Us, pt.P99Us, pt.OpsPerSec)
+		if pt.Mux && pt.MuxFlushes > 0 {
+			fmt.Printf("  [%d frames / %d flushes, %d coalesced]", pt.MuxFrames, pt.MuxFlushes, pt.MuxCoalesced)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("mux speedup: %.2fx at 8 clients, %.2fx at 64 clients\n", result.MuxSpeedup8, result.MuxSpeedup64)
+
 	f, err := os.Create("BENCH_pool.json")
 	if err != nil {
 		return err
@@ -223,5 +355,29 @@ func runPool(scale experiments.Scale, seed int64) error {
 		return err
 	}
 	fmt.Println("(wrote BENCH_pool.json)")
+
+	// Gates (checked after the artifact is written so a failing run still
+	// leaves BENCH_pool.json behind for diagnosis): the batch p99
+	// regression must stay fixed, and multiplexing must actually buy
+	// concurrent throughput. The 64-client ≥3x and tail-latency gates
+	// only bind at full scale, where the run is long enough for the
+	// ratios to be stable.
+	if result.BatchPooled.P99Us > result.BatchDial.P99Us {
+		return fmt.Errorf("pool gate: batch pooled p99 %.0fµs exceeds dial-per-call p99 %.0fµs",
+			result.BatchPooled.P99Us, result.BatchDial.P99Us)
+	}
+	if result.MuxSpeedup8 < 2 {
+		return fmt.Errorf("pool gate: mux speedup at 8 clients %.2fx, want >= 2x", result.MuxSpeedup8)
+	}
+	if scale == experiments.Full {
+		if result.MuxSpeedup64 < 3 {
+			return fmt.Errorf("pool gate: mux speedup at 64 clients %.2fx, want >= 3x", result.MuxSpeedup64)
+		}
+		mux64, lock64 := sweepAt(64, true), sweepAt(64, false)
+		if mux64.P99Us > lock64.P99Us {
+			return fmt.Errorf("pool gate: mux p99 %.0fµs at 64 clients exceeds lockstep p99 %.0fµs",
+				mux64.P99Us, lock64.P99Us)
+		}
+	}
 	return nil
 }

@@ -53,6 +53,14 @@
 //     transparent retry when a pooled connection died idle — while the
 //     server runs idle waits and in-flight requests on separate timeout
 //     budgets (Config.IdleTimeout vs Config.RequestTimeout);
+//   - multiplexed v2 framing negotiated per connection (Hello/HelloAck):
+//     many streams in flight over one connection, client-side write
+//     coalescing, concurrent server dispatch behind a negotiated stream
+//     window with per-stream Overloaded backpressure, per-call
+//     cancellation that kills a stream rather than the connection, and
+//     transparent lockstep fallback against pre-mux peers — ~3.5x the
+//     64-client point-query throughput of one-inflight-per-conn framing
+//     (idesbench -exp pool, BENCH_pool.json);
 //   - the horizontal serving tier (Config.Role): a leader owns the model
 //     pipeline while followers (RoleFollower, server flags -role follower
 //     -leader addr) mirror its published snapshots and host directory

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/telemetry"
+)
+
+// muxOutcome is everything the mux partition/heal scenario asserts on;
+// two runs with the same seed must produce identical values.
+type muxOutcome struct {
+	bootEpoch      uint64
+	bootMedian     float64
+	partitionOK    int
+	duringAnswered int
+	healedOK       int
+	finalEpoch     uint64
+	finalMedian    float64
+	finalSurvivors int
+}
+
+// runMuxPartitionScenario boots a cluster whose wire traffic rides the
+// v2 multiplexed transport (the pooled clients negotiate it by
+// default), partitions a minority of landmarks, heals, and returns the
+// outcome plus the server's negotiated-protocol counters.
+func runMuxPartitionScenario(t *testing.T, seed int64) (muxOutcome, map[string]float64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	reg := telemetry.NewRegistry()
+	c, err := New(Config{
+		NumLandmarks: 8,
+		NumHosts:     10,
+		Dim:          5,
+		Algorithm:    core.SVD,
+		Seed:         seed,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var out muxOutcome
+	out.bootEpoch = c.ServedEpoch()
+	boot, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.bootMedian = boot.Median
+
+	// Cut off a minority of landmarks; the mux connections crossing the
+	// cut die, the rest keep streaming.
+	if _, err := c.PartitionLandmarks(2); err != nil {
+		t.Fatal(err)
+	}
+	out.partitionOK, err = c.ReportRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	during, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.duringAnswered = during.Answered
+
+	// Heal: the partitioned landmarks' pools re-dial and re-negotiate
+	// mux on the next report round.
+	c.Net.Heal()
+	out.healedOK, err = c.ReportRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BootstrapAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out.finalEpoch = c.ServedEpoch()
+	final, err := c.MeasureAccuracy(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.finalMedian = final.Median
+	out.finalSurvivors = c.Survivors(ctx)
+	return out, reg.Export()
+}
+
+// TestScenarioMuxPartitionHealDeterministic asserts the multiplexed
+// transport under partition/heal: queries keep being answered while mux
+// connections crossing the cut die, the healed fabric re-negotiates v2
+// framing, and the whole run is bit-identical across same-seed repeats
+// — the determinism guarantee must survive concurrent dispatch and
+// completion-order responses.
+func TestScenarioMuxPartitionHealDeterministic(t *testing.T) {
+	out, metrics := runMuxPartitionScenario(t, 23)
+
+	// The traffic actually rode the v2 transport: the server negotiated
+	// mux connections and served streams over them.
+	if v2 := metrics[`ides_transport_protocol{version="v2"}`]; v2 == 0 {
+		t.Fatalf("no v2 connections negotiated; protocol counters: v2=%v v1=%v",
+			v2, metrics[`ides_transport_protocol{version="v1"}`])
+	}
+	if inflight := metrics["ides_mux_streams_inflight"]; inflight != 0 {
+		t.Fatalf("mux stream gauge stuck at %v after the run drained", inflight)
+	}
+
+	if out.partitionOK != 6 {
+		t.Fatalf("landmarks reporting during partition = %d, want the majority 6", out.partitionOK)
+	}
+	if out.duringAnswered == 0 {
+		t.Fatal("no estimates served during the partition")
+	}
+	if out.healedOK != 8 {
+		t.Fatalf("landmarks reporting after heal = %d, want all 8", out.healedOK)
+	}
+	if out.finalSurvivors != 10 {
+		t.Fatalf("only %d/10 hosts healthy after heal", out.finalSurvivors)
+	}
+	if out.finalMedian > gateMedian {
+		t.Fatalf("post-heal median error %v exceeds gate %v", out.finalMedian, gateMedian)
+	}
+
+	if testing.Short() {
+		return
+	}
+	again, _ := runMuxPartitionScenario(t, 23)
+	if out != again {
+		t.Fatalf("same seed, different outcomes over mux transport:\n  run 1: %+v\n  run 2: %+v", out, again)
+	}
+}

@@ -286,8 +286,18 @@ func TestReportOncePoolsServerConnection(t *testing.T) {
 				defer c.Close()
 				for {
 					typ, _, err := wire.ReadFrame(c)
-					if err != nil || typ != wire.TypeReportRTT {
+					if err != nil {
 						return
+					}
+					if typ != wire.TypeReportRTT {
+						// Per the wire evolution policy, unknown types get
+						// an error frame (this is what lets mux-capable
+						// clients downgrade to lockstep cleanly).
+						e := &wire.Error{Code: wire.CodeUnknownType, Text: "nope"}
+						if err := wire.WriteFrame(c, wire.TypeError, e.Encode(nil)); err != nil {
+							return
+						}
+						continue
 					}
 					if err := wire.WriteFrame(c, wire.TypeAck, nil); err != nil {
 						return

@@ -67,6 +67,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	// response in one syscall instead of WriteFrame's two.
 	br := bufio.NewReaderSize(rc, 4096)
 	var readBuf, respBuf, frameBuf []byte
+	counted := false
 	for {
 		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 			return
@@ -82,6 +83,17 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		if err := conn.SetDeadline(time.Now().Add(s.cfg.RequestTimeout)); err != nil {
 			return
+		}
+		if t == wire.TypeHello {
+			// The connection leaves lockstep for multiplexed dispatch:
+			// many streams in flight, responses in completion order.
+			s.metrics.connProtocol("v2")
+			s.serveMux(ctx, conn, rc, br, payload, readBuf)
+			return
+		}
+		if !counted {
+			s.metrics.connProtocol("v1")
+			counted = true
 		}
 		if t == wire.TypeSubscribe {
 			// The connection leaves the request/response loop for good:

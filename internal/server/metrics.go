@@ -23,6 +23,10 @@ type serverMetrics struct {
 	revSeconds      *telemetry.Histogram
 	fitErrors       *telemetry.Counter
 	drift           *telemetry.Gauge
+	muxStreams      *telemetry.Gauge
+	muxCoalesced    *telemetry.Counter
+	muxOverload     *telemetry.Counter
+	protocols       *telemetry.CounterVec
 }
 
 // newServerMetrics registers the server's metric families on reg and
@@ -47,6 +51,14 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 			"Report entries dropped: unknown landmark, self-pair, or non-finite RTT."),
 		activeConns: reg.Gauge("ides_server_active_conns",
 			"Connections currently being served."),
+		muxStreams: reg.Gauge("ides_mux_streams_inflight",
+			"Streams currently in flight across multiplexed connections."),
+		muxCoalesced: reg.Counter("ides_mux_frames_coalesced_total",
+			"Response frames that shared a socket write with at least one other frame."),
+		muxOverload: reg.Counter("ides_mux_overload_rejects_total",
+			"Streams rejected with CodeOverloaded for exceeding the per-connection in-flight cap."),
+		protocols: reg.CounterVec("ides_transport_protocol",
+			"Connections served, by negotiated framing version (v1 lockstep, v2 multiplexed).", "version"),
 	}
 	reg.GaugeFunc("ides_server_hosts",
 		"Live registered hosts in the directory.",
@@ -133,6 +145,45 @@ func (m *serverMetrics) connClosed() {
 		return
 	}
 	m.activeConns.Add(-1)
+}
+
+// muxStreamStarted/muxStreamDone track the in-flight stream gauge.
+func (m *serverMetrics) muxStreamStarted() {
+	if m == nil {
+		return
+	}
+	m.muxStreams.Add(1)
+}
+
+func (m *serverMetrics) muxStreamDone() {
+	if m == nil {
+		return
+	}
+	m.muxStreams.Add(-1)
+}
+
+// observeCoalesced records the frames of one multi-frame flush.
+func (m *serverMetrics) observeCoalesced(frames int) {
+	if m == nil {
+		return
+	}
+	m.muxCoalesced.Add(uint64(frames))
+}
+
+// muxOverloadReject counts one stream refused at the in-flight cap.
+func (m *serverMetrics) muxOverloadReject() {
+	if m == nil {
+		return
+	}
+	m.muxOverload.Inc()
+}
+
+// connProtocol records which framing version a connection negotiated.
+func (m *serverMetrics) connProtocol(version string) {
+	if m == nil {
+		return
+	}
+	m.protocols.With(version).Inc()
 }
 
 func (m *serverMetrics) observeRequest(t wire.MsgType, d time.Duration) {

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// This file is the server half of the multiplexed transport: a Hello
+// frame upgrades a lockstep connection to a muxSession, whose read loop
+// fans frames out to a bounded set of dispatch workers and whose writer
+// goroutine flushes completed responses — tagged by stream ID, in
+// completion order — batching everything queued since the last flush
+// into a single Write.
+
+// muxRetainBytes caps the capacity of buffers recycled across requests
+// (work structs and the writer's double buffer), mirroring the wire
+// arena's retention policy.
+const muxRetainBytes = 1 << 20
+
+// muxFlushBatch is the response count at which the writer stops
+// collecting and flushes — the server-side twin of the constant in
+// internal/transport; see transport.MuxConn.writeLoop.
+const muxFlushBatch = 8
+
+// muxWork carries one in-flight request through a worker. The request
+// bytes are copied out of the connection's read scratch — the read loop
+// reuses that scratch for the next frame immediately — and req/resp are
+// recycled with the struct through muxWorkPool.
+type muxWork struct {
+	t      wire.MsgType
+	stream uint32
+	req    []byte
+	resp   []byte
+}
+
+var muxWorkPool = sync.Pool{New: func() any { return new(muxWork) }}
+
+// muxSession drives one multiplexed connection.
+type muxSession struct {
+	s          *Server
+	conn       net.Conn
+	maxWorkers int
+
+	// inflight counts streams accepted but not yet answered; the read
+	// loop rejects new streams past the negotiated cap with
+	// CodeOverloaded instead of tearing the connection down.
+	inflight atomic.Int32
+
+	// Write side: workers append completed response frames to pending
+	// under wmu; the writer goroutine swaps in spare and flushes the
+	// batch with one Write.
+	wmu           sync.Mutex
+	wcond         *sync.Cond
+	pending       []byte
+	spare         []byte
+	pendingFrames int
+	closed        bool
+
+	// workCh hands requests to workers. It is buffered to the stream
+	// window so the read loop never blocks handing work off — a burst of
+	// frames queues up and a single worker drains it in one scheduling
+	// quantum instead of paying a goroutine switch per request. idle
+	// counts workers parked in receive; submit spawns another worker
+	// (up to maxWorkers) only when none is parked, so slow handlers get
+	// concurrency and fast ones stay on one hot worker. The read loop is
+	// the sole sender.
+	workCh  chan *muxWork
+	idle    atomic.Int32
+	workers int
+	wg      sync.WaitGroup
+}
+
+// serveMux answers a Hello and runs the connection in multiplexed mode
+// until it closes. helloPayload is the Hello body (aliasing readBuf,
+// the connection's read scratch, which this loop takes over).
+// Subscribe is refused on mux connections: the replication stream needs
+// a dedicated connection with strict frame ordering, which completion-
+// order response writes cannot provide.
+func (s *Server) serveMux(ctx context.Context, conn net.Conn, rc *transport.RequestConn, br *bufio.Reader, helloPayload, readBuf []byte) {
+	hello, err := wire.DecodeHello(helloPayload)
+	if err != nil {
+		t, p := errFrame(nil, wire.CodeBadRequest, err.Error())
+		conn.Write(wire.AppendFrame(nil, t, p))
+		return
+	}
+	// Both sides cap the stream window; the effective window is the min,
+	// echoed back so the client can size its in-flight table to match.
+	maxStreams := int32(s.cfg.MuxMaxInflight)
+	if hello.MaxInflight > 0 && int32(hello.MaxInflight) < maxStreams {
+		maxStreams = int32(hello.MaxInflight)
+	}
+	ack := wire.HelloAck{Version: wire.VersionMux, MaxInflight: uint32(maxStreams)}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.TypeHelloAck, ack.Encode(nil))); err != nil {
+		return
+	}
+	m := &muxSession{s: s, conn: conn, maxWorkers: s.cfg.MuxWorkers}
+	m.wcond = sync.NewCond(&m.wmu)
+	m.workCh = make(chan *muxWork, maxStreams)
+	go m.writeLoop()
+	defer m.shutdown()
+	for {
+		// Same keep-alive budget split as the lockstep loop: the idle
+		// deadline covers the wait for a frame's first bytes, and rc
+		// re-arms to RequestTimeout once they arrive. Dispatch itself is
+		// asynchronous here, so the request budget bounds only the frame;
+		// in-flight handlers bound themselves.
+		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		rc.Rearm()
+		t, stream, payload, scratch, err := wire.ReadMuxFrameInto(br, readBuf)
+		readBuf = scratch
+		if err != nil {
+			if err != io.EOF && ctx.Err() == nil {
+				s.logf("mux read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if t == wire.TypeSubscribe {
+			m.reject(stream, wire.CodeBadRequest, "Subscribe requires a dedicated lockstep connection")
+			continue
+		}
+		if m.inflight.Load() >= maxStreams {
+			s.metrics.muxOverloadReject()
+			m.reject(stream, wire.CodeOverloaded, "too many in-flight streams on this connection")
+			continue
+		}
+		w := muxWorkPool.Get().(*muxWork)
+		w.t, w.stream = t, stream
+		w.req = append(w.req[:0], payload...)
+		m.inflight.Add(1)
+		s.metrics.muxStreamStarted()
+		m.submit(w)
+	}
+}
+
+// submit queues w for dispatch, spawning a worker (up to the bound)
+// when none is idle — so requests behind a slow handler still get
+// served concurrently. The buffer is sized to the stream window, so
+// the send never blocks. Only the read loop calls submit, so
+// shutdown's close(workCh) cannot race a send.
+func (m *muxSession) submit(w *muxWork) {
+	if m.idle.Load() == 0 && m.workers < m.maxWorkers {
+		m.workers++
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.workCh <- w
+}
+
+// worker dispatches requests until the session shuts down.
+func (m *muxSession) worker() {
+	defer m.wg.Done()
+	for {
+		m.idle.Add(1)
+		w, ok := <-m.workCh
+		m.idle.Add(-1)
+		if !ok {
+			return
+		}
+		var start time.Time
+		if m.s.metrics != nil {
+			start = time.Now()
+		}
+		respT, resp := m.s.dispatchTo(w.t, w.req, w.resp[:0])
+		w.resp = resp
+		if m.s.metrics != nil {
+			m.s.metrics.observeRequest(w.t, time.Since(start))
+		}
+		m.enqueue(respT, w.stream, resp)
+		m.inflight.Add(-1)
+		m.s.metrics.muxStreamDone()
+		if cap(w.req) > muxRetainBytes {
+			w.req = nil
+		}
+		if cap(w.resp) > muxRetainBytes {
+			w.resp = nil
+		}
+		muxWorkPool.Put(w)
+	}
+}
+
+// reject answers a stream with an error frame without consuming a
+// worker — the overload path must stay cheap when the window is blown.
+func (m *muxSession) reject(stream uint32, code uint16, text string) {
+	t, p := errFrame(nil, code, text)
+	m.enqueue(t, stream, p)
+}
+
+// enqueue appends one response frame to the write batch and wakes the
+// writer. Frames enqueued after the session closed are dropped — the
+// peer is gone.
+func (m *muxSession) enqueue(t wire.MsgType, stream uint32, payload []byte) {
+	m.wmu.Lock()
+	if !m.closed {
+		m.pending = wire.AppendMuxFrame(m.pending, t, stream, payload)
+		m.pendingFrames++
+		m.wcond.Signal()
+	}
+	m.wmu.Unlock()
+}
+
+// writeLoop flushes batched response frames with single Writes until the
+// session closes (flushing any tail first) or a write fails.
+func (m *muxSession) writeLoop() {
+	m.wmu.Lock()
+	for {
+		for len(m.pending) == 0 && !m.closed {
+			m.wcond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.wmu.Unlock()
+			return
+		}
+		// Yield before sealing the batch until a scheduler pass adds no
+		// new responses, so a burst of finished streams flushes in one
+		// Write instead of N. The batch is capped so the first completed
+		// stream of a large wave is not held hostage to the last (see
+		// the client-side twin in transport.MuxConn.writeLoop).
+		for prev := m.pendingFrames; m.pendingFrames < muxFlushBatch; prev = m.pendingFrames {
+			m.wmu.Unlock()
+			runtime.Gosched()
+			m.wmu.Lock()
+			if m.pendingFrames == prev {
+				break
+			}
+		}
+		buf, frames := m.pending, m.pendingFrames
+		m.pending = m.spare[:0]
+		m.pendingFrames = 0
+		m.wmu.Unlock()
+
+		_, err := m.conn.Write(buf)
+		if frames > 1 {
+			m.s.metrics.observeCoalesced(frames)
+		}
+		m.wmu.Lock()
+		if err != nil {
+			m.closed = true
+			m.pending = m.pending[:0]
+			m.wmu.Unlock()
+			// Kill the socket so the read loop notices and shuts down.
+			m.conn.Close()
+			return
+		}
+		if cap(buf) > muxRetainBytes {
+			buf = nil
+		}
+		m.spare = buf[:0]
+	}
+}
+
+// shutdown runs when the read loop exits: workers drain the queued
+// requests (their responses flush if the socket still works), then the
+// writer is released.
+func (m *muxSession) shutdown() {
+	close(m.workCh)
+	m.wg.Wait()
+	m.wmu.Lock()
+	m.closed = true
+	m.wcond.Signal()
+	m.wmu.Unlock()
+}

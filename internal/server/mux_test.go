@@ -1,0 +1,224 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// muxHandshake dials addr and upgrades the connection to v2 framing,
+// returning the raw conn and the negotiated window.
+func muxHandshake(t *testing.T, addr string, want uint32) (net.Conn, uint32) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	hello := wire.Hello{MaxVersion: wire.VersionMux, MaxInflight: want}
+	if err := wire.WriteFrame(conn, wire.TypeHello, hello.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeHelloAck {
+		t.Fatalf("handshake answered %v, want HelloAck", typ)
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Version != wire.VersionMux {
+		t.Fatalf("negotiated version %d, want %d", ack.Version, wire.VersionMux)
+	}
+	return conn, ack.MaxInflight
+}
+
+// readMuxReply reads one v2 frame and returns its stream and decoded
+// error (nil when the frame is not an Error).
+func readMuxReply(t *testing.T, conn net.Conn) (wire.MsgType, uint32, *wire.Error) {
+	t.Helper()
+	typ, stream, payload, _, err := wire.ReadMuxFrameInto(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		return typ, stream, nil
+	}
+	werr, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return typ, stream, werr
+}
+
+// TestMuxHandshakeNegotiatesWindow checks the server caps the stream
+// window at its configured maximum and echoes the smaller of the two.
+func TestMuxHandshakeNegotiatesWindow(t *testing.T) {
+	s, err := New(Config{Landmarks: []string{"a", "b"}, Dim: 2, Seed: 1, MuxMaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, window := muxHandshake(t, addr, 64)
+	if window != 4 {
+		t.Fatalf("negotiated window %d, want the server cap 4", window)
+	}
+	// The upgraded connection answers a concurrent burst, each reply on
+	// its own stream.
+	var frame []byte
+	for i := uint32(1); i <= 4; i++ {
+		frame = wire.AppendMuxFrame(frame, wire.TypePing, i, (&wire.Ping{Token: uint64(i)}).Encode(nil))
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		typ, stream, werr := readMuxReply(t, conn)
+		if werr != nil || typ != wire.TypePong {
+			t.Fatalf("stream %d answered %v %v", stream, typ, werr)
+		}
+		if seen[stream] {
+			t.Fatalf("stream %d answered twice", stream)
+		}
+		seen[stream] = true
+	}
+}
+
+// TestMuxOverloadRejectsStreamNotConn blows the negotiated in-flight
+// window and checks only the excess stream fails — with CodeOverloaded —
+// while the connection itself survives and keeps serving.
+func TestMuxOverloadRejectsStreamNotConn(t *testing.T) {
+	// Window of 1 and a single worker: a GetModel with no model fit
+	// parks in Ready until RequestTimeout, pinning the window.
+	s, err := New(Config{
+		Landmarks:      []string{"a", "b"},
+		Dim:            2,
+		Seed:           1,
+		RequestTimeout: 2 * time.Second,
+		MuxMaxInflight: 1,
+		MuxWorkers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+	conn, window := muxHandshake(t, addr, 8)
+	if window != 1 {
+		t.Fatalf("negotiated window %d, want 1", window)
+	}
+
+	frame := wire.AppendMuxFrame(nil, wire.TypeGetModel, 1, nil)
+	frame = wire.AppendMuxFrame(frame, wire.TypePing, 2, (&wire.Ping{Token: 7}).Encode(nil))
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The Ping exceeds the window while GetModel blocks: it is rejected
+	// immediately, long before the GetModel answer arrives.
+	typ, stream, werr := readMuxReply(t, conn)
+	if stream != 2 || werr == nil || werr.Code != wire.CodeOverloaded {
+		t.Fatalf("first reply: type %v stream %d err %v, want CodeOverloaded on stream 2", typ, stream, werr)
+	}
+	// The pinned stream still completes (with ModelNotFit — no data was
+	// reported) and the connection remains usable afterwards.
+	_, stream, werr = readMuxReply(t, conn)
+	if stream != 1 || werr == nil || werr.Code != wire.CodeModelNotFit {
+		t.Fatalf("second reply: stream %d err %v, want ModelNotFit on stream 1", stream, werr)
+	}
+	if _, err := conn.Write(wire.AppendMuxFrame(nil, wire.TypePing, 3, (&wire.Ping{Token: 8}).Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	typ, stream, werr = readMuxReply(t, conn)
+	if typ != wire.TypePong || stream != 3 || werr != nil {
+		t.Fatalf("post-overload ping: type %v stream %d err %v", typ, stream, werr)
+	}
+}
+
+// TestMuxRejectsSubscribe checks the replication stream cannot ride a
+// multiplexed connection: Subscribe needs dedicated lockstep ordering.
+func TestMuxRejectsSubscribe(t *testing.T) {
+	s, err := New(Config{Landmarks: []string{"a", "b"}, Dim: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+	conn, _ := muxHandshake(t, addr, 8)
+
+	sub := wire.Subscribe{ID: "f1"}
+	if _, err := conn.Write(wire.AppendMuxFrame(nil, wire.TypeSubscribe, 1, sub.Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	_, stream, werr := readMuxReply(t, conn)
+	if stream != 1 || werr == nil || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("Subscribe on mux: stream %d err %v, want CodeBadRequest", stream, werr)
+	}
+	// The rejection is per-stream: the connection still serves requests.
+	if _, err := conn.Write(wire.AppendMuxFrame(nil, wire.TypePing, 2, (&wire.Ping{Token: 1}).Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	if typ, stream, werr := readMuxReply(t, conn); typ != wire.TypePong || stream != 2 || werr != nil {
+		t.Fatalf("ping after Subscribe reject: type %v stream %d err %v", typ, stream, werr)
+	}
+}
+
+// TestMuxConcurrentDispatch floods one mux connection from many writer
+// goroutines through the ring-fit server and checks every stream gets
+// exactly one correct answer — the concurrent-dispatch analogue of the
+// lockstep pipelining test.
+func TestMuxConcurrentDispatch(t *testing.T) {
+	s := ringLandmarks(t, core.SVD)
+	defer s.Close()
+	addr := serveTCP(t, s)
+	conn, _ := muxHandshake(t, addr, 256)
+
+	const streams = 128
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	for i := uint32(1); i <= streams; i++ {
+		wg.Add(1)
+		go func(i uint32) {
+			defer wg.Done()
+			frame := wire.AppendMuxFrame(nil, wire.TypePing, i, (&wire.Ping{Token: uint64(i)}).Encode(nil))
+			wmu.Lock()
+			defer wmu.Unlock()
+			if _, err := conn.Write(frame); err != nil {
+				t.Errorf("stream %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var buf []byte
+	seen := map[uint32]uint64{}
+	for len(seen) < streams {
+		typ, stream, payload, scratch, err := wire.ReadMuxFrameInto(conn, buf)
+		buf = scratch
+		if err != nil {
+			t.Fatalf("after %d replies: %v", len(seen), err)
+		}
+		if typ != wire.TypePong {
+			t.Fatalf("stream %d answered %v", stream, typ)
+		}
+		pong, err := wire.DecodePong(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := seen[stream]; dup {
+			t.Fatalf("stream %d answered twice", stream)
+		}
+		if pong.Token != uint64(stream) {
+			t.Fatalf("stream %d got token %d: replies crossed streams", stream, pong.Token)
+		}
+		seen[stream] = pong.Token
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,6 +128,16 @@ type Config struct {
 	// (default 100000), bounding per-request allocation and keeping the
 	// reply under the frame size limit.
 	MaxBatch int
+	// MuxMaxInflight caps concurrently open streams per multiplexed (v2
+	// framing) connection. The cap is advertised in the HelloAck, and a
+	// client that exceeds it anyway gets CodeOverloaded error frames on
+	// the excess streams — backpressure, not connection teardown.
+	// Default 256; capped at 65535 (stream IDs carry a 16-bit slot).
+	MuxMaxInflight int
+	// MuxWorkers bounds concurrent request dispatch per multiplexed
+	// connection: frames past it queue rather than spawning goroutines.
+	// Default 2×GOMAXPROCS, minimum 4.
+	MuxWorkers int
 	// BaseEpoch offsets the model epoch sequence: the first fit
 	// publishes BaseEpoch+1. Epochs live in memory, so a restarted
 	// server starting again from 0 would reuse epochs its previous
@@ -256,6 +267,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 100_000
+	}
+	if cfg.MuxMaxInflight <= 0 {
+		cfg.MuxMaxInflight = 256
+	}
+	if cfg.MuxMaxInflight > 65535 {
+		cfg.MuxMaxInflight = 65535
+	}
+	if cfg.MuxWorkers <= 0 {
+		cfg.MuxWorkers = 2 * runtime.GOMAXPROCS(0)
+		if cfg.MuxWorkers < 4 {
+			cfg.MuxWorkers = 4
+		}
 	}
 	idx := make(map[string]int, len(cfg.Landmarks))
 	for i, addr := range cfg.Landmarks {

@@ -73,6 +73,82 @@ func EchoServer(t testing.TB, ln net.Listener) {
 	}()
 }
 
+// MuxEchoServer answers like EchoServer but speaks the v2 multiplexed
+// framing: a Hello upgrades the connection (HelloAck echoes the
+// client's window, capped at maxInflight when positive), after which
+// every request is answered on its own stream. Requests arriving before
+// a Hello are answered in v1 lockstep, so the same helper exercises the
+// downgrade-free path too. It runs until the listener closes.
+func MuxEchoServer(t testing.TB, ln net.Listener, maxInflight int) {
+	t.Helper()
+	answer := func(typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+		switch typ {
+		case wire.TypePing:
+			p, err := wire.DecodePing(payload)
+			if err != nil {
+				return wire.TypeError, (&wire.Error{Code: wire.CodeBadRequest, Text: err.Error()}).Encode(nil)
+			}
+			return wire.TypePong, (&wire.Pong{Token: p.Token}).Encode(nil)
+		case wire.TypeGetInfo:
+			info := &wire.Info{Dim: 10, NumLandmarks: 20, Algorithm: "SVD", ModelReady: true}
+			return wire.TypeInfo, info.Encode(nil)
+		default:
+			return wire.TypeError, (&wire.Error{Code: wire.CodeUnknownType, Text: "nope"}).Encode(nil)
+		}
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var buf []byte
+				var wmu sync.Mutex
+				mux := false
+				for {
+					typ, stream, payload, scratch, err := wire.ReadMuxFrameInto(c, buf)
+					buf = scratch
+					if err != nil {
+						return
+					}
+					if typ == wire.TypeHello {
+						hello, err := wire.DecodeHello(payload)
+						if err != nil {
+							return
+						}
+						window := hello.MaxInflight
+						if maxInflight > 0 && uint32(maxInflight) < window {
+							window = uint32(maxInflight)
+						}
+						ack := wire.HelloAck{Version: wire.VersionMux, MaxInflight: window}
+						if err := wire.WriteFrame(c, wire.TypeHelloAck, ack.Encode(nil)); err != nil {
+							return
+						}
+						mux = true
+						continue
+					}
+					rt, rp := answer(typ, payload)
+					if !mux {
+						if err := wire.WriteFrame(c, rt, rp); err != nil {
+							return
+						}
+						continue
+					}
+					// Write concurrently after the handshake so replies
+					// interleave like the real server's completion order.
+					go func() {
+						wmu.Lock()
+						defer wmu.Unlock()
+						c.Write(wire.AppendMuxFrame(nil, rt, stream, rp)) //nolint:errcheck
+					}()
+				}
+			}(conn)
+		}
+	}()
+}
+
 // CountingListener wraps a listener and counts accepted connections,
 // so tests can prove pooled transports reuse connections instead of
 // dialing per call.

@@ -33,6 +33,18 @@ type PoolConfig struct {
 	// CallTimeout bounds a Call whose context carries no deadline of its
 	// own. Default 15s. Negative disables the fallback.
 	CallTimeout time.Duration
+	// MuxConns is how many multiplexed (v2 framing) connections the pool
+	// maintains per address when the peer speaks them: calls fill the
+	// first connection under half its stream window (concentrating
+	// streams where write coalescing pays), spill to the least-loaded
+	// one past that, and the set grows lazily up to this cap as spill
+	// load appears. Mux connections are a separate fixed set outside the
+	// MaxPerHost accounting. Default 2. Negative disables multiplexing —
+	// every call then uses a v1 lockstep connection.
+	MuxConns int
+	// MuxMaxInflight is the in-flight stream window requested per mux
+	// connection; the server may negotiate it down. Default 256.
+	MuxMaxInflight int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -47,6 +59,12 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 15 * time.Second
+	}
+	if c.MuxConns == 0 {
+		c.MuxConns = 2
+	}
+	if c.MuxMaxInflight == 0 {
+		c.MuxMaxInflight = DefaultMuxInflight
 	}
 	return c
 }
@@ -116,17 +134,39 @@ type pooledConn struct {
 	scratch []byte
 }
 
+// slotWaiter is one caller parked at the MaxPerHost cap. The waker
+// closes ch to wake exactly one waiter — targeted FIFO handoff, not a
+// broadcast — and sets slot when it is transferring a freed connection
+// slot (the slot stays counted in active and the woken caller owns it
+// outright, so a barging fast-path caller cannot steal it).
+type slotWaiter struct {
+	ch   chan struct{}
+	slot bool
+}
+
 // hostPool tracks one address's connections under the pool mutex: the
-// LIFO idle list and the count of connections in existence (checked out
-// + idle), which MaxPerHost bounds. cond wakes callers waiting at the
-// cap whenever a connection goes idle or is closed.
+// LIFO idle list of lockstep connections, the count of those in
+// existence (checked out + idle), which MaxPerHost bounds, the FIFO
+// queue of callers waiting at that cap, and the separate fixed set of
+// multiplexed connections.
 type hostPool struct {
-	idle   []idleConn
-	active int
-	cond   *sync.Cond
+	idle    []idleConn
+	active  int
+	waiters []*slotWaiter
 	// reapScheduled dedups the idle-reap timer: at most one is armed per
 	// host at a time.
 	reapScheduled bool
+
+	// mux is the set of live multiplexed connections (least-loaded pick;
+	// grown lazily up to PoolConfig.MuxConns). muxDialing dedups dials;
+	// muxWait, when non-nil, is closed as the in-progress dial resolves
+	// so callers with no live conn can park for it. muxUnsupported
+	// latches once the peer answers the Hello handshake with an error:
+	// from then on every call takes the v1 lockstep path directly.
+	mux            []*MuxConn
+	muxDialing     bool
+	muxWait        chan struct{}
+	muxUnsupported bool
 
 	// stats are this endpoint's own counters, feeding EndpointStats and
 	// the labelled metric children. The pool-global atomics stay the
@@ -241,14 +281,35 @@ func (p *Pool) call(ctx context.Context, addr string, t wire.MsgType, payload, b
 		ctx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
 		defer cancel()
 	}
+	// direct is a connection the mux handshake dialed and then downgraded:
+	// the peer answered Hello with an error frame, so the conn is healthy
+	// and already slot-accounted — the lockstep loop below uses it for
+	// this call instead of dialing again.
+	var direct *pooledConn
+	if p.cfg.MuxConns >= 0 {
+		rt, rp, scratch, dc, handled, err := p.callMux(ctx, addr, t, payload, buf, copyOut)
+		if handled {
+			return rt, rp, scratch, err
+		}
+		buf = scratch
+		direct = dc
+		// Not handled: the peer predates mux framing — lockstep below.
+	}
 	for attempt := 0; ; attempt++ {
 		// The retry attempt must not pop another pooled connection: when
 		// one idle connection turns out dead its cohort (same server
 		// restart or idle eviction) almost certainly is too, so the
 		// replay flushes the idle list and dials fresh.
-		pc, reused, err := p.get(ctx, addr, attempt > 0)
-		if err != nil {
-			return 0, nil, buf, err
+		var pc *pooledConn
+		var reused bool
+		var err error
+		if direct != nil {
+			pc, direct = direct, nil
+		} else {
+			pc, reused, err = p.get(ctx, addr, attempt > 0)
+			if err != nil {
+				return 0, nil, buf, err
+			}
 		}
 		scratch := buf
 		if copyOut {
@@ -287,6 +348,289 @@ func (p *Pool) call(ctx context.Context, addr string, t wire.MsgType, payload, b
 		}
 		return 0, nil, buf, err
 	}
+}
+
+// callMux performs the exchange over a multiplexed connection when the
+// peer supports them. handled=false (with no error) means the caller
+// must run the lockstep path instead — either the peer is v1-only, or
+// the handshake died before an answer; a downgraded-but-healthy conn
+// rides along as direct for the lockstep path to use. A call that fails
+// because its mux connection died is replayed once on a fresh one,
+// mirroring the lockstep retry: all IDES exchanges are idempotent.
+func (p *Pool) callMux(ctx context.Context, addr string, t wire.MsgType, payload, buf []byte, copyOut bool) (wire.MsgType, []byte, []byte, *pooledConn, bool, error) {
+	for attempt := 0; ; attempt++ {
+		mc, direct, hp, err := p.getMux(ctx, addr)
+		if err != nil {
+			return 0, nil, buf, nil, true, err
+		}
+		if mc == nil {
+			return 0, nil, buf, direct, false, nil
+		}
+		scratch := buf
+		if copyOut {
+			scratch = p.arena.Get(wire.MuxHeaderSize + len(payload))
+		}
+		var rt wire.MsgType
+		var rp []byte
+		rt, rp, scratch, err = mc.CallInto(ctx, t, payload, scratch)
+		if err == nil || isWireError(err) {
+			p.reuses.Add(1)
+			hp.stats.reuses.Add(1)
+			hp.m().reuses.Inc()
+			if copyOut {
+				if len(rp) > 0 {
+					rp = append([]byte(nil), rp...)
+				}
+				p.arena.Put(scratch)
+				return rt, rp, buf, nil, true, err
+			}
+			return rt, rp, scratch, nil, true, err
+		}
+		if copyOut {
+			p.arena.Put(scratch)
+		} else {
+			buf = scratch
+		}
+		if mc.Dead() {
+			p.dropMux(addr, mc)
+			if attempt == 0 && ctx.Err() == nil {
+				p.countRetry(addr)
+				continue
+			}
+		}
+		return 0, nil, buf, nil, true, err
+	}
+}
+
+// getMux returns a live mux connection to addr — fill-first under half
+// the stream window, least-loaded past it — dialing the first one (or
+// a replacement after a failure) inline and growing the set in the
+// background once every existing connection is past the spill
+// threshold. mc == nil with a nil error means this call must take the
+// lockstep path; when the handshake just downgraded cleanly, the
+// healthy, slot-accounted connection is returned alongside for that
+// path to use.
+func (p *Pool) getMux(ctx context.Context, addr string) (*MuxConn, *pooledConn, *hostPool, error) {
+	p.mu.Lock()
+	hp := p.host(addr)
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, nil, nil, errors.New("transport: pool is closed")
+		}
+		if hp.muxUnsupported {
+			p.mu.Unlock()
+			return nil, nil, hp, nil
+		}
+		live := hp.mux[:0]
+		for _, mc := range hp.mux {
+			if mc.Dead() {
+				hp.countDiscard()
+				p.discards.Add(1)
+			} else {
+				live = append(live, mc)
+			}
+		}
+		hp.mux = live
+		// Fill-first routing: keep streams concentrated on the first
+		// connection still under half its window — write coalescing
+		// amortizes syscalls best on a busy conn — and spill to the
+		// least-loaded one only when every conn is past that threshold,
+		// growing the set toward the cap as spill load appears.
+		var best *MuxConn
+		var bestLoad int64
+		spill := true
+		for _, mc := range hp.mux {
+			load := mc.Inflight()
+			if load < int64(mc.Window()+1)/2 {
+				best, spill = mc, false
+				break
+			}
+			if best == nil || load < bestLoad {
+				best, bestLoad = mc, load
+			}
+		}
+		if best != nil {
+			if spill && len(hp.mux) < p.cfg.MuxConns && !hp.muxDialing {
+				hp.muxDialing = true
+				go p.addMuxConn(addr)
+			}
+			p.mu.Unlock()
+			return best, nil, hp, nil
+		}
+		if hp.muxDialing {
+			// Someone (inline or background) is already dialing; park
+			// until that dial resolves rather than stampeding the server.
+			if hp.muxWait == nil {
+				hp.muxWait = make(chan struct{})
+			}
+			ch := hp.muxWait
+			p.mu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, nil, nil, fmt.Errorf("transport: waiting for mux connection to %s: %w", addr, ctx.Err())
+			}
+			p.mu.Lock()
+			continue
+		}
+		hp.muxDialing = true
+		p.mu.Unlock()
+		mc, dc, err := p.dialMux(ctx, addr, hp)
+		p.mu.Lock()
+		p.muxDialDoneLocked(hp)
+		switch {
+		case err != nil:
+			p.mu.Unlock()
+			return nil, nil, nil, err
+		case mc != nil:
+			if p.closed {
+				p.mu.Unlock()
+				mc.Close()
+				return nil, nil, nil, errors.New("transport: pool is closed")
+			}
+			hp.mux = append(hp.mux, mc)
+			p.mu.Unlock()
+			return mc, nil, hp, nil
+		case dc != nil:
+			// Clean downgrade: the peer is v1-only. Hand the healthy
+			// connection straight to this call's lockstep exchange when
+			// the accounting has room for it, so the probe dial is not
+			// wasted.
+			hp.muxUnsupported = true
+			if !p.closed && (p.cfg.MaxPerHost < 0 || hp.active < p.cfg.MaxPerHost) {
+				hp.active++
+				p.mu.Unlock()
+				return nil, dc, hp, nil
+			}
+			p.mu.Unlock()
+			dc.Close()
+			return nil, nil, hp, nil
+		default:
+			// The handshake died before an answer — a server that drops
+			// unknown frames, or a connection lost mid-probe. Fall back
+			// to lockstep for this call without latching: a real pre-mux
+			// IDES server answers with an error frame, so the next call
+			// probes again rather than losing mux forever to one flake.
+			p.mu.Unlock()
+			return nil, nil, hp, nil
+		}
+	}
+}
+
+// muxDialDoneLocked clears the dial-in-progress marker and wakes any
+// callers parked on it. Caller holds p.mu.
+func (p *Pool) muxDialDoneLocked(hp *hostPool) {
+	hp.muxDialing = false
+	if hp.muxWait != nil {
+		close(hp.muxWait)
+		hp.muxWait = nil
+	}
+}
+
+// dialMux dials addr and negotiates mux framing. Outcomes: a live
+// MuxConn; a healthy lockstep connection when the peer answered the
+// probe with an error frame (clean v1 downgrade); all-nil when the
+// handshake failed without a clean answer (caller falls back to
+// lockstep without latching); or a dial error.
+func (p *Pool) dialMux(ctx context.Context, addr string, hp *hostPool) (*MuxConn, *pooledConn, error) {
+	c, err := p.cfg.Dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	p.dials.Add(1)
+	hp.stats.dials.Add(1)
+	hp.m().dials.Inc()
+	mc, err := NewMuxConn(ctx, c, p.cfg.MuxMaxInflight)
+	if errors.Is(err, ErrMuxUnsupported) {
+		return nil, &pooledConn{Conn: c, br: bufio.NewReaderSize(c, 4096)}, nil
+	}
+	if err != nil {
+		c.Close()
+		if ctx.Err() != nil {
+			return nil, nil, fmt.Errorf("transport: mux handshake with %s: %w", addr, ctx.Err())
+		}
+		return nil, nil, nil
+	}
+	return mc, nil, nil
+}
+
+// addMuxConn grows addr's mux set by one connection in the background,
+// so the growth dial never sits on a caller's latency. The caller set
+// hp.muxDialing before spawning.
+func (p *Pool) addMuxConn(addr string) {
+	ctx := context.Background()
+	if p.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
+		defer cancel()
+	}
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	p.mu.Unlock()
+	if hp == nil {
+		return
+	}
+	mc, dc, err := p.dialMux(ctx, addr, hp)
+	p.mu.Lock()
+	p.muxDialDoneLocked(hp)
+	switch {
+	case err != nil:
+		p.mu.Unlock()
+	case mc != nil:
+		if p.closed || len(hp.mux) >= p.cfg.MuxConns {
+			p.mu.Unlock()
+			mc.Close()
+			return
+		}
+		hp.mux = append(hp.mux, mc)
+		p.mu.Unlock()
+	case dc != nil:
+		// The server stopped speaking mux mid-life (restarted as an
+		// older build); latch the downgrade and let the live mux conns
+		// die of natural causes.
+		hp.muxUnsupported = true
+		p.mu.Unlock()
+		dc.Close()
+	default:
+		p.mu.Unlock()
+	}
+}
+
+// dropMux removes a dead mux connection from addr's set.
+func (p *Pool) dropMux(addr string, mc *MuxConn) {
+	mc.Close()
+	p.mu.Lock()
+	hp := p.hosts[addr]
+	if hp != nil {
+		for i, c := range hp.mux {
+			if c == mc {
+				hp.mux = append(hp.mux[:i], hp.mux[i+1:]...)
+				hp.countDiscard()
+				p.discards.Add(1)
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// MuxStats aggregates traffic counters across every live mux connection
+// in the pool.
+func (p *Pool) MuxStats() MuxStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out MuxStats
+	for _, hp := range p.hosts {
+		for _, mc := range hp.mux {
+			s := mc.Stats()
+			out.Flushes += s.Flushes
+			out.Frames += s.Frames
+			out.Coalesced += s.Coalesced
+			out.Stale += s.Stale
+		}
+	}
+	return out
 }
 
 // Stats returns a snapshot of the pool's activity counters, aggregated
@@ -384,9 +728,57 @@ func (p *Pool) Close() error {
 		}
 		hp.idle = nil
 		hp.syncIdleGauge()
-		hp.cond.Broadcast()
+		for _, w := range hp.waiters {
+			close(w.ch)
+		}
+		hp.waiters = nil
+		for _, mc := range hp.mux {
+			mc.Close()
+		}
+		hp.mux = nil
+		p.muxDialDoneLocked(hp)
 	}
 	return nil
+}
+
+// host returns addr's hostPool, creating it on first use. Caller holds
+// p.mu.
+func (p *Pool) host(addr string) *hostPool {
+	hp := p.hosts[addr]
+	if hp == nil {
+		hp = &hostPool{}
+		if p.vecs != nil {
+			p.vecs.resolve(addr, hp)
+		}
+		p.hosts[addr] = hp
+	}
+	return hp
+}
+
+// wakeIdle wakes the longest-waiting caller, if any, to claim a newly
+// idle connection. No slot transfers: the parked connection still owns
+// its slot. Caller holds p.mu.
+func (hp *hostPool) wakeIdle() {
+	if len(hp.waiters) > 0 {
+		w := hp.waiters[0]
+		hp.waiters = hp.waiters[1:]
+		close(w.ch)
+	}
+}
+
+// releaseSlotLocked retires one per-host connection slot: if a caller is
+// queued at the cap the slot is handed to it directly — active stays
+// counted, so a fast-path caller arriving later cannot barge in front of
+// the queue — otherwise active is decremented. Caller holds p.mu.
+func (p *Pool) releaseSlotLocked(hp *hostPool) {
+	if !p.closed && len(hp.waiters) > 0 {
+		w := hp.waiters[0]
+		hp.waiters = hp.waiters[1:]
+		w.slot = true
+		close(w.ch)
+		return
+	}
+	hp.active--
 }
 
 // get returns a connection to addr: a pooled one when available (reused
@@ -396,16 +788,15 @@ func (p *Pool) Close() error {
 // on the rest of the same cohort.
 func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *pooledConn, reused bool, err error) {
 	p.mu.Lock()
-	hp := p.hosts[addr]
-	if hp == nil {
-		hp = &hostPool{cond: sync.NewCond(&p.mu)}
-		if p.vecs != nil {
-			p.vecs.resolve(addr, hp)
-		}
-		p.hosts[addr] = hp
-	}
+	hp := p.host(addr)
+	// granted marks that a waker handed this caller a connection slot
+	// directly (active already counts it).
+	granted := false
 	for {
 		if p.closed {
+			if granted {
+				hp.active--
+			}
 			p.mu.Unlock()
 			return nil, false, errors.New("transport: pool is closed")
 		}
@@ -418,7 +809,7 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 			hp.idle = hp.idle[:n-1]
 			hp.syncIdleGauge()
 			if mustDial || ic.since.Before(cutoff) {
-				hp.active--
+				p.releaseSlotLocked(hp)
 				hp.countDiscard()
 				p.mu.Unlock()
 				ic.c.Close()
@@ -426,21 +817,53 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 				p.mu.Lock()
 				continue
 			}
+			if granted {
+				// Reusing a parked connection; pass the granted slot on.
+				p.releaseSlotLocked(hp)
+			}
 			p.mu.Unlock()
 			p.reuses.Add(1)
 			hp.stats.reuses.Add(1)
 			hp.m().reuses.Inc()
 			return ic.c, true, nil
 		}
-		if p.cfg.MaxPerHost < 0 || hp.active < p.cfg.MaxPerHost {
-			hp.active++
+		if granted || p.cfg.MaxPerHost < 0 || hp.active < p.cfg.MaxPerHost {
+			if !granted {
+				hp.active++
+			}
 			break
 		}
 		if ctx.Err() != nil {
 			p.mu.Unlock()
 			return nil, false, fmt.Errorf("transport: waiting for a connection to %s: %w", addr, ctx.Err())
 		}
-		p.waitSlot(ctx, hp)
+		// Queue FIFO behind everyone already waiting; the waker hands
+		// each freed slot (or newly idle connection) to exactly one of
+		// us, oldest first.
+		w := &slotWaiter{ch: make(chan struct{})}
+		hp.waiters = append(hp.waiters, w)
+		p.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-ctx.Done():
+		}
+		p.mu.Lock()
+		woken := true
+		for i, q := range hp.waiters {
+			if q == w {
+				hp.waiters = append(hp.waiters[:i], hp.waiters[i+1:]...)
+				woken = false
+				break
+			}
+		}
+		granted = woken && w.slot
+		if ctx.Err() != nil {
+			if granted {
+				p.releaseSlotLocked(hp)
+			}
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("transport: waiting for a connection to %s: %w", addr, ctx.Err())
+		}
 	}
 	p.mu.Unlock()
 
@@ -453,23 +876,6 @@ func (p *Pool) get(ctx context.Context, addr string, mustDial bool) (conn *poole
 	hp.stats.dials.Add(1)
 	hp.m().dials.Inc()
 	return &pooledConn{Conn: c, br: bufio.NewReaderSize(c, 4096)}, false, nil
-}
-
-// waitSlot parks a caller at the MaxPerHost cap until a connection goes
-// idle or closes. A context waker broadcasts the cond on cancellation so
-// the caller can wake and observe ctx.Err(). Runs — and returns — with
-// p.mu held; the Wait releases it while parked. Kept out of get so the
-// uncontended path never materializes the waker closure: taking a
-// variable's address for context.AfterFunc forces a heap allocation,
-// and get is on the zero-alloc query path.
-func (p *Pool) waitSlot(ctx context.Context, hp *hostPool) {
-	stop := context.AfterFunc(ctx, func() {
-		p.mu.Lock()
-		hp.cond.Broadcast()
-		p.mu.Unlock()
-	})
-	defer stop()
-	hp.cond.Wait()
 }
 
 // put returns a healthy connection to addr's idle list, or closes it when
@@ -488,9 +894,8 @@ func (p *Pool) put(addr string, conn *pooledConn) {
 		return
 	}
 	if p.closed || len(hp.idle) >= p.cfg.MaxIdlePerHost {
-		hp.active--
+		p.releaseSlotLocked(hp)
 		hp.countDiscard()
-		hp.cond.Signal()
 		p.mu.Unlock()
 		conn.Close()
 		p.discards.Add(1)
@@ -499,7 +904,7 @@ func (p *Pool) put(addr string, conn *pooledConn) {
 	hp.idle = append(hp.idle, idleConn{c: conn, since: time.Now()})
 	hp.syncIdleGauge()
 	p.scheduleReapLocked(addr, hp)
-	hp.cond.Signal()
+	hp.wakeIdle()
 	p.mu.Unlock()
 }
 
@@ -537,11 +942,11 @@ func (p *Pool) discard(addr string, conn *pooledConn) {
 	p.discards.Add(1)
 }
 
-// connClosed releases one per-host connection slot and wakes a waiter.
+// connClosed releases one per-host connection slot, handing it to the
+// oldest queued waiter if any.
 func (p *Pool) connClosed(hp *hostPool) {
 	p.mu.Lock()
-	hp.active--
-	hp.cond.Signal()
+	p.releaseSlotLocked(hp)
 	p.mu.Unlock()
 }
 
@@ -580,7 +985,7 @@ func (p *Pool) reap(addr string) {
 	for _, ic := range hp.idle {
 		if ic.since.Before(cutoff) {
 			expired = append(expired, ic.c)
-			hp.active--
+			p.releaseSlotLocked(hp)
 			hp.countDiscard()
 		} else {
 			kept = append(kept, ic)
@@ -588,9 +993,6 @@ func (p *Pool) reap(addr string) {
 	}
 	hp.idle = kept
 	hp.syncIdleGauge()
-	if len(expired) > 0 {
-		hp.cond.Broadcast()
-	}
 	p.scheduleReapLocked(addr, hp)
 	p.mu.Unlock()
 	for _, c := range expired {

@@ -53,7 +53,12 @@ func TestPoolIdleConnsRetainNoScratch(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	for i := 0; i < 3; i++ {
+	// Three calls suffice for the retention check below. The reuse check
+	// needs slack: under the race detector sync.Pool deliberately drops a
+	// fraction of Puts at random, so a fixed small call count can
+	// legitimately observe zero hits — keep exchanging until a recycled
+	// buffer shows up, bounded so a real reuse bug still fails fast.
+	for i := 0; i < 3 || (i < 64 && p.ArenaStats().Hits == 0); i++ {
 		typ, payload, err := p.Call(ctx, addr, wire.TypePing, (&wire.Ping{Token: uint64(i)}).Encode(nil))
 		if err != nil {
 			t.Fatalf("call %d: %v", i, err)

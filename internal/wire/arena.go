@@ -123,3 +123,51 @@ func ReadFrameInto(r io.Reader, buf []byte) (MsgType, []byte, []byte, error) {
 	}
 	return t, payload, buf[:0], nil
 }
+
+// ReadMuxFrameInto reads one frame from r into buf, accepting both v1
+// (lockstep) and v2 (multiplexed) framing: a v1 frame reports stream 0,
+// a v2 frame reports the stream ID it carries. Buffer discipline is the
+// same as ReadFrameInto — the payload aliases the returned scratch and a
+// steady-state reader never allocates. Mux connection loops use this on
+// both sides so a handshake frame (v1) and the stream frames after it
+// (v2) flow through one reader.
+func ReadMuxFrameInto(r io.Reader, buf []byte) (MsgType, uint32, []byte, []byte, error) {
+	if cap(buf) < MuxHeaderSize {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:HeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, buf[:0], io.EOF
+		}
+		return 0, 0, nil, buf[:0], fmt.Errorf("wire: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return 0, 0, nil, buf[:0], ErrBadMagic
+	}
+	version := hdr[2]
+	if version != Version && version != VersionMux {
+		return 0, 0, nil, buf[:0], ErrBadVersion
+	}
+	t := MsgType(hdr[3])
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if n > MaxPayload {
+		return 0, 0, nil, buf[:0], ErrFrameTooBig
+	}
+	var stream uint32
+	if version == VersionMux {
+		sb := buf[HeaderSize:MuxHeaderSize]
+		if _, err := io.ReadFull(r, sb); err != nil {
+			return 0, 0, nil, buf[:0], fmt.Errorf("wire: reading stream id: %w", err)
+		}
+		stream = binary.BigEndian.Uint32(sb)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, buf[:0], fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return t, stream, payload, buf[:0], nil
+}

@@ -25,6 +25,11 @@ const (
 	// against a model epoch the server has since replaced; the client
 	// must re-fetch the model, re-solve, and register again.
 	CodeStaleEpoch uint16 = 9
+	// CodeOverloaded rejects one stream on a multiplexed connection that
+	// has exceeded its negotiated in-flight window. Only that stream
+	// fails — the connection stays up and the caller may retry after
+	// in-flight requests drain.
+	CodeOverloaded uint16 = 10
 )
 
 // Encode appends the message payload to dst.
@@ -50,6 +55,60 @@ func DecodeError(b []byte) (*Error, error) {
 // returned directly up a client call chain.
 func (m *Error) Error() string {
 	return fmt.Sprintf("ides: remote error %d: %s", m.Code, m.Text)
+}
+
+// Hello opens the transport feature negotiation on a fresh connection:
+// the client announces the highest framing version it speaks and how
+// many streams it would like in flight at once. It is always sent as a
+// v1 frame so a pre-mux server can parse the header; such a server
+// answers with a CodeUnknownType Error, which the client treats as a
+// downgrade to v1 lockstep framing on that connection.
+type Hello struct {
+	// MaxVersion is the highest frame version the sender supports.
+	MaxVersion uint8
+	// MaxInflight is the sender's desired cap on concurrently open
+	// streams. 0 means "no preference" — the responder's cap applies.
+	MaxInflight uint32
+}
+
+// Encode appends the message payload to dst.
+func (m *Hello) Encode(dst []byte) []byte {
+	dst = append(dst, m.MaxVersion)
+	return binary.BigEndian.AppendUint32(dst, m.MaxInflight)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(b []byte) (*Hello, error) {
+	if len(b) < 5 {
+		return nil, ErrShortPayload
+	}
+	return &Hello{MaxVersion: b[0], MaxInflight: binary.BigEndian.Uint32(b[1:])}, nil
+}
+
+// HelloAck answers a Hello: the version both peers will speak from the
+// next frame on, and the responder's in-flight stream cap for this
+// connection. A client must not open more streams than MaxInflight;
+// excess streams are rejected with CodeOverloaded Error frames.
+type HelloAck struct {
+	// Version is the negotiated frame version (min of both peers').
+	Version uint8
+	// MaxInflight is the per-connection stream cap the responder will
+	// enforce.
+	MaxInflight uint32
+}
+
+// Encode appends the message payload to dst.
+func (m *HelloAck) Encode(dst []byte) []byte {
+	dst = append(dst, m.Version)
+	return binary.BigEndian.AppendUint32(dst, m.MaxInflight)
+}
+
+// DecodeHelloAck parses a HelloAck payload.
+func DecodeHelloAck(b []byte) (*HelloAck, error) {
+	if len(b) < 5 {
+		return nil, ErrShortPayload
+	}
+	return &HelloAck{Version: b[0], MaxInflight: binary.BigEndian.Uint32(b[1:])}, nil
 }
 
 // Ping is an application-level echo request used for RTT measurement over

@@ -38,8 +38,16 @@ import (
 const (
 	Magic   = 0x1DE5
 	Version = 1
+	// VersionMux is the multiplexed framing negotiated by the
+	// Hello/HelloAck handshake: every frame carries a u32 stream ID after
+	// the common header, so many requests can be in flight on one
+	// connection and responses return in completion order.
+	VersionMux = 2
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 8
+	// MuxHeaderSize is the v2 frame header length: the common header
+	// plus the u32 stream ID.
+	MuxHeaderSize = 12
 	// MaxPayload bounds a frame payload; a model for 10k landmarks at
 	// d=32 is ~5 MB, so 64 MB leaves ample headroom while stopping
 	// memory-exhaustion frames.
@@ -70,6 +78,13 @@ const (
 	TypeDistances    MsgType = 0x0f
 	TypeQueryKNN     MsgType = 0x10
 	TypeNeighbors    MsgType = 0x11
+	// TypeHello/TypeHelloAck negotiate the v2 multiplexed framing on a
+	// fresh connection. A peer that predates them answers Hello with a
+	// CodeUnknownType Error, which the caller treats as a clean downgrade
+	// to v1 lockstep framing. Defined here (not with the replication
+	// types) so the constant block stays in wire order.
+	TypeHello    MsgType = 0x15
+	TypeHelloAck MsgType = 0x16
 )
 
 // String names the message type for logs.
@@ -117,6 +132,10 @@ func (t MsgType) String() string {
 		return "SnapshotFrame"
 	case TypeDirDelta:
 		return "DirDelta"
+	case TypeHello:
+		return "Hello"
+	case TypeHelloAck:
+		return "HelloAck"
 	default:
 		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 	}
@@ -136,6 +155,19 @@ func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
 	dst = append(dst, Version, byte(t))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendMuxFrame appends a complete v2 (multiplexed) frame — header,
+// stream ID, payload — to dst and returns the extended slice. The
+// payload may be nil. Stream ID 0 is reserved for connection-level
+// frames (the handshake itself never uses v2 framing, but a v1 frame
+// read by ReadMuxFrameInto reports stream 0).
+func AppendMuxFrame(dst []byte, t MsgType, stream uint32, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, VersionMux, byte(t))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, stream)
 	return append(dst, payload...)
 }
 
