@@ -87,7 +87,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if t == wire.TypeHello {
 			// The connection leaves lockstep for multiplexed dispatch:
 			// many streams in flight, responses in completion order.
-			s.metrics.connProtocol("v2")
+			// serveMux counts it as v2 once the handshake succeeds.
 			s.serveMux(ctx, conn, rc, br, payload, readBuf)
 			return
 		}

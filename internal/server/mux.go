@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"io"
 	"net"
 	"runtime"
@@ -94,14 +95,21 @@ func (s *Server) serveMux(ctx context.Context, conn net.Conn, rc *transport.Requ
 	}
 	// Both sides cap the stream window; the effective window is the min,
 	// echoed back so the client can size its in-flight table to match.
+	// The comparison stays in the wire's unsigned space: maxStreams is
+	// config-clamped to [1, 65535], so a hostile MaxInflight >= 2^31
+	// must negotiate down to the server cap rather than turn negative
+	// through a narrowing cast.
 	maxStreams := int32(s.cfg.MuxMaxInflight)
-	if hello.MaxInflight > 0 && int32(hello.MaxInflight) < maxStreams {
+	if hello.MaxInflight > 0 && hello.MaxInflight < uint32(maxStreams) {
 		maxStreams = int32(hello.MaxInflight)
 	}
 	ack := wire.HelloAck{Version: wire.VersionMux, MaxInflight: uint32(maxStreams)}
 	if _, err := conn.Write(wire.AppendFrame(nil, wire.TypeHelloAck, ack.Encode(nil))); err != nil {
 		return
 	}
+	// Only now is the connection a negotiated v2 session; counting any
+	// earlier would record connections whose Hello was rejected.
+	s.metrics.connProtocol("v2")
 	m := &muxSession{s: s, conn: conn, maxWorkers: s.cfg.MuxWorkers}
 	m.wcond = sync.NewCond(&m.wmu)
 	m.workCh = make(chan *muxWork, maxStreams)
@@ -112,14 +120,27 @@ func (s *Server) serveMux(ctx context.Context, conn net.Conn, rc *transport.Requ
 		// deadline covers the wait for a frame's first bytes, and rc
 		// re-arms to RequestTimeout once they arrive. Dispatch itself is
 		// asynchronous here, so the request budget bounds only the frame;
-		// in-flight handlers bound themselves.
-		if err := conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+		// in-flight handlers bound themselves. Only the read deadline is
+		// armed — responses flush concurrently with this wait, and the
+		// writer goroutine manages its own write deadline.
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 			return
 		}
 		rc.Rearm()
+		buffered, delivered := br.Buffered(), rc.BytesRead()
 		t, stream, payload, scratch, err := wire.ReadMuxFrameInto(br, readBuf)
 		readBuf = scratch
 		if err != nil {
+			// A quiet client with streams still in flight is not idle:
+			// tearing down here would drop the pending responses. Extend
+			// the wait — but only for a pure idle timeout, where the
+			// parser consumed nothing (a timeout mid-frame has lost the
+			// partial bytes and cannot resume framing).
+			consumed := buffered + int(rc.BytesRead()-delivered) - br.Buffered()
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && consumed == 0 && m.inflight.Load() > 0 {
+				continue
+			}
 			if err != io.EOF && ctx.Err() == nil {
 				s.logf("mux read from %v: %v", conn.RemoteAddr(), err)
 			}
@@ -239,6 +260,10 @@ func (m *muxSession) writeLoop() {
 		m.pendingFrames = 0
 		m.wmu.Unlock()
 
+		// The read loop only arms the read deadline; each flush bounds
+		// itself so a peer that stops draining cannot park the writer
+		// (and the batch memory behind it) forever.
+		m.conn.SetWriteDeadline(time.Now().Add(m.s.cfg.RequestTimeout))
 		_, err := m.conn.Write(buf)
 		if frames > 1 {
 			m.s.metrics.observeCoalesced(frames)

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"math"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/telemetry"
 	"github.com/ides-go/ides/internal/wire"
 )
 
@@ -91,6 +93,109 @@ func TestMuxHandshakeNegotiatesWindow(t *testing.T) {
 			t.Fatalf("stream %d answered twice", stream)
 		}
 		seen[stream] = true
+	}
+}
+
+// TestMuxHandshakeHostileWindow sends Hello.MaxInflight values at and
+// past the int32 boundary: the negotiation must stay in unsigned space,
+// clamp to the server cap, and keep serving — a 2^31 request once turned
+// negative through a narrowing cast and crashed the server with a
+// negative channel capacity.
+func TestMuxHandshakeHostileWindow(t *testing.T) {
+	s, err := New(Config{Landmarks: []string{"a", "b"}, Dim: 2, Seed: 1, MuxMaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	for _, hostile := range []uint32{1 << 31, math.MaxUint32} {
+		conn, window := muxHandshake(t, addr, hostile)
+		if window != 4 {
+			t.Fatalf("MaxInflight %d negotiated window %d, want the server cap 4", hostile, window)
+		}
+		if _, err := conn.Write(wire.AppendMuxFrame(nil, wire.TypePing, 1, (&wire.Ping{Token: 9}).Encode(nil))); err != nil {
+			t.Fatal(err)
+		}
+		if typ, stream, werr := readMuxReply(t, conn); typ != wire.TypePong || stream != 1 || werr != nil {
+			t.Fatalf("ping after hostile hello %d: type %v stream %d err %v", hostile, typ, stream, werr)
+		}
+		conn.Close()
+	}
+}
+
+// TestMuxProtocolCountedAfterHandshake checks a connection whose Hello
+// is rejected never shows up as a negotiated v2 connection in
+// ides_transport_protocol — only a completed handshake counts.
+func TestMuxProtocolCountedAfterHandshake(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{Landmarks: []string{"a", "b"}, Dim: 2, Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	// A Hello body shorter than its fixed 5 bytes fails DecodeHello and
+	// is answered with BadRequest.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.TypeHello, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.TypeError {
+		t.Fatalf("malformed hello answered %v, %v, want Error", typ, err)
+	}
+	if werr, err := wire.DecodeError(payload); err != nil || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("malformed hello error %v %v, want CodeBadRequest", werr, err)
+	}
+	conn.Close()
+	if v2 := reg.Export()[`ides_transport_protocol{version="v2"}`]; v2 != 0 {
+		t.Fatalf("rejected Hello counted as v2 connection: %v", v2)
+	}
+
+	// A completed handshake counts exactly once.
+	muxHandshake(t, addr, 8)
+	if v2 := reg.Export()[`ides_transport_protocol{version="v2"}`]; v2 != 1 {
+		t.Fatalf("negotiated v2 connections = %v, want 1", v2)
+	}
+}
+
+// TestMuxIdleExtendedWhileInflight runs a handler longer than the idle
+// budget while the client stays silent: the session must not tear down
+// an in-flight stream on an idle timeout — the read loop extends the
+// wait until the window drains.
+func TestMuxIdleExtendedWhileInflight(t *testing.T) {
+	// GetModel on a follower with no replicated model parks in waitReady
+	// for the full request budget, which spans many idle windows. (A
+	// bare leader won't do: its Ready fails fast when there is nothing
+	// to fit.)
+	s, err := New(Config{
+		Role:           RoleFollower,
+		LeaderAddr:     "127.0.0.1:1",
+		Dim:            2,
+		RequestTimeout: time.Second,
+		IdleTimeout:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+	conn, _ := muxHandshake(t, addr, 8)
+
+	if _, err := conn.Write(wire.AppendMuxFrame(nil, wire.TypeGetModel, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// The reply lands after ~RequestTimeout; a connection killed at the
+	// first idle deadline would surface here as an unexpected EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	_, stream, werr := readMuxReply(t, conn)
+	if stream != 1 || werr == nil || werr.Code != wire.CodeModelNotFit {
+		t.Fatalf("reply: stream %d err %v, want ModelNotFit on stream 1", stream, werr)
 	}
 }
 

@@ -92,28 +92,39 @@ func roundtripInto(ctx context.Context, conn net.Conn, r io.Reader, t wire.MsgTy
 }
 
 // RequestConn is the server-side companion to the keep-alive split of
-// idle and request budgets: it re-arms the connection deadline to Budget
-// as soon as a Read returns data. The caller sets the long idle deadline
-// and calls Rearm before waiting for each request; the idle budget then
-// covers only the wait for a request's first bytes — once data starts
-// arriving, the rest of the frame must land within Budget, so a trickling
-// client cannot stretch one request over the whole idle budget.
+// idle and request budgets: it re-arms the connection's read deadline to
+// Budget as soon as a Read returns data. The caller sets the long idle
+// deadline and calls Rearm before waiting for each request; the idle
+// budget then covers only the wait for a request's first bytes — once
+// data starts arriving, the rest of the frame must land within Budget,
+// so a trickling client cannot stretch one request over the whole idle
+// budget. Only the read deadline is touched: on multiplexed connections
+// the write side flushes concurrently under its own deadline, and the
+// lockstep loop arms the response-write deadline itself after the read.
 type RequestConn struct {
 	net.Conn
 	// Budget bounds a request once its first bytes have arrived.
 	Budget time.Duration
 	armed  bool
+	read   int64
 }
 
 // Rearm resets the trigger for the next request: the following Read that
 // returns data re-arms the deadline to Budget again.
 func (c *RequestConn) Rearm() { c.armed = false }
 
+// BytesRead reports the total bytes delivered by Read over the life of
+// the connection. The mux read loop compares it across a failed frame
+// read to tell a pure idle timeout (nothing consumed, safe to re-arm
+// and keep waiting) from a timeout mid-frame (framing state lost).
+func (c *RequestConn) BytesRead() int64 { return c.read }
+
 func (c *RequestConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
+	c.read += int64(n)
 	if n > 0 && !c.armed {
 		c.armed = true
-		if derr := c.Conn.SetDeadline(time.Now().Add(c.Budget)); derr != nil && err == nil {
+		if derr := c.Conn.SetReadDeadline(time.Now().Add(c.Budget)); derr != nil && err == nil {
 			err = derr
 		}
 	}
