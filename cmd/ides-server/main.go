@@ -31,6 +31,13 @@
 // keep serving their last model through a leader outage and resync
 // automatically when the leader returns; point clients at the whole
 // tier with ides-client -servers.
+//
+// With -role rendezvous the process is only a bootstrap directory for
+// the decentralized peer mode (see ides-peer): it records announced
+// peers and their coordinates and answers each announce with a warm
+// random sample, serving no model and no queries:
+//
+//	ides-server -listen :4100 -role rendezvous
 package main
 
 import (
@@ -65,6 +72,8 @@ func main() {
 	epochBase := flag.Uint64("epoch-base", 0, "model epoch base (first fit publishes base+1); 0 derives it from the start time so epochs never repeat across restarts")
 	muxMaxInflight := flag.Int("mux-max-inflight", 0, "in-flight streams allowed per multiplexed connection; excess streams are rejected with an Overloaded error, not a teardown (0 = default 256)")
 	muxWorkers := flag.Int("mux-workers", 0, "dispatch workers per multiplexed connection (0 = default 2x GOMAXPROCS, min 4)")
+	rdvCapacity := flag.Int("rendezvous-capacity", 0, "peer directory size with -role rendezvous; a random entry is evicted beyond it (0 = default 65536)")
+	rdvSample := flag.Int("rendezvous-sample", 0, "warm peers returned per announce with -role rendezvous (0 = default 8)")
 	roleFlags := cli.RegisterRoleFlags(flag.CommandLine)
 	metricsFlags := cli.RegisterMetricsFlags(flag.CommandLine, "")
 	historyFlags := cli.RegisterHistoryFlags(flag.CommandLine)
@@ -130,6 +139,8 @@ func main() {
 		DriftEpochThreshold: *driftThreshold,
 		MuxMaxInflight:      *muxMaxInflight,
 		MuxWorkers:          *muxWorkers,
+		RendezvousCapacity:  *rdvCapacity,
+		RendezvousSample:    *rdvSample,
 		Metrics:             metricsFlags.Registry(),
 		History:             hist,
 		Logger:              logger,
@@ -153,6 +164,8 @@ func main() {
 	case server.RoleFollower:
 		logger.Printf("ides-server: follower %s listening on %s, replicating from %s",
 			followerID, ln.Addr(), leaderAddr)
+	case server.RoleRendezvous:
+		logger.Printf("ides-server: rendezvous directory listening on %s", ln.Addr())
 	default:
 		logger.Printf("ides-server: leader listening on %s with %d landmarks, d=%d, %s",
 			ln.Addr(), len(lms), *dim, algorithm)

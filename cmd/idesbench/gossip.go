@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"github.com/ides-go/ides/internal/experiments"
+	"github.com/ides-go/ides/internal/harness"
+)
+
+// gossipSample is one accuracy measurement along the convergence
+// trajectory of the decentralized fleet.
+type gossipSample struct {
+	Round    int              `json:"round"`
+	Accuracy scenarioAccuracy `json:"accuracy"`
+	WallMS   float64          `json:"wall_ms"`
+}
+
+// gossipDeterminism reports the same-seed double run.
+type gossipDeterminism struct {
+	Peers        int  `json:"peers"`
+	Rounds       int  `json:"rounds"`
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// gossipPartition reports the partition/heal sweep over the main fleet.
+type gossipPartition struct {
+	CutPeers        int              `json:"cut_peers"`
+	FailedDuringCut int              `json:"failed_rounds_during_cut"`
+	NeighborChurn   uint64           `json:"neighbor_churn"`
+	RecoveryRounds  int              `json:"recovery_rounds"`
+	RecoveryWallMS  float64          `json:"recovery_wall_ms"`
+	After           scenarioAccuracy `json:"after"`
+}
+
+// gossipResult is the JSON shape written to BENCH_gossip.json.
+type gossipResult struct {
+	Workload     string `json:"workload"`
+	Seed         int64  `json:"seed"`
+	Peers        int    `json:"peers"`
+	Dim          int    `json:"dim"`
+	MaxNeighbors int    `json:"max_neighbors"`
+	Rounds       int    `json:"rounds"`
+
+	BootWallMS  float64           `json:"boot_wall_ms"`
+	Trajectory  []gossipSample    `json:"trajectory"`
+	Final       scenarioAccuracy  `json:"final"`
+	Determinism gossipDeterminism `json:"determinism"`
+	Partition   gossipPartition   `json:"partition"`
+
+	// PeerMetrics is the final scrape of the fleet's telemetry registry
+	// (rendezvous directory plus the first peer's gossip instruments).
+	PeerMetrics map[string]float64 `json:"peer_metrics"`
+
+	Pass bool `json:"pass"`
+}
+
+// runGossip is the decentralized, landmark-free workload: a full DMFSGD
+// gossip fleet over the simnet fabric — every host a peer, one
+// rendezvous directory, no information server in the data path. It
+// records the convergence trajectory, gates final peer-to-peer accuracy
+// against the documented Fig-2 bounds, double-runs a small fleet for
+// bit-identical determinism, and sweeps a partition/heal cycle. Any
+// gate violation makes the workload fail (non-zero exit), so CI's
+// gossip smoke is a paper-accuracy regression gate.
+func runGossip(scale experiments.Scale, seed int64) error {
+	peers, rounds, sampleEvery := 2000, 120, 30
+	if scale == experiments.Full {
+		peers, rounds, sampleEvery = 10000, 120, 20
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Minute)
+	defer cancel()
+
+	result := gossipResult{
+		Workload: "gossip", Seed: seed,
+		Peers: peers, Dim: 8, MaxNeighbors: 16, Rounds: rounds,
+	}
+	fmt.Printf("\n== Gossip workload: %d peers, d=%d, %d neighbors max, landmark-free DMFSGD ==\n",
+		peers, result.Dim, result.MaxNeighbors)
+
+	start := time.Now()
+	g, err := harness.NewGossip(harness.GossipConfig{
+		NumPeers:     peers,
+		Dim:          result.Dim,
+		MaxNeighbors: result.MaxNeighbors,
+		Seed:         seed,
+		Metrics:      newBenchRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	result.BootWallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	fmt.Printf("boot: %d peers + rendezvous in %.0fms\n", peers, result.BootWallMS)
+
+	// Convergence trajectory: drive rounds, sampling a 2,000-pair
+	// accuracy sweep along the way.
+	for r := 1; r <= rounds; r++ {
+		if _, err := g.GossipRound(ctx); err != nil {
+			return err
+		}
+		if r%sampleEvery == 0 || r == rounds {
+			acc, err := g.MeasureAccuracy(ctx, 100, 20)
+			if err != nil {
+				return err
+			}
+			s := gossipSample{Round: r, Accuracy: accuracyOf(acc),
+				WallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+			result.Trajectory = append(result.Trajectory, s)
+			fmt.Printf("round %4d: median err %.4f p90 %.4f (answered %d/%d, %.0fms elapsed)\n",
+				r, acc.Median, acc.P90, acc.Answered, acc.Queried, s.WallMS)
+		}
+	}
+	result.Final = result.Trajectory[len(result.Trajectory)-1].Accuracy
+
+	if err := runGossipDeterminism(ctx, seed, &result); err != nil {
+		return err
+	}
+	if err := runGossipPartition(ctx, g, &result); err != nil {
+		return err
+	}
+
+	result.Pass = result.Final.inGates() && result.Determinism.BitIdentical &&
+		result.Partition.FailedDuringCut > 0 && result.Partition.After.inGates()
+	if reg := benchReg.Load(); reg != nil {
+		result.PeerMetrics = reg.Export()
+	}
+
+	buf, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_gossip.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote BENCH_gossip.json (pass=%v)\n", result.Pass)
+	if !result.Pass {
+		return fmt.Errorf("gossip gates violated: median <= %.2f and p90 <= %.2f required, determinism and partition recovery mandatory",
+			scenarioGateMedian, scenarioGateP90)
+	}
+	return nil
+}
+
+// runGossipDeterminism double-runs a small same-seed fleet and checks
+// the coordinates for bit identity.
+func runGossipDeterminism(ctx context.Context, seed int64, result *gossipResult) error {
+	const detPeers, detRounds = 64, 30
+	run := func() ([][]float64, error) {
+		g, err := harness.NewGossip(harness.GossipConfig{NumPeers: detPeers, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		defer g.Close()
+		for r := 0; r < detRounds; r++ {
+			if _, err := g.GossipRound(ctx); err != nil {
+				return nil, err
+			}
+		}
+		return g.Coordinates(), nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	result.Determinism = gossipDeterminism{
+		Peers: detPeers, Rounds: detRounds,
+		BitIdentical: reflect.DeepEqual(a, b),
+	}
+	fmt.Printf("determinism: two seed-%d runs of %d peers x %d rounds bit-identical: %v\n",
+		seed, detPeers, detRounds, result.Determinism.BitIdentical)
+	return nil
+}
+
+// runGossipPartition cuts 1/8 of the converged fleet off (rendezvous
+// included), drives rounds through the failure regime, heals, and
+// measures how many rounds it takes to get back inside the gates.
+func runGossipPartition(ctx context.Context, g *harness.GossipCluster, result *gossipResult) error {
+	cut := g.PeerNames()[:g.NumPeers()/8]
+	if err := g.Net.Partition(cut...); err != nil {
+		return err
+	}
+	part := gossipPartition{CutPeers: len(cut)}
+	for r := 0; r < 8; r++ {
+		f, err := g.GossipRound(ctx)
+		if err != nil {
+			return err
+		}
+		part.FailedDuringCut += f
+	}
+	for i := 0; i < g.NumPeers(); i++ {
+		part.NeighborChurn += g.Peer(i).Stats().Churn
+	}
+	fmt.Printf("partition(%d peers): %d failed gossip rounds, %d neighbors churned\n",
+		len(cut), part.FailedDuringCut, part.NeighborChurn)
+
+	g.Net.Heal()
+	healStart := time.Now()
+	var after harness.Accuracy
+	const block = 20
+	for part.RecoveryRounds = block; part.RecoveryRounds <= 8*block; part.RecoveryRounds += block {
+		for r := 0; r < block; r++ {
+			if _, err := g.GossipRound(ctx); err != nil {
+				return err
+			}
+		}
+		var err error
+		if after, err = g.MeasureAccuracy(ctx, 100, 20); err != nil {
+			return err
+		}
+		if accuracyOf(after).inGates() {
+			break
+		}
+	}
+	part.RecoveryWallMS = float64(time.Since(healStart)) / float64(time.Millisecond)
+	part.After = accuracyOf(after)
+	result.Partition = part
+	fmt.Printf("heal: back in gates after %d rounds, %.0fms wall; median err %.4f p90 %.4f\n",
+		part.RecoveryRounds, part.RecoveryWallMS, after.Median, after.P90)
+	return nil
+}

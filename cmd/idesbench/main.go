@@ -9,14 +9,16 @@
 //
 // Experiments: fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a,
 // fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario,
-// cluster, all. The churn, pool, knn, solver, scenario and cluster
-// workloads also write BENCH_churn.json / BENCH_pool.json /
+// cluster, gossip, all. The churn, pool, knn, solver, scenario, cluster
+// and gossip workloads also write BENCH_churn.json / BENCH_pool.json /
 // BENCH_knn.json / BENCH_solver.json / BENCH_scenarios.json /
-// BENCH_cluster.json for the perf trajectory; scenario and cluster
-// additionally fail (non-zero exit) when their gates are violated —
-// end-to-end accuracy for scenario, zero read errors across a leader
-// kill plus follower staleness and p50 bounds for cluster — so CI can
-// use them as regression gates.
+// BENCH_cluster.json / BENCH_gossip.json for the perf trajectory;
+// scenario, cluster and gossip additionally fail (non-zero exit) when
+// their gates are violated — end-to-end accuracy for scenario, zero
+// read errors across a leader kill plus follower staleness and p50
+// bounds for cluster, decentralized peer-to-peer accuracy plus
+// bit-identical determinism and partition recovery for gossip — so CI
+// can use them as regression gates.
 package main
 
 import (
@@ -84,7 +86,7 @@ func serveBenchMetrics() error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, cluster, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3a, fig3b, table1, fig6a, fig6b, fig6c, fig7a, fig7b, ablations, bulkquery, churn, pool, knn, solver, scenario, cluster, gossip, all)")
 	full := flag.Bool("full", false, "run at the paper's dataset sizes (minutes of CPU)")
 	quick := flag.Bool("quick", false, "force quick scale (overrides -full)")
 	seed := flag.Int64("seed", 42, "random seed for datasets and algorithms")
@@ -113,8 +115,9 @@ func main() {
 		"solver":    runSolver,
 		"scenario":  runScenario,
 		"cluster":   runCluster,
+		"gossip":    runGossip,
 	}
-	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "knn", "solver", "scenario", "cluster"}
+	order := []string{"fig2", "fig3a", "fig3b", "table1", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablations", "bulkquery", "churn", "pool", "knn", "solver", "scenario", "cluster", "gossip"}
 
 	var ids []string
 	if *exp == "all" {

@@ -73,6 +73,18 @@
 //     endpoints until they rejoin — `idesbench -exp cluster` gates the
 //     tier end to end (leader killed under query load, zero read
 //     errors, bounded follower staleness, BENCH_cluster.json);
+//   - the decentralized, landmark-free peer mode (internal/peer, the
+//     ides-peer binary): every host keeps its own coordinate rows and
+//     converges by gossip — each round measures RTT to one random
+//     neighbor, exchanges coordinate rows over the wire protocol
+//     (GossipExchange/GossipReply), and applies the Kaczmarz-normalized
+//     SGD step symmetrically on both sides, O(d) per round with no
+//     central fit and no landmarks; estimates are peer-to-peer from
+//     exchanged coordinates, the server degrades into an optional
+//     bootstrap directory (-role rendezvous), and the harness gates a
+//     10,000-peer fleet against the same Fig-2 accuracy bounds as the
+//     centralized pipeline, bit-identical across same-seed runs
+//     (`idesbench -exp gossip`, BENCH_gossip.json);
 //   - the synthetic datasets and baselines used to reproduce every table
 //     and figure of the paper (GenNLANR..., FitLipschitzPCA, FitGNP,
 //     FitVivaldi);

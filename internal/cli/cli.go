@@ -57,8 +57,10 @@ func ParseRole(s string) (server.Role, error) {
 		return server.RoleLeader, nil
 	case "follower":
 		return server.RoleFollower, nil
+	case "rendezvous":
+		return server.RoleRendezvous, nil
 	default:
-		return 0, fmt.Errorf("unknown role %q (want leader or follower)", s)
+		return 0, fmt.Errorf("unknown role %q (want leader, follower or rendezvous)", s)
 	}
 }
 
@@ -197,7 +199,7 @@ type RoleFlags struct {
 // RegisterRoleFlags installs -role, -leader and -follower-id on fs.
 func RegisterRoleFlags(fs *flag.FlagSet) *RoleFlags {
 	return &RoleFlags{
-		Role:       fs.String("role", "leader", "serving role: leader (fits the model, accepts reports, streams replication) or follower (read-only replica of -leader)"),
+		Role:       fs.String("role", "leader", "serving role: leader (fits the model, accepts reports, streams replication), follower (read-only replica of -leader), or rendezvous (bootstrap directory for the decentralized peer mode; no model at all)"),
 		Leader:     fs.String("leader", "", "leader address a follower subscribes to and forwards writes to (required with -role follower)"),
 		FollowerID: fs.String("follower-id", "", "identifier this follower announces to the leader (default: the listen address)"),
 	}
@@ -212,7 +214,7 @@ func (rf *RoleFlags) Resolve(listen string) (server.Role, string, string, error)
 	if role == server.RoleFollower && *rf.Leader == "" {
 		return 0, "", "", fmt.Errorf("-role follower requires -leader")
 	}
-	if role == server.RoleLeader && *rf.Leader != "" {
+	if role != server.RoleFollower && *rf.Leader != "" {
 		return 0, "", "", fmt.Errorf("-leader only applies to -role follower")
 	}
 	id := *rf.FollowerID

@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/peer"
+	"github.com/ides-go/ides/internal/server"
+	"github.com/ides-go/ides/internal/simnet"
+	"github.com/ides-go/ides/internal/solve"
+	"github.com/ides-go/ides/internal/stats"
+	"github.com/ides-go/ides/internal/telemetry"
+	"github.com/ides-go/ides/internal/topology"
+	"github.com/ides-go/ides/internal/transport"
+)
+
+// RendezvousName is the in-fabric address of the bootstrap directory in
+// a gossip cluster.
+const RendezvousName = "ides-rendezvous"
+
+// GossipConfig parameterizes a GossipCluster — the decentralized,
+// landmark-free counterpart of Config: no information server in the
+// data path, every host a peer running the DMFSGD gossip loop, plus one
+// rendezvous directory for bootstrap.
+type GossipConfig struct {
+	// NumPeers is the number of gossiping hosts (default 64). One extra
+	// topology site carries the rendezvous directory.
+	NumPeers int
+	// Dim is the coordinate dimensionality (default 8).
+	Dim int
+	// Algorithm is core.NMF (default; nonnegative coordinates) or
+	// core.SVD.
+	Algorithm core.Algorithm
+	// Rate and Reg tune the SGD step (zero = solver defaults).
+	Rate, Reg float64
+	// MaxNeighbors bounds each peer's neighbor table (default 16).
+	MaxNeighbors int
+	// SampleSize is the per-exchange neighbor sample (0 = peer default).
+	SampleSize int
+	// RendezvousEvery is the per-peer re-announce period in rounds
+	// (0 = peer default).
+	RendezvousEvery int
+	// Seed drives topology generation, the fabric, the rendezvous
+	// directory and every peer — one knob reproduces a run bit for bit.
+	Seed int64
+	// TimeScale compresses simulated delays onto the wall clock
+	// (default 1e-6; measured RTTs are simulated time and unaffected).
+	TimeScale float64
+	// HostsPerStub passes to the topology generator. Default scales
+	// with fleet size so the stub distance matrix stays tens of MB at
+	// 10k peers instead of gigabytes.
+	HostsPerStub int
+	// Metrics receives the rendezvous server's and first peer's
+	// instrument families. Optional.
+	Metrics *telemetry.Registry
+	// Logger receives component logs. Nil disables logging.
+	Logger *log.Logger
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.NumPeers <= 0 {
+		c.NumPeers = 64
+	}
+	if c.Dim <= 0 {
+		c.Dim = 8
+	}
+	if c.MaxNeighbors <= 0 {
+		c.MaxNeighbors = 16
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1e-6
+	}
+	if c.HostsPerStub <= 0 {
+		// One stub per ~2k sites keeps the generator's stub-pair distance
+		// matrix quadratic in thousands, not tens of thousands.
+		c.HostsPerStub = (c.NumPeers + 2048) / 2048
+	}
+	return c
+}
+
+// GossipCluster is a running decentralized IDES deployment over simnet:
+// NumPeers gossiping peers and one rendezvous directory, all real
+// production code over a virtual fabric. Drive it with GossipRound and
+// measure with MeasureAccuracy; fault-inject through Net directly.
+//
+// Determinism: rounds are driven sequentially peer by peer, each peer's
+// randomness is seeded from Config.Seed, the rendezvous samples from
+// its own seeded stream, and the fabric draws nothing when jitter and
+// loss are off — so a same-seed run is bit-identical, coordinates
+// included.
+type GossipCluster struct {
+	cfg GossipConfig
+
+	// Net is the fabric — script faults directly on it.
+	Net *simnet.Network
+	// Topo is the generated ground-truth topology.
+	Topo *topology.Topology
+	// Rdv is the rendezvous directory server (already serving).
+	Rdv *server.Server
+
+	peers     []*peer.Peer
+	peerNames []string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	lns    []net.Listener
+}
+
+// instantPinger adapts simnet's sleep-free ping to transport.Pinger:
+// measurement campaigns over thousands of peers must not serialize on
+// wall-clock timers. RNG draws match Host.Ping exactly (zero when
+// jitter and loss are off), so determinism is unaffected.
+type instantPinger struct {
+	h *simnet.Host
+}
+
+func (p instantPinger) Ping(_ context.Context, addr string, samples int) (time.Duration, error) {
+	return p.h.PingInstant(addr, samples)
+}
+
+// NewGossip generates the topology, builds the fabric, starts the
+// rendezvous directory and boots every peer's serve loop. Peers start
+// with empty neighbor tables; the first GossipRound announces them to
+// the rendezvous.
+func NewGossip(cfg GossipConfig) (*GossipCluster, error) {
+	cfg = cfg.withDefaults()
+	total := cfg.NumPeers + 1
+
+	topo, err := topology.Generate(topology.Config{
+		Seed:         cfg.Seed,
+		NumHosts:     total,
+		HostsPerStub: cfg.HostsPerStub,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	names := make([]string, total)
+	names[0] = RendezvousName
+	peerNames := make([]string, cfg.NumPeers)
+	for i := range peerNames {
+		peerNames[i] = fmt.Sprintf("peer-%d", i)
+		names[i+1] = peerNames[i]
+	}
+	nw, err := simnet.New(topo, names, simnet.Config{TimeScale: cfg.TimeScale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+
+	g := &GossipCluster{cfg: cfg, Net: nw, Topo: topo, peerNames: peerNames}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	fail := func(err error) (*GossipCluster, error) {
+		g.Close()
+		return nil, err
+	}
+
+	// Rendezvous directory on site 0.
+	rdv, err := server.New(server.Config{
+		Role:    server.RoleRendezvous,
+		Seed:    cfg.Seed,
+		Metrics: cfg.Metrics,
+		Logger:  cfg.Logger,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("harness: rendezvous: %w", err))
+	}
+	g.Rdv = rdv
+	if err := g.serveOn(RendezvousName, func(ln net.Listener) error {
+		go rdv.Serve(g.ctx, ln) //nolint:errcheck
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+
+	// Peers. The pool keeps no idle connections and no mux connections:
+	// at 10k peers, per-exchange dialing (one simulated RTT, microseconds
+	// of wall time) is far cheaper than the hundreds of thousands of
+	// idle server-side connection goroutines pooling would accumulate.
+	for i, name := range peerNames {
+		h, err := nw.Host(name)
+		if err != nil {
+			return fail(fmt.Errorf("harness: %w", err))
+		}
+		var metrics *telemetry.Registry
+		if i == 0 {
+			metrics = cfg.Metrics
+		}
+		p, err := peer.New(peer.Config{
+			Self:            name,
+			Dim:             cfg.Dim,
+			Algorithm:       cfg.Algorithm,
+			SGD:             solve.SGDOptions{Rate: cfg.Rate, Reg: cfg.Reg},
+			Seed:            cfg.Seed + 7919*int64(i+1),
+			MaxNeighbors:    cfg.MaxNeighbors,
+			SampleSize:      cfg.SampleSize,
+			RendezvousAddrs: []string{RendezvousName},
+			RendezvousEvery: cfg.RendezvousEvery,
+			Dialer:          h,
+			Pinger:          instantPinger{h},
+			Pool:            transport.PoolConfig{MaxIdlePerHost: -1, MuxConns: -1},
+			Metrics:         metrics,
+			Logger:          cfg.Logger,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("harness: peer %s: %w", name, err))
+		}
+		g.peers = append(g.peers, p)
+		if err := g.serveOn(name, func(ln net.Listener) error {
+			go p.Serve(g.ctx, ln) //nolint:errcheck
+			return nil
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	return g, nil
+}
+
+func (g *GossipCluster) serveOn(name string, start func(net.Listener) error) error {
+	h, err := g.Net.Host(name)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	ln, err := h.Listen()
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	g.lns = append(g.lns, ln)
+	return start(ln)
+}
+
+// Close tears the cluster down.
+func (g *GossipCluster) Close() {
+	g.cancel()
+	for _, p := range g.peers {
+		p.Close()
+	}
+	if g.Rdv != nil {
+		g.Rdv.Close()
+	}
+	for _, ln := range g.lns {
+		ln.Close()
+	}
+	g.Net.Close()
+}
+
+// NumPeers returns the fleet size.
+func (g *GossipCluster) NumPeers() int { return len(g.peers) }
+
+// Peer returns the i-th peer.
+func (g *GossipCluster) Peer(i int) *peer.Peer { return g.peers[i] }
+
+// PeerNames returns the peer addresses in index order.
+func (g *GossipCluster) PeerNames() []string { return append([]string(nil), g.peerNames...) }
+
+// GossipRound drives one gossip round through every peer in index
+// order and reports how many rounds failed (unreachable partners,
+// empty tables). Failures are part of normal operation under faults;
+// the round only errors when ctx does.
+func (g *GossipCluster) GossipRound(ctx context.Context) (failed int, err error) {
+	for _, p := range g.peers {
+		if err := p.GossipRound(ctx); err != nil {
+			if ctx.Err() != nil {
+				return failed, ctx.Err()
+			}
+			failed++
+		}
+	}
+	return failed, nil
+}
+
+// Coordinates returns every peer's current rows, x then y concatenated,
+// in index order — the bit-identity witness for determinism tests.
+func (g *GossipCluster) Coordinates() [][]float64 {
+	out := make([][]float64, len(g.peers))
+	for i, p := range g.peers {
+		x, y := p.Coordinates()
+		out[i] = append(x, y...)
+	}
+	return out
+}
+
+// MeasureAccuracy estimates distances peer-to-peer — no server round
+// trip: each of the first `sources` peers estimates to the `targetsPer`
+// peers that follow it in index order (wrapping), from cached
+// coordinates or a direct coordinate fetch on a miss, and the estimates
+// are scored against the fabric's ground-truth RTTs with the modified
+// relative error. Zero means all.
+func (g *GossipCluster) MeasureAccuracy(ctx context.Context, sources, targetsPer int) (Accuracy, error) {
+	n := len(g.peers)
+	if sources <= 0 || sources > n {
+		sources = n
+	}
+	if targetsPer <= 0 || targetsPer > n-1 {
+		targetsPer = n - 1
+	}
+	var acc Accuracy
+	errs := make([]float64, 0, sources*targetsPer)
+	for si := 0; si < sources; si++ {
+		p := g.peers[si]
+		for k := 1; k <= targetsPer; k++ {
+			target := g.peerNames[(si+k)%n]
+			acc.Queried++
+			est, err := p.Estimate(ctx, target)
+			if err != nil {
+				if ctx.Err() != nil {
+					return acc, ctx.Err()
+				}
+				continue // unreachable target: counted as unanswered
+			}
+			truth, err := g.Net.GroundTruthRTT(p.Self(), target)
+			if err != nil {
+				return acc, fmt.Errorf("harness: %w", err)
+			}
+			errs = append(errs, stats.RelativeError(truth, est))
+			acc.Answered++
+		}
+	}
+	acc.Summary = stats.Summarize(errs)
+	return acc, nil
+}

@@ -1,0 +1,531 @@
+// Package peer implements the decentralized, landmark-free IDES mode:
+// DMFSGD (Liao et al., PAPERS.md) running at the edge. Every host owns
+// one row pair (x_i, y_i) of the global factorization and a bounded
+// random neighbor set; on each gossip round it picks a neighbor,
+// measures RTT to it, exchanges coordinate rows over the standard wire
+// protocol (GossipExchange/GossipReply, carried over transport.Pool
+// with mux framing when the peer speaks it), and both sides fold the
+// measurement into their own rows with solve.PeerStep — the
+// Kaczmarz-normalized step the centralized SGDSolver uses, split so
+// each side only writes its own state. Distance estimation then needs
+// no server round-trip: est(i,j) = (x_i·y_j + x_j·y_i)/2 from cached or
+// freshly fetched coordinates.
+//
+// The central server is reduced to an optional rendezvous directory
+// (server -role rendezvous): peers announce themselves to it and
+// receive warm peer samples to bootstrap and re-mix their neighbor
+// sets; it fits no model and serves no queries.
+//
+// A Peer is deterministic given its Config.Seed and the order of calls
+// into it: all randomness (neighbor choice, sample selection, table
+// eviction) draws from one seeded PRNG under the peer's lock, so a
+// simulated fleet driven in a fixed order is bit-identical across runs.
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ides-go/ides/internal/core"
+	"github.com/ides-go/ides/internal/solve"
+	"github.com/ides-go/ides/internal/telemetry"
+	"github.com/ides-go/ides/internal/transport"
+	"github.com/ides-go/ides/internal/wire"
+)
+
+// ErrNoNeighbors is returned by a gossip round that found the neighbor
+// table empty and could not refill it from a rendezvous directory.
+var ErrNoNeighbors = errors.New("peer: no neighbors known")
+
+// Config parameterizes a Peer.
+type Config struct {
+	// Self is the address other peers dial to reach this one — its
+	// identity in neighbor tables and rendezvous directories. Required.
+	Self string
+	// Dim is the coordinate dimensionality. Default 8; every peer in a
+	// deployment must agree on it.
+	Dim int
+	// Algorithm selects the factorization variant: core.NMF (the
+	// default) keeps coordinates nonnegative so estimates can never go
+	// negative; core.SVD leaves them unconstrained.
+	Algorithm core.Algorithm
+	// SGD tunes the gradient updates; zero values select the solver
+	// package defaults (Rate 0.3, Reg 1e-4).
+	SGD solve.SGDOptions
+	// Seed makes the peer's random choices reproducible.
+	Seed int64
+	// MaxNeighbors bounds the neighbor/coordinate table. Default 32.
+	MaxNeighbors int
+	// SampleSize is how many neighbor-table entries ride along on each
+	// exchange, mixing the views. Default 3.
+	SampleSize int
+	// RendezvousAddrs lists rendezvous directories for bootstrap and
+	// periodic re-announcement. Optional when neighbors are seeded with
+	// AddNeighbor.
+	RendezvousAddrs []string
+	// RendezvousEvery re-announces to a rendezvous every this many
+	// gossip rounds (staggered per peer so a fleet does not synchronize
+	// its announcements). It keeps the directory warm and re-mixes
+	// neighbor sets after partitions heal. Default 16; negative
+	// disables periodic announcement (an empty table still triggers
+	// one).
+	RendezvousEvery int
+	// PingSamples is how many probes each RTT measurement takes (the
+	// minimum wins). Default 1.
+	PingSamples int
+	// InitRTT scales the random initial coordinates so that initial
+	// estimates land near a plausible RTT instead of zero. Default 100
+	// (milliseconds).
+	InitRTT float64
+	// Dialer opens connections for gossip calls. Required.
+	Dialer transport.Dialer
+	// Pinger measures RTT to gossip partners. Required.
+	Pinger transport.Pinger
+	// Pool overrides the transport pool configuration; its Dialer field
+	// is replaced by Config.Dialer.
+	Pool transport.PoolConfig
+	// IdleTimeout and RequestTimeout budget the serving side, exactly
+	// like the server's frontend. Defaults 60s / 10s.
+	IdleTimeout    time.Duration
+	RequestTimeout time.Duration
+	// Metrics, when set, registers the gossip instrument families.
+	Metrics *telemetry.Registry
+	// Logger, when set, receives serve-loop diagnostics.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 8
+	}
+	if c.MaxNeighbors == 0 {
+		c.MaxNeighbors = 32
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 3
+	}
+	if c.RendezvousEvery == 0 {
+		c.RendezvousEvery = 16
+	}
+	if c.PingSamples <= 0 {
+		c.PingSamples = 1
+	}
+	if c.InitRTT <= 0 {
+		c.InitRTT = 100
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// neighbor is one table entry: the last coordinate rows seen for an
+// address (empty until a first exchange or sample carries them) and the
+// entry's position in the deterministic iteration order.
+type neighbor struct {
+	out, in []float64
+	idx     int
+}
+
+// Peer is one decentralized host: its own coordinate rows plus a
+// bounded neighbor table. All methods are safe for concurrent use; the
+// zero value is not usable — construct with New.
+type Peer struct {
+	cfg      Config
+	sgd      solve.SGDOptions
+	clamp    bool
+	pool     *transport.Pool
+	logger   *log.Logger
+	metrics  *peerMetrics
+	rdvPhase uint64
+
+	mu    sync.Mutex
+	x, y  []float64
+	initX []float64
+	initY []float64
+	table map[string]*neighbor
+	order []string // table keys in insertion order; rng indexes into it
+	rng   *rand.Rand
+	round uint64
+	churn uint64
+	// lastStep is the most recent relative step magnitude — the
+	// telemetry drift signal per exchange.
+	lastStep float64
+}
+
+// New builds a Peer. Coordinates initialize to seeded random values
+// scaled so initial estimates land near cfg.InitRTT.
+func New(cfg Config) (*Peer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("peer: Config.Self is required")
+	}
+	if cfg.Dialer == nil || cfg.Pinger == nil {
+		return nil, fmt.Errorf("peer: Config.Dialer and Config.Pinger are required")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("peer: dimension %d out of range", cfg.Dim)
+	}
+	sgd, err := cfg.SGD.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	poolCfg := cfg.Pool
+	poolCfg.Dialer = cfg.Dialer
+	pool, err := transport.NewPool(poolCfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		cfg:   cfg,
+		sgd:   sgd,
+		clamp: cfg.Algorithm == core.NMF,
+		pool:  pool,
+		table: make(map[string]*neighbor),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Logger != nil {
+		p.logger = cfg.Logger
+	}
+	if cfg.RendezvousEvery > 0 {
+		// A stable per-peer phase staggers periodic announcements across
+		// a fleet instead of stampeding the directory every Nth round.
+		h := fnv.New32a()
+		h.Write([]byte(cfg.Self))
+		p.rdvPhase = uint64(h.Sum32()) % uint64(cfg.RendezvousEvery)
+	}
+	// Random nonnegative init: entries in [0.5s, 1.5s] with s chosen so
+	// x·y ≈ dim·s² ≈ InitRTT. The Kaczmarz-normalized step makes Rate
+	// unitless, so the scale only needs to be plausible, not precise.
+	s := math.Sqrt(cfg.InitRTT / float64(cfg.Dim))
+	p.x = make([]float64, cfg.Dim)
+	p.y = make([]float64, cfg.Dim)
+	for k := 0; k < cfg.Dim; k++ {
+		p.x[k] = s * (0.5 + p.rng.Float64())
+		p.y[k] = s * (0.5 + p.rng.Float64())
+	}
+	p.initX = append([]float64(nil), p.x...)
+	p.initY = append([]float64(nil), p.y...)
+	p.metrics = newPeerMetrics(cfg.Metrics, p)
+	return p, nil
+}
+
+// Close releases the transport pool. The serve loop is stopped by
+// cancelling the context passed to Serve.
+func (p *Peer) Close() error { return p.pool.Close() }
+
+// Self returns the peer's own address.
+func (p *Peer) Self() string { return p.cfg.Self }
+
+// Coordinates returns copies of the peer's current rows (x, y).
+func (p *Peer) Coordinates() (out, in []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]float64(nil), p.x...), append([]float64(nil), p.y...)
+}
+
+// AddNeighbor seeds the neighbor table with an address (no coordinates
+// yet). Used for static bootstrap when no rendezvous is configured.
+func (p *Peer) AddNeighbor(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observeLocked(addr, nil, nil)
+}
+
+// Neighbors returns the current neighbor addresses in table order.
+func (p *Peer) Neighbors() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.order...)
+}
+
+// Stats is a point-in-time snapshot of the gossip loop.
+type Stats struct {
+	// Round counts gossip rounds started.
+	Round uint64
+	// Neighbors is the current table size.
+	Neighbors int
+	// Churn counts neighbors dropped after failed exchanges.
+	Churn uint64
+	// LastStep is the relative step magnitude of the latest applied
+	// update — near zero once the coordinates have converged.
+	LastStep float64
+}
+
+// Stats returns a snapshot of the gossip loop's counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Round: p.round, Neighbors: len(p.order), Churn: p.churn, LastStep: p.lastStep}
+}
+
+// GossipRound runs one round: refresh the table from a rendezvous when
+// due (or when empty), pick a random neighbor, measure RTT, exchange
+// coordinates, and apply the symmetric DMFSGD step. A failed partner is
+// dropped from the table (churn); the error is returned so drivers can
+// count failures, but a loop should keep calling.
+func (p *Peer) GossipRound(ctx context.Context) error {
+	p.mu.Lock()
+	p.round++
+	round := p.round
+	rdvDue := len(p.cfg.RendezvousAddrs) > 0 && (len(p.order) == 0 ||
+		(p.cfg.RendezvousEvery > 0 && round%uint64(p.cfg.RendezvousEvery) == p.rdvPhase))
+	p.mu.Unlock()
+	p.metrics.round()
+	if rdvDue {
+		if err := p.Announce(ctx); err != nil {
+			p.metrics.failure()
+			p.logf("announce: %v", err)
+		}
+	}
+	p.mu.Lock()
+	if len(p.order) == 0 {
+		p.mu.Unlock()
+		return ErrNoNeighbors
+	}
+	target := p.order[p.rng.Intn(len(p.order))]
+	p.mu.Unlock()
+	return p.exchangeWith(ctx, target)
+}
+
+// Announce registers this peer with one rendezvous directory (rotating
+// through the configured ones) and merges the returned warm peer sample
+// into the neighbor table. No measurement is taken and no step applied.
+func (p *Peer) Announce(ctx context.Context) error {
+	if len(p.cfg.RendezvousAddrs) == 0 {
+		return fmt.Errorf("peer: no rendezvous configured")
+	}
+	p.mu.Lock()
+	addr := p.cfg.RendezvousAddrs[int(p.round)%len(p.cfg.RendezvousAddrs)]
+	req := wire.GossipExchange{
+		From:      p.cfg.Self,
+		Out:       p.x,
+		In:        p.y,
+		RTTMillis: -1,
+		Peers:     p.sampleLocked(p.cfg.SampleSize, addr),
+	}
+	payload := req.Encode(nil)
+	p.mu.Unlock()
+	respT, resp, err := p.pool.Call(ctx, addr, wire.TypeGossipExchange, payload)
+	if err != nil {
+		return fmt.Errorf("peer: rendezvous %s: %w", addr, err)
+	}
+	rep, err := decodeReply(respT, resp)
+	if err != nil {
+		return fmt.Errorf("peer: rendezvous %s: %w", addr, err)
+	}
+	p.mu.Lock()
+	for _, s := range rep.Peers {
+		p.observeLocked(s.Addr, s.Out, s.In)
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// exchangeWith runs the measure + exchange + step half-round against
+// one partner.
+func (p *Peer) exchangeWith(ctx context.Context, target string) error {
+	rtt, err := p.cfg.Pinger.Ping(ctx, target, p.cfg.PingSamples)
+	if err != nil {
+		p.dropNeighbor(target)
+		p.metrics.failure()
+		return fmt.Errorf("peer: ping %s: %w", target, err)
+	}
+	ms := float64(rtt) / float64(time.Millisecond)
+	p.mu.Lock()
+	req := wire.GossipExchange{
+		From:      p.cfg.Self,
+		Out:       p.x,
+		In:        p.y,
+		RTTMillis: ms,
+		Peers:     p.sampleLocked(p.cfg.SampleSize, target),
+	}
+	payload := req.Encode(nil)
+	p.mu.Unlock()
+	respT, resp, err := p.pool.Call(ctx, target, wire.TypeGossipExchange, payload)
+	if err != nil {
+		p.dropNeighbor(target)
+		p.metrics.failure()
+		return fmt.Errorf("peer: exchange with %s: %w", target, err)
+	}
+	rep, err := decodeReply(respT, resp)
+	if err != nil {
+		p.dropNeighbor(target)
+		p.metrics.failure()
+		return fmt.Errorf("peer: exchange with %s: %w", target, err)
+	}
+	p.mu.Lock()
+	if len(rep.Out) == p.cfg.Dim && len(rep.In) == p.cfg.Dim {
+		// rep carries the partner's pre-step rows, so this step and the
+		// partner's own (against our pre-step rows) commute.
+		step := solve.PeerStep(p.x, p.y, rep.Out, rep.In, ms, p.sgd, p.clamp)
+		p.noteStepLocked(step)
+		p.observeLocked(target, rep.Out, rep.In)
+	}
+	for _, s := range rep.Peers {
+		p.observeLocked(s.Addr, s.Out, s.In)
+	}
+	p.mu.Unlock()
+	p.metrics.exchange("out")
+	return nil
+}
+
+// EstimateLocal predicts the RTT to addr from cached coordinates,
+// reporting false when none are cached — no network traffic.
+func (p *Peer) EstimateLocal(addr string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.table[addr]
+	if n == nil || len(n.out) != p.cfg.Dim || len(n.in) != p.cfg.Dim {
+		return 0, false
+	}
+	return solve.PeerEstimate(p.x, p.y, n.out, n.in), true
+}
+
+// Estimate predicts the RTT to addr: from cached coordinates when
+// available, otherwise by fetching the target's rows with a single
+// measurement-free exchange — still no central server involved.
+func (p *Peer) Estimate(ctx context.Context, addr string) (float64, error) {
+	if est, ok := p.EstimateLocal(addr); ok {
+		return est, nil
+	}
+	p.mu.Lock()
+	req := wire.GossipExchange{From: p.cfg.Self, Out: p.x, In: p.y, RTTMillis: -1}
+	payload := req.Encode(nil)
+	p.mu.Unlock()
+	respT, resp, err := p.pool.Call(ctx, addr, wire.TypeGossipExchange, payload)
+	if err != nil {
+		return 0, fmt.Errorf("peer: fetch coordinates from %s: %w", addr, err)
+	}
+	rep, err := decodeReply(respT, resp)
+	if err != nil {
+		return 0, fmt.Errorf("peer: fetch coordinates from %s: %w", addr, err)
+	}
+	if len(rep.Out) != p.cfg.Dim || len(rep.In) != p.cfg.Dim {
+		return 0, fmt.Errorf("peer: %s has no coordinates (dim %d vs %d)", addr, len(rep.Out), p.cfg.Dim)
+	}
+	p.mu.Lock()
+	p.observeLocked(addr, rep.Out, rep.In)
+	est := solve.PeerEstimate(p.x, p.y, rep.Out, rep.In)
+	p.mu.Unlock()
+	return est, nil
+}
+
+// decodeReply validates and parses a gossip response frame.
+func decodeReply(t wire.MsgType, payload []byte) (*wire.GossipReply, error) {
+	switch t {
+	case wire.TypeGossipReply:
+		return wire.DecodeGossipReply(payload)
+	case wire.TypeError:
+		if e, err := wire.DecodeError(payload); err == nil {
+			return nil, e
+		}
+		return nil, fmt.Errorf("undecodable error frame")
+	default:
+		return nil, fmt.Errorf("unexpected response type %v", t)
+	}
+}
+
+// observeLocked records an address and (optionally) its coordinate
+// rows, evicting a random entry when the table is full. Empty rows
+// never overwrite cached ones — a sample entry without coordinates
+// must not blind the estimator. Callers hold p.mu.
+func (p *Peer) observeLocked(addr string, out, in []float64) {
+	if addr == "" || addr == p.cfg.Self {
+		return
+	}
+	if n := p.table[addr]; n != nil {
+		if len(out) == p.cfg.Dim && len(in) == p.cfg.Dim {
+			n.out, n.in = out, in
+		}
+		return
+	}
+	if len(p.order) >= p.cfg.MaxNeighbors {
+		p.evictLocked(p.rng.Intn(len(p.order)))
+	}
+	n := &neighbor{idx: len(p.order)}
+	if len(out) == p.cfg.Dim && len(in) == p.cfg.Dim {
+		n.out, n.in = out, in
+	}
+	p.table[addr] = n
+	p.order = append(p.order, addr)
+}
+
+// evictLocked removes the entry at position i in the order slice by
+// swap-delete, keeping iteration order deterministic.
+func (p *Peer) evictLocked(i int) {
+	addr := p.order[i]
+	last := len(p.order) - 1
+	p.order[i] = p.order[last]
+	p.table[p.order[i]].idx = i
+	p.order = p.order[:last]
+	delete(p.table, addr)
+}
+
+// dropNeighbor removes a failed partner and counts the churn.
+func (p *Peer) dropNeighbor(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := p.table[addr]; n != nil {
+		p.evictLocked(n.idx)
+		p.churn++
+		p.metrics.churn()
+	}
+}
+
+// sampleLocked draws up to k distinct table entries (excluding one
+// address) with their cached coordinates, for the exchange's peer
+// sample. Callers hold p.mu.
+func (p *Peer) sampleLocked(k int, exclude string) []wire.LandmarkVec {
+	if len(p.order) == 0 || k <= 0 {
+		return nil
+	}
+	seen := make(map[string]bool, k)
+	out := make([]wire.LandmarkVec, 0, k)
+	for attempts := 0; len(out) < k && attempts < 2*k; attempts++ {
+		addr := p.order[p.rng.Intn(len(p.order))]
+		if addr == exclude || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		n := p.table[addr]
+		out = append(out, wire.LandmarkVec{Addr: addr, Out: n.out, In: n.in})
+	}
+	return out
+}
+
+// noteStepLocked records an applied update's relative magnitude.
+// Callers hold p.mu.
+func (p *Peer) noteStepLocked(step float64) {
+	p.lastStep = step
+	p.metrics.step(step)
+}
+
+// driftLocked reports the relative L2 displacement of the rows from
+// their random initialization — how far gossip has carried this peer.
+func (p *Peer) driftLocked() float64 {
+	var num, den float64
+	for k := range p.x {
+		dx := p.x[k] - p.initX[k]
+		dy := p.y[k] - p.initY[k]
+		num += dx*dx + dy*dy
+		den += p.initX[k]*p.initX[k] + p.initY[k]*p.initY[k]
+	}
+	return math.Sqrt(num) / (math.Sqrt(den) + 1e-9)
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.logger != nil {
+		p.logger.Printf("peer %s: "+format, append([]any{p.cfg.Self}, args...)...)
+	}
+}

@@ -133,6 +133,13 @@ func (s *Server) dispatch(t wire.MsgType, payload []byte) (wire.MsgType, []byte)
 // request payload: the read scratch is reused before the response is
 // framed on some paths.
 func (s *Server) dispatchTo(t wire.MsgType, payload, dst []byte) (wire.MsgType, []byte) {
+	if s.rdv != nil {
+		// A rendezvous server has no model, directory, or query engine —
+		// the peer bootstrap directory handles (or refuses) everything.
+		// Both framing paths (lockstep and mux) land here, so the role
+		// gate covers the whole protocol surface.
+		return s.rdv.dispatch(t, payload, dst)
+	}
 	switch t {
 	case wire.TypePing:
 		tok, err := wire.PingToken(payload)

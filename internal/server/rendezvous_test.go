@@ -1,0 +1,128 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ides-go/ides/internal/wire"
+)
+
+func newRendezvousServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Role = RoleRendezvous
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func announce(t *testing.T, s *Server, from string, coords []float64) *wire.GossipReply {
+	t.Helper()
+	ex := &wire.GossipExchange{From: from, Out: coords, In: coords, RTTMillis: -1}
+	rt, rp := s.dispatch(wire.TypeGossipExchange, ex.Encode(nil))
+	if rt != wire.TypeGossipReply {
+		t.Fatalf("announce answered with %v: %s", rt, rp)
+	}
+	rep, err := wire.DecodeGossipReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRendezvousNeedsNoLandmarks(t *testing.T) {
+	// The leader path rejects < 2 landmarks; the rendezvous role must
+	// not, since it has no model to fit.
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("leader without landmarks accepted")
+	}
+	newRendezvousServer(t, Config{})
+}
+
+func TestRendezvousAnnounceAndSample(t *testing.T) {
+	s := newRendezvousServer(t, Config{Seed: 1})
+	if rep := announce(t, s, "peer-0:1", []float64{1, 2}); len(rep.Peers) != 0 {
+		t.Fatalf("first announce got a sample from an empty directory: %+v", rep.Peers)
+	}
+	rep := announce(t, s, "peer-1:1", []float64{3, 4})
+	if len(rep.Peers) != 1 || rep.Peers[0].Addr != "peer-0:1" {
+		t.Fatalf("second announce sample = %+v, want peer-0:1", rep.Peers)
+	}
+	if len(rep.Out) != 0 || len(rep.In) != 0 || rep.Applied {
+		t.Fatalf("rendezvous reply carries coordinates or a step: %+v", rep)
+	}
+	if rep.Peers[0].Out[0] != 1 || rep.Peers[0].In[1] != 2 {
+		t.Fatalf("warm coordinates mangled: %+v", rep.Peers[0])
+	}
+	// A peer must never be handed itself.
+	for i := 0; i < 10; i++ {
+		rep := announce(t, s, "peer-0:1", []float64{1, 2})
+		for _, p := range rep.Peers {
+			if p.Addr == "peer-0:1" {
+				t.Fatal("announce returned the asker itself")
+			}
+		}
+	}
+}
+
+func TestRendezvousRefusesModelTraffic(t *testing.T) {
+	s := newRendezvousServer(t, Config{})
+	for _, typ := range []wire.MsgType{
+		wire.TypeGetInfo, wire.TypeGetModel, wire.TypeReportRTT,
+		wire.TypeRegisterHost, wire.TypeQueryDist, wire.TypeQueryKNN,
+	} {
+		rt, rp := s.dispatch(typ, nil)
+		if rt != wire.TypeError {
+			t.Fatalf("%v served by a rendezvous: %v", typ, rt)
+		}
+		werr, err := wire.DecodeError(rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if werr.Code != wire.CodeUnavailable {
+			t.Fatalf("%v refused with code %d, want CodeUnavailable", typ, werr.Code)
+		}
+	}
+	// Ping still works — peers health-check the directory like any node.
+	rt, _ := s.dispatch(wire.TypePing, (&wire.Ping{Token: 9}).Encode(nil))
+	if rt != wire.TypePong {
+		t.Fatalf("ping answered with %v", rt)
+	}
+}
+
+func TestRendezvousCapacityBound(t *testing.T) {
+	s := newRendezvousServer(t, Config{RendezvousCapacity: 4, RendezvousSample: 2})
+	for i := 0; i < 32; i++ {
+		announce(t, s, "peer-"+string(rune('a'+i))+":1", []float64{float64(i)})
+	}
+	s.rdv.mu.Lock()
+	n := len(s.rdv.order)
+	s.rdv.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("directory holds %d entries, want capacity 4", n)
+	}
+}
+
+func TestRendezvousRejectsNonFiniteCoordinates(t *testing.T) {
+	s := newRendezvousServer(t, Config{})
+	announce(t, s, "evil:1", []float64{math.NaN()})
+	announce(t, s, "evil2:1", []float64{math.Inf(1)})
+	s.rdv.mu.Lock()
+	n := len(s.rdv.order)
+	s.rdv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("non-finite announce entered the directory (%d entries)", n)
+	}
+	// The error path for malformed frames stays CodeBadRequest.
+	rt, rp := s.dispatch(wire.TypeGossipExchange, []byte{0xFF})
+	if rt != wire.TypeError {
+		t.Fatalf("malformed announce answered with %v", rt)
+	}
+	var werr *wire.Error
+	if e, err := wire.DecodeError(rp); err != nil || !errors.As(error(e), &werr) || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("malformed announce error = %v, %v", e, err)
+	}
+}

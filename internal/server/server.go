@@ -71,6 +71,14 @@ const (
 	// to the leader. A follower keeps serving its last replicated
 	// generation while the leader is unreachable.
 	RoleFollower
+	// RoleRendezvous runs none of the model machinery: the server is a
+	// bootstrap directory for the decentralized peer mode (see
+	// internal/peer). It answers Ping and GossipExchange only — peers
+	// announce their addresses and coordinate rows, and receive a warm
+	// random sample of other announced peers in return. It fits no
+	// model, keeps no landmark set, and serves no queries; the peers
+	// estimate distances among themselves.
+	RoleRendezvous
 )
 
 // String names the role for logs and flags.
@@ -80,6 +88,8 @@ func (r Role) String() string {
 		return "leader"
 	case RoleFollower:
 		return "follower"
+	case RoleRendezvous:
+		return "rendezvous"
 	default:
 		return fmt.Sprintf("Role(%d)", int(r))
 	}
@@ -173,8 +183,16 @@ type Config struct {
 	// host re-solve. Default 0.15; negative disables drift-triggered
 	// refits. Only meaningful with an incremental solver.
 	DriftEpochThreshold float64
-	// Role selects leader (default) or follower. See the Role constants.
+	// Role selects leader (default), follower, or rendezvous. See the
+	// Role constants.
 	Role Role
+	// RendezvousCapacity bounds the peer directory in RoleRendezvous
+	// (default 65536 entries; a random entry is evicted beyond it).
+	// Ignored in other roles.
+	RendezvousCapacity int
+	// RendezvousSample is how many warm peers an announce is answered
+	// with in RoleRendezvous (default 8). Ignored in other roles.
+	RendezvousSample int
 	// LeaderAddr is the leader this follower subscribes to and forwards
 	// writes to. Required when Role is RoleFollower; ignored otherwise.
 	LeaderAddr string
@@ -222,6 +240,9 @@ type Server struct {
 	// follower replicates from LeaderAddr and forwards writes. Nil
 	// except in RoleFollower.
 	follower *follower
+	// rdv is the peer bootstrap directory. Nil except in RoleRendezvous,
+	// where it takes over dispatch entirely.
+	rdv *rendezvous
 
 	// metrics and history are the optional observability sinks; both are
 	// nil-safe throughout (disabled telemetry costs one nil check).
@@ -244,6 +265,8 @@ func New(cfg Config) (*Server, error) {
 		if cfg.LeaderDialer == nil {
 			cfg.LeaderDialer = &net.Dialer{}
 		}
+	} else if cfg.Role == RoleRendezvous {
+		// A rendezvous directory has no model and needs no landmarks.
 	} else if len(cfg.Landmarks) < 2 {
 		return nil, fmt.Errorf("server: need at least 2 landmarks, got %d", len(cfg.Landmarks))
 	}
@@ -310,6 +333,8 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.follower = f
+	} else if cfg.Role == RoleRendezvous {
+		s.rdv = newRendezvous(cfg)
 	} else {
 		p, err := newModelPipeline(cfg, s.clock, idx,
 			s.installSnapshot,

@@ -24,12 +24,30 @@ func (o SGDOptions) withDefaults() SGDOptions {
 	if o.Rate <= 0 {
 		o.Rate = 0.3
 	}
-	if o.Reg < 0 {
-		o.Reg = 0
-	} else if o.Reg == 0 {
+	if o.Reg == 0 {
 		o.Reg = 1e-4
 	}
 	return o
+}
+
+// Normalize validates the options and fills in defaults: Rate must lie
+// in [0, 1] (zero selects 0.3) and Reg must be nonnegative (zero
+// selects 1e-4). Both NewSGD and the decentralized peer loop go through
+// this, so the two modes reject the same configurations.
+func (o SGDOptions) Normalize() (SGDOptions, error) {
+	if o.Rate < 0 || o.Rate > 1 {
+		// The normalized step absorbs Rate of the residual; above 1 every
+		// update overshoots the measurement and the factors oscillate, and
+		// a negative rate ascends the loss. Zero selects the default.
+		return o, fmt.Errorf("solve: SGD rate %v out of (0, 1]", o.Rate)
+	}
+	if o.Reg < 0 {
+		// A negative weight decay amplifies the touched rows every step;
+		// zero selects the documented 1e-4 default, so there is no valid
+		// reading of a negative value.
+		return o, fmt.Errorf("solve: SGD regularization %v must be nonnegative", o.Reg)
+	}
+	return o.withDefaults(), nil
 }
 
 // SGDSolver maintains the landmark factorization by DMFSGD-style
@@ -67,13 +85,11 @@ func NewSGD(numLandmarks int, opts core.FitOptions, sgd SGDOptions) (*SGDSolver,
 	if opts.Mask != nil {
 		return nil, fmt.Errorf("solve: FitOptions.Mask is managed by the solver, must be nil")
 	}
-	if sgd.Rate < 0 || sgd.Rate > 1 {
-		// The normalized step absorbs Rate of the residual; above 1 every
-		// update overshoots the measurement and the factors oscillate, and
-		// a negative rate ascends the loss. Zero selects the default.
-		return nil, fmt.Errorf("solve: SGD rate %v out of (0, 1]", sgd.Rate)
+	norm, err := sgd.Normalize()
+	if err != nil {
+		return nil, err
 	}
-	return &SGDSolver{opts: opts, sgd: sgd.withDefaults(), ms: newMeasurements(numLandmarks)}, nil
+	return &SGDSolver{opts: opts, sgd: norm, ms: newMeasurements(numLandmarks)}, nil
 }
 
 // Seed runs a full batch factorization, adopts its factors as the
@@ -158,6 +174,66 @@ func (s *SGDSolver) step(i, j int, v float64) {
 			}
 		}
 	}
+}
+
+// PeerStep is the decentralized half of the DMFSGD update: host i folds
+// one measured distance d = RTT(i, j) into its OWN coordinate rows
+// (xi, yi) using a gossip partner j's rows (xj, yj) as constants — the
+// partner applies the mirror-image update on its side with the roles
+// swapped, so together the two peers perform the same symmetric update
+// SGDSolver.step performs centrally, without either touching the
+// other's state. Two Kaczmarz-normalized gradient steps run, one per
+// directed prediction that involves host i's rows:
+//
+//	e1  = xi·yj − d      xi −= Rate·(e1·yj/‖yj‖² + Reg·xi)
+//	e2  = xj·yi − d      yi −= Rate·(e2·xj/‖xj‖² + Reg·yi)
+//
+// The two sub-updates share no variables, so peers that exchange
+// pre-update rows converge on the same trajectory regardless of which
+// side steps first. All four rows must have equal length. clamp
+// projects the updated rows onto the nonnegative orthant (core.NMF's
+// invariant). o must come from SGDOptions.Normalize — PeerStep applies
+// no defaulting of its own.
+//
+// The return value is the L2 displacement of (xi, yi) relative to their
+// pre-step norm — the per-step drift signal the gossip telemetry
+// reports.
+func PeerStep(xi, yi, xj, yj []float64, d float64, o SGDOptions, clamp bool) float64 {
+	e1 := mat.Dot(xi, yj) - d
+	e2 := mat.Dot(xj, yi) - d
+	nyj := mat.Dot(yj, yj)
+	nxj := mat.Dot(xj, xj)
+	norm := mat.Dot(xi, xi) + mat.Dot(yi, yi)
+	rate, reg := o.Rate, o.Reg
+	var disp float64
+	for k := range xi {
+		nv := xi[k] - rate*(e1*yj[k]/(nyj+sgdEps)+reg*xi[k])
+		if clamp && nv < 0 {
+			nv = 0
+		}
+		dk := nv - xi[k]
+		disp += dk * dk
+		xi[k] = nv
+	}
+	for k := range yi {
+		nv := yi[k] - rate*(e2*xj[k]/(nxj+sgdEps)+reg*yi[k])
+		if clamp && nv < 0 {
+			nv = 0
+		}
+		dk := nv - yi[k]
+		disp += dk * dk
+		yi[k] = nv
+	}
+	return math.Sqrt(disp / (norm + sgdEps))
+}
+
+// PeerEstimate is the symmetric peer-to-peer distance estimate between
+// hosts i and j from their exchanged coordinate rows: the mean of the
+// two directed predictions xi·yj and xj·yi. With asymmetric routing the
+// two directions genuinely differ; averaging matches RTT's two-way
+// semantics.
+func PeerEstimate(xi, yi, xj, yj []float64) float64 {
+	return (mat.Dot(xi, yj) + mat.Dot(xj, yi)) / 2
 }
 
 // Drift reports the relative Frobenius displacement of the working

@@ -13,6 +13,13 @@
 //     so D is not a symmetric matrix.
 //
 // The generator is fully deterministic given Config.Seed.
+//
+// The probabilistic knobs (InflationProb/Max, StubInflationProb/Max,
+// MultihomeProb) treat zero as "use the default" and any negative value
+// as an explicit off switch — the same sentinel convention as
+// server.Config.IdleTimeout. A config with all three groups negative
+// produces exact shortest-path routing: a symmetric distance matrix
+// with no triangle-inequality violations.
 package topology
 
 import (
@@ -58,19 +65,20 @@ type Config struct {
 	// [1, 1+InflationMax]. Because the factor is shared by all stub pairs
 	// homed on the two transits, this noise is low rank — real policy
 	// routing correlates the same way (a stub inherits its provider's
-	// paths). Default 0.5 / 0.8.
+	// paths). Default 0.5 / 0.8; a negative value in either field
+	// disables inflation entirely (zero selects the default).
 	InflationProb float64
 	InflationMax  float64
 	// StubInflationProb adds independent per-stub-pair stretch in
 	// [1, 1+StubInflationMax] on top, modeling site-local detours. This
 	// noise is full rank, so it sets the error floor a low-dimensional
-	// model cannot cross. Defaults 0.3 / 0.25.
+	// model cannot cross. Defaults 0.3 / 0.25; negative disables.
 	StubInflationProb float64
 	StubInflationMax  float64
 	// AsymmetryProb is the probability that an inflated transit pair is
-	// also direction-asymmetric: the forward direction gains an extra
-	// factor in [1, 1+AsymmetryMax]. Zero yields a symmetric matrix.
-	// Defaults 0 / 0.
+	// also direction-asymmetric: a uniformly random one of the pair's two
+	// directions gains an extra factor in [1, 1+AsymmetryMax]. Zero
+	// yields a symmetric matrix. Defaults 0 / 0.
 	AsymmetryProb float64
 	AsymmetryMax  float64
 	// HostAsymmetryMax, when positive, gives each host's last-mile link
@@ -78,7 +86,7 @@ type Config struct {
 	// modeling broadband up/down capacity gaps [10].
 	HostAsymmetryMax float64
 	// MultihomeProb is the probability a stub domain connects to a second
-	// transit router. Default 0.25.
+	// transit router. Default 0.25; negative disables multihoming.
 	MultihomeProb float64
 }
 
@@ -104,14 +112,33 @@ func (c Config) withDefaults() Config {
 	if c.HostMax <= 0 {
 		c.HostMin, c.HostMax = 0.1, 3
 	}
+	// Zero-valued knobs select the defaults; a negative value is the
+	// explicit off switch (matching the Server.IdleTimeout convention)
+	// and clamps to zero, so "disabled" is expressible and a negative
+	// max can never deflate a routed path below its shortest path.
 	if c.InflationProb == 0 && c.InflationMax == 0 {
 		c.InflationProb, c.InflationMax = 0.5, 0.8
+	}
+	if c.InflationProb < 0 {
+		c.InflationProb = 0
+	}
+	if c.InflationMax < 0 {
+		c.InflationMax = 0
 	}
 	if c.StubInflationProb == 0 && c.StubInflationMax == 0 {
 		c.StubInflationProb, c.StubInflationMax = 0.3, 0.25
 	}
+	if c.StubInflationProb < 0 {
+		c.StubInflationProb = 0
+	}
+	if c.StubInflationMax < 0 {
+		c.StubInflationMax = 0
+	}
 	if c.MultihomeProb == 0 {
 		c.MultihomeProb = 0.25
+	}
+	if c.MultihomeProb < 0 {
+		c.MultihomeProb = 0
 	}
 	return c
 }
@@ -133,6 +160,9 @@ type Topology struct {
 	// one-way latency from stub a's router to stub b's router.
 	stubDist *mat.Dense
 	numStubs int
+	// stubHome[s] is the transit router stub s is (primarily) homed on —
+	// the attachment the level-1 inflation keys off.
+	stubHome []int
 }
 
 // Generate builds a topology per cfg.
@@ -245,7 +275,18 @@ func Generate(cfg Config) (*Topology, error) {
 				f := 1 + rng.Float64()*cfg.InflationMax
 				fwd, rev := f, f
 				if cfg.AsymmetryProb > 0 && rng.Float64() < cfg.AsymmetryProb {
-					fwd *= 1 + rng.Float64()*cfg.AsymmetryMax
+					// The extra stretch lands on a uniformly random one of
+					// the pair's two directions. Always stretching a→b
+					// (the iteration order) would correlate the slow
+					// direction with transit index order globally: for
+					// every asymmetric pair the low→high-index direction
+					// would be the slow one.
+					stretch := 1 + rng.Float64()*cfg.AsymmetryMax
+					if rng.Float64() < 0.5 {
+						fwd *= stretch
+					} else {
+						rev *= stretch
+					}
 				}
 				tInf.Set(a, b, fwd)
 				tInf.Set(b, a, rev)
@@ -262,8 +303,13 @@ func Generate(cfg Config) (*Topology, error) {
 				local = 1 + rng.Float64()*cfg.StubInflationMax
 			}
 			ta, tb := stubHome[a], stubHome[b]
+			// The undirected shortest path is symmetric by construction, but
+			// the two Dijkstra runs sum the same edges in different orders
+			// and can disagree in the last ulp; base.At(a, b) serves both
+			// directions so the only asymmetry is the intentional kind from
+			// tInf, and a fully disabled config is bitwise symmetric.
 			stubDist.Set(a, b, base.At(a, b)*tInf.At(ta, tb)*local)
-			stubDist.Set(b, a, base.At(b, a)*tInf.At(tb, ta)*local)
+			stubDist.Set(b, a, base.At(a, b)*tInf.At(tb, ta)*local)
 		}
 	}
 
@@ -282,7 +328,7 @@ func Generate(cfg Config) (*Topology, error) {
 		hosts[h] = Host{Continent: stubContinent[s], Stub: s, Up: up, Down: down}
 	}
 
-	return &Topology{Hosts: hosts, stubDist: stubDist, numStubs: numStubs}, nil
+	return &Topology{Hosts: hosts, stubDist: stubDist, numStubs: numStubs, stubHome: stubHome}, nil
 }
 
 // OneWay returns the routed one-way latency from host i to host j in ms.
@@ -295,7 +341,11 @@ func (t *Topology) OneWay(i, j int) float64 {
 		// Same stub domain: traffic stays on the local segment.
 		return hi.Up + hj.Down
 	}
-	return hi.Up + t.stubDist.At(hi.Stub, hj.Stub) + hj.Down
+	// Access links sum before the routed path: float addition commutes
+	// but does not associate, so this order makes OneWay(i,j) and
+	// OneWay(j,i) bitwise equal whenever the underlying links are
+	// symmetric, instead of differing in the last ulp.
+	return hi.Up + hj.Down + t.stubDist.At(hi.Stub, hj.Stub)
 }
 
 // RTT returns the round-trip time from host i to host j as measured from i:

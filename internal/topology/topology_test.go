@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/ides-go/ides/internal/mat"
 )
 
 func mustGen(t *testing.T, cfg Config) *Topology {
@@ -265,6 +267,173 @@ func TestContinentWeightsRespected(t *testing.T) {
 	}
 	if counts[0] < 140 {
 		t.Fatalf("continent 0 has %d of 200 hosts, want ~180", counts[0])
+	}
+}
+
+func TestDisableSentinelsClampToZero(t *testing.T) {
+	// Negative knob values are the explicit off switch: withDefaults must
+	// clamp them to zero instead of leaving them negative (or, worse,
+	// re-applying the defaults the caller is trying to suppress).
+	c := Config{
+		InflationProb: -1, InflationMax: -1,
+		StubInflationProb: -1, StubInflationMax: -1,
+		MultihomeProb: -1,
+	}.withDefaults()
+	for name, v := range map[string]float64{
+		"InflationProb":     c.InflationProb,
+		"InflationMax":      c.InflationMax,
+		"StubInflationProb": c.StubInflationProb,
+		"StubInflationMax":  c.StubInflationMax,
+		"MultihomeProb":     c.MultihomeProb,
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v after withDefaults, want 0 (disabled)", name, v)
+		}
+	}
+	// The zero value must keep selecting the documented defaults.
+	d := Config{}.withDefaults()
+	if d.InflationProb != 0.5 || d.InflationMax != 0.8 {
+		t.Errorf("zero config inflation = %v/%v, want defaults 0.5/0.8", d.InflationProb, d.InflationMax)
+	}
+	if d.StubInflationProb != 0.3 || d.StubInflationMax != 0.25 {
+		t.Errorf("zero config stub inflation = %v/%v, want defaults 0.3/0.25", d.StubInflationProb, d.StubInflationMax)
+	}
+	if d.MultihomeProb != 0.25 {
+		t.Errorf("zero config MultihomeProb = %v, want default 0.25", d.MultihomeProb)
+	}
+}
+
+// triangleViolations counts ordered pairs (i,j) for which some detour
+// i→k→j is shorter than the direct path by more than a float tolerance.
+func triangleViolations(d *mat.Dense, n int) int {
+	var violated int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if d.At(i, k)+d.At(k, j) < d.At(i, j)-1e-9 {
+					violated++
+					break
+				}
+			}
+		}
+	}
+	return violated
+}
+
+func TestDisabledGeneratorExactShortestPaths(t *testing.T) {
+	// With every stochastic routing defect switched off via the negative
+	// sentinels, distances are pure shortest paths plus positive access
+	// links: the matrix must be exactly symmetric and a true metric, with
+	// zero triangle-inequality violations (not merely "few").
+	for seed := int64(20); seed < 23; seed++ {
+		topo := mustGen(t, Config{
+			Seed: seed, NumHosts: 50,
+			InflationProb: -1, StubInflationProb: -1, MultihomeProb: -1,
+		})
+		d := topo.Directed()
+		n := topo.NumHosts()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.At(i, j) != d.At(j, i) {
+					t.Fatalf("seed %d: disabled generator asymmetric at (%d,%d): %v vs %v",
+						seed, i, j, d.At(i, j), d.At(j, i))
+				}
+			}
+		}
+		if v := triangleViolations(d, n); v != 0 {
+			t.Fatalf("seed %d: disabled generator has %d triangle violations, want 0", seed, v)
+		}
+	}
+}
+
+func TestNegativeInflationMaxDoesNotDeflate(t *testing.T) {
+	// A negative InflationMax means "off", never a stretch factor below 1:
+	// the pre-sentinel code fed it straight into 1 + U(0,1)*Max, deflating
+	// routed paths below their shortest path (even below zero).
+	topo := mustGen(t, Config{
+		Seed: 24, NumHosts: 60,
+		InflationProb: 1, InflationMax: -5,
+		StubInflationProb: -1, MultihomeProb: -1,
+	})
+	d := topo.Directed()
+	n := topo.NumHosts()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && d.At(i, j) <= 0 {
+				t.Fatalf("deflated distance d(%d,%d) = %v", i, j, d.At(i, j))
+			}
+		}
+	}
+	if v := triangleViolations(d, n); v != 0 {
+		t.Fatalf("negative InflationMax produced %d triangle violations, want 0", v)
+	}
+}
+
+func TestAsymmetryDirectionBalanced(t *testing.T) {
+	// When a transit pair draws asymmetric routing, the slow direction
+	// must be a fair coin, not always the low→high transit-index
+	// direction. Classify every asymmetric stub pair by whether its slow
+	// direction runs toward the higher-index transit; both orientations
+	// must appear in force across seeds.
+	var lowHigh, highLow int
+	for seed := int64(30); seed < 36; seed++ {
+		topo := mustGen(t, Config{
+			Seed: seed, NumHosts: 80, HostsPerStub: 1,
+			InflationProb: 1, InflationMax: 0.5,
+			AsymmetryProb: 1, AsymmetryMax: 0.5,
+			StubInflationProb: -1, MultihomeProb: -1,
+		})
+		for a := 0; a < topo.numStubs; a++ {
+			for b := a + 1; b < topo.numStubs; b++ {
+				ta, tb := topo.stubHome[a], topo.stubHome[b]
+				if ta == tb {
+					continue
+				}
+				fwd, rev := topo.stubDist.At(a, b), topo.stubDist.At(b, a)
+				if fwd == rev {
+					continue
+				}
+				if (fwd > rev) == (ta < tb) {
+					lowHigh++
+				} else {
+					highLow++
+				}
+			}
+		}
+	}
+	total := lowHigh + highLow
+	if total == 0 {
+		t.Fatal("asymmetric config produced no asymmetric stub pairs")
+	}
+	if float64(lowHigh) < 0.2*float64(total) || float64(highLow) < 0.2*float64(total) {
+		t.Fatalf("asymmetry direction unbalanced: %d slow toward higher transit index, %d toward lower (total %d)",
+			lowHigh, highLow, total)
+	}
+	// The public Directed() surface must show both orientations too.
+	d := mustGen(t, Config{
+		Seed: 30, NumHosts: 80, HostsPerStub: 1,
+		InflationProb: 1, InflationMax: 0.5,
+		AsymmetryProb: 1, AsymmetryMax: 0.5,
+		StubInflationProb: -1, MultihomeProb: -1,
+	}).Directed()
+	var fwdSlow, revSlow bool
+	for i := 0; i < 80; i++ {
+		for j := i + 1; j < 80; j++ {
+			if d.At(i, j) > d.At(j, i) {
+				fwdSlow = true
+			} else if d.At(j, i) > d.At(i, j) {
+				revSlow = true
+			}
+		}
+	}
+	if !fwdSlow || !revSlow {
+		t.Fatalf("Directed() shows only one asymmetry orientation (i→j slow: %v, j→i slow: %v)", fwdSlow, revSlow)
 	}
 }
 

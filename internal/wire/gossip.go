@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"encoding/binary"
+)
+
+// This file carries the decentralized (landmark-free) mode's messages:
+// a GossipExchange/GossipReply pair is one DMFSGD gossip round between
+// two peers — or between a peer and a rendezvous directory, which
+// stores the announced coordinates and answers with a warm peer sample
+// instead of coordinates of its own.
+
+// Gossip message types, continuing the constant block in wire.go.
+const (
+	TypeGossipExchange MsgType = 0x17
+	TypeGossipReply    MsgType = 0x18
+)
+
+// GossipExchange is the initiating half of a gossip round: the sender
+// offers its own coordinate rows (as they were before any step this
+// round), the RTT it just measured to the receiver, and a small sample
+// of its neighbor view. The receiver folds the measurement into its own
+// rows with the sender's rows as constants and answers with a
+// GossipReply carrying its pre-step rows, so both sides apply the same
+// symmetric update from the same snapshot.
+type GossipExchange struct {
+	// From is the sender's dialable listen address — its peer identity
+	// in neighbor tables and rendezvous directories.
+	From string
+	// Out, In are the sender's coordinate rows x_i and y_i.
+	Out, In []float64
+	// RTTMillis is the RTT the sender measured to the receiver
+	// immediately before this exchange. A negative value means no
+	// measurement was taken — a rendezvous announce or a coordinate
+	// fetch — and neither side applies a gradient step.
+	RTTMillis float64
+	// Peers is a bounded sample of the sender's neighbor view, gossiped
+	// so neighbor sets keep mixing. Entries may carry empty vectors when
+	// the sender has no coordinates cached for a peer.
+	Peers []LandmarkVec
+}
+
+// Encode appends the message payload to dst.
+func (m *GossipExchange) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	dst = appendFloats(dst, m.Out)
+	dst = appendFloats(dst, m.In)
+	dst = appendFloat(dst, m.RTTMillis)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		dst = appendString(dst, p.Addr)
+		dst = appendFloats(dst, p.Out)
+		dst = appendFloats(dst, p.In)
+	}
+	return dst
+}
+
+// DecodeGossipExchange parses a GossipExchange payload.
+func DecodeGossipExchange(b []byte) (*GossipExchange, error) {
+	m := &GossipExchange{}
+	var err error
+	if m.From, b, err = consumeString(b); err != nil {
+		return nil, err
+	}
+	if m.Out, b, err = consumeFloats(b); err != nil {
+		return nil, err
+	}
+	if m.In, b, err = consumeFloats(b); err != nil {
+		return nil, err
+	}
+	if m.RTTMillis, b, err = consumeFloat(b); err != nil {
+		return nil, err
+	}
+	if m.Peers, _, err = consumePeerSample(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GossipReply answers a GossipExchange.
+type GossipReply struct {
+	// Applied reports whether the receiver folded the exchange's
+	// measurement into its own coordinate rows. False for rendezvous
+	// directories and for exchanges with a negative RTTMillis.
+	Applied bool
+	// Out, In are the receiver's coordinate rows from before any step
+	// this round; the sender runs its half of the symmetric update
+	// against them. Both empty means the receiver holds no coordinates
+	// (a rendezvous directory, or a peer that has not initialized).
+	Out, In []float64
+	// Peers is a bounded sample of the receiver's neighbor view — for a
+	// rendezvous directory, the warm entries seeding the newcomer.
+	Peers []LandmarkVec
+}
+
+// Encode appends the message payload to dst.
+func (m *GossipReply) Encode(dst []byte) []byte {
+	dst = appendBool(dst, m.Applied)
+	dst = appendFloats(dst, m.Out)
+	dst = appendFloats(dst, m.In)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		dst = appendString(dst, p.Addr)
+		dst = appendFloats(dst, p.Out)
+		dst = appendFloats(dst, p.In)
+	}
+	return dst
+}
+
+// DecodeGossipReply parses a GossipReply payload.
+func DecodeGossipReply(b []byte) (*GossipReply, error) {
+	m := &GossipReply{}
+	var err error
+	if m.Applied, b, err = consumeBool(b); err != nil {
+		return nil, err
+	}
+	if m.Out, b, err = consumeFloats(b); err != nil {
+		return nil, err
+	}
+	if m.In, b, err = consumeFloats(b); err != nil {
+		return nil, err
+	}
+	if m.Peers, _, err = consumePeerSample(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// consumePeerSample parses the u32-counted peer list both gossip
+// messages end with.
+func consumePeerSample(b []byte) ([]LandmarkVec, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Each entry costs at least a 2-byte address prefix and two 4-byte
+	// vector counts; grow incrementally past 4096 so a hostile count
+	// cannot force a huge allocation up front.
+	if n > MaxPayload/10 || 10*n > len(b) {
+		return nil, nil, ErrShortPayload
+	}
+	peers := make([]LandmarkVec, 0, min(n, 4096))
+	var err error
+	for i := 0; i < n; i++ {
+		var p LandmarkVec
+		if p.Addr, b, err = consumeString(b); err != nil {
+			return nil, nil, err
+		}
+		if p.Out, b, err = consumeFloats(b); err != nil {
+			return nil, nil, err
+		}
+		if p.In, b, err = consumeFloats(b); err != nil {
+			return nil, nil, err
+		}
+		peers = append(peers, p)
+	}
+	return peers, b, nil
+}

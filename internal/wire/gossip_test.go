@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGossipExchangeRoundTrip(t *testing.T) {
+	in := &GossipExchange{
+		From:      "peer-3:9000",
+		Out:       []float64{1, 2.5, 3},
+		In:        []float64{4, 5, 6.25},
+		RTTMillis: 42.125,
+		Peers: []LandmarkVec{
+			{Addr: "peer-1:9000", Out: []float64{7, 8, 9}, In: []float64{10, 11, 12}},
+			{Addr: "peer-9:9000"}, // known address, no cached coordinates
+		},
+	}
+	out, err := DecodeGossipExchange(in.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || out.RTTMillis != in.RTTMillis {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if !reflect.DeepEqual(out.Out, in.Out) || !reflect.DeepEqual(out.In, in.In) {
+		t.Fatalf("vectors mangled: %+v", out)
+	}
+	if len(out.Peers) != 2 || out.Peers[0].Addr != "peer-1:9000" ||
+		!reflect.DeepEqual(out.Peers[0].Out, in.Peers[0].Out) ||
+		out.Peers[1].Addr != "peer-9:9000" || len(out.Peers[1].Out) != 0 {
+		t.Fatalf("peer sample mangled: %+v", out.Peers)
+	}
+}
+
+func TestGossipExchangeNegativeRTTSentinel(t *testing.T) {
+	// The "no measurement" sentinel must survive the wire exactly.
+	in := &GossipExchange{From: "p", Out: []float64{1}, In: []float64{2}, RTTMillis: -1}
+	out, err := DecodeGossipExchange(in.Encode(nil))
+	if err != nil || out.RTTMillis != -1 {
+		t.Fatalf("sentinel round trip = %+v, %v", out, err)
+	}
+}
+
+func TestGossipReplyRoundTrip(t *testing.T) {
+	for _, in := range []*GossipReply{
+		{
+			Applied: true,
+			Out:     []float64{1, 2},
+			In:      []float64{3, 4},
+			Peers:   []LandmarkVec{{Addr: "a:1", Out: []float64{5}, In: []float64{6}}},
+		},
+		// Rendezvous shape: no coordinates, only a peer sample.
+		{Peers: []LandmarkVec{{Addr: "b:2"}, {Addr: "c:3"}}},
+		// Fully empty.
+		{},
+	} {
+		out, err := DecodeGossipReply(in.Encode(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Applied != in.Applied || len(out.Out) != len(in.Out) ||
+			len(out.In) != len(in.In) || len(out.Peers) != len(in.Peers) {
+			t.Fatalf("round trip = %+v, want %+v", out, in)
+		}
+		for i := range in.Peers {
+			// Empty decodes as a non-nil zero-length slice; compare values.
+			if out.Peers[i].Addr != in.Peers[i].Addr ||
+				len(out.Peers[i].Out) != len(in.Peers[i].Out) ||
+				(len(in.Peers[i].Out) > 0 && !reflect.DeepEqual(out.Peers[i].Out, in.Peers[i].Out)) {
+				t.Fatalf("peer %d mangled: %+v", i, out.Peers[i])
+			}
+		}
+	}
+}
+
+func TestGossipDecodersRejectTruncationAndHostileCounts(t *testing.T) {
+	ex := (&GossipExchange{
+		From: "p:1", Out: []float64{1, 2}, In: []float64{3, 4}, RTTMillis: 9,
+		Peers: []LandmarkVec{{Addr: "q:2", Out: []float64{5}, In: []float64{6}}},
+	}).Encode(nil)
+	rep := (&GossipReply{
+		Applied: true, Out: []float64{1}, In: []float64{2},
+		Peers: []LandmarkVec{{Addr: "q:2"}},
+	}).Encode(nil)
+	for i := 0; i < len(ex); i++ {
+		if _, err := DecodeGossipExchange(ex[:i]); err == nil {
+			t.Fatalf("GossipExchange truncated at %d accepted", i)
+		}
+	}
+	for i := 0; i < len(rep); i++ {
+		if _, err := DecodeGossipReply(rep[:i]); err == nil {
+			t.Fatalf("GossipReply truncated at %d accepted", i)
+		}
+	}
+	// A hostile peer count far beyond the payload must fail fast, not
+	// allocate.
+	hostile := (&GossipExchange{From: "p:1", Out: []float64{1}, In: []float64{2}, RTTMillis: 1}).Encode(nil)
+	hostile = hostile[:len(hostile)-4] // strip the zero peer count
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeGossipExchange(hostile); err == nil {
+		t.Fatal("hostile peer count accepted")
+	}
+	// NaN RTT is representable; the sentinel check is the peer's job.
+	nan := (&GossipExchange{From: "p", RTTMillis: math.NaN()}).Encode(nil)
+	if out, err := DecodeGossipExchange(nan); err != nil || !math.IsNaN(out.RTTMillis) {
+		t.Fatalf("NaN RTT round trip = %+v, %v", out, err)
+	}
+}
+
+func TestGossipTypeStrings(t *testing.T) {
+	if TypeGossipExchange.String() != "GossipExchange" || TypeGossipReply.String() != "GossipReply" {
+		t.Fatalf("gossip MsgType names: %v, %v", TypeGossipExchange, TypeGossipReply)
+	}
+}
+
+func FuzzDecodeGossipExchange(f *testing.F) {
+	f.Add((&GossipExchange{
+		From: "p:1", Out: []float64{1, 2}, In: []float64{3, 4}, RTTMillis: 7,
+		Peers: []LandmarkVec{{Addr: "q:2", Out: []float64{5}, In: []float64{6}}},
+	}).Encode(nil))
+	f.Add([]byte{})
+	// Peer count claims more entries than the payload carries.
+	f.Add([]byte{0, 1, 'p', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeGossipExchange(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same shape.
+		out, err := DecodeGossipExchange(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-encoded GossipExchange does not round-trip: %v", err)
+		}
+		if out.From != m.From || len(out.Peers) != len(m.Peers) {
+			t.Fatalf("round trip drifted: %+v vs %+v", out, m)
+		}
+	})
+}
+
+func FuzzDecodeGossipReply(f *testing.F) {
+	f.Add((&GossipReply{
+		Applied: true, Out: []float64{1}, In: []float64{2},
+		Peers: []LandmarkVec{{Addr: "q:2", Out: []float64{3}, In: []float64{4}}},
+	}).Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeGossipReply(data)
+		if err != nil {
+			return
+		}
+		out, err := DecodeGossipReply(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-encoded GossipReply does not round-trip: %v", err)
+		}
+		if out.Applied != m.Applied || len(out.Peers) != len(m.Peers) {
+			t.Fatalf("round trip drifted: %+v vs %+v", out, m)
+		}
+	})
+}

@@ -136,6 +136,10 @@ func (t MsgType) String() string {
 		return "Hello"
 	case TypeHelloAck:
 		return "HelloAck"
+	case TypeGossipExchange:
+		return "GossipExchange"
+	case TypeGossipReply:
+		return "GossipReply"
 	default:
 		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 	}
